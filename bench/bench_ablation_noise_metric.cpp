@@ -1,0 +1,76 @@
+// Ablation: the noise-tolerant speedup metric, Eq. (1).
+//
+// The paper sizes n (the median window) from the observed baseline RSD:
+// n = 1 at the 1% noise of MPAS-A/ADCIRC, n = 7 at MOM6's 9%. This bench
+// quantifies why: for two variants whose true speedups differ by a margin,
+// it estimates the probability that Eq. (1) *misranks* them under each noise
+// level and n, and the probability that a truly-faster-than-baseline variant
+// is wrongly rejected by the speedup >= 1 acceptance rule.
+#include <iostream>
+
+#include "bench_common.h"
+#include "support/table.h"
+#include "tuner/metrics.h"
+
+using namespace prose;
+using namespace prose::tuner;
+
+namespace {
+
+/// Monte-Carlo probability that Eq. (1) ranks variant B (true speedup sb)
+/// above variant A (true speedup sa > sb).
+double misrank_probability(double sa, double sb, double rsd, int n, int trials) {
+  int misranked = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto base = sample_noisy_times(100.0, rsd, n, 99, 3 * static_cast<std::uint64_t>(t));
+    const auto va = sample_noisy_times(100.0 / sa, rsd, n, 99, 3 * static_cast<std::uint64_t>(t) + 1);
+    const auto vb = sample_noisy_times(100.0 / sb, rsd, n, 99, 3 * static_cast<std::uint64_t>(t) + 2);
+    if (eq1_speedup(base, vb) > eq1_speedup(base, va)) ++misranked;
+  }
+  return static_cast<double>(misranked) / trials;
+}
+
+/// Probability that a variant with true speedup s >= 1 measures below 1.
+double false_reject_probability(double s, double rsd, int n, int trials) {
+  int rejected = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto base = sample_noisy_times(100.0, rsd, n, 7, 2 * static_cast<std::uint64_t>(t));
+    const auto v = sample_noisy_times(100.0 / s, rsd, n, 7, 2 * static_cast<std::uint64_t>(t) + 1);
+    if (eq1_speedup(base, v) < 1.0) ++rejected;
+  }
+  return static_cast<double>(rejected) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto io = bench::BenchIo::from_args(argc, argv);
+  bench::header("Ablation — Eq. (1) median-of-n under timing noise");
+  const int trials = io.quick ? 2000 : 20000;
+
+  CsvWriter csv;
+  csv.add_row({"rsd", "n", "misrank_5pct_margin", "false_reject_1.03x"});
+
+  TextTable table({"RSD", "n", "P(misrank A=1.10x vs B=1.05x)",
+                   "P(reject true 1.03x variant)"});
+  for (const double rsd : {0.01, 0.09}) {
+    for (const int n : {1, 3, 7}) {
+      const double mis = misrank_probability(1.10, 1.05, rsd, n, trials);
+      const double rej = false_reject_probability(1.03, rsd, n, trials);
+      table.add_row({format_percent(rsd, 0), std::to_string(n),
+                     format_percent(mis, 1), format_percent(rej, 1)});
+      csv.add_row({format_double(rsd, 2), std::to_string(n), format_double(mis, 4),
+                   format_double(rej, 4)});
+    }
+  }
+  std::cout << table.to_string();
+  io.write_csv("ablation_noise_metric.csv", csv.str());
+
+  bench::header("Ablation recap");
+  std::cout
+      << "  At 1% RSD a single run already ranks variants reliably (the paper's\n"
+         "  n = 1 for MPAS-A/ADCIRC); at MOM6's 9% RSD, n = 1 misranks nearby\n"
+         "  variants a large fraction of the time and n = 7 restores reliable\n"
+         "  ranking — the paper's choice (§III-E, §IV-A).\n";
+  return 0;
+}

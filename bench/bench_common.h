@@ -1,0 +1,85 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the relevant experiment on the simulated substrate, prints the series in
+// the paper's shape (ASCII table/scatter), writes the raw data as CSV next
+// to the binary (or under --outdir), and prints a PAPER vs MEASURED recap.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "support/cli.h"
+#include "support/strings.h"
+#include "tuner/campaign.h"
+#include "tuner/report.h"
+
+namespace prose::bench {
+
+struct BenchIo {
+  std::string outdir = "bench_out";
+  bool quick = false;  // reduced scale for smoke runs
+
+  static BenchIo from_args(int argc, char** argv) {
+    BenchIo io;
+    auto flags = CliFlags::parse(argc, argv);
+    if (flags.is_ok()) {
+      io.outdir = flags->get_string("outdir", "bench_out");
+      io.quick = flags->get_bool("quick", false);
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(io.outdir, ec);  // best effort
+    return io;
+  }
+
+  void write_file(const std::string& tag, const std::string& name,
+                  const std::string& content) const {
+    const std::string path = outdir + "/" + name;
+    std::ofstream f(path);
+    if (f) {
+      f << content;
+      std::cout << "[" << tag << "] wrote " << path << "\n";
+    } else {
+      std::cout << "[" << tag << "] could not write " << path << " (skipped)\n";
+    }
+  }
+
+  void write_csv(const std::string& name, const std::string& content) const {
+    write_file("csv", name, content);
+  }
+
+  /// HTML counterpart of the paper artifact's interactive visualizations.
+  void write_html(const std::string& name, const std::string& content) const {
+    write_file("html", name, content);
+  }
+};
+
+inline void header(const std::string& title) {
+  std::cout << "\n" << std::string(74, '=') << "\n" << title << "\n"
+            << std::string(74, '=') << "\n";
+}
+
+/// "paper: X | measured: Y" recap line.
+inline void recap(const std::string& what, const std::string& paper,
+                  const std::string& measured) {
+  std::cout << "  " << pad_right(what, 44) << " paper: " << pad_right(paper, 12)
+            << " measured: " << measured << "\n";
+}
+
+/// Runs a campaign and prints its Table II row; exits the process on failure
+/// (benches must be loud about broken substrates).
+inline tuner::CampaignResult run_or_die(const tuner::TargetSpec& spec,
+                                        const tuner::CampaignOptions& options = {}) {
+  auto result = tuner::run_campaign(spec, options);
+  if (!result.is_ok()) {
+    std::cerr << "campaign failed for " << spec.name << ": "
+              << result.status().to_string() << "\n";
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+}  // namespace prose::bench

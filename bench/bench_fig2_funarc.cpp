@@ -1,0 +1,125 @@
+// Figure 2 (and Figure 3): the funarc motivating example.
+//
+// Brute-force sweep of all 2^8 = 256 mixed-precision variants, plotted on
+// speedup-error axes; the optimal frontier; the fraction of variants worse
+// than the original on both axes (paper: ~67%); and the Fig. 3-style diff of
+// the threshold-selected frontier variant (keeps only s1 in 64-bit).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "tuner/html_report.h"
+#include "ftn/transform.h"
+#include "ftn/unparse.h"
+#include "models/funarc.h"
+#include "tuner/frontier.h"
+#include "tuner/search.h"
+
+using namespace prose;
+using namespace prose::tuner;
+
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::from_args(argc, argv);
+  bench::header("Figure 2 — funarc: brute-force sweep of 256 variants");
+
+  const TargetSpec spec = models::funarc_target();
+  auto evaluator = Evaluator::create(spec);
+  if (!evaluator.is_ok()) {
+    std::cerr << evaluator.status().to_string() << "\n";
+    return 1;
+  }
+  Evaluator& ev = *evaluator.value();
+
+  const SearchResult sweep = brute_force_search(ev);
+  std::cout << "variants evaluated: " << sweep.records.size() << "\n";
+
+  // Scatter in the paper's orientation.
+  std::cout << variants_scatter("funarc variants (speedup vs relative error)", sweep,
+                                spec.error_threshold);
+  io.write_csv("fig2_funarc_variants.csv", variants_csv(sweep));
+  io.write_html("fig2_funarc.html",
+                variants_html("Figure 2 — funarc variants", sweep, spec.error_threshold));
+
+  // Optimal frontier and threshold selection.
+  const auto frontier = optimal_frontier(sweep.records);
+  std::cout << "\noptimal frontier (" << frontier.size() << " variants):\n";
+  for (const auto& p : frontier) {
+    std::cout << "  variant " << p.variant_id << ": speedup "
+              << format_double(p.speedup, 3) << ", error " << format_sci(p.error, 3)
+              << "\n";
+  }
+  const int chosen = select_within_threshold(frontier, spec.error_threshold);
+  std::cout << "selected under threshold " << format_sci(spec.error_threshold, 2)
+            << ": variant " << chosen << "\n";
+
+  // Fraction worse than the original on both axes (left of the dotted line
+  // AND below 1x in Fig. 2).
+  std::size_t worse_both = 0, completed = 0;
+  const VariantRecord* chosen_rec = nullptr;
+  for (const auto& r : sweep.records) {
+    if (r.eval.outcome != Outcome::kPass && r.eval.outcome != Outcome::kFail) continue;
+    ++completed;
+    if (r.eval.speedup < 1.0 && r.eval.error > 0.0) ++worse_both;
+    if (r.id == chosen) chosen_rec = &r;
+  }
+  const double pct = completed ? 100.0 * static_cast<double>(worse_both) /
+                                     static_cast<double>(completed)
+                               : 0.0;
+  std::cout << "variants worse than the original on both axes: "
+            << format_double(pct, 1) << "%\n";
+
+  // Fig. 3: the diff of the chosen variant against the uniform-64 original.
+  if (chosen_rec != nullptr) {
+    auto variant = ftn::make_variant(ev.pristine().program,
+                                     ev.space().to_assignment(chosen_rec->config));
+    if (variant.is_ok()) {
+      std::cout << "\nFigure 3 — diff of the selected variant vs the original:\n"
+                << ftn::source_diff(ev.pristine().program, variant->program);
+    }
+    // Which atoms stayed 64-bit?
+    std::cout << "kept in 64-bit:";
+    for (std::size_t i = 0; i < ev.space().size(); ++i) {
+      if (chosen_rec->config.kinds[i] == 8) {
+        std::cout << " " << ev.space().atoms()[i].qualified;
+      }
+    }
+    std::cout << "\n";
+  }
+
+  // Figure 4: the wrapper required for mixed-precision parameter passing.
+  // Lower everything except fun's dummy `x`: the call site then needs a
+  // 4-to-8 wrapper routing the argument through an assignment — exactly the
+  // paper's example.
+  {
+    Config keep_x = ev.space().uniform(4);
+    const auto xi = ev.space().index_of("funarc_mod::fun::x");
+    if (xi >= 0) keep_x.kinds[static_cast<std::size_t>(xi)] = 8;
+    auto wrapped = ftn::make_variant(ev.pristine().program,
+                                     ev.space().to_assignment(keep_x));
+    if (wrapped.is_ok()) {
+      const ftn::Module* m = wrapped->program.find_module("funarc_mod");
+      for (const auto& proc : m->procedures) {
+        if (proc.generated) {
+          std::cout << "\nFigure 4 — generated wrapper for mixed-precision "
+                       "parameter passing:\n"
+                    << ftn::unparse(proc);
+        }
+      }
+    }
+  }
+
+  // Paper-vs-measured recap.
+  const Evaluation& u32 = ev.evaluate(ev.space().uniform(4));
+  bench::header("Figure 2 recap (shape checks)");
+  bench::recap("search space", "2^8 = 256", std::to_string(sweep.records.size()));
+  bench::recap("% worse on both axes", "~67%", format_double(pct, 1) + "%");
+  bench::recap("uniform-32 speedup", "~1.35x", format_double(u32.speedup, 2) + "x");
+  if (chosen_rec != nullptr) {
+    bench::recap("frontier pick speedup", "~1.3x",
+                 format_double(chosen_rec->eval.speedup, 2) + "x");
+    bench::recap("error vs uniform-32", "4.5x less",
+                 format_double(u32.error / std::max(chosen_rec->eval.error, 1e-300), 1) +
+                     "x less");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5: every explored mixed-precision hotspot variant on speedup-error
+// axes, one panel per model, with the threshold guide lines and the paper's
+// cluster checks (e.g. MPAS-A's three clusters by %32-bit).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "tuner/html_report.h"
+#include "models/models.h"
+#include "tuner/frontier.h"
+
+using namespace prose;
+using namespace prose::tuner;
+
+namespace {
+
+/// Mean speedup of completed variants whose fraction32 lies in [lo, hi).
+struct ClusterStat {
+  std::size_t n = 0;
+  double mean_speedup = 0.0;
+  double min_speedup = 0.0;
+  double max_speedup = 0.0;
+};
+
+ClusterStat cluster(const SearchResult& search, double lo, double hi) {
+  ClusterStat c;
+  double sum = 0.0;
+  for (const auto& r : search.records) {
+    if (r.eval.outcome != Outcome::kPass && r.eval.outcome != Outcome::kFail) continue;
+    if (r.eval.fraction32 < lo || r.eval.fraction32 >= hi) continue;
+    if (c.n == 0) {
+      c.min_speedup = c.max_speedup = r.eval.speedup;
+    } else {
+      c.min_speedup = std::min(c.min_speedup, r.eval.speedup);
+      c.max_speedup = std::max(c.max_speedup, r.eval.speedup);
+    }
+    sum += r.eval.speedup;
+    ++c.n;
+  }
+  if (c.n > 0) c.mean_speedup = sum / static_cast<double>(c.n);
+  return c;
+}
+
+std::string show(const ClusterStat& c) {
+  if (c.n == 0) return "(none)";
+  return std::to_string(c.n) + " variants, mean " + format_double(c.mean_speedup, 2) +
+         "x [" + format_double(c.min_speedup, 2) + ", " +
+         format_double(c.max_speedup, 2) + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::from_args(argc, argv);
+  bench::header("Figure 5 — hotspot variants on speedup-error axes");
+
+  const std::vector<TargetSpec> specs = {models::mpas_target(), models::adcirc_target(),
+                                         models::mom6_target()};
+  std::vector<SearchResult> searches;
+  for (const auto& spec : specs) {
+    std::cout << "running " << spec.name << " campaign...\n";
+    auto result = bench::run_or_die(spec);
+    std::cout << variants_scatter("Fig 5 — " + spec.name, result.search,
+                                  spec.error_threshold);
+    io.write_csv("fig5_" + to_lower(spec.name) + "_variants.csv",
+                 variants_csv(result.search));
+    io.write_html("fig5_" + to_lower(spec.name) + ".html",
+                  variants_html("Figure 5 — " + spec.name, result.search,
+                                spec.error_threshold));
+    const auto frontier = optimal_frontier(result.search.records);
+    std::cout << "optimal frontier: " << frontier.size() << " variants\n\n";
+    searches.push_back(std::move(result.search));
+  }
+
+  bench::header("Figure 5 recap (artifact-appendix shape checks)");
+  // MPAS-A clusters by %32-bit.
+  const auto low = cluster(searches[0], 0.0, 0.30);
+  const auto mid = cluster(searches[0], 0.50, 0.90);
+  const auto high = cluster(searches[0], 0.90, 1.01);
+  bench::recap("MPAS-A <30% 32-bit", "<= 1x speedup", show(low));
+  bench::recap("MPAS-A 50-89% 32-bit", "0.7-1.8x", show(mid));
+  bench::recap("MPAS-A >90% 32-bit", ">= 1.8x (best)", show(high));
+
+  // ADCIRC: fast-but-wrong upper cluster, correct ~1x cluster.
+  std::size_t adcirc_fast_wrong = 0, adcirc_correct = 0;
+  for (const auto& r : searches[1].records) {
+    if (r.eval.outcome == Outcome::kFail && r.eval.speedup > 1.5) ++adcirc_fast_wrong;
+    if (r.eval.outcome == Outcome::kPass) ++adcirc_correct;
+  }
+  bench::recap("ADCIRC fast-but-intolerable variants", "upper-right cluster",
+               std::to_string(adcirc_fast_wrong) + " variants");
+  bench::recap("ADCIRC correct ~1x variants", "bottom-right cluster",
+               std::to_string(adcirc_correct) + " variants");
+
+  // MOM6: executable highly-lowered variants are slowdowns.
+  const auto mom6_high = cluster(searches[2], 0.70, 1.01);
+  bench::recap("MOM6 executable >70% 32-bit", "0.2-0.6x slowdowns", show(mom6_high));
+  return 0;
+}

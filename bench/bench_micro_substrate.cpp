@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the substrate itself: frontend
+// throughput, transformation cost, reduction cost, and VM execution rate.
+// These are the components whose per-variant cost the campaign scheduler
+// models (T0-T3 of the artifact's workflow).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "ftn/callgraph.h"
+#include "ftn/lexer.h"
+#include "ftn/paramflow.h"
+#include "ftn/parser.h"
+#include "ftn/reduce.h"
+#include "ftn/sema.h"
+#include "ftn/transform.h"
+#include "ftn/unparse.h"
+#include "models/models.h"
+#include "sim/compile.h"
+#include "sim/vm.h"
+
+namespace {
+
+using namespace prose;
+
+const std::string& mpas_src() {
+  static const std::string src = models::mpas_source();
+  return src;
+}
+
+const ftn::ResolvedProgram& mpas_resolved() {
+  static ftn::ResolvedProgram rp = [] {
+    auto r = ftn::parse_and_resolve(mpas_src());
+    PROSE_CHECK(r.is_ok());
+    return std::move(r.value());
+  }();
+  return rp;
+}
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = ftn::lex(mpas_src(), "mpas");
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mpas_src().size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto prog = ftn::parse_source(mpas_src());
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Resolve(benchmark::State& state) {
+  for (auto _ : state) {
+    auto prog = ftn::parse_source(mpas_src());
+    auto rp = ftn::resolve(std::move(prog.value()));
+    benchmark::DoNotOptimize(rp);
+  }
+}
+BENCHMARK(BM_Resolve);
+
+void BM_Unparse(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  for (auto _ : state) {
+    auto text = ftn::unparse(rp.program);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Unparse);
+
+void BM_CallGraphAndFlow(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  for (auto _ : state) {
+    const auto cg = ftn::CallGraph::build(rp);
+    const auto pf = ftn::build_param_flow(rp, cg);
+    benchmark::DoNotOptimize(pf.edges.size());
+  }
+}
+BENCHMARK(BM_CallGraphAndFlow);
+
+void BM_MakeVariantWithWrappers(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  // Lower every atom-scope declaration: maximal wrapper generation work.
+  ftn::PrecisionAssignment pa;
+  for (const auto& sym : rp.symbols.all()) {
+    if (sym.is_variable() && sym.type.is_real() &&
+        sym.module_name == "atm_time_integration") {
+      pa.kinds[sym.decl_node] = 4;
+    }
+  }
+  for (auto _ : state) {
+    auto variant = ftn::make_variant(rp.program, pa);
+    benchmark::DoNotOptimize(variant);
+  }
+}
+BENCHMARK(BM_MakeVariantWithWrappers);
+
+void BM_TaintReduction(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  std::set<ftn::NodeId> targets;
+  for (const auto& sym : rp.symbols.all()) {
+    if (sym.is_variable() && sym.type.is_real() && sym.proc_name == "flux4") {
+      targets.insert(sym.decl_node);
+    }
+  }
+  for (auto _ : state) {
+    auto reduced = ftn::reduce_for_targets(rp, targets);
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_TaintReduction);
+
+void BM_CompileBytecode(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  for (auto _ : state) {
+    auto compiled = sim::compile(rp, sim::MachineModel{});
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileBytecode);
+
+void BM_VmFullModelRun(benchmark::State& state) {
+  const auto& rp = mpas_resolved();
+  auto compiled = sim::compile(rp, sim::MachineModel{});
+  PROSE_CHECK(compiled.is_ok());
+  sim::Vm vm(&compiled.value());
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    vm.reset();
+    auto r = vm.call("mpas_model::run_model");
+    PROSE_CHECK(r.status.is_ok());
+    instructions += r.instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+  state.SetLabel("items = VM instructions");
+}
+BENCHMARK(BM_VmFullModelRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

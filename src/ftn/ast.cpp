@@ -1,0 +1,273 @@
+#include "ftn/ast.h"
+
+namespace prose::ftn {
+
+std::string to_string(const ScalarType& t) {
+  switch (t.base) {
+    case BaseType::kReal:
+      return t.kind == 8 ? "real(kind=8)" : "real(kind=4)";
+    case BaseType::kInteger:
+      return "integer";
+    case BaseType::kLogical:
+      return "logical";
+  }
+  return "?";
+}
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kPow: return "**";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "/=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return ".and.";
+    case BinaryOp::kOr: return ".or.";
+    case BinaryOp::kEqv: return ".eqv.";
+    case BinaryOp::kNeqv: return ".neqv.";
+  }
+  return "?";
+}
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kPlus: return "+";
+    case UnaryOp::kNot: return ".not.";
+  }
+  return "?";
+}
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_logical(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+    case BinaryOp::kEqv:
+    case BinaryOp::kNeqv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->id = id;
+  out->loc = loc;
+  out->int_value = int_value;
+  out->real_value = real_value;
+  out->real_kind = real_kind;
+  out->logical_value = logical_value;
+  out->name = name;
+  out->symbol = symbol;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a ? a->clone() : nullptr);
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  out->lhs = lhs ? lhs->clone() : nullptr;
+  out->rhs = rhs ? rhs->clone() : nullptr;
+  out->type = type;
+  out->is_array_value = is_array_value;
+  return out;
+}
+
+ExprPtr make_int_lit(std::int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->int_value = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_real_lit(double v, int kind, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRealLit;
+  e->real_value = v;
+  e->real_kind = kind;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_var_ref(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->id = id;
+  out->loc = loc;
+  out->lhs = lhs ? lhs->clone() : nullptr;
+  out->rhs = rhs ? rhs->clone() : nullptr;
+  out->branches.reserve(branches.size());
+  for (const auto& b : branches) {
+    IfBranch nb;
+    nb.cond = b.cond ? b.cond->clone() : nullptr;
+    nb.body.reserve(b.body.size());
+    for (const auto& s : b.body) nb.body.push_back(s->clone());
+    out->branches.push_back(std::move(nb));
+  }
+  out->do_var = do_var;
+  out->do_symbol = do_symbol;
+  out->lo = lo ? lo->clone() : nullptr;
+  out->hi = hi ? hi->clone() : nullptr;
+  out->step = step ? step->clone() : nullptr;
+  out->body.reserve(body.size());
+  for (const auto& s : body) out->body.push_back(s->clone());
+  out->cond = cond ? cond->clone() : nullptr;
+  out->callee = callee;
+  out->callee_symbol = callee_symbol;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a ? a->clone() : nullptr);
+  out->print_args.reserve(print_args.size());
+  for (const auto& a : print_args) out->print_args.push_back(a ? a->clone() : nullptr);
+  out->print_text = print_text;
+  return out;
+}
+
+DeclEntity DeclEntity::clone() const {
+  DeclEntity out;
+  out.id = id;
+  out.name = name;
+  out.type = type;
+  out.dims.reserve(dims.size());
+  for (const auto& d : dims) {
+    DimSpec nd;
+    nd.extent = d.extent ? d.extent->clone() : nullptr;
+    nd.resolved = d.resolved;
+    out.dims.push_back(std::move(nd));
+  }
+  out.intent = intent;
+  out.is_parameter = is_parameter;
+  out.init = init ? init->clone() : nullptr;
+  out.loc = loc;
+  out.symbol = symbol;
+  return out;
+}
+
+const DeclEntity* Procedure::find_decl(const std::string& name) const {
+  for (const auto& d : decls) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+DeclEntity* Procedure::find_decl(const std::string& name) {
+  for (auto& d : decls) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+Procedure Procedure::clone() const {
+  Procedure out;
+  out.id = id;
+  out.name = name;
+  out.kind = kind;
+  out.param_names = param_names;
+  out.result_name = result_name;
+  out.decls.reserve(decls.size());
+  for (const auto& d : decls) out.decls.push_back(d.clone());
+  out.body.reserve(body.size());
+  for (const auto& s : body) out.body.push_back(s->clone());
+  out.loc = loc;
+  out.symbol = symbol;
+  out.generated = generated;
+  return out;
+}
+
+const Procedure* Module::find_procedure(const std::string& name) const {
+  for (const auto& p : procedures) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Procedure* Module::find_procedure(const std::string& name) {
+  for (auto& p : procedures) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Module Module::clone() const {
+  Module out;
+  out.id = id;
+  out.name = name;
+  out.uses = uses;
+  out.decls.reserve(decls.size());
+  for (const auto& d : decls) out.decls.push_back(d.clone());
+  out.procedures.reserve(procedures.size());
+  for (const auto& p : procedures) out.procedures.push_back(p.clone());
+  out.loc = loc;
+  return out;
+}
+
+const Module* Program::find_module(const std::string& name) const {
+  for (const auto& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Module* Program::find_module(const std::string& name) {
+  for (auto& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Program Program::clone() const {
+  Program out;
+  out.modules.reserve(modules.size());
+  for (const auto& m : modules) out.modules.push_back(m.clone());
+  out.ids.ensure_above(ids.last());
+  return out;
+}
+
+std::string qualified_name(const Module& m, const Procedure* p, const DeclEntity& d) {
+  std::string out = m.name;
+  out += "::";
+  if (p != nullptr) {
+    out += p->name;
+    out += "::";
+  }
+  out += d.name;
+  return out;
+}
+
+}  // namespace prose::ftn

@@ -1,0 +1,280 @@
+// Typed AST for the Fortran subset.
+//
+// Design notes:
+//   * Every declaration entity, statement, and call expression carries a
+//     stable NodeId. Precision-tuning transformations are expressed as *edit
+//     plans* keyed by NodeId (see transform.h), so a plan computed on a
+//     taint-reduced copy of the program can be replayed onto the full
+//     program — this mirrors the paper's reduce → transform (via ROSE) →
+//     reinsert pipeline (§III-C).
+//   * NodeIds are preserved by clone(), which is how variant generation works
+//     without mutating the pristine parse.
+//   * Names are stored canonically lower-cased; resolution (sema.h) annotates
+//     references with SymbolIds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+#include "support/status.h"
+
+namespace prose::ftn {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+using SymbolId = std::uint32_t;
+inline constexpr SymbolId kInvalidSymbol = 0;
+
+/// Allocates NodeIds for one Program. Cloned trees share the counter's
+/// past allocations (ids are preserved), new nodes get fresh ids.
+class NodeIdGen {
+ public:
+  NodeId next() { return ++last_; }
+  [[nodiscard]] NodeId last() const { return last_; }
+  void ensure_above(NodeId id) {
+    if (id > last_) last_ = id;
+  }
+
+ private:
+  NodeId last_ = kInvalidNode;
+};
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class BaseType : std::uint8_t { kReal, kInteger, kLogical };
+
+/// Scalar type with Fortran `kind`. Reals are kind 4 or 8; integers and
+/// logicals are always kind 4 in the subset.
+struct ScalarType {
+  BaseType base = BaseType::kReal;
+  int kind = 8;
+
+  [[nodiscard]] bool is_real() const { return base == BaseType::kReal; }
+  [[nodiscard]] bool is_fp32() const { return is_real() && kind == 4; }
+  [[nodiscard]] bool is_fp64() const { return is_real() && kind == 8; }
+  friend bool operator==(const ScalarType&, const ScalarType&) = default;
+};
+
+std::string to_string(const ScalarType& t);
+
+/// One array dimension: either an explicit extent expression (constant after
+/// resolution) or assumed shape `:` for dummy arguments.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct DimSpec {
+  ExprPtr extent;            // null => assumed shape (":")
+  std::int64_t resolved = -1;  // filled by sema for explicit shapes
+
+  [[nodiscard]] bool assumed() const { return extent == nullptr; }
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kRealLit,
+  kLogicalLit,
+  kVarRef,    // scalar variable or whole-array reference
+  kIndex,     // a(i) / a(i,j) — also the syntax of a call; sema disambiguates
+  kCall,      // f(args) once sema has established f is a procedure/intrinsic
+  kUnary,
+  kBinary,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kPlus, kNot };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kPow,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kEqv, kNeqv,
+};
+
+const char* to_string(BinaryOp op);
+const char* to_string(UnaryOp op);
+[[nodiscard]] bool is_comparison(BinaryOp op);
+[[nodiscard]] bool is_logical(BinaryOp op);
+
+struct Expr {
+  ExprKind kind;
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+
+  // Literals.
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  int real_kind = 4;
+  bool logical_value = false;
+
+  // VarRef / Index / Call.
+  std::string name;               // canonical lower case
+  SymbolId symbol = kInvalidSymbol;  // resolved variable or procedure
+  std::vector<ExprPtr> args;      // index expressions or call arguments
+
+  // Unary / Binary.
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;  // also the sole operand of unary
+  ExprPtr rhs;
+
+  // Filled by sema: result type of this expression (scalar subset: array
+  // refs are elemental through indexing; whole-array exprs only appear as
+  // intrinsic args).
+  ScalarType type;
+  /// True for whole-array value positions (e.g. the argument of sum()).
+  bool is_array_value = false;
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+ExprPtr make_int_lit(std::int64_t v, SourceLoc loc = {});
+ExprPtr make_real_lit(double v, int kind, SourceLoc loc = {});
+ExprPtr make_var_ref(std::string name, SourceLoc loc = {});
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kAssign,
+  kIf,
+  kDo,
+  kDoWhile,
+  kCall,
+  kExit,
+  kCycle,
+  kReturn,
+  kPrint,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct IfBranch {
+  ExprPtr cond;  // null for the final `else`
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  NodeId id = kInvalidNode;
+  SourceLoc loc;
+
+  // kAssign: lhs is a VarRef or Index expression.
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kIf.
+  std::vector<IfBranch> branches;
+
+  // kDo: `do var = lo, hi [, step]`.
+  std::string do_var;
+  SymbolId do_symbol = kInvalidSymbol;
+  ExprPtr lo;
+  ExprPtr hi;
+  ExprPtr step;  // null => 1
+  std::vector<StmtPtr> body;
+
+  // kDoWhile.
+  ExprPtr cond;
+
+  // kCall.
+  std::string callee;             // canonical lower case
+  SymbolId callee_symbol = kInvalidSymbol;
+  std::vector<ExprPtr> args;
+
+  // kPrint.
+  std::vector<ExprPtr> print_args;
+  std::string print_text;  // leading string literal, if any
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations and program structure
+// ---------------------------------------------------------------------------
+
+enum class Intent : std::uint8_t { kNone, kIn, kOut, kInOut };
+
+/// One declared entity, e.g. the `t1(10)` in `real(kind=8) :: s, t1(10)`.
+/// This is the paper's search atom when the type is real (§III-A).
+struct DeclEntity {
+  NodeId id = kInvalidNode;
+  std::string name;
+  ScalarType type;
+  std::vector<DimSpec> dims;  // empty => scalar
+  Intent intent = Intent::kNone;
+  bool is_parameter = false;
+  ExprPtr init;  // parameter value or variable initializer
+  SourceLoc loc;
+  SymbolId symbol = kInvalidSymbol;
+
+  [[nodiscard]] bool is_array() const { return !dims.empty(); }
+  [[nodiscard]] DeclEntity clone() const;
+};
+
+enum class ProcKind : std::uint8_t { kSubroutine, kFunction };
+
+struct Procedure {
+  NodeId id = kInvalidNode;
+  std::string name;
+  ProcKind kind = ProcKind::kSubroutine;
+  std::vector<std::string> param_names;  // dummy argument order
+  std::string result_name;               // functions only
+  std::vector<DeclEntity> decls;         // params, result, and locals
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+  SymbolId symbol = kInvalidSymbol;
+  bool generated = false;  // true for tool-generated wrappers
+
+  [[nodiscard]] const DeclEntity* find_decl(const std::string& name) const;
+  [[nodiscard]] DeclEntity* find_decl(const std::string& name);
+  [[nodiscard]] Procedure clone() const;
+};
+
+struct UseStmt {
+  std::string module_name;
+  std::vector<std::string> only;  // empty => import all public names
+  SourceLoc loc;
+};
+
+struct Module {
+  NodeId id = kInvalidNode;
+  std::string name;
+  std::vector<UseStmt> uses;
+  std::vector<DeclEntity> decls;  // module variables and parameters
+  std::vector<Procedure> procedures;
+  SourceLoc loc;
+
+  [[nodiscard]] const Procedure* find_procedure(const std::string& name) const;
+  [[nodiscard]] Procedure* find_procedure(const std::string& name);
+  [[nodiscard]] Module clone() const;
+};
+
+/// A whole translation unit: one or more modules. (The subset has no
+/// standalone `program` block; harness drivers call an entry procedure.)
+struct Program {
+  std::vector<Module> modules;
+  NodeIdGen ids;
+
+  [[nodiscard]] const Module* find_module(const std::string& name) const;
+  [[nodiscard]] Module* find_module(const std::string& name);
+
+  /// Deep copy preserving all NodeIds (the clone can then be edited).
+  [[nodiscard]] Program clone() const;
+};
+
+/// Fully-qualified atom name "module::procedure::var" or "module::var".
+std::string qualified_name(const Module& m, const Procedure* p, const DeclEntity& d);
+
+}  // namespace prose::ftn

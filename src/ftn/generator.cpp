@@ -1,0 +1,411 @@
+#include "ftn/generator.h"
+
+#include <sstream>
+#include <vector>
+
+#include "support/status.h"
+
+namespace prose::ftn {
+namespace {
+
+struct Var {
+  std::string name;
+  bool is_array = false;
+  int kind = 8;
+};
+
+struct Proc {
+  std::string name;
+  bool is_function = false;
+  std::vector<Var> dummies;        // scalar in, scalar inout, array inout mix
+  std::vector<std::string> intents;  // parallel to dummies
+};
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const GeneratorOptions& options)
+      : rng_(seed), options_(options) {}
+
+  GeneratedProgram run() {
+    GeneratedProgram out;
+    plan();
+    // Auxiliary modules first; the entry module (0) last, `use`ing them all
+    // — modules must be defined before use.
+    for (int m = 1; m < options_.modules; ++m) emit_module(m);
+    emit_module(0);
+    out.source = src_.str();
+    out.entry = module_name(0) + "::entry";
+    out.output_var = module_name(0) + "::gen_out";
+    return out;
+  }
+
+ private:
+  // ---- planning -----------------------------------------------------------
+
+  static std::string module_name(int m) { return "gen_mod" + std::to_string(m); }
+
+  void plan() {
+    module_vars_.resize(static_cast<std::size_t>(options_.modules));
+    procs_.resize(static_cast<std::size_t>(options_.modules));
+    for (int m = 0; m < options_.modules; ++m) {
+      for (int v = 0; v < options_.module_vars; ++v) {
+        Var var;
+        var.name = "g" + std::to_string(m) + "_v" + std::to_string(v);
+        var.is_array = rng_.chance(options_.array_probability);
+        var.kind = rng_.chance(options_.f32_probability) ? 4 : 8;
+        module_vars_[static_cast<std::size_t>(m)].push_back(var);
+      }
+      for (int p = 0; p < options_.procs_per_module; ++p) {
+        Proc proc;
+        proc.name = "p" + std::to_string(m) + "_" + std::to_string(p);
+        proc.is_function = rng_.chance(0.4);
+        const int ndummies = proc.is_function ? 1 + static_cast<int>(rng_.uniform_index(2))
+                                              : 1 + static_cast<int>(rng_.uniform_index(3));
+        for (int d = 0; d < ndummies; ++d) {
+          Var dummy;
+          dummy.name = "d" + std::to_string(d);
+          dummy.kind = rng_.chance(options_.f32_probability) ? 4 : 8;
+          if (!proc.is_function && rng_.chance(options_.array_probability)) {
+            dummy.is_array = true;
+            proc.dummies.push_back(dummy);
+            proc.intents.push_back("inout");
+          } else {
+            proc.dummies.push_back(dummy);
+            proc.intents.push_back(proc.is_function || d == 0 ? "in" : "inout");
+          }
+        }
+        procs_[static_cast<std::size_t>(m)].push_back(std::move(proc));
+      }
+    }
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  std::string real_const() {
+    const double v = rng_.uniform(-0.9, 0.9);
+    char buf[48];
+    if (rng_.chance(0.5)) {
+      std::snprintf(buf, sizeof buf, "%.4fd0", v);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.4f", v);
+    }
+    return buf;
+  }
+
+  /// A readable scalar value in the current context.
+  std::string scalar_ref(const std::vector<Var>& scope_vars,
+                         const std::string& loop_var) {
+    std::vector<std::string> options;
+    for (const auto& v : scope_vars) {
+      if (v.is_array) {
+        if (!loop_var.empty()) {
+          options.push_back(v.name + "(" + loop_var + ")");
+        } else {
+          options.push_back(v.name + "(" +
+                            std::to_string(1 + rng_.uniform_index(
+                                                   static_cast<std::uint64_t>(
+                                                       options_.array_extent))) +
+                            ")");
+        }
+      } else {
+        options.push_back(v.name);
+      }
+    }
+    if (options.empty()) return real_const();
+    return options[rng_.uniform_index(options.size())];
+  }
+
+  /// A bounded expression (|value| stays O(1) when inputs are O(1)).
+  std::string expr(const std::vector<Var>& scope_vars, const std::string& loop_var,
+                   int depth) {
+    if (depth <= 0 || rng_.chance(0.35)) {
+      return rng_.chance(0.4) ? real_const() : scalar_ref(scope_vars, loop_var);
+    }
+    switch (rng_.uniform_index(6)) {
+      case 0:
+        return "(" + expr(scope_vars, loop_var, depth - 1) + " + " +
+               expr(scope_vars, loop_var, depth - 1) + ") * 0.5";
+      case 1:
+        return expr(scope_vars, loop_var, depth - 1) + " * " + real_const();
+      case 2:
+        return "sin(" + expr(scope_vars, loop_var, depth - 1) + ")";
+      case 3:
+        return "sqrt(abs(" + expr(scope_vars, loop_var, depth - 1) + ") + 0.25)";
+      case 4:
+        // Guarded division: denominator bounded away from zero.
+        return expr(scope_vars, loop_var, depth - 1) + " / (1.5 + abs(" +
+               expr(scope_vars, loop_var, depth - 1) + "))";
+      default:
+        return "min(max(" + expr(scope_vars, loop_var, depth - 1) + ", -2.0), 2.0)";
+    }
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  void line(int indent, const std::string& text) {
+    src_ << std::string(static_cast<std::size_t>(indent) * 2, ' ') << text << "\n";
+  }
+
+  /// One statement writing to an in-scope variable; keeps values contracted.
+  void emit_assignment(int indent, const std::vector<Var>& writable,
+                       const std::vector<Var>& readable, const std::string& loop_var) {
+    PROSE_CHECK(!writable.empty());
+    const Var& target = writable[rng_.uniform_index(writable.size())];
+    std::string lhs = target.name;
+    if (target.is_array) {
+      if (!loop_var.empty()) {
+        lhs += "(" + loop_var + ")";
+      } else {
+        lhs += "(" + std::to_string(1 + rng_.uniform_index(static_cast<std::uint64_t>(
+                                            options_.array_extent))) + ")";
+      }
+    }
+    line(indent, lhs + " = 0.5 * " + lhs + " + 0.4 * (" +
+                     expr(readable, loop_var, 2) + ")");
+  }
+
+  void emit_stmt(int m, int indent, const std::vector<Var>& writable,
+                 const std::vector<Var>& readable, const std::string& loop_var,
+                 int loop_depth, int proc_index) {
+    const auto choice = rng_.uniform_index(10);
+    if (choice < 4) {
+      emit_assignment(indent, writable, readable, loop_var);
+      return;
+    }
+    if (choice < 6 && loop_depth < options_.max_loop_depth) {
+      // A counted loop over the array extent with a fresh induction variable.
+      const std::string var = loop_depth == 0 ? "i" : "j";
+      line(indent, "do " + var + " = 1, " + std::to_string(options_.array_extent));
+      const int body = 1 + static_cast<int>(rng_.uniform_index(2));
+      for (int s = 0; s < body; ++s) {
+        emit_stmt(m, indent + 1, writable, readable, var, loop_depth + 1, proc_index);
+      }
+      if (loop_depth == 0 && rng_.chance(0.2)) {
+        line(indent + 1, "if (" + scalar_ref(readable, var) + " > 1.9) exit");
+      }
+      line(indent, "end do");
+      return;
+    }
+    if (choice < 8) {
+      line(indent, "if (" + expr(readable, loop_var, 1) + " > 0.2) then");
+      emit_assignment(indent + 1, writable, readable, loop_var);
+      line(indent, "else");
+      emit_assignment(indent + 1, writable, readable, loop_var);
+      line(indent, "end if");
+      return;
+    }
+    if (options_.allow_calls && loop_var.empty()) {
+      // Call a later procedure of the same module (acyclic by construction).
+      const auto& procs = procs_[static_cast<std::size_t>(m)];
+      std::vector<std::size_t> later;
+      for (std::size_t p = static_cast<std::size_t>(proc_index) + 1; p < procs.size();
+           ++p) {
+        later.push_back(p);
+      }
+      if (!later.empty()) {
+        const Proc& callee = procs[later[rng_.uniform_index(later.size())]];
+        if (emit_call(m, indent, callee, writable, readable)) return;
+      }
+    }
+    emit_assignment(indent, writable, readable, loop_var);
+  }
+
+  /// Emits a call/function-use of `callee` with compatible arguments;
+  /// returns false when no compatible actual exists.
+  bool emit_call(int /*m*/, int indent, const Proc& callee,
+                 const std::vector<Var>& writable, const std::vector<Var>& readable) {
+    std::vector<std::string> args;
+    for (std::size_t d = 0; d < callee.dummies.size(); ++d) {
+      const Var& dummy = callee.dummies[d];
+      if (dummy.is_array) {
+        // Need a whole array of matching kind in scope.
+        const Var* found = nullptr;
+        for (const auto& v : writable) {
+          if (v.is_array && v.kind == dummy.kind) found = &v;
+        }
+        if (found == nullptr) return false;
+        args.push_back(found->name);
+      } else if (callee.intents[d] == "in") {
+        args.push_back("(" + expr(readable, "", 1) + ")");
+      } else {
+        // Writable scalar designator of any kind (sema allows kind mismatch;
+        // the wrapper pass fixes it — but the *generated baseline* must be
+        // kind-clean, so match kinds).
+        const Var* found = nullptr;
+        for (const auto& v : writable) {
+          if (!v.is_array && v.kind == dummy.kind) found = &v;
+        }
+        if (found == nullptr) return false;
+        args.push_back(found->name);
+      }
+    }
+    std::string arglist;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i) arglist += ", ";
+      arglist += args[i];
+    }
+    if (callee.is_function) {
+      const Var& target = writable[rng_.uniform_index(writable.size())];
+      if (target.is_array) return false;
+      line(indent, target.name + " = 0.5 * " + target.name + " + 0.3 * " +
+                       callee.name + "(" + arglist + ")");
+    } else {
+      line(indent, "call " + callee.name + "(" + arglist + ")");
+    }
+    return true;
+  }
+
+  // Kind-clean argument binding requires expression args to match the dummy
+  // kind; the subset promotes expressions, so literals/mixed exprs bind to
+  // kind-8 dummies only. Keep it simple: intent(in) scalar dummies are
+  // always kind 8 in generated procs.
+  void sanitize_proc_kinds() {
+    for (auto& procs : procs_) {
+      for (auto& proc : procs) {
+        for (std::size_t d = 0; d < proc.dummies.size(); ++d) {
+          if (!proc.dummies[d].is_array && proc.intents[d] == "in") {
+            proc.dummies[d].kind = 8;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- structure ----------------------------------------------------------
+
+  void emit_decl(int indent, const Var& v, const std::string& intent = "") {
+    std::string decl = "real(kind=" + std::to_string(v.kind) + ")";
+    if (!intent.empty()) decl += ", intent(" + intent + ")";
+    if (v.is_array && !intent.empty()) decl += ", dimension(:)";
+    decl += " :: " + v.name;
+    if (v.is_array && intent.empty()) {
+      decl += "(" + std::to_string(options_.array_extent) + ")";
+    }
+    line(indent, decl);
+  }
+
+  void emit_proc(int m, int proc_index) {
+    const Proc& proc = procs_[static_cast<std::size_t>(m)][static_cast<std::size_t>(proc_index)];
+    std::string args;
+    for (std::size_t d = 0; d < proc.dummies.size(); ++d) {
+      if (d) args += ", ";
+      args += proc.dummies[d].name;
+    }
+    const char* kw = proc.is_function ? "function" : "subroutine";
+    line(1, std::string(kw) + " " + proc.name + "(" + args + ")" +
+                (proc.is_function ? " result(res)" : ""));
+    for (std::size_t d = 0; d < proc.dummies.size(); ++d) {
+      emit_decl(2, proc.dummies[d], proc.intents[d]);
+    }
+    if (proc.is_function) line(2, "real(kind=8) :: res");
+
+    std::vector<Var> locals;
+    for (int l = 0; l < options_.locals_per_proc; ++l) {
+      Var v;
+      v.name = "t" + std::to_string(l);
+      v.kind = rng_.chance(options_.f32_probability) ? 4 : 8;
+      locals.push_back(v);
+      emit_decl(2, v);
+    }
+    line(2, "integer :: i");
+    line(2, "integer :: j");
+
+    // Scope: dummies + locals + this module's variables (+ module 0's).
+    std::vector<Var> readable = locals;
+    std::vector<Var> writable = locals;
+    for (const auto& d : proc.dummies) readable.push_back(d);
+    for (std::size_t d = 0; d < proc.dummies.size(); ++d) {
+      if (proc.intents[d] != "in") writable.push_back(proc.dummies[d]);
+    }
+    for (const auto& v : module_vars_[static_cast<std::size_t>(m)]) {
+      readable.push_back(v);
+      writable.push_back(v);
+    }
+
+    // Locals are zero-initialized by the VM, but be explicit for realism.
+    for (const auto& l : locals) line(2, l.name + " = 0.1");
+
+    const int stmts = 1 + options_.stmts_per_proc / 2;
+    for (int s = 0; s < stmts; ++s) {
+      emit_stmt(m, 2, writable, readable, "", 0, proc_index);
+    }
+    if (proc.is_function) {
+      line(2, "res = min(max(" + expr(readable, "", 2) + ", -2.0), 2.0)");
+    }
+    line(1, std::string("end ") + kw + " " + proc.name);
+    src_ << "\n";
+  }
+
+  void emit_entry(int m) {
+    line(1, "subroutine entry()");
+    line(2, "integer :: i");
+    line(2, "integer :: j");
+    // Deterministic initialization of every module variable (all modules).
+    for (int mm = 0; mm < options_.modules; ++mm) {
+      int idx = 0;
+      for (const auto& v : module_vars_[static_cast<std::size_t>(mm)]) {
+        ++idx;
+        if (v.is_array) {
+          line(2, v.name + " = 0.0");  // whole-array clear
+          line(2, "do i = 1, " + std::to_string(options_.array_extent));
+          line(3, v.name + "(i) = 0.1 * sin(dble(i) * " +
+                      std::to_string(0.1 * idx) + "d0)");
+          line(2, "end do");
+        } else {
+          line(2, v.name + " = " + std::to_string(0.05 * idx) + "d0");
+        }
+      }
+    }
+    // Body: statements + calls into this module's procedures.
+    std::vector<Var> scope = module_vars_[0];
+    const int stmts = options_.stmts_per_proc;
+    for (int s = 0; s < stmts; ++s) {
+      emit_stmt(m, 2, scope, scope, "", 0, /*proc_index=*/-1);
+    }
+    // Accumulate a scalar output from everything visible.
+    line(2, "gen_out = 0.0d0");
+    for (const auto& v : module_vars_[0]) {
+      if (v.is_array) {
+        line(2, "gen_out = gen_out + sum(" + v.name + ") * 0.01d0");
+      } else {
+        line(2, "gen_out = gen_out + " + v.name + " * 0.1d0");
+      }
+    }
+    line(1, "end subroutine entry");
+    src_ << "\n";
+  }
+
+  void emit_module(int m) {
+    (void)m;
+    sanitize_proc_kinds();
+    line(0, "module " + module_name(m));
+    if (m == 0) {
+      for (int other = 1; other < options_.modules; ++other) {
+        line(1, "use " + module_name(other));
+      }
+    }
+    line(1, "implicit none");
+    for (const auto& v : module_vars_[static_cast<std::size_t>(m)]) emit_decl(1, v);
+    if (m == 0) line(1, "real(kind=8) :: gen_out");
+    line(0, "contains");
+    src_ << "\n";
+    if (m == 0) emit_entry(m);
+    for (int p = 0; p < options_.procs_per_module; ++p) emit_proc(m, p);
+    line(0, "end module " + module_name(m));
+    src_ << "\n";
+  }
+
+  Rng rng_;
+  GeneratorOptions options_;
+  std::ostringstream src_;
+  std::vector<std::vector<Var>> module_vars_;
+  std::vector<std::vector<Proc>> procs_;
+};
+
+}  // namespace
+
+GeneratedProgram generate_program(std::uint64_t seed, const GeneratorOptions& options) {
+  return Generator(seed, options).run();
+}
+
+}  // namespace prose::ftn

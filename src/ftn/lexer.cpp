@@ -1,0 +1,470 @@
+#include "ftn/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "support/strings.h"
+
+namespace prose::ftn {
+
+const char* token_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "end of file";
+    case Tok::kNewline: return "end of statement";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kRealLit: return "real literal";
+    case Tok::kLogicalLit: return "logical literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kComma: return "','";
+    case Tok::kColon: return "':'";
+    case Tok::kDoubleColon: return "'::'";
+    case Tok::kAssign: return "'='";
+    case Tok::kArrow: return "'=>'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPower: return "'**'";
+    case Tok::kConcat: return "'//'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'/='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAnd: return "'.and.'";
+    case Tok::kOr: return "'.or.'";
+    case Tok::kNot: return "'.not.'";
+    case Tok::kEqv: return "'.eqv.'";
+    case Tok::kNeqv: return "'.neqv.'";
+    case Tok::kKwModule: return "'module'";
+    case Tok::kKwEnd: return "'end'";
+    case Tok::kKwContains: return "'contains'";
+    case Tok::kKwSubroutine: return "'subroutine'";
+    case Tok::kKwFunction: return "'function'";
+    case Tok::kKwResult: return "'result'";
+    case Tok::kKwUse: return "'use'";
+    case Tok::kKwImplicit: return "'implicit'";
+    case Tok::kKwNone: return "'none'";
+    case Tok::kKwInteger: return "'integer'";
+    case Tok::kKwReal: return "'real'";
+    case Tok::kKwDoublePrecision: return "'double precision'";
+    case Tok::kKwLogical: return "'logical'";
+    case Tok::kKwParameter: return "'parameter'";
+    case Tok::kKwDimension: return "'dimension'";
+    case Tok::kKwIntent: return "'intent'";
+    case Tok::kKwIn: return "'in'";
+    case Tok::kKwOut: return "'out'";
+    case Tok::kKwInOut: return "'inout'";
+    case Tok::kKwDo: return "'do'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwThen: return "'then'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwElseIf: return "'elseif'";
+    case Tok::kKwEndIf: return "'endif'";
+    case Tok::kKwEndDo: return "'enddo'";
+    case Tok::kKwExit: return "'exit'";
+    case Tok::kKwCycle: return "'cycle'";
+    case Tok::kKwCall: return "'call'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwProgram: return "'program'";
+    case Tok::kKwPrint: return "'print'";
+    case Tok::kKwKind: return "'kind'";
+    case Tok::kKwOnly: return "'only'";
+    case Tok::kKwSave: return "'save'";
+    case Tok::kKwPure: return "'pure'";
+    case Tok::kKwElemental: return "'elemental'";
+  }
+  return "?";
+}
+
+namespace {
+
+// Fortran has no reserved words; only the tokens that unambiguously start or
+// delimit constructs are lexed as keywords. Context-dependent words (`kind`,
+// `result`, `in`, `out`, `only`, `while`, `none`, `save`, ...) stay plain
+// identifiers and the parser matches their spelling in the right positions —
+// this is what lets model code declare variables named `out` or `result`.
+const std::map<std::string, Tok>& keyword_table() {
+  static const std::map<std::string, Tok> table = {
+      {"module", Tok::kKwModule},
+      {"end", Tok::kKwEnd},
+      {"contains", Tok::kKwContains},
+      {"subroutine", Tok::kKwSubroutine},
+      {"function", Tok::kKwFunction},
+      {"use", Tok::kKwUse},
+      {"implicit", Tok::kKwImplicit},
+      {"integer", Tok::kKwInteger},
+      {"real", Tok::kKwReal},
+      {"logical", Tok::kKwLogical},
+      {"parameter", Tok::kKwParameter},
+      {"dimension", Tok::kKwDimension},
+      {"intent", Tok::kKwIntent},
+      {"do", Tok::kKwDo},
+      {"if", Tok::kKwIf},
+      {"then", Tok::kKwThen},
+      {"else", Tok::kKwElse},
+      {"elseif", Tok::kKwElseIf},
+      {"endif", Tok::kKwEndIf},
+      {"enddo", Tok::kKwEndDo},
+      {"exit", Tok::kKwExit},
+      {"cycle", Tok::kKwCycle},
+      {"call", Tok::kKwCall},
+      {"return", Tok::kKwReturn},
+      {"program", Tok::kKwProgram},
+      {"print", Tok::kKwPrint},
+  };
+  return table;
+}
+
+// Dot-operators: ".and." etc. plus legacy relationals.
+const std::map<std::string, Tok>& dot_op_table() {
+  static const std::map<std::string, Tok> table = {
+      {"and", Tok::kAnd}, {"or", Tok::kOr},   {"not", Tok::kNot},
+      {"eqv", Tok::kEqv}, {"neqv", Tok::kNeqv}, {"eq", Tok::kEq},
+      {"ne", Tok::kNe},   {"lt", Tok::kLt},   {"le", Tok::kLe},
+      {"gt", Tok::kGt},   {"ge", Tok::kGe},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::string file_name)
+      : src_(src), stream_{std::move(file_name), {}} {}
+
+  StatusOr<TokenStream> run() {
+    while (true) {
+      const Status s = next();
+      if (!s.is_ok()) return s;
+      if (!stream_.tokens.empty() && stream_.tokens.back().kind == Tok::kEof) break;
+    }
+    fuse_compound_keywords();
+    return std::move(stream_);
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] SourceLoc here() const { return {0, line_, col_}; }
+
+  void emit(Tok kind, std::string text, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = loc;
+    stream_.tokens.push_back(std::move(t));
+  }
+
+  void emit_newline(SourceLoc loc) {
+    // Collapse consecutive separators.
+    if (stream_.tokens.empty() || stream_.tokens.back().kind == Tok::kNewline) return;
+    emit(Tok::kNewline, "\n", loc);
+  }
+
+  Status next() {
+    skip_horizontal_space();
+    if (at_end()) {
+      emit_newline(here());
+      emit(Tok::kEof, "", here());
+      return Status::ok();
+    }
+    const SourceLoc loc = here();
+    const char c = peek();
+
+    if (c == '!') {
+      while (!at_end() && peek() != '\n') advance();
+      return Status::ok();
+    }
+    if (c == '\n') {
+      advance();
+      if (pending_continuation_) {
+        pending_continuation_ = false;
+        // Swallow an optional leading '&' on the continued line.
+        skip_horizontal_space();
+        if (peek() == '&') advance();
+      } else {
+        emit_newline(loc);
+      }
+      return Status::ok();
+    }
+    if (c == '&') {
+      advance();
+      pending_continuation_ = true;
+      return Status::ok();
+    }
+    if (c == ';') {
+      advance();
+      emit_newline(loc);
+      return Status::ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(loc);
+    }
+    if (c == '.') {
+      return lex_dot(loc);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident(loc);
+    }
+    if (c == '\'' || c == '"') {
+      return lex_string(loc);
+    }
+    return lex_punct(loc);
+  }
+
+  void skip_horizontal_space() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) advance();
+  }
+
+  Status lex_number(SourceLoc loc) {
+    std::string text;
+    bool is_real = false;
+    int kind = 4;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    // Fractional part — but not `1.and.`-style dot-operators.
+    if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      is_real = true;
+      text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    }
+    // Exponent: e/E keeps default kind; d/D forces kind 8.
+    const char e = static_cast<char>(std::tolower(static_cast<unsigned char>(peek())));
+    if (e == 'e' || e == 'd') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : peek(1);
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_real = true;
+        if (e == 'd') kind = 8;
+        text += 'e';
+        advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      }
+    }
+    // Kind suffix `_4` / `_8`.
+    if (peek() == '_' && (peek(1) == '4' || peek(1) == '8')) {
+      advance();
+      const char k = advance();
+      if (is_real) {
+        kind = k == '8' ? 8 : 4;
+      } else if (k != '4' && k != '8') {
+        return Status(StatusCode::kParseError, "unsupported integer kind suffix", loc);
+      }
+    }
+    Token t;
+    t.loc = loc;
+    t.text = text;
+    if (is_real) {
+      t.kind = Tok::kRealLit;
+      t.real_value = std::strtod(text.c_str(), nullptr);
+      t.real_kind = kind;
+    } else {
+      t.kind = Tok::kIntLit;
+      t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    stream_.tokens.push_back(std::move(t));
+    return Status::ok();
+  }
+
+  Status lex_dot(SourceLoc loc) {
+    // `.name.` operator or `.true.` / `.false.`.
+    std::size_t j = pos_ + 1;
+    std::string name;
+    while (j < src_.size() && std::isalpha(static_cast<unsigned char>(src_[j]))) {
+      name += static_cast<char>(std::tolower(static_cast<unsigned char>(src_[j])));
+      ++j;
+    }
+    if (j < src_.size() && src_[j] == '.' && !name.empty()) {
+      for (std::size_t k = pos_; k <= j; ++k) advance();
+      if (name == "true" || name == "false") {
+        Token t;
+        t.kind = Tok::kLogicalLit;
+        t.logical_value = (name == "true");
+        t.text = "." + name + ".";
+        t.loc = loc;
+        stream_.tokens.push_back(std::move(t));
+        return Status::ok();
+      }
+      const auto it = dot_op_table().find(name);
+      if (it == dot_op_table().end()) {
+        return Status(StatusCode::kParseError, "unknown operator '." + name + ".'", loc);
+      }
+      emit(it->second, "." + name + ".", loc);
+      return Status::ok();
+    }
+    return Status(StatusCode::kParseError, "unexpected '.'", loc);
+  }
+
+  Status lex_ident(SourceLoc loc) {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      text += static_cast<char>(std::tolower(static_cast<unsigned char>(advance())));
+    }
+    const auto it = keyword_table().find(text);
+    if (it != keyword_table().end()) {
+      emit(it->second, text, loc);
+    } else {
+      emit(Tok::kIdent, text, loc);
+    }
+    return Status::ok();
+  }
+
+  Status lex_string(SourceLoc loc) {
+    const char quote = advance();
+    std::string text;
+    while (!at_end() && peek() != '\n') {
+      const char c = advance();
+      if (c == quote) {
+        if (peek() == quote) {  // doubled quote escape
+          text += advance();
+          continue;
+        }
+        Token t;
+        t.kind = Tok::kStringLit;
+        t.text = text;
+        t.loc = loc;
+        stream_.tokens.push_back(std::move(t));
+        return Status::ok();
+      }
+      text += c;
+    }
+    return Status(StatusCode::kParseError, "unterminated string literal", loc);
+  }
+
+  Status lex_punct(SourceLoc loc) {
+    const char c = advance();
+    switch (c) {
+      case '(': emit(Tok::kLParen, "(", loc); return Status::ok();
+      case ')': emit(Tok::kRParen, ")", loc); return Status::ok();
+      case ',': emit(Tok::kComma, ",", loc); return Status::ok();
+      case '%': emit(Tok::kPercent, "%", loc); return Status::ok();
+      case ':':
+        if (peek() == ':') {
+          advance();
+          emit(Tok::kDoubleColon, "::", loc);
+        } else {
+          emit(Tok::kColon, ":", loc);
+        }
+        return Status::ok();
+      case '=':
+        if (peek() == '=') {
+          advance();
+          emit(Tok::kEq, "==", loc);
+        } else if (peek() == '>') {
+          advance();
+          emit(Tok::kArrow, "=>", loc);
+        } else {
+          emit(Tok::kAssign, "=", loc);
+        }
+        return Status::ok();
+      case '+': emit(Tok::kPlus, "+", loc); return Status::ok();
+      case '-': emit(Tok::kMinus, "-", loc); return Status::ok();
+      case '*':
+        if (peek() == '*') {
+          advance();
+          emit(Tok::kPower, "**", loc);
+        } else {
+          emit(Tok::kStar, "*", loc);
+        }
+        return Status::ok();
+      case '/':
+        if (peek() == '=') {
+          advance();
+          emit(Tok::kNe, "/=", loc);
+        } else if (peek() == '/') {
+          advance();
+          emit(Tok::kConcat, "//", loc);
+        } else {
+          emit(Tok::kSlash, "/", loc);
+        }
+        return Status::ok();
+      case '<':
+        if (peek() == '=') {
+          advance();
+          emit(Tok::kLe, "<=", loc);
+        } else {
+          emit(Tok::kLt, "<", loc);
+        }
+        return Status::ok();
+      case '>':
+        if (peek() == '=') {
+          advance();
+          emit(Tok::kGe, ">=", loc);
+        } else {
+          emit(Tok::kGt, ">", loc);
+        }
+        return Status::ok();
+      default:
+        return Status(StatusCode::kParseError,
+                      std::string("unexpected character '") + c + "'", loc);
+    }
+  }
+
+  // Fortran allows `else if`, `end if`, `end do`, `double precision`,
+  // `endif`, `enddo` etc. Fuse multi-token spellings into the single-token
+  // forms the parser handles.
+  void fuse_compound_keywords() {
+    std::vector<Token> out;
+    out.reserve(stream_.tokens.size());
+    const auto& in = stream_.tokens;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Token& t = in[i];
+      const Token* n = i + 1 < in.size() ? &in[i + 1] : nullptr;
+      if (t.kind == Tok::kKwElse && n && n->kind == Tok::kKwIf) {
+        Token fused = t;
+        fused.kind = Tok::kKwElseIf;
+        fused.text = "else if";
+        out.push_back(std::move(fused));
+        ++i;
+        continue;
+      }
+      if (t.kind == Tok::kIdent && t.text == "double" && n &&
+          n->kind == Tok::kIdent && n->text == "precision") {
+        Token fused = t;
+        fused.kind = Tok::kKwDoublePrecision;
+        fused.text = "double precision";
+        out.push_back(std::move(fused));
+        ++i;
+        continue;
+      }
+      out.push_back(t);
+    }
+    stream_.tokens = std::move(out);
+  }
+
+  std::string_view src_;
+  TokenStream stream_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  bool pending_continuation_ = false;
+};
+
+}  // namespace
+
+StatusOr<TokenStream> lex(std::string_view source, std::string file_name) {
+  return Lexer(source, std::move(file_name)).run();
+}
+
+}  // namespace prose::ftn

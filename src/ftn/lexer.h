@@ -1,0 +1,25 @@
+// Lexer for the Fortran subset.
+//
+// Free-form source only. Handles:
+//   * `!` comments to end of line
+//   * `&` line continuations (trailing `&`, with optional leading `&` on the
+//     continued line)
+//   * `;` as a statement separator
+//   * case-insensitive keywords and identifiers (identifiers canonicalized to
+//     lower case, per Fortran semantics)
+//   * numeric literals with `e`/`d` exponents and `_4`/`_8` kind suffixes —
+//     a `d` exponent or `_8` suffix makes the literal kind 8
+//   * legacy relational spellings (`.lt.`, `.ge.`, ...) and logical operators
+#pragma once
+
+#include <string_view>
+
+#include "ftn/token.h"
+#include "support/status.h"
+
+namespace prose::ftn {
+
+/// Tokenizes `source`; `file_name` is used in diagnostics only.
+StatusOr<TokenStream> lex(std::string_view source, std::string file_name);
+
+}  // namespace prose::ftn

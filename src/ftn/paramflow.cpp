@@ -1,0 +1,119 @@
+#include "ftn/paramflow.h"
+
+#include <map>
+
+namespace prose::ftn {
+
+std::vector<const FlowEdge*> ParamFlowGraph::mismatched() const {
+  std::vector<const FlowEdge*> out;
+  for (const auto& e : edges) {
+    if (!e.matches()) out.push_back(&e);
+  }
+  return out;
+}
+
+double ParamFlowGraph::mismatch_penalty(double assumed_elements) const {
+  double total = 0.0;
+  for (const auto& e : edges) {
+    if (e.matches()) continue;
+    const double elems = e.elements > 0 ? static_cast<double>(e.elements)
+                                        : assumed_elements;
+    total += e.estimated_calls * elems;
+  }
+  return total;
+}
+
+double ParamFlowGraph::total_flow(double assumed_elements) const {
+  double total = 0.0;
+  for (const auto& e : edges) {
+    const double elems = e.elements > 0 ? static_cast<double>(e.elements)
+                                        : assumed_elements;
+    total += e.estimated_calls * elems;
+  }
+  return total;
+}
+
+namespace {
+
+/// Finds the argument expressions of the call identified by a CallSite.
+const std::vector<ExprPtr>* find_call_args(const Program& prog, const CallSite& site) {
+  const std::vector<ExprPtr>* found = nullptr;
+  const auto search_expr = [&](const Expr& e, const auto& self) -> void {
+    if (found != nullptr) return;
+    if (e.id == site.node && e.kind == ExprKind::kCall) {
+      found = &e.args;
+      return;
+    }
+    for (const auto& a : e.args) {
+      if (a) self(*a, self);
+    }
+    if (e.lhs) self(*e.lhs, self);
+    if (e.rhs) self(*e.rhs, self);
+  };
+  const auto search_stmt = [&](const Stmt& s, const auto& self) -> void {
+    if (found != nullptr) return;
+    if (s.id == site.node && s.kind == StmtKind::kCall) {
+      found = &s.args;
+      return;
+    }
+    for (const ExprPtr* e : {&s.lhs, &s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+      if (*e) search_expr(**e, search_expr);
+    }
+    for (const auto& a : s.args) search_expr(*a, search_expr);
+    for (const auto& a : s.print_args) search_expr(*a, search_expr);
+    for (const auto& b : s.branches) {
+      if (b.cond) search_expr(*b.cond, search_expr);
+      for (const auto& inner : b.body) self(*inner, self);
+    }
+    for (const auto& inner : s.body) self(*inner, self);
+  };
+  for (const auto& mod : prog.modules) {
+    for (const auto& proc : mod.procedures) {
+      if (proc.symbol != site.caller) continue;
+      for (const auto& s : proc.body) {
+        search_stmt(*s, search_stmt);
+        if (found != nullptr) return found;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+ParamFlowGraph build_param_flow(const ResolvedProgram& rp, const CallGraph& cg) {
+  ParamFlowGraph g;
+  for (const auto& site : cg.sites()) {
+    const Symbol& callee = rp.symbols.get(site.callee);
+    const std::vector<ExprPtr>* args = find_call_args(rp.program, site);
+    PROSE_CHECK_MSG(args != nullptr, "call site not found in AST");
+    PROSE_CHECK(args->size() == callee.params.size());
+    for (std::size_t i = 0; i < args->size(); ++i) {
+      const Expr& actual = *(*args)[i];
+      const Symbol& dummy = rp.symbols.get(callee.params[i]);
+      if (!dummy.type.is_real() || !actual.type.is_real()) continue;
+
+      FlowEdge edge;
+      edge.call_node = site.node;
+      edge.caller = site.caller;
+      edge.callee = site.callee;
+      edge.arg_index = i;
+      edge.dummy = callee.params[i];
+      edge.actual_kind = actual.type.kind;
+      edge.dummy_kind = dummy.type.kind;
+      edge.is_array = dummy.is_array();
+      edge.estimated_calls = site.estimated_calls;
+      if (actual.kind == ExprKind::kVarRef && actual.symbol != kInvalidSymbol) {
+        const Symbol& asym = rp.symbols.get(actual.symbol);
+        edge.actual = actual.symbol;
+        edge.elements = asym.is_array() ? asym.element_count() : 1;
+      } else {
+        edge.elements = 1;  // expression/element temporaries are scalar
+      }
+      g.edges.push_back(edge);
+    }
+  }
+  return g;
+}
+
+}  // namespace prose::ftn

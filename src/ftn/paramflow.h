@@ -1,0 +1,62 @@
+// Interprocedural parameter-passing graph for floating-point data (§III-C).
+//
+// The paper's transformation tool builds "a graph whose nodes are FP
+// variables annotated with their precisions and whose edges represent
+// instances of parameter-passing"; after applying a precision assignment the
+// wrapper generator restores the invariant that adjacent nodes have matching
+// annotations. The same graph, weighted by estimated call volume and array
+// element counts, drives the §V static cost model penalizing mixed-precision
+// interprocedural data flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftn/callgraph.h"
+#include "ftn/sema.h"
+
+namespace prose::ftn {
+
+/// One actual→dummy binding of a real-typed argument at a call site.
+struct FlowEdge {
+  NodeId call_node = kInvalidNode;   // the call stmt/expr
+  SymbolId caller = kInvalidSymbol;
+  SymbolId callee = kInvalidSymbol;
+  std::size_t arg_index = 0;
+  /// Actual argument symbol; kInvalidSymbol when the actual is an expression
+  /// or literal (those cast at evaluation, not at binding, and never need a
+  /// wrapper under Fortran's by-value temporary rule for expressions).
+  SymbolId actual = kInvalidSymbol;
+  SymbolId dummy = kInvalidSymbol;
+  int actual_kind = 8;               // kind of the actual value
+  int dummy_kind = 8;
+  bool is_array = false;
+  /// Elements moved per call (1 for scalars; 0 if unknown/assumed shape).
+  std::int64_t elements = 1;
+  double estimated_calls = 1.0;      // from the call graph
+
+  [[nodiscard]] bool matches() const { return actual_kind == dummy_kind; }
+};
+
+struct ParamFlowGraph {
+  std::vector<FlowEdge> edges;
+
+  /// All edges whose endpoint precisions disagree — the wrapper generator's
+  /// work list and the static penalty's input.
+  [[nodiscard]] std::vector<const FlowEdge*> mismatched() const;
+
+  /// §V static penalty: Σ over mismatched edges of
+  /// estimated_calls × max(elements, 1) (elements==0, i.e. unknown shape,
+  /// counts as `assumed_elements`).
+  [[nodiscard]] double mismatch_penalty(double assumed_elements = 64.0) const;
+
+  /// Total FP values crossing procedure boundaries per run (matched or not):
+  /// the denominator for normalized casting-overhead reports.
+  [[nodiscard]] double total_flow(double assumed_elements = 64.0) const;
+};
+
+/// Builds the graph from a resolved program. Only real-typed argument
+/// bindings produce edges.
+ParamFlowGraph build_param_flow(const ResolvedProgram& rp, const CallGraph& cg);
+
+}  // namespace prose::ftn

@@ -1,0 +1,932 @@
+#include "ftn/parser.h"
+
+#include <utility>
+
+#include "ftn/lexer.h"
+
+namespace prose::ftn {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const TokenStream& stream) : tokens_(stream.tokens) {}
+
+  StatusOr<Program> run() {
+    Program prog;
+    skip_newlines();
+    while (!at(Tok::kEof)) {
+      auto mod = parse_module(prog);
+      if (!mod.is_ok()) return mod.status();
+      prog.modules.push_back(std::move(mod.value()));
+      skip_newlines();
+    }
+    if (prog.modules.empty()) {
+      return err("source contains no modules");
+    }
+    return prog;
+  }
+
+ private:
+  // ---- token plumbing -----------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t off = 0) const {
+    const std::size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(Tok t) const { return peek().kind == t; }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool accept(Tok t) {
+    if (at(t)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Context-sensitive word: an identifier with a specific spelling
+  /// (`kind`, `result`, `only`, ... are not reserved in Fortran).
+  [[nodiscard]] bool at_word(const char* w, std::size_t off = 0) const {
+    return peek(off).kind == Tok::kIdent && peek(off).text == w;
+  }
+  bool accept_word(const char* w) {
+    if (at_word(w)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(Tok t, const char* context) {
+    if (accept(t)) return Status::ok();
+    return err(std::string("expected ") + token_name(t) + " " + context +
+               ", found " + token_name(peek().kind) +
+               (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+
+  [[nodiscard]] Status err(std::string message) const {
+    return Status(StatusCode::kParseError, std::move(message), peek().loc);
+  }
+
+  void skip_newlines() {
+    while (accept(Tok::kNewline)) {
+    }
+  }
+
+  Status end_of_stmt() {
+    if (at(Tok::kEof)) return Status::ok();
+    return expect(Tok::kNewline, "at end of statement");
+  }
+
+  // ---- structure ----------------------------------------------------------
+
+  StatusOr<Module> parse_module(Program& prog) {
+    Module mod;
+    mod.loc = peek().loc;
+    mod.id = prog.ids.next();
+    if (Status s = expect(Tok::kKwModule, "to begin a module"); !s.is_ok()) return s;
+    if (!at(Tok::kIdent)) return err("expected module name");
+    mod.name = advance().text;
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    skip_newlines();
+
+    // use statements.
+    while (at(Tok::kKwUse)) {
+      auto use = parse_use();
+      if (!use.is_ok()) return use.status();
+      mod.uses.push_back(std::move(use.value()));
+      skip_newlines();
+    }
+    // optional `implicit none`.
+    if (accept(Tok::kKwImplicit)) {
+      if (!accept_word("none")) return err("expected 'none' after 'implicit'");
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      skip_newlines();
+    }
+    // module-level declarations.
+    while (at_type_keyword()) {
+      if (is_function_header()) break;  // e.g. `real(kind=8) function ...`
+      if (Status s = parse_decl_line(prog, mod.decls); !s.is_ok()) return s;
+      skip_newlines();
+    }
+    // contains + procedures.
+    if (accept(Tok::kKwContains)) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      skip_newlines();
+      while (!at(Tok::kKwEnd) && !at(Tok::kEof)) {
+        auto proc = parse_procedure(prog);
+        if (!proc.is_ok()) return proc.status();
+        mod.procedures.push_back(std::move(proc.value()));
+        skip_newlines();
+      }
+    }
+    if (Status s = expect(Tok::kKwEnd, "to close module"); !s.is_ok()) return s;
+    accept(Tok::kKwModule);
+    if (at(Tok::kIdent)) {
+      if (advance().text != mod.name) {
+        return err("end-module name does not match 'module " + mod.name + "'");
+      }
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    return mod;
+  }
+
+  StatusOr<UseStmt> parse_use() {
+    UseStmt use;
+    use.loc = peek().loc;
+    advance();  // 'use'
+    if (!at(Tok::kIdent)) return err("expected module name after 'use'");
+    use.module_name = advance().text;
+    if (accept(Tok::kComma)) {
+      if (!accept_word("only")) return err("expected 'only' after ',' in use statement");
+      if (Status s = expect(Tok::kColon, "after 'only'"); !s.is_ok()) return s;
+      do {
+        if (!at(Tok::kIdent)) return err("expected name in only-list");
+        use.only.push_back(advance().text);
+      } while (accept(Tok::kComma));
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    return use;
+  }
+
+  [[nodiscard]] bool at_type_keyword() const {
+    switch (peek().kind) {
+      case Tok::kKwReal:
+      case Tok::kKwDoublePrecision:
+      case Tok::kKwInteger:
+      case Tok::kKwLogical:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Looks ahead for `type-spec function name(...)`.
+  [[nodiscard]] bool is_function_header() const {
+    std::size_t i = pos_;
+    const auto tok = [&](std::size_t j) -> const Token& {
+      return j < tokens_.size() ? tokens_[j] : tokens_.back();
+    };
+    // Skip over the type spec, including a parenthesized kind.
+    ++i;
+    if (tok(i).kind == Tok::kLParen) {
+      int depth = 1;
+      ++i;
+      while (depth > 0 && tok(i).kind != Tok::kEof && tok(i).kind != Tok::kNewline) {
+        if (tok(i).kind == Tok::kLParen) ++depth;
+        if (tok(i).kind == Tok::kRParen) --depth;
+        ++i;
+      }
+    }
+    return tok(i).kind == Tok::kKwFunction;
+  }
+
+  StatusOr<ScalarType> parse_type_spec() {
+    ScalarType type;
+    if (accept(Tok::kKwInteger)) {
+      type.base = BaseType::kInteger;
+      type.kind = 4;
+      // Allow `integer(kind=4)` / `integer(4)`.
+      if (accept(Tok::kLParen)) {
+        if (at_word("kind") && peek(1).kind == Tok::kAssign) {
+          advance();
+          advance();
+        }
+        if (!at(Tok::kIntLit)) return err("expected integer kind");
+        advance();
+        if (Status s = expect(Tok::kRParen, "after kind"); !s.is_ok()) return s;
+      }
+      return type;
+    }
+    if (accept(Tok::kKwLogical)) {
+      type.base = BaseType::kLogical;
+      type.kind = 4;
+      return type;
+    }
+    if (accept(Tok::kKwDoublePrecision)) {
+      type.base = BaseType::kReal;
+      type.kind = 8;
+      return type;
+    }
+    if (accept(Tok::kKwReal)) {
+      type.base = BaseType::kReal;
+      type.kind = 4;  // default real
+      if (accept(Tok::kLParen)) {
+        if (at_word("kind") && peek(1).kind == Tok::kAssign) {
+          advance();
+          advance();
+        }
+        if (!at(Tok::kIntLit)) return err("expected kind value (4 or 8)");
+        const std::int64_t k = advance().int_value;
+        if (k != 4 && k != 8) return err("unsupported real kind (use 4 or 8)");
+        type.kind = static_cast<int>(k);
+        if (Status s = expect(Tok::kRParen, "after kind"); !s.is_ok()) return s;
+      }
+      return type;
+    }
+    return err("expected type specifier");
+  }
+
+  Status parse_decl_line(Program& prog, std::vector<DeclEntity>& out) {
+    auto type = parse_type_spec();
+    if (!type.is_ok()) return type.status();
+
+    bool is_parameter = false;
+    Intent intent = Intent::kNone;
+    std::vector<DimSpec> shared_dims;
+    while (accept(Tok::kComma)) {
+      if (accept(Tok::kKwParameter)) {
+        is_parameter = true;
+      } else if (accept_word("save")) {
+        // `save` is the default for module variables in the subset; accepted
+        // and ignored so real-model-style declarations parse.
+      } else if (accept(Tok::kKwDimension)) {
+        if (Status s = expect(Tok::kLParen, "after 'dimension'"); !s.is_ok()) return s;
+        auto dims = parse_dims(prog.ids);
+        if (!dims.is_ok()) return dims.status();
+        shared_dims = std::move(dims.value());
+      } else if (accept(Tok::kKwIntent)) {
+        if (Status s = expect(Tok::kLParen, "after 'intent'"); !s.is_ok()) return s;
+        if (accept_word("inout")) {
+          intent = Intent::kInOut;
+        } else if (accept_word("in")) {
+          intent = accept_word("out") ? Intent::kInOut : Intent::kIn;
+        } else if (accept_word("out")) {
+          intent = Intent::kOut;
+        } else {
+          return err("expected in/out/inout");
+        }
+        if (Status s = expect(Tok::kRParen, "after intent"); !s.is_ok()) return s;
+      } else {
+        return err("unknown declaration attribute");
+      }
+    }
+    if (Status s = expect(Tok::kDoubleColon, "before declared names"); !s.is_ok()) return s;
+
+    do {
+      DeclEntity ent;
+      ent.loc = peek().loc;
+      ent.id = prog.ids.next();
+      ent.type = type.value();
+      ent.is_parameter = is_parameter;
+      ent.intent = intent;
+      if (!at(Tok::kIdent)) return err("expected declared name");
+      ent.name = advance().text;
+      if (accept(Tok::kLParen)) {
+        auto dims = parse_dims(prog.ids);
+        if (!dims.is_ok()) return dims.status();
+        ent.dims = std::move(dims.value());
+      } else {
+        for (const auto& d : shared_dims) {
+          DimSpec nd;
+          nd.extent = d.extent ? d.extent->clone() : nullptr;
+          ent.dims.push_back(std::move(nd));
+        }
+      }
+      if (accept(Tok::kAssign)) {
+        auto init = parse_expr(prog);
+        if (!init.is_ok()) return init.status();
+        ent.init = std::move(init.value());
+      } else if (is_parameter) {
+        return err("parameter '" + ent.name + "' requires an initializer");
+      }
+      out.push_back(std::move(ent));
+    } while (accept(Tok::kComma));
+    return end_of_stmt();
+  }
+
+  StatusOr<std::vector<DimSpec>> parse_dims(NodeIdGen& ids) {
+    std::vector<DimSpec> dims;
+    do {
+      DimSpec d;
+      if (accept(Tok::kColon)) {
+        // assumed shape
+      } else {
+        auto e = parse_expr(ids);
+        if (!e.is_ok()) return e.status();
+        d.extent = std::move(e.value());
+      }
+      dims.push_back(std::move(d));
+      if (dims.size() > 3) return err("arrays of rank > 3 are not supported");
+    } while (accept(Tok::kComma));
+    if (Status s = expect(Tok::kRParen, "after dimensions"); !s.is_ok()) return s;
+    return dims;
+  }
+
+  StatusOr<Procedure> parse_procedure(Program& prog) {
+    Procedure proc;
+    proc.loc = peek().loc;
+    proc.id = prog.ids.next();
+
+    // Optional pure/elemental prefixes (accepted, not enforced).
+    while ((at_word("pure") || at_word("elemental")) &&
+           peek(1).kind != Tok::kAssign && peek(1).kind != Tok::kLParen) {
+      advance();
+    }
+
+    std::optional<ScalarType> result_type;
+    if (at_type_keyword()) {
+      auto t = parse_type_spec();
+      if (!t.is_ok()) return t.status();
+      result_type = t.value();
+    }
+
+    if (accept(Tok::kKwSubroutine)) {
+      if (result_type.has_value()) return err("subroutines cannot have a result type");
+      proc.kind = ProcKind::kSubroutine;
+    } else if (accept(Tok::kKwFunction)) {
+      proc.kind = ProcKind::kFunction;
+    } else {
+      return err("expected 'subroutine' or 'function'");
+    }
+
+    if (!at(Tok::kIdent)) return err("expected procedure name");
+    proc.name = advance().text;
+
+    if (accept(Tok::kLParen)) {
+      if (!accept(Tok::kRParen)) {
+        do {
+          if (!at(Tok::kIdent)) return err("expected dummy argument name");
+          proc.param_names.push_back(advance().text);
+        } while (accept(Tok::kComma));
+        if (Status s = expect(Tok::kRParen, "after dummy arguments"); !s.is_ok()) return s;
+      }
+    }
+
+    if (proc.kind == ProcKind::kFunction) {
+      if (at_word("result") && peek(1).kind == Tok::kLParen) {
+        advance();
+        if (Status s = expect(Tok::kLParen, "after 'result'"); !s.is_ok()) return s;
+        if (!at(Tok::kIdent)) return err("expected result name");
+        proc.result_name = advance().text;
+        if (Status s = expect(Tok::kRParen, "after result name"); !s.is_ok()) return s;
+      } else {
+        proc.result_name = proc.name;
+      }
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    skip_newlines();
+
+    // Optional `implicit none` inside the procedure.
+    if (accept(Tok::kKwImplicit)) {
+      if (Status s = expect(Tok::kKwNone, "after 'implicit'"); !s.is_ok()) return s;
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      skip_newlines();
+    }
+
+    // Declarations.
+    while (at_type_keyword()) {
+      if (Status s = parse_decl_line(prog, proc.decls); !s.is_ok()) return s;
+      skip_newlines();
+    }
+
+    // Result declared via the type prefix form.
+    if (result_type.has_value() && proc.find_decl(proc.result_name) == nullptr) {
+      DeclEntity ent;
+      ent.id = prog.ids.next();
+      ent.name = proc.result_name;
+      ent.type = *result_type;
+      ent.loc = proc.loc;
+      proc.decls.push_back(std::move(ent));
+    }
+
+    // Body.
+    auto body = parse_stmt_list(prog);
+    if (!body.is_ok()) return body.status();
+    proc.body = std::move(body.value());
+
+    if (Status s = expect(Tok::kKwEnd, "to close procedure"); !s.is_ok()) return s;
+    accept(Tok::kKwSubroutine) || accept(Tok::kKwFunction);
+    if (at(Tok::kIdent)) {
+      if (advance().text != proc.name) {
+        return err("end-procedure name does not match '" + proc.name + "'");
+      }
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    return proc;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  /// Parses statements until a block terminator (end/else/elseif/endif/enddo).
+  StatusOr<std::vector<StmtPtr>> parse_stmt_list(Program& prog) {
+    std::vector<StmtPtr> out;
+    skip_newlines();
+    while (!at_block_end()) {
+      auto s = parse_stmt(prog);
+      if (!s.is_ok()) return s.status();
+      out.push_back(std::move(s.value()));
+      skip_newlines();
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool at_block_end() const {
+    switch (peek().kind) {
+      case Tok::kKwEnd:
+      case Tok::kKwElse:
+      case Tok::kKwElseIf:
+      case Tok::kKwEndIf:
+      case Tok::kKwEndDo:
+      case Tok::kEof:
+      case Tok::kKwContains:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  StatusOr<StmtPtr> parse_stmt(Program& prog) {
+    switch (peek().kind) {
+      case Tok::kKwIf: return parse_if(prog);
+      case Tok::kKwDo: return parse_do(prog);
+      case Tok::kKwCall: return parse_call(prog);
+      case Tok::kKwExit:
+      case Tok::kKwCycle:
+      case Tok::kKwReturn: return parse_simple_keyword(prog);
+      case Tok::kKwPrint: return parse_print(prog);
+      case Tok::kIdent: return parse_assignment(prog);
+      default:
+        return err(std::string("unexpected ") + token_name(peek().kind) +
+                   " at start of statement");
+    }
+  }
+
+  /// A statement allowed after a one-line `if (...) stmt`.
+  StatusOr<StmtPtr> parse_inline_stmt(Program& prog) {
+    switch (peek().kind) {
+      case Tok::kKwCall: return parse_call(prog, /*consume_newline=*/false);
+      case Tok::kKwExit:
+      case Tok::kKwCycle:
+      case Tok::kKwReturn:
+        return parse_simple_keyword(prog, /*consume_newline=*/false);
+      case Tok::kKwPrint: return parse_print(prog, /*consume_newline=*/false);
+      case Tok::kIdent: return parse_assignment(prog, /*consume_newline=*/false);
+      default:
+        return err("statement not allowed in one-line if");
+    }
+  }
+
+  StatusOr<StmtPtr> parse_if(Program& prog) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    advance();  // 'if'
+    if (Status s = expect(Tok::kLParen, "after 'if'"); !s.is_ok()) return s;
+    auto cond = parse_expr(prog);
+    if (!cond.is_ok()) return cond.status();
+    if (Status s = expect(Tok::kRParen, "after if condition"); !s.is_ok()) return s;
+
+    if (!accept(Tok::kKwThen)) {
+      // One-line if.
+      IfBranch branch;
+      branch.cond = std::move(cond.value());
+      auto inner = parse_inline_stmt(prog);
+      if (!inner.is_ok()) return inner.status();
+      branch.body.push_back(std::move(inner.value()));
+      stmt->branches.push_back(std::move(branch));
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    IfBranch first;
+    first.cond = std::move(cond.value());
+    auto body = parse_stmt_list(prog);
+    if (!body.is_ok()) return body.status();
+    first.body = std::move(body.value());
+    stmt->branches.push_back(std::move(first));
+
+    while (at(Tok::kKwElseIf)) {
+      advance();
+      if (Status s = expect(Tok::kLParen, "after 'else if'"); !s.is_ok()) return s;
+      auto c = parse_expr(prog);
+      if (!c.is_ok()) return c.status();
+      if (Status s = expect(Tok::kRParen, "after condition"); !s.is_ok()) return s;
+      if (Status s = expect(Tok::kKwThen, "after 'else if (...)'"); !s.is_ok()) return s;
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      IfBranch branch;
+      branch.cond = std::move(c.value());
+      auto b = parse_stmt_list(prog);
+      if (!b.is_ok()) return b.status();
+      branch.body = std::move(b.value());
+      stmt->branches.push_back(std::move(branch));
+    }
+    if (accept(Tok::kKwElse)) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+      IfBranch branch;  // cond == null
+      auto b = parse_stmt_list(prog);
+      if (!b.is_ok()) return b.status();
+      branch.body = std::move(b.value());
+      stmt->branches.push_back(std::move(branch));
+    }
+    if (accept(Tok::kKwEndIf)) {
+      // ok
+    } else if (accept(Tok::kKwEnd)) {
+      if (Status s = expect(Tok::kKwIf, "after 'end' closing if"); !s.is_ok()) return s;
+    } else {
+      return err("expected 'end if'");
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> parse_do(Program& prog) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    advance();  // 'do'
+
+    if (at_word("while") && peek(1).kind == Tok::kLParen) {
+      advance();
+      stmt->kind = StmtKind::kDoWhile;
+      if (Status s = expect(Tok::kLParen, "after 'do while'"); !s.is_ok()) return s;
+      auto cond = parse_expr(prog);
+      if (!cond.is_ok()) return cond.status();
+      stmt->cond = std::move(cond.value());
+      if (Status s = expect(Tok::kRParen, "after condition"); !s.is_ok()) return s;
+    } else {
+      stmt->kind = StmtKind::kDo;
+      if (!at(Tok::kIdent)) return err("expected loop variable after 'do'");
+      stmt->do_var = advance().text;
+      if (Status s = expect(Tok::kAssign, "after loop variable"); !s.is_ok()) return s;
+      auto lo = parse_expr(prog);
+      if (!lo.is_ok()) return lo.status();
+      stmt->lo = std::move(lo.value());
+      if (Status s = expect(Tok::kComma, "after loop lower bound"); !s.is_ok()) return s;
+      auto hi = parse_expr(prog);
+      if (!hi.is_ok()) return hi.status();
+      stmt->hi = std::move(hi.value());
+      if (accept(Tok::kComma)) {
+        auto step = parse_expr(prog);
+        if (!step.is_ok()) return step.status();
+        stmt->step = std::move(step.value());
+      }
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+
+    auto body = parse_stmt_list(prog);
+    if (!body.is_ok()) return body.status();
+    stmt->body = std::move(body.value());
+
+    if (accept(Tok::kKwEndDo)) {
+      // ok
+    } else if (accept(Tok::kKwEnd)) {
+      if (Status s = expect(Tok::kKwDo, "after 'end' closing do"); !s.is_ok()) return s;
+    } else {
+      return err("expected 'end do'");
+    }
+    if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> parse_call(Program& prog, bool consume_newline = true) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kCall;
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    advance();  // 'call'
+    if (!at(Tok::kIdent)) return err("expected procedure name after 'call'");
+    stmt->callee = advance().text;
+    if (accept(Tok::kLParen)) {
+      if (!accept(Tok::kRParen)) {
+        do {
+          auto a = parse_expr(prog);
+          if (!a.is_ok()) return a.status();
+          stmt->args.push_back(std::move(a.value()));
+        } while (accept(Tok::kComma));
+        if (Status s = expect(Tok::kRParen, "after call arguments"); !s.is_ok()) return s;
+      }
+    }
+    if (consume_newline) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> parse_simple_keyword(Program& prog, bool consume_newline = true) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    switch (advance().kind) {
+      case Tok::kKwExit: stmt->kind = StmtKind::kExit; break;
+      case Tok::kKwCycle: stmt->kind = StmtKind::kCycle; break;
+      case Tok::kKwReturn: stmt->kind = StmtKind::kReturn; break;
+      default: return err("internal: not a simple keyword");
+    }
+    if (consume_newline) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> parse_print(Program& prog, bool consume_newline = true) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kPrint;
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    advance();  // 'print'
+    if (Status s = expect(Tok::kStar, "after 'print'"); !s.is_ok()) return s;
+    while (accept(Tok::kComma)) {
+      if (at(Tok::kStringLit)) {
+        stmt->print_text = advance().text;
+        continue;
+      }
+      auto e = parse_expr(prog);
+      if (!e.is_ok()) return e.status();
+      stmt->print_args.push_back(std::move(e.value()));
+    }
+    if (consume_newline) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> parse_assignment(Program& prog, bool consume_newline = true) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kAssign;
+    stmt->loc = peek().loc;
+    stmt->id = prog.ids.next();
+    auto lhs = parse_designator(prog);
+    if (!lhs.is_ok()) return lhs.status();
+    stmt->lhs = std::move(lhs.value());
+    if (Status s = expect(Tok::kAssign, "in assignment"); !s.is_ok()) return s;
+    auto rhs = parse_expr(prog);
+    if (!rhs.is_ok()) return rhs.status();
+    stmt->rhs = std::move(rhs.value());
+    if (consume_newline) {
+      if (Status s = end_of_stmt(); !s.is_ok()) return s;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  /// Variable or array element on the left-hand side.
+  StatusOr<ExprPtr> parse_designator(Program& prog) {
+    if (!at(Tok::kIdent)) return err("expected variable name");
+    auto e = std::make_unique<Expr>();
+    e->loc = peek().loc;
+    e->id = prog.ids.next();
+    e->name = advance().text;
+    if (accept(Tok::kLParen)) {
+      e->kind = ExprKind::kIndex;
+      do {
+        auto idx = parse_expr(prog);
+        if (!idx.is_ok()) return idx.status();
+        e->args.push_back(std::move(idx.value()));
+      } while (accept(Tok::kComma));
+      if (Status s = expect(Tok::kRParen, "after subscripts"); !s.is_ok()) return s;
+    } else {
+      e->kind = ExprKind::kVarRef;
+    }
+    return ExprPtr(std::move(e));
+  }
+
+  // ---- expressions ----------------------------------------------------------
+  //
+  // Precedence (loosest to tightest):
+  //   .eqv./.neqv. < .or. < .and. < .not. < comparisons < +,- < *,/ <
+  //   unary +,- < ** (right-assoc) < primary
+
+  StatusOr<ExprPtr> parse_expr(Program& prog) { return parse_expr(prog.ids); }
+
+  StatusOr<ExprPtr> parse_expr(NodeIdGen& ids) { return parse_equiv(ids); }
+
+  StatusOr<ExprPtr> parse_equiv(NodeIdGen& ids) {
+    auto lhs = parse_or(ids);
+    if (!lhs.is_ok()) return lhs;
+    while (at(Tok::kEqv) || at(Tok::kNeqv)) {
+      const BinaryOp op = at(Tok::kEqv) ? BinaryOp::kEqv : BinaryOp::kNeqv;
+      const SourceLoc loc = advance().loc;
+      auto rhs = parse_or(ids);
+      if (!rhs.is_ok()) return rhs;
+      lhs = combine(ids, op, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_or(NodeIdGen& ids) {
+    auto lhs = parse_and(ids);
+    if (!lhs.is_ok()) return lhs;
+    while (at(Tok::kOr)) {
+      const SourceLoc loc = advance().loc;
+      auto rhs = parse_and(ids);
+      if (!rhs.is_ok()) return rhs;
+      lhs = combine(ids, BinaryOp::kOr, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_and(NodeIdGen& ids) {
+    auto lhs = parse_not(ids);
+    if (!lhs.is_ok()) return lhs;
+    while (at(Tok::kAnd)) {
+      const SourceLoc loc = advance().loc;
+      auto rhs = parse_not(ids);
+      if (!rhs.is_ok()) return rhs;
+      lhs = combine(ids, BinaryOp::kAnd, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_not(NodeIdGen& ids) {
+    if (at(Tok::kNot)) {
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_not(ids);
+      if (!operand.is_ok()) return operand;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNot;
+      e->lhs = std::move(operand.value());
+      e->loc = loc;
+      e->id = ids.next();
+      return ExprPtr(std::move(e));
+    }
+    return parse_comparison(ids);
+  }
+
+  StatusOr<ExprPtr> parse_comparison(NodeIdGen& ids) {
+    auto lhs = parse_additive(ids);
+    if (!lhs.is_ok()) return lhs;
+    BinaryOp op;
+    switch (peek().kind) {
+      case Tok::kEq: op = BinaryOp::kEq; break;
+      case Tok::kNe: op = BinaryOp::kNe; break;
+      case Tok::kLt: op = BinaryOp::kLt; break;
+      case Tok::kLe: op = BinaryOp::kLe; break;
+      case Tok::kGt: op = BinaryOp::kGt; break;
+      case Tok::kGe: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    const SourceLoc loc = advance().loc;
+    auto rhs = parse_additive(ids);
+    if (!rhs.is_ok()) return rhs;
+    return combine(ids, op, std::move(lhs.value()), std::move(rhs.value()), loc);
+  }
+
+  StatusOr<ExprPtr> parse_additive(NodeIdGen& ids) {
+    auto lhs = parse_multiplicative(ids);
+    if (!lhs.is_ok()) return lhs;
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const BinaryOp op = at(Tok::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      const SourceLoc loc = advance().loc;
+      auto rhs = parse_multiplicative(ids);
+      if (!rhs.is_ok()) return rhs;
+      lhs = combine(ids, op, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_multiplicative(NodeIdGen& ids) {
+    auto lhs = parse_unary(ids);
+    if (!lhs.is_ok()) return lhs;
+    while (at(Tok::kStar) || at(Tok::kSlash)) {
+      const BinaryOp op = at(Tok::kStar) ? BinaryOp::kMul : BinaryOp::kDiv;
+      const SourceLoc loc = advance().loc;
+      auto rhs = parse_unary(ids);
+      if (!rhs.is_ok()) return rhs;
+      lhs = combine(ids, op, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_unary(NodeIdGen& ids) {
+    if (at(Tok::kMinus) || at(Tok::kPlus)) {
+      const UnaryOp op = at(Tok::kMinus) ? UnaryOp::kNeg : UnaryOp::kPlus;
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_unary(ids);
+      if (!operand.is_ok()) return operand;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = op;
+      e->lhs = std::move(operand.value());
+      e->loc = loc;
+      e->id = ids.next();
+      return ExprPtr(std::move(e));
+    }
+    return parse_power(ids);
+  }
+
+  StatusOr<ExprPtr> parse_power(NodeIdGen& ids) {
+    auto lhs = parse_primary(ids);
+    if (!lhs.is_ok()) return lhs;
+    if (at(Tok::kPower)) {
+      const SourceLoc loc = advance().loc;
+      // Right-associative; exponent may itself carry unary minus.
+      auto rhs = parse_unary(ids);
+      if (!rhs.is_ok()) return rhs;
+      return combine(ids, BinaryOp::kPow, std::move(lhs.value()), std::move(rhs.value()), loc);
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> parse_primary(NodeIdGen& ids) {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::kIntLit: {
+        advance();
+        auto e = make_int_lit(t.int_value, t.loc);
+        e->id = ids.next();
+        return e;
+      }
+      case Tok::kRealLit: {
+        advance();
+        auto e = make_real_lit(t.real_value, t.real_kind, t.loc);
+        e->id = ids.next();
+        return e;
+      }
+      case Tok::kLogicalLit: {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLogicalLit;
+        e->logical_value = t.logical_value;
+        e->loc = t.loc;
+        e->id = ids.next();
+        return ExprPtr(std::move(e));
+      }
+      case Tok::kLParen: {
+        advance();
+        auto inner = parse_expr(ids);
+        if (!inner.is_ok()) return inner;
+        if (Status s = expect(Tok::kRParen, "after parenthesized expression"); !s.is_ok()) {
+          return s;
+        }
+        return inner;
+      }
+      // `real(x, 8)` is a conversion intrinsic; the keyword doubles as the
+      // call name in expression position.
+      case Tok::kKwReal: {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIndex;  // sema reclassifies as intrinsic call
+        e->name = "real";
+        e->loc = t.loc;
+        e->id = ids.next();
+        if (Status s = expect(Tok::kLParen, "after 'real' intrinsic"); !s.is_ok()) return s;
+        do {
+          auto a = parse_expr(ids);
+          if (!a.is_ok()) return a;
+          e->args.push_back(std::move(a.value()));
+        } while (accept(Tok::kComma));
+        if (Status s = expect(Tok::kRParen, "after arguments"); !s.is_ok()) return s;
+        return ExprPtr(std::move(e));
+      }
+      case Tok::kIdent: {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->name = t.text;
+        e->loc = t.loc;
+        e->id = ids.next();
+        if (accept(Tok::kLParen)) {
+          e->kind = ExprKind::kIndex;  // array ref or call; sema decides
+          if (!accept(Tok::kRParen)) {
+            do {
+              auto a = parse_expr(ids);
+              if (!a.is_ok()) return a;
+              e->args.push_back(std::move(a.value()));
+            } while (accept(Tok::kComma));
+            if (Status s = expect(Tok::kRParen, "after arguments/subscripts"); !s.is_ok()) {
+              return s;
+            }
+          }
+        } else {
+          e->kind = ExprKind::kVarRef;
+        }
+        return ExprPtr(std::move(e));
+      }
+      default:
+        return err(std::string("unexpected ") + token_name(t.kind) + " in expression");
+    }
+  }
+
+  StatusOr<ExprPtr> combine(NodeIdGen& ids, BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                            SourceLoc loc) {
+    auto e = make_binary(op, std::move(lhs), std::move(rhs));
+    e->loc = loc;
+    e->id = ids.next();
+    return ExprPtr(std::move(e));
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> parse(const TokenStream& tokens) {
+  if (tokens.tokens.empty()) {
+    return Status(StatusCode::kParseError, "empty token stream");
+  }
+  return Parser(tokens).run();
+}
+
+StatusOr<Program> parse_source(std::string_view source, std::string file_name) {
+  auto toks = lex(source, std::move(file_name));
+  if (!toks.is_ok()) return toks.status();
+  return parse(toks.value());
+}
+
+}  // namespace prose::ftn

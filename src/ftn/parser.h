@@ -1,0 +1,23 @@
+// Recursive-descent parser for the Fortran subset.
+//
+// Produces an unresolved Program AST (names only); run sema::resolve() to
+// bind symbols, fold parameter constants, and type-check before analysis,
+// transformation, or compilation.
+#pragma once
+
+#include <string_view>
+
+#include "ftn/ast.h"
+#include "ftn/token.h"
+#include "support/status.h"
+
+namespace prose::ftn {
+
+/// Parses one or more modules from a token stream.
+StatusOr<Program> parse(const TokenStream& tokens);
+
+/// Convenience: lex + parse.
+StatusOr<Program> parse_source(std::string_view source,
+                               std::string file_name = "<memory>");
+
+}  // namespace prose::ftn

@@ -1,0 +1,421 @@
+#include "ftn/reduce.h"
+
+#include <functional>
+#include <map>
+
+namespace prose::ftn {
+namespace {
+
+/// Collects every SymbolId referenced by an expression (variables, called
+/// procedures; intrinsics have no symbol).
+void collect_expr_symbols(const Expr& e, std::set<SymbolId>& out) {
+  if (e.symbol != kInvalidSymbol) out.insert(e.symbol);
+  for (const auto& a : e.args) {
+    if (a) collect_expr_symbols(*a, out);
+  }
+  if (e.lhs) collect_expr_symbols(*e.lhs, out);
+  if (e.rhs) collect_expr_symbols(*e.rhs, out);
+}
+
+/// Symbols referenced directly by a statement, excluding nested statements
+/// (children are handled by their own entries).
+std::set<SymbolId> stmt_own_symbols(const Stmt& s) {
+  std::set<SymbolId> out;
+  if (s.lhs) collect_expr_symbols(*s.lhs, out);
+  if (s.rhs) collect_expr_symbols(*s.rhs, out);
+  if (s.lo) collect_expr_symbols(*s.lo, out);
+  if (s.hi) collect_expr_symbols(*s.hi, out);
+  if (s.step) collect_expr_symbols(*s.step, out);
+  if (s.cond) collect_expr_symbols(*s.cond, out);
+  if (s.do_symbol != kInvalidSymbol) out.insert(s.do_symbol);
+  if (s.callee_symbol != kInvalidSymbol) out.insert(s.callee_symbol);
+  for (const auto& a : s.args) collect_expr_symbols(*a, out);
+  for (const auto& a : s.print_args) collect_expr_symbols(*a, out);
+  for (const auto& b : s.branches) {
+    if (b.cond) collect_expr_symbols(*b.cond, out);
+  }
+  return out;
+}
+
+struct StmtInfo {
+  const Stmt* stmt = nullptr;
+  const Stmt* parent = nullptr;
+  SymbolId proc = kInvalidSymbol;          // enclosing procedure
+  std::set<SymbolId> refs;                 // symbols referenced (own, not children)
+  std::set<SymbolId> defs;                 // symbols this statement may define
+};
+
+class Reducer {
+ public:
+  Reducer(const ResolvedProgram& rp, const std::set<NodeId>& targets)
+      : rp_(rp), targets_(targets) {}
+
+  StatusOr<ReducedProgram> run() {
+    index_program();
+    seed_taint();
+    propagate();
+    return build_reduced();
+  }
+
+ private:
+  void index_stmt(const Stmt& s, const Stmt* parent, SymbolId proc) {
+    StmtInfo info;
+    info.stmt = &s;
+    info.parent = parent;
+    info.proc = proc;
+    info.refs = stmt_own_symbols(s);
+    // Definitions: assignment lhs; call args bound to writable dummies;
+    // do-loop induction variable.
+    if (s.kind == StmtKind::kAssign && s.lhs->symbol != kInvalidSymbol) {
+      info.defs.insert(s.lhs->symbol);
+    }
+    if (s.kind == StmtKind::kDo && s.do_symbol != kInvalidSymbol) {
+      info.defs.insert(s.do_symbol);
+    }
+    if (s.kind == StmtKind::kCall && s.callee_symbol != kInvalidSymbol) {
+      const Symbol& callee = rp_.symbols.get(s.callee_symbol);
+      for (std::size_t i = 0; i < s.args.size() && i < callee.params.size(); ++i) {
+        const Symbol& dummy = rp_.symbols.get(callee.params[i]);
+        if (dummy.intent != Intent::kIn && s.args[i]->symbol != kInvalidSymbol) {
+          info.defs.insert(s.args[i]->symbol);
+        }
+      }
+    }
+    // Function calls with writable dummies also define their designator args.
+    std::function<void(const Expr&)> scan_fn_calls = [&](const Expr& e) {
+      if (e.kind == ExprKind::kCall && e.symbol != kInvalidSymbol) {
+        const Symbol& callee = rp_.symbols.get(e.symbol);
+        for (std::size_t i = 0; i < e.args.size() && i < callee.params.size(); ++i) {
+          const Symbol& dummy = rp_.symbols.get(callee.params[i]);
+          if (dummy.intent != Intent::kIn && e.args[i]->symbol != kInvalidSymbol) {
+            info.defs.insert(e.args[i]->symbol);
+          }
+        }
+      }
+      for (const auto& a : e.args) {
+        if (a) scan_fn_calls(*a);
+      }
+      if (e.lhs) scan_fn_calls(*e.lhs);
+      if (e.rhs) scan_fn_calls(*e.rhs);
+    };
+    for (const ExprPtr* e : {&s.lhs, &s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+      if (*e) scan_fn_calls(**e);
+    }
+    for (const auto& a : s.args) scan_fn_calls(*a);
+    for (const auto& b : s.branches) {
+      if (b.cond) scan_fn_calls(*b.cond);
+    }
+
+    stmts_[s.id] = std::move(info);
+    for (const auto& b : s.branches) {
+      for (const auto& inner : b.body) index_stmt(*inner, &s, proc);
+    }
+    for (const auto& inner : s.body) index_stmt(*inner, &s, proc);
+  }
+
+  void index_program() {
+    for (const auto& mod : rp_.program.modules) {
+      for (const auto& proc : mod.procedures) {
+        for (const auto& s : proc.body) index_stmt(*s, nullptr, proc.symbol);
+      }
+    }
+    // Map decl NodeId → SymbolId for target seeding, and SymbolId → decl.
+    for (const auto& mod : rp_.program.modules) {
+      for (const auto& d : mod.decls) decl_symbol_[d.id] = d.symbol;
+      for (const auto& proc : mod.procedures) {
+        for (const auto& d : proc.decls) decl_symbol_[d.id] = d.symbol;
+      }
+    }
+  }
+
+  void seed_taint() {
+    for (const NodeId t : targets_) {
+      const auto it = decl_symbol_.find(t);
+      if (it != decl_symbol_.end()) referenced_.insert(it->second);
+    }
+    // Rule 2: statements passing target variables as call arguments.
+    std::set<SymbolId> target_syms = referenced_;
+    for (auto& [id, info] : stmts_) {
+      const Stmt& s = *info.stmt;
+      const auto arg_mentions_target = [&](const std::vector<ExprPtr>& args) {
+        for (const auto& a : args) {
+          std::set<SymbolId> syms;
+          collect_expr_symbols(*a, syms);
+          for (const SymbolId t : target_syms) {
+            if (syms.contains(t)) return true;
+          }
+        }
+        return false;
+      };
+      bool passes = false;
+      if (s.kind == StmtKind::kCall) passes = arg_mentions_target(s.args);
+      // Function calls inside any expression of the statement.
+      std::function<void(const Expr&)> scan = [&](const Expr& e) {
+        if (passes) return;
+        if (e.kind == ExprKind::kCall && e.symbol != kInvalidSymbol) {
+          if (arg_mentions_target(e.args)) passes = true;
+        }
+        for (const auto& a : e.args) {
+          if (a) scan(*a);
+        }
+        if (e.lhs) scan(*e.lhs);
+        if (e.rhs) scan(*e.rhs);
+      };
+      for (const ExprPtr* e : {&s.lhs, &s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+        if (*e && !passes) scan(**e);
+      }
+      for (const auto& b : s.branches) {
+        if (b.cond && !passes) scan(*b.cond);
+      }
+      if (passes) keep_stmt(id);
+      // Statements *assigning to* targets are definitions of referenced
+      // symbols and will be pulled in by rule 3 during propagation.
+    }
+  }
+
+  void keep_stmt(NodeId id) {
+    if (!kept_.insert(id).second) return;
+    const StmtInfo& info = stmts_.at(id);
+    dirty_ = true;
+    for (const SymbolId sym : info.refs) reference_symbol(sym);
+    // Enclosing control flow must be kept for the statement to remain valid.
+    if (info.parent != nullptr) keep_stmt(info.parent->id);
+    kept_procs_.insert(info.proc);
+  }
+
+  void reference_symbol(SymbolId id) {
+    if (!referenced_.insert(id).second) return;
+    dirty_ = true;
+    const Symbol& sym = rp_.symbols.get(id);
+    if (sym.kind == SymbolKind::kProcedure) {
+      // Rule 3 applied to a procedure symbol: its definition is the whole
+      // procedure, so keep its body.
+      keep_whole_procedure(id);
+    }
+  }
+
+  void keep_whole_procedure(SymbolId proc) {
+    if (!kept_procs_.insert(proc).second) return;
+    dirty_ = true;
+    for (auto& [id, info] : stmts_) {
+      if (info.proc == proc) keep_stmt(id);
+    }
+    // The procedure's own declarations (dummies, result, locals) are kept by
+    // the decl-retention rule in build_reduced via referenced symbols; make
+    // sure dummies/result are referenced so their decls survive.
+    const Symbol& p = rp_.symbols.get(proc);
+    for (const SymbolId d : p.params) reference_symbol(d);
+    if (p.result != kInvalidSymbol) reference_symbol(p.result);
+  }
+
+  void propagate() {
+    // Rule 3: keep statements defining referenced symbols; iterate to fixed
+    // point (keeping a statement references more symbols, whose definitions
+    // must then be kept, ...).
+    stats_.taint_iterations = 0;
+    do {
+      dirty_ = false;
+      ++stats_.taint_iterations;
+      for (auto& [id, info] : stmts_) {
+        if (kept_.contains(id)) continue;
+        for (const SymbolId d : info.defs) {
+          if (referenced_.contains(d)) {
+            keep_stmt(id);
+            break;
+          }
+        }
+      }
+    } while (dirty_);
+  }
+
+  /// Symbols needed by a kept declaration (extent and initializer exprs).
+  void reference_decl_dependencies(const DeclEntity& d) {
+    std::set<SymbolId> syms;
+    for (const auto& dim : d.dims) {
+      if (dim.extent) collect_expr_symbols(*dim.extent, syms);
+    }
+    if (d.init) collect_expr_symbols(*d.init, syms);
+    for (const SymbolId s : syms) reference_symbol(s);
+  }
+
+  StatusOr<ReducedProgram> build_reduced() {
+    // Declarations of referenced symbols must be kept; their extent
+    // expressions may reference parameters, which must then be kept too.
+    bool decl_dirty = true;
+    while (decl_dirty) {
+      decl_dirty = false;
+      for (const auto& mod : rp_.program.modules) {
+        for (const auto& d : mod.decls) {
+          if (d.symbol != kInvalidSymbol && referenced_.contains(d.symbol) &&
+              !decl_processed_.contains(d.id)) {
+            decl_processed_.insert(d.id);
+            reference_decl_dependencies(d);
+            decl_dirty = true;
+          }
+        }
+        for (const auto& proc : mod.procedures) {
+          for (const auto& d : proc.decls) {
+            if (d.symbol != kInvalidSymbol && referenced_.contains(d.symbol) &&
+                !decl_processed_.contains(d.id)) {
+              decl_processed_.insert(d.id);
+              reference_decl_dependencies(d);
+              decl_dirty = true;
+            }
+          }
+        }
+      }
+      // Newly referenced symbols may require another taint round.
+      propagate();
+    }
+
+    ReducedProgram out;
+    Program& reduced = out.program;
+    reduced.ids.ensure_above(rp_.program.ids.last());
+
+    for (const auto& mod : rp_.program.modules) {
+      Module rm;
+      rm.id = mod.id;
+      rm.name = mod.name;
+      rm.loc = mod.loc;
+      bool module_needed = false;
+
+      for (const auto& d : mod.decls) {
+        ++stats_.total_decls;
+        if (d.symbol != kInvalidSymbol && referenced_.contains(d.symbol)) {
+          rm.decls.push_back(d.clone());
+          ++stats_.kept_decls;
+          module_needed = true;
+        }
+      }
+      for (const auto& proc : mod.procedures) {
+        ++stats_.total_procedures;
+        count_statements(proc);
+        if (!kept_procs_.contains(proc.symbol)) continue;
+        Procedure rp2;
+        rp2.id = proc.id;
+        rp2.name = proc.name;
+        rp2.kind = proc.kind;
+        rp2.param_names = proc.param_names;
+        rp2.result_name = proc.result_name;
+        rp2.loc = proc.loc;
+        rp2.generated = proc.generated;
+        for (const auto& d : proc.decls) {
+          ++stats_.total_decls;
+          // Dummies and results always survive (signature integrity); locals
+          // survive if referenced.
+          const bool is_signature =
+              std::find(proc.param_names.begin(), proc.param_names.end(), d.name) !=
+                  proc.param_names.end() ||
+              (proc.kind == ProcKind::kFunction && d.name == proc.result_name);
+          if (is_signature ||
+              (d.symbol != kInvalidSymbol && referenced_.contains(d.symbol))) {
+            rp2.decls.push_back(d.clone());
+            ++stats_.kept_decls;
+          }
+        }
+        for (const auto& s : proc.body) {
+          if (StmtPtr kept = filter_stmt(*s)) rp2.body.push_back(std::move(kept));
+        }
+        rm.procedures.push_back(std::move(rp2));
+        ++stats_.kept_procedures;
+        module_needed = true;
+      }
+
+      if (!module_needed) continue;
+      // Rule 4: keep the imports that supply referenced symbols.
+      for (const auto& use : mod.uses) {
+        UseStmt ru;
+        ru.module_name = use.module_name;
+        ru.loc = use.loc;
+        if (use.only.empty()) {
+          rm.uses.push_back(ru);
+          continue;
+        }
+        for (const auto& name : use.only) {
+          const auto sym = lookup_exported(use.module_name, name);
+          if (sym.has_value() && referenced_.contains(*sym)) ru.only.push_back(name);
+        }
+        if (!ru.only.empty()) rm.uses.push_back(ru);
+      }
+      reduced.modules.push_back(std::move(rm));
+    }
+
+    out.stats = stats_;
+    out.stats.kept_statements = kept_.size();
+
+    // The reduced program must resolve — anything else is a reducer bug.
+    auto check = resolve(reduced.clone());
+    if (!check.is_ok()) {
+      return Status(StatusCode::kTransformError,
+                    "internal: reduced program does not resolve: " +
+                        check.status().to_string());
+    }
+    return out;
+  }
+
+  std::optional<SymbolId> lookup_exported(const std::string& module_name,
+                                          const std::string& name) const {
+    // Direct member of the module (transitive re-export resolution is not
+    // needed for only-lists in the subset's models).
+    return rp_.symbols.find_qualified(module_name + "::" + name);
+  }
+
+  void count_statements(const Procedure& proc) {
+    std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+      ++stats_.total_statements;
+      for (const auto& b : s.branches) {
+        for (const auto& inner : b.body) walk(*inner);
+      }
+      for (const auto& inner : s.body) walk(*inner);
+    };
+    for (const auto& s : proc.body) walk(*s);
+  }
+
+  /// Clones a statement keeping only kept children; returns null for dropped
+  /// statements.
+  StmtPtr filter_stmt(const Stmt& s) {
+    if (!kept_.contains(s.id)) return nullptr;
+    StmtPtr out = s.clone();
+    if (out->kind == StmtKind::kIf) {
+      for (auto& b : out->branches) {
+        std::vector<StmtPtr> body;
+        for (auto& inner : b.body) {
+          if (kept_.contains(inner->id)) {
+            if (StmtPtr f = filter_stmt(*inner)) body.push_back(std::move(f));
+          }
+        }
+        b.body = std::move(body);
+      }
+    }
+    if (!out->body.empty()) {
+      std::vector<StmtPtr> body;
+      for (auto& inner : out->body) {
+        if (kept_.contains(inner->id)) {
+          if (StmtPtr f = filter_stmt(*inner)) body.push_back(std::move(f));
+        }
+      }
+      out->body = std::move(body);
+    }
+    return out;
+  }
+
+  const ResolvedProgram& rp_;
+  const std::set<NodeId>& targets_;
+  std::map<NodeId, StmtInfo> stmts_;
+  std::map<NodeId, SymbolId> decl_symbol_;
+  std::set<NodeId> kept_;
+  std::set<SymbolId> referenced_;
+  std::set<SymbolId> kept_procs_;
+  std::set<NodeId> decl_processed_;
+  bool dirty_ = false;
+  ReductionStats stats_;
+};
+
+}  // namespace
+
+StatusOr<ReducedProgram> reduce_for_targets(const ResolvedProgram& rp,
+                                            const std::set<NodeId>& targets) {
+  return Reducer(rp, targets).run();
+}
+
+}  // namespace prose::ftn

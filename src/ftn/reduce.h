@@ -1,0 +1,56 @@
+// Taint-based program reduction (§III-C).
+//
+// The paper's key insight for coping with ROSE's partial Fortran support:
+// the transformation only needs the subset of the program containing
+//   (1) the statements declaring target variables,
+//   (2) the statements passing target variables as arguments to calls,
+//   (3) statements defining symbols referenced in (1), (2), recursively (3),
+//   (4) the imports required to make those symbols visible, and
+//   (5) the enclosing program structures (modules, procedures).
+// Applying taint propagation until a fixed point yields a reduced program
+// that still parses, resolves, and can be transformed; the kind edits and
+// wrapper insertions computed on it replay onto the full program by NodeId.
+//
+// Our pipeline does not *need* reduction (the whole frontend is ours), but we
+// implement it faithfully: it is part of the paper's tool contribution, it is
+// exercised end-to-end in tests, and the campaign driver can run with it
+// enabled to mirror the paper's T0 preprocessing step.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "ftn/ast.h"
+#include "ftn/sema.h"
+
+namespace prose::ftn {
+
+struct ReductionStats {
+  std::size_t total_statements = 0;
+  std::size_t kept_statements = 0;
+  std::size_t total_procedures = 0;
+  std::size_t kept_procedures = 0;
+  std::size_t total_decls = 0;
+  std::size_t kept_decls = 0;
+  std::size_t taint_iterations = 0;
+
+  [[nodiscard]] double statement_fraction() const {
+    return total_statements == 0
+               ? 0.0
+               : static_cast<double>(kept_statements) / static_cast<double>(total_statements);
+  }
+};
+
+struct ReducedProgram {
+  Program program;       // the reduced clone (NodeIds preserved)
+  ReductionStats stats;
+};
+
+/// Reduces `rp.program` to the subset needed to transform the declarations in
+/// `targets` (DeclEntity NodeIds of real variables). The result is guaranteed
+/// to re-resolve; resolve failure indicates a reducer bug and is returned as
+/// an internal error.
+StatusOr<ReducedProgram> reduce_for_targets(const ResolvedProgram& rp,
+                                            const std::set<NodeId>& targets);
+
+}  // namespace prose::ftn

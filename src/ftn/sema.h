@@ -1,0 +1,38 @@
+// Semantic resolution for the Fortran subset.
+//
+// Responsibilities:
+//   * build the symbol table (modules, procedures, dummies, results, locals,
+//     parameters) and annotate every reference in the AST with its SymbolId
+//   * fold parameter constants and explicit array extents
+//   * reclassify ambiguous `name(...)` expressions as array indexing,
+//     procedure calls, or intrinsic calls (variables shadow intrinsics, as in
+//     Fortran)
+//   * type-check expressions (Fortran kind-promotion rules), assignments
+//     (scalar, broadcast, and whole-array copies), call argument ranks and
+//     base types, and loop/if control expressions
+//
+// Real-kind mismatches at call boundaries are deliberately *accepted* here:
+// the paper's wrapper generator (transform.h) is the component responsible
+// for removing them, and the bytecode compiler rejects any that remain.
+#pragma once
+
+#include "ftn/ast.h"
+#include "ftn/symbols.h"
+#include "support/status.h"
+
+namespace prose::ftn {
+
+struct ResolvedProgram {
+  Program program;
+  SymbolTable symbols;
+};
+
+/// Resolves and type-checks; takes ownership of the AST and returns it
+/// annotated. Modules must appear before the modules that `use` them.
+StatusOr<ResolvedProgram> resolve(Program program);
+
+/// Convenience: parse + resolve.
+StatusOr<ResolvedProgram> parse_and_resolve(std::string_view source,
+                                            std::string file_name = "<memory>");
+
+}  // namespace prose::ftn

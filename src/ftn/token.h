@@ -1,0 +1,116 @@
+// Token definitions for the Fortran-subset frontend.
+//
+// The subset ("F-mini") covers the constructs the paper's transformation tool
+// must handle in real model code: modules with `contains`, subroutines and
+// functions, kind-parameterized real declarations, multi-dimensional arrays,
+// do/do-while loops, if/else chains, intrinsic calls, and the operators of
+// arithmetic/relational/logical expressions (including the legacy `.lt.`
+// spellings that pervade legacy model code such as ADCIRC's itpackv).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace prose::ftn {
+
+enum class Tok : std::uint8_t {
+  kEof = 0,
+  kNewline,     // statement separator (also ';')
+  kIdent,       // canonicalized to lower case
+  kIntLit,
+  kRealLit,
+  kLogicalLit,  // .true. / .false.
+  kStringLit,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kDoubleColon,  // ::
+  kAssign,       // =
+  kArrow,        // =>  (parsed, rejected in sema; appears in real code)
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPower,       // **
+  kConcat,      // //
+  kPercent,     // %  (derived-type access; parsed for error recovery)
+  kEq,          // == or .eq.
+  kNe,          // /= or .ne.
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,         // .and.
+  kOr,          // .or.
+  kNot,         // .not.
+  kEqv,         // .eqv.
+  kNeqv,        // .neqv.
+
+  // Keywords (recognized case-insensitively from identifiers).
+  kKwModule,
+  kKwEnd,
+  kKwContains,
+  kKwSubroutine,
+  kKwFunction,
+  kKwResult,
+  kKwUse,
+  kKwImplicit,
+  kKwNone,
+  kKwInteger,
+  kKwReal,
+  kKwDoublePrecision,  // "double precision" fused by the lexer
+  kKwLogical,
+  kKwParameter,
+  kKwDimension,
+  kKwIntent,
+  kKwIn,
+  kKwOut,
+  kKwInOut,
+  kKwDo,
+  kKwWhile,
+  kKwIf,
+  kKwThen,
+  kKwElse,
+  kKwElseIf,   // "elseif" or "else if" fused
+  kKwEndIf,    // "endif" (plain "end if" arrives as kKwEnd kKwIf)
+  kKwEndDo,
+  kKwExit,
+  kKwCycle,
+  kKwCall,
+  kKwReturn,
+  kKwProgram,
+  kKwPrint,
+  kKwKind,
+  kKwOnly,
+  kKwSave,
+  kKwPure,
+  kKwElemental,
+};
+
+const char* token_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;      // canonical spelling (identifiers lower-cased)
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  int real_kind = 4;     // kind of a real literal (4 unless d-exponent/_8)
+  bool logical_value = false;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Tok t) const { return kind == t; }
+};
+
+/// The full token stream for one source buffer.
+struct TokenStream {
+  std::string file_name;
+  std::vector<Token> tokens;
+};
+
+}  // namespace prose::ftn

@@ -1,0 +1,400 @@
+#include "ftn/transform.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ftn/callgraph.h"
+#include "ftn/paramflow.h"
+
+namespace prose::ftn {
+namespace {
+
+Status transform_err(std::string message) {
+  return Status(StatusCode::kTransformError, std::move(message));
+}
+
+/// Walks every DeclEntity in the program.
+template <typename Fn>
+void for_each_decl(Program& prog, Fn&& fn) {
+  for (auto& mod : prog.modules) {
+    for (auto& d : mod.decls) fn(d);
+    for (auto& proc : mod.procedures) {
+      for (auto& d : proc.decls) fn(d);
+    }
+  }
+}
+
+/// Mutable lookup of a call stmt/expr by NodeId, returning pointers to the
+/// name/symbol fields that must be retargeted.
+struct CallRef {
+  std::string* name = nullptr;
+  SymbolId* symbol = nullptr;
+};
+
+void find_call_in_expr(Expr& e, NodeId node, CallRef& out) {
+  if (out.name != nullptr) return;
+  if (e.id == node && e.kind == ExprKind::kCall) {
+    out.name = &e.name;
+    out.symbol = &e.symbol;
+    return;
+  }
+  for (auto& a : e.args) {
+    if (a) find_call_in_expr(*a, node, out);
+  }
+  if (e.lhs) find_call_in_expr(*e.lhs, node, out);
+  if (e.rhs) find_call_in_expr(*e.rhs, node, out);
+}
+
+void find_call_in_stmt(Stmt& s, NodeId node, CallRef& out) {
+  if (out.name != nullptr) return;
+  if (s.id == node && s.kind == StmtKind::kCall) {
+    out.name = &s.callee;
+    out.symbol = &s.callee_symbol;
+    return;
+  }
+  for (ExprPtr* e : {&s.lhs, &s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+    if (*e) find_call_in_expr(**e, node, out);
+  }
+  for (auto& a : s.args) find_call_in_expr(*a, node, out);
+  for (auto& a : s.print_args) find_call_in_expr(*a, node, out);
+  for (auto& b : s.branches) {
+    if (b.cond) find_call_in_expr(*b.cond, node, out);
+    for (auto& inner : b.body) find_call_in_stmt(*inner, node, out);
+  }
+  for (auto& inner : s.body) find_call_in_stmt(*inner, node, out);
+}
+
+CallRef find_call(Program& prog, SymbolId caller, NodeId node, const SymbolTable& symbols) {
+  CallRef out;
+  const Symbol& caller_sym = symbols.get(caller);
+  Module* mod = prog.find_module(caller_sym.module_name);
+  PROSE_CHECK(mod != nullptr);
+  Procedure* proc = mod->find_procedure(caller_sym.name);
+  PROSE_CHECK(proc != nullptr);
+  for (auto& s : proc->body) {
+    find_call_in_stmt(*s, node, out);
+    if (out.name != nullptr) break;
+  }
+  return out;
+}
+
+/// The wrapper's signature pattern: one char per argument — '4'/'8' for the
+/// actual real kind, 'x' for non-real arguments.
+std::string signature_pattern(const SymbolTable& symbols, const Symbol& callee,
+                              const std::vector<int>& actual_kinds) {
+  std::string pattern;
+  for (std::size_t i = 0; i < callee.params.size(); ++i) {
+    const Symbol& dummy = symbols.get(callee.params[i]);
+    if (!dummy.type.is_real()) {
+      pattern += 'x';
+    } else {
+      pattern += actual_kinds[i] == 4 ? '4' : '8';
+    }
+  }
+  return pattern;
+}
+
+/// Builds `size(<array>, dim)` (or `size(<array>)` for rank 1).
+ExprPtr make_size_expr(Program& prog, const std::string& array_name, int rank, int dim) {
+  auto call = std::make_unique<Expr>();
+  call->kind = ExprKind::kIndex;  // sema reclassifies to intrinsic call
+  call->name = "size";
+  call->id = prog.ids.next();
+  call->args.push_back(make_var_ref(array_name));
+  call->args.back()->id = prog.ids.next();
+  if (rank > 1) {
+    call->args.push_back(make_int_lit(dim));
+    call->args.back()->id = prog.ids.next();
+  }
+  return call;
+}
+
+StmtPtr make_assign(Program& prog, const std::string& lhs, const std::string& rhs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->id = prog.ids.next();
+  s->lhs = make_var_ref(lhs);
+  s->lhs->id = prog.ids.next();
+  s->rhs = make_var_ref(rhs);
+  s->rhs->id = prog.ids.next();
+  return s;
+}
+
+/// Synthesizes the wrapper procedure for `callee` with the given actual-kind
+/// pattern and appends it to the callee's module.
+StatusOr<std::string> synthesize_wrapper(Program& prog, const SymbolTable& symbols,
+                                         SymbolId callee_id,
+                                         const std::vector<int>& actual_kinds,
+                                         WrapperReport* report) {
+  const Symbol& callee = symbols.get(callee_id);
+  const std::string pattern = signature_pattern(symbols, callee, actual_kinds);
+  std::string wrapper_name = callee.name + "_wrap_" + pattern;
+
+  Module* mod = prog.find_module(callee.module_name);
+  PROSE_CHECK(mod != nullptr);
+  // Reuse an existing wrapper only if its dummy kinds still realize the
+  // required pattern — a previously generated wrapper may itself have been
+  // retyped (its declarations are ordinary declarations), in which case the
+  // name no longer guarantees the signature and a fresh name is needed.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const Procedure* existing = mod->find_procedure(wrapper_name);
+    if (existing == nullptr) break;
+    bool signature_matches = existing->param_names.size() == callee.params.size();
+    if (signature_matches) {
+      for (std::size_t i = 0; i < existing->param_names.size(); ++i) {
+        const DeclEntity* d = existing->find_decl(existing->param_names[i]);
+        if (d == nullptr) {
+          signature_matches = false;
+          break;
+        }
+        if (d->type.is_real() && d->type.kind != actual_kinds[i]) {
+          signature_matches = false;
+          break;
+        }
+      }
+    }
+    if (signature_matches) return wrapper_name;
+    wrapper_name += "x";  // uniquify and retry
+  }
+  if (mod->find_procedure(wrapper_name) != nullptr) {
+    return Status(StatusCode::kTransformError,
+                  "could not find a fresh wrapper name for " + callee.qualified());
+  }
+  const Procedure* original = mod->find_procedure(callee.name);
+  PROSE_CHECK(original != nullptr);
+
+  Procedure w;
+  w.id = prog.ids.next();
+  w.name = wrapper_name;
+  w.kind = callee.proc_kind;
+  w.generated = true;
+  w.loc = original->loc;
+
+  std::vector<StmtPtr> copy_in;
+  std::vector<StmtPtr> copy_out;
+  std::vector<ExprPtr> inner_args;
+
+  for (std::size_t i = 0; i < callee.params.size(); ++i) {
+    const Symbol& dummy = symbols.get(callee.params[i]);
+    const std::string arg_name = "a" + std::to_string(i + 1);
+    w.param_names.push_back(arg_name);
+
+    // The wrapper's dummy: same shape/intent as the original dummy, but with
+    // the *actual* kind so the call site binds without conversion.
+    DeclEntity arg_decl;
+    arg_decl.id = prog.ids.next();
+    arg_decl.name = arg_name;
+    arg_decl.type = dummy.type;
+    if (dummy.type.is_real()) arg_decl.type.kind = actual_kinds[i];
+    arg_decl.intent = dummy.intent;
+    for (int r = 0; r < dummy.rank(); ++r) {
+      arg_decl.dims.push_back(DimSpec{});  // assumed shape
+    }
+    arg_decl.loc = original->loc;
+    w.decls.push_back(std::move(arg_decl));
+
+    const bool mismatch = dummy.type.is_real() && actual_kinds[i] != dummy.type.kind;
+    if (!mismatch) {
+      auto ref = make_var_ref(arg_name);
+      ref->id = prog.ids.next();
+      inner_args.push_back(std::move(ref));
+      continue;
+    }
+
+    // Mismatched argument: temporary with the original dummy's kind.
+    const std::string tmp_name = arg_name + "_tmp";
+    DeclEntity tmp_decl;
+    tmp_decl.id = prog.ids.next();
+    tmp_decl.name = tmp_name;
+    tmp_decl.type = dummy.type;
+    for (int r = 0; r < dummy.rank(); ++r) {
+      DimSpec dim;
+      dim.extent = make_size_expr(prog, arg_name, dummy.rank(), r + 1);
+      tmp_decl.dims.push_back(std::move(dim));
+    }
+    tmp_decl.loc = original->loc;
+    w.decls.push_back(std::move(tmp_decl));
+
+    if (report != nullptr) {
+      if (dummy.is_array()) {
+        ++report->array_args_wrapped;
+      } else {
+        ++report->scalar_args_wrapped;
+      }
+    }
+
+    // Copy-in unless the callee never reads the argument.
+    if (dummy.intent != Intent::kOut) {
+      copy_in.push_back(make_assign(prog, tmp_name, arg_name));
+    }
+    // Copy-out unless the callee never writes the argument.
+    if (dummy.intent != Intent::kIn) {
+      copy_out.push_back(make_assign(prog, arg_name, tmp_name));
+    }
+    auto ref = make_var_ref(tmp_name);
+    ref->id = prog.ids.next();
+    inner_args.push_back(std::move(ref));
+  }
+
+  // Result handling for function wrappers.
+  StmtPtr inner_call;
+  if (callee.proc_kind == ProcKind::kFunction) {
+    const Symbol& result = symbols.get(callee.result);
+    w.result_name = "wres";
+    DeclEntity res_decl;
+    res_decl.id = prog.ids.next();
+    res_decl.name = "wres";
+    res_decl.type = result.type;
+    res_decl.loc = original->loc;
+    w.decls.push_back(std::move(res_decl));
+
+    auto call_expr = std::make_unique<Expr>();
+    call_expr->kind = ExprKind::kIndex;  // resolves to the callee function
+    call_expr->name = callee.name;
+    call_expr->id = prog.ids.next();
+    call_expr->args = std::move(inner_args);
+
+    auto assign = std::make_unique<Stmt>();
+    assign->kind = StmtKind::kAssign;
+    assign->id = prog.ids.next();
+    assign->lhs = make_var_ref("wres");
+    assign->lhs->id = prog.ids.next();
+    assign->rhs = std::move(call_expr);
+    inner_call = std::move(assign);
+  } else {
+    auto call = std::make_unique<Stmt>();
+    call->kind = StmtKind::kCall;
+    call->id = prog.ids.next();
+    call->callee = callee.name;
+    call->args = std::move(inner_args);
+    inner_call = std::move(call);
+  }
+
+  for (auto& s : copy_in) w.body.push_back(std::move(s));
+  w.body.push_back(std::move(inner_call));
+  for (auto& s : copy_out) w.body.push_back(std::move(s));
+
+  mod->procedures.push_back(std::move(w));
+
+  // Make the wrapper visible wherever the callee was imported via an
+  // only-list.
+  for (auto& m : prog.modules) {
+    for (auto& use : m.uses) {
+      if (use.module_name != callee.module_name || use.only.empty()) continue;
+      if (std::find(use.only.begin(), use.only.end(), callee.name) != use.only.end() &&
+          std::find(use.only.begin(), use.only.end(), wrapper_name) == use.only.end()) {
+        use.only.push_back(wrapper_name);
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    ++report->wrappers_generated;
+    report->wrapper_names.push_back(callee.module_name + "::" + wrapper_name);
+  }
+  return wrapper_name;
+}
+
+}  // namespace
+
+Status apply_assignment(Program& prog, const PrecisionAssignment& assignment) {
+  std::map<NodeId, int> pending = assignment.kinds;
+  Status failure = Status::ok();
+  for_each_decl(prog, [&](DeclEntity& d) {
+    const auto it = pending.find(d.id);
+    if (it == pending.end()) return;
+    if (!d.type.is_real()) {
+      if (failure.is_ok()) {
+        failure = transform_err("assignment targets non-real declaration '" + d.name + "'");
+      }
+      return;
+    }
+    if (it->second != 4 && it->second != 8) {
+      if (failure.is_ok()) {
+        failure = transform_err("unsupported kind for '" + d.name + "'");
+      }
+      return;
+    }
+    d.type.kind = it->second;
+    pending.erase(it);
+  });
+  if (!failure.is_ok()) return failure;
+  if (!pending.empty()) {
+    return transform_err("assignment references " + std::to_string(pending.size()) +
+                         " unknown declaration node(s)");
+  }
+  return Status::ok();
+}
+
+StatusOr<ResolvedProgram> generate_wrappers(Program prog, WrapperReport* report) {
+  auto resolved = resolve(std::move(prog));
+  if (!resolved.is_ok()) {
+    return Status(StatusCode::kTransformError,
+                  "variant does not resolve before wrapping: " +
+                      resolved.status().to_string());
+  }
+  const CallGraph cg = CallGraph::build(resolved.value());
+  const ParamFlowGraph pf = build_param_flow(resolved.value(), cg);
+
+  // Group mismatched bindings by call site.
+  std::map<NodeId, std::vector<const FlowEdge*>> by_site;
+  for (const FlowEdge* e : pf.mismatched()) by_site[e->call_node].push_back(e);
+  if (by_site.empty()) return resolved;  // invariant already holds
+
+  Program edited = std::move(resolved.value().program);
+  const SymbolTable& symbols = resolved.value().symbols;
+
+  for (const auto& [node, edges] : by_site) {
+    const SymbolId callee_id = edges.front()->callee;
+    const Symbol& callee = symbols.get(callee_id);
+    // Actual kinds for every parameter (matched ones keep the dummy kind).
+    std::vector<int> actual_kinds(callee.params.size());
+    for (std::size_t i = 0; i < callee.params.size(); ++i) {
+      actual_kinds[i] = symbols.get(callee.params[i]).type.kind;
+    }
+    for (const FlowEdge* e : edges) actual_kinds[e->arg_index] = e->actual_kind;
+
+    auto wrapper_name =
+        synthesize_wrapper(edited, symbols, callee_id, actual_kinds, report);
+    if (!wrapper_name.is_ok()) return wrapper_name.status();
+
+    CallRef ref = find_call(edited, edges.front()->caller, node, symbols);
+    if (ref.name == nullptr) {
+      return transform_err("call site for wrapper retargeting not found");
+    }
+    *ref.name = wrapper_name.value();
+    *ref.symbol = kInvalidSymbol;  // re-resolution will bind it
+    if (report != nullptr) ++report->callsites_retargeted;
+  }
+
+  auto rewrapped = resolve(std::move(edited));
+  if (!rewrapped.is_ok()) {
+    return Status(StatusCode::kTransformError,
+                  "wrapped variant does not resolve: " + rewrapped.status().to_string());
+  }
+  if (Status s = verify_call_kind_invariant(rewrapped.value()); !s.is_ok()) return s;
+  return rewrapped;
+}
+
+StatusOr<ResolvedProgram> make_variant(const Program& pristine,
+                                       const PrecisionAssignment& assignment,
+                                       WrapperReport* report) {
+  Program variant = pristine.clone();
+  if (Status s = apply_assignment(variant, assignment); !s.is_ok()) return s;
+  return generate_wrappers(std::move(variant), report);
+}
+
+Status verify_call_kind_invariant(const ResolvedProgram& rp) {
+  const CallGraph cg = CallGraph::build(rp);
+  const ParamFlowGraph pf = build_param_flow(rp, cg);
+  for (const FlowEdge* e : pf.mismatched()) {
+    const Symbol& callee = rp.symbols.get(e->callee);
+    return transform_err("mismatched real kinds at call to '" + callee.qualified() +
+                         "' argument " + std::to_string(e->arg_index + 1) + " (actual kind " +
+                         std::to_string(e->actual_kind) + ", dummy kind " +
+                         std::to_string(e->dummy_kind) + ")");
+  }
+  return Status::ok();
+}
+
+}  // namespace prose::ftn

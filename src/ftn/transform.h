@@ -1,0 +1,67 @@
+// Source-to-source transformation: precision assignment + wrapper generation.
+//
+// This is the paper's bespoke tool (§III-C). A variant is produced by
+//   1. cloning the pristine program (NodeIds preserved),
+//   2. rewriting the `kind` of the targeted real declarations,
+//   3. re-resolving and generating wrappers for every call whose real-typed
+//      actual/dummy kinds now disagree — Fortran performs implicit conversion
+//      only through assignment, so each wrapper routes mismatched arguments
+//      through assignments to correctly-kinded temporaries (paper Fig. 4),
+//   4. re-resolving and verifying the matching-kind invariant.
+//
+// Wrappers for array arguments copy whole arrays through automatic
+// temporaries sized with size() — the per-element casting traffic this
+// creates is exactly the MOM6 failure mode the paper analyzes (§IV-B).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ftn/ast.h"
+#include "ftn/sema.h"
+
+namespace prose::ftn {
+
+/// A precision assignment: DeclEntity NodeId → new real kind (4 or 8).
+/// Entries for declarations that already have the requested kind are no-ops.
+struct PrecisionAssignment {
+  std::map<NodeId, int> kinds;
+
+  [[nodiscard]] std::size_t count_kind(int kind) const {
+    std::size_t n = 0;
+    for (const auto& [id, k] : kinds) {
+      if (k == kind) ++n;
+    }
+    return n;
+  }
+};
+
+struct WrapperReport {
+  int wrappers_generated = 0;
+  int callsites_retargeted = 0;
+  int scalar_args_wrapped = 0;
+  int array_args_wrapped = 0;
+  std::vector<std::string> wrapper_names;
+};
+
+/// Rewrites declaration kinds in place. Fails if a NodeId does not name a
+/// real-typed declaration entity in `prog`.
+Status apply_assignment(Program& prog, const PrecisionAssignment& assignment);
+
+/// Resolves `prog`, generates wrappers for all mismatched real-kind argument
+/// bindings, retargets the affected call sites, and returns the re-resolved
+/// program. Idempotent on programs that already satisfy the invariant.
+StatusOr<ResolvedProgram> generate_wrappers(Program prog, WrapperReport* report = nullptr);
+
+/// Full variant pipeline: clone + apply + wrap + verify.
+StatusOr<ResolvedProgram> make_variant(const Program& pristine,
+                                       const PrecisionAssignment& assignment,
+                                       WrapperReport* report = nullptr);
+
+/// Checks the wrapper invariant: every real-typed argument binding has
+/// matching actual/dummy kinds. Returns TransformError listing the first
+/// violation otherwise.
+Status verify_call_kind_invariant(const ResolvedProgram& rp);
+
+}  // namespace prose::ftn

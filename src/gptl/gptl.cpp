@@ -1,0 +1,124 @@
+#include "gptl/gptl.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace prose::gptl {
+
+Timers::Timers(SimClock* clock, TimerOptions options)
+    : clock_(clock), options_(options) {
+  PROSE_CHECK(clock_ != nullptr);
+}
+
+std::size_t Timers::intern(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::size_t idx = regions_.size();
+  regions_.push_back(RegionStats{.name = name});
+  index_.emplace(name, idx);
+  return idx;
+}
+
+Status Timers::start(const std::string& name) {
+  if (name.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty region name");
+  }
+  const std::size_t idx = intern(name);
+  // Instrumentation overhead: half charged at start, half at stop.
+  const double oh = options_.overhead_cycles_per_pair / 2.0;
+  clock_->advance(oh);
+  regions_[idx].overhead_cycles += oh;
+  stack_.push_back(Frame{.region_index = idx, .entry_time = clock_->now()});
+  return Status::ok();
+}
+
+Status Timers::stop(const std::string& name) {
+  if (stack_.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "stop('" + name + "') with no open region");
+  }
+  Frame frame = stack_.back();
+  RegionStats& region = regions_[frame.region_index];
+  if (options_.strict_nesting && region.name != name) {
+    return Status(StatusCode::kInvalidArgument,
+                  "stop('" + name + "') but innermost open region is '" +
+                      region.name + "'");
+  }
+  stack_.pop_back();
+
+  const double oh = options_.overhead_cycles_per_pair / 2.0;
+  clock_->advance(oh);
+  region.overhead_cycles += oh;
+
+  const double inclusive = clock_->now() - frame.entry_time;
+  region.calls += 1;
+  region.inclusive_cycles += inclusive;
+  region.exclusive_cycles += inclusive - frame.child_cycles;
+  if (region.calls == 1) {
+    region.min_call_cycles = region.max_call_cycles = inclusive;
+  } else {
+    region.min_call_cycles = std::min(region.min_call_cycles, inclusive);
+    region.max_call_cycles = std::max(region.max_call_cycles, inclusive);
+  }
+  if (!stack_.empty()) stack_.back().child_cycles += inclusive;
+  return Status::ok();
+}
+
+void Timers::charge(double cycles) {
+  clock_->advance(cycles);
+  // Exclusive attribution happens implicitly: cycles not inside a child
+  // region's [entry, exit) window count toward the innermost open region's
+  // exclusive time at stop().
+}
+
+StatusOr<RegionStats> Timers::stats(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status(StatusCode::kNotFound, "no region named '" + name + "'");
+  }
+  return regions_[it->second];
+}
+
+std::vector<RegionStats> Timers::all_stats() const {
+  std::vector<RegionStats> out = regions_;
+  std::sort(out.begin(), out.end(), [](const RegionStats& a, const RegionStats& b) {
+    return a.inclusive_cycles > b.inclusive_cycles;
+  });
+  return out;
+}
+
+double Timers::total_overhead() const {
+  double total = 0.0;
+  for (const auto& r : regions_) total += r.overhead_cycles;
+  return total;
+}
+
+double Timers::overhead_fraction(const std::string& name) const {
+  const auto s = stats(name);
+  if (!s.is_ok() || s->inclusive_cycles <= 0.0) return 0.0;
+  return s->overhead_cycles / s->inclusive_cycles;
+}
+
+std::string Timers::report() const {
+  std::ostringstream os;
+  os << pad_right("region", 44) << pad_left("calls", 10)
+     << pad_left("incl cycles", 16) << pad_left("excl cycles", 16)
+     << pad_left("mean/call", 14) << '\n';
+  for (const auto& r : all_stats()) {
+    os << pad_right(r.name, 44) << pad_left(std::to_string(r.calls), 10)
+       << pad_left(format_double(r.inclusive_cycles, 0), 16)
+       << pad_left(format_double(r.exclusive_cycles, 0), 16)
+       << pad_left(format_double(r.mean_call_cycles(), 1), 14) << '\n';
+  }
+  return os.str();
+}
+
+void Timers::reset() {
+  regions_.clear();
+  index_.clear();
+  stack_.clear();
+}
+
+}  // namespace prose::gptl

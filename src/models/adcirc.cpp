@@ -1,0 +1,250 @@
+#include "models/adcirc.h"
+
+#include "support/strings.h"
+
+namespace prose::models {
+
+std::string adcirc_source(const AdcircOptions& options) {
+  std::string src = R"f(
+module adcirc_mesh
+  implicit none
+  integer, parameter :: nnodes = @NNODES@
+  integer, parameter :: nsteps = @NSTEPS@
+  integer, parameter :: nharm = @NHARM@
+  ! State in physical units (meters, seconds); forcing amplitudes are large.
+  real(kind=8) :: eta(nnodes)
+  real(kind=8) :: etamax(nnodes)
+  real(kind=8) :: rhs(nnodes)
+  real(kind=8) :: depth(nnodes)
+end module adcirc_mesh
+
+module itpackv
+  use adcirc_mesh
+  implicit none
+  ! Solver workspace, including the assembled GWCE matrix the caller fills
+  ! in (ITPACK owns its workspace arrays — they are search atoms).
+  real(kind=8) :: mat_diag(nnodes)
+  real(kind=8) :: mat_off(nnodes)
+  ! Solver work vectors and parameters (search atoms).
+  real(kind=8) :: p_dir(nnodes)
+  real(kind=8) :: ap(nnodes)
+  real(kind=8) :: resid(nnodes)
+  real(kind=8) :: z_prec(nnodes)
+  real(kind=8) :: rz_acc
+  real(kind=8) :: rz_old
+  real(kind=8) :: pap_acc
+  real(kind=8) :: alpha_cg
+  real(kind=8) :: beta_cg
+  real(kind=8) :: bnorm2
+  real(kind=8) :: resid2
+  real(kind=8) :: diag_cond
+  ! Physical-unit scale of the condition probe (a constant of the
+  ! formulation, not a tunable variable).
+  real(kind=8), parameter :: probe_scale = 1.0d36
+  integer, parameter :: itmax = @ITMAX@
+contains
+  ! The hotspot driver: Jacobi-preconditioned CG with ITPACK-style adaptive
+  ! acceleration and stagnation detection. The adaptive parameters live here,
+  ! in the driver — the paper's observation that jcg "defines the key
+  ! parameters" of the solve.
+  subroutine jcg(x, b)
+    real(kind=8) :: spectral_est
+    real(kind=8) :: cond_probe
+    real(kind=8), dimension(:), intent(inout) :: x
+    real(kind=8), dimension(:), intent(in) :: b
+    real(kind=8) :: gamma_accel
+    real(kind=8) :: zeta
+    real(kind=8) :: stag_guard
+    real(kind=8) :: resid2_rel
+    integer :: iter
+    integer :: i
+    ! Adaptive acceleration: the Jacobi iteration matrix's spectral radius
+    ! estimate sits within 4e-9 of 1 for this mesh. In binary32 the estimate
+    ! rounds to exactly 1 and the acceleration factor collapses to zero.
+    spectral_est = 1.0d0 - 4.0d-9
+    gamma_accel = (1.0d0 - spectral_est) * 2.5d8
+    zeta = 1.0d-12
+    stag_guard = 1.0d-14
+
+    call amult(x, ap)
+    do i = 1, nnodes
+      resid(i) = b(i) - ap(i)
+    end do
+    call pjac(z_prec, resid)
+    do i = 1, nnodes
+      p_dir(i) = z_prec(i)
+    end do
+    rz_acc = dotp(resid, z_prec)
+    bnorm2 = peror(b)
+    rz_old = -1.0d0
+
+    do iter = 1, itmax
+      call amult(p_dir, ap)
+      pap_acc = dotp(p_dir, ap)
+      if (pap_acc <= 0.0d0) exit
+      alpha_cg = gamma_accel * rz_acc / pap_acc
+      do i = 1, nnodes
+        x(i) = x(i) + alpha_cg * p_dir(i)
+      end do
+      do i = 1, nnodes
+        resid(i) = resid(i) - alpha_cg * ap(i)
+      end do
+      call pjac(z_prec, resid)
+      rz_old = rz_acc
+      rz_acc = dotp(resid, z_prec)
+      resid2 = peror(resid)
+      resid2_rel = resid2 / bnorm2
+      if (resid2_rel < zeta) exit
+      if (abs(rz_old - rz_acc) <= stag_guard * abs(rz_acc) + 1.0d-300) exit
+      ! Condition-estimate probe in physical units: overflows binary32 once
+      ! the relative residual has shrunk a few orders of magnitude.
+      cond_probe = probe_scale / resid2_rel
+      diag_cond = diag_cond + log(cond_probe) * 1.0d-3
+      beta_cg = rz_acc / rz_old
+      do i = 1, nnodes
+        p_dir(i) = z_prec(i) + beta_cg * p_dir(i)
+      end do
+    end do
+  end subroutine jcg
+
+  ! Tridiagonal SPD matrix-vector product (vectorizable).
+  subroutine amult(v, av)
+    real(kind=8), dimension(:), intent(in) :: v
+    real(kind=8), dimension(:), intent(out) :: av
+    integer :: i
+    av(1) = mat_diag(1) * v(1) + mat_off(1) * v(2)
+    do i = 2, nnodes - 1
+      av(i) = mat_diag(i) * v(i) + mat_off(i - 1) * v(i - 1) + mat_off(i) * v(i + 1)
+    end do
+    av(nnodes) = mat_diag(nnodes) * v(nnodes) + mat_off(nnodes - 1) * v(nnodes - 1)
+  end subroutine amult
+
+  ! Symmetric Gauss-Seidel preconditioner M = (D+L) D^-1 (D+U): both sweeps
+  ! carry loop dependences that defeat vectorization (paper §IV-B, Fig. 6).
+  subroutine pjac(z, r)
+    real(kind=8), dimension(:), intent(out) :: z
+    real(kind=8), dimension(:), intent(in) :: r
+    integer :: i
+    z(1) = r(1) / mat_diag(1)
+    do i = 2, nnodes
+      z(i) = (r(i) - mat_off(i - 1) * z(i - 1)) / mat_diag(i)
+    end do
+    do i = 1, nnodes
+      z(i) = z(i) * mat_diag(i)
+    end do
+    z(nnodes) = z(nnodes) / mat_diag(nnodes)
+    do i = nnodes - 1, 1, -1
+      z(i) = (z(i) - mat_off(i) * z(i + 1)) / mat_diag(i)
+    end do
+  end subroutine pjac
+
+  ! Global residual norm: local reduction + MPI allreduce across the 128
+  ! simulated ranks — the collective dominates (paper §IV-B).
+  function peror(v) result(norm2)
+    real(kind=8), dimension(:), intent(in) :: v
+    real(kind=8) :: norm2
+    real(kind=8) :: local_sum
+    integer :: i
+    local_sum = 0.0d0
+    do i = 1, nnodes
+      local_sum = local_sum + v(i) * v(i)
+    end do
+    norm2 = mpi_allreduce_sum(local_sum)
+  end function peror
+
+  ! Distributed dot product (also a collective).
+  function dotp(a, b) result(d)
+    real(kind=8), dimension(:), intent(in) :: a
+    real(kind=8), dimension(:), intent(in) :: b
+    real(kind=8) :: d
+    real(kind=8) :: local_sum
+    integer :: i
+    local_sum = 0.0d0
+    do i = 1, nnodes
+      local_sum = local_sum + a(i) * b(i)
+    end do
+    d = mpi_allreduce_sum(local_sum)
+  end function dotp
+end module itpackv
+
+module adcirc_model
+  use adcirc_mesh
+  use itpackv
+  implicit none
+contains
+  subroutine setup_mesh()
+    integer :: i
+    do i = 1, nnodes
+      depth(i) = 20.0d0 + 15.0d0 * sin(3.14159265358979d0 * dble(i) / dble(nnodes))
+      mat_diag(i) = 4.0d0 + depth(i) * 0.1d0
+      mat_off(i) = -1.0d0
+      eta(i) = 0.0d0
+      etamax(i) = -1.0d30
+    end do
+    diag_cond = 0.0d0
+  end subroutine setup_mesh
+
+  ! GWCE right-hand-side assembly: tidal harmonic forcing plus nonlinear
+  ! terms. Outside the targeted module; consumes most of the CPU time.
+  subroutine assemble_rhs(step)
+    integer, intent(in) :: step
+    integer :: i
+    integer :: m
+    real(kind=8) :: t_now
+    real(kind=8) :: force
+    t_now = dble(step) * 300.0d0
+    do i = 1, nnodes
+      force = 0.0d0
+      do m = 1, nharm
+        force = force + cos(1.4d-4 * dble(m) * t_now + 0.3d0 * dble(m) * dble(i)) &
+                        / (1.0d0 + 0.2d0 * dble(m))
+      end do
+      rhs(i) = 4.0d0 * force + 0.02d0 * eta(i) * abs(eta(i)) / depth(i)
+    end do
+  end subroutine assemble_rhs
+
+  subroutine run_model()
+    integer :: step
+    integer :: i
+    call setup_mesh()
+    do step = 1, nsteps
+      call assemble_rhs(step)
+      call jcg(eta, rhs)
+      do i = 1, nnodes
+        etamax(i) = max(etamax(i), eta(i))
+      end do
+    end do
+  end subroutine run_model
+end module adcirc_model
+)f";
+  src = replace_all(std::move(src), "@NNODES@", std::to_string(options.nnodes));
+  src = replace_all(std::move(src), "@NSTEPS@", std::to_string(options.nsteps));
+  src = replace_all(std::move(src), "@NHARM@", std::to_string(options.harmonics));
+  src = replace_all(std::move(src), "@ITMAX@", std::to_string(options.solver_itmax));
+  return src;
+}
+
+tuner::TargetSpec adcirc_target(const AdcircOptions& options) {
+  tuner::TargetSpec spec;
+  spec.name = "ADCIRC";
+  spec.source = adcirc_source(options);
+  spec.entry = "adcirc_model::run_model";
+  spec.atom_scopes = {"itpackv"};
+  spec.hotspot_procs = {"itpackv::jcg"};
+  spec.figure6_procs = {"itpackv::jcg", "itpackv::pjac", "itpackv::peror",
+                        "itpackv::amult", "itpackv::dotp"};
+  // Correctness (§IV-A): most extreme water-surface elevation at each node
+  // over the simulation; L2 of the per-node relative errors across the grid.
+  spec.series_fn = [](const sim::Vm& vm) {
+    return vm.get_array("adcirc_mesh::etamax");
+  };
+  spec.series_group_size = 1;
+  spec.error_threshold = 0.1;  // the domain expert's threshold (§IV-A)
+  spec.noise_rsd = 0.01;       // 1% observed baseline RSD → n = 1
+  spec.baseline_wall_seconds = 200.0;
+  spec.variant_build_seconds = 240.0;
+  spec.machine.mpi_ranks = 128;
+  return spec;
+}
+
+}  // namespace prose::models

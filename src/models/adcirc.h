@@ -1,0 +1,45 @@
+// Miniature ADCIRC ocean model with the ITPACK `itpackv` solver hotspot
+// (paper §IV-A/§IV-B).
+//
+// Structure mirrors the tuning-relevant facts of the real target:
+//   * a tidal time loop whose per-step cost is dominated by transcendental
+//     right-hand-side assembly outside the targeted module (~88% of CPU);
+//   * `itpackv` holds a Jacobi-preconditioned conjugate-gradient solve
+//     (`jcg` driver, `pjac` preconditioner, `peror` norm) over a tridiagonal
+//     SPD system in physical units:
+//       - `pjac`'s forward sweep carries a loop dependence → never
+//         vectorizes → little to gain from 32-bit (paper Fig. 6);
+//       - `peror` (and the CG dot products) reduce across 128 simulated MPI
+//         ranks → allreduce-dominated → no vectorization speedup;
+//       - `jcg` owns `spectral_est = 1 - 4e-9`, an adaptive acceleration
+//         estimate: in 32-bit it rounds to exactly 1, zeroing the
+//         acceleration factor; the stagnation guard then bails out of the
+//         solve after two iterations — the paper's "single parameter that
+//         must remain in 64-bit; otherwise control flow substantially
+//         changes" (fast and badly wrong);
+//       - a condition-estimate probe divides a large physical-unit scale by
+//         the shrinking relative residual: with both operands lowered it
+//         overflows binary32 mid-convergence, giving the Table II runtime
+//         -error class.
+//   * correctness follows the paper: the maximum water-surface elevation at
+//     each node over the run, relative errors L2-normed across the grid,
+//     threshold 0.1.
+#pragma once
+
+#include "tuner/target.h"
+
+namespace prose::models {
+
+struct AdcircOptions {
+  int nnodes = 160;
+  int nsteps = 24;
+  /// Tidal harmonics per node in the (untargeted) assembly step — tunes the
+  /// hotspot's CPU share toward the paper's ~12%.
+  int harmonics = 450;
+  int solver_itmax = 60;
+};
+
+std::string adcirc_source(const AdcircOptions& options = {});
+tuner::TargetSpec adcirc_target(const AdcircOptions& options = {});
+
+}  // namespace prose::models

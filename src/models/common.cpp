@@ -1,0 +1,31 @@
+#include "models/common.h"
+
+#include <cmath>
+
+namespace prose::models {
+
+StatusOr<double> uniform32_error(const tuner::TargetSpec& spec) {
+  auto evaluator = tuner::Evaluator::create(spec);
+  if (!evaluator.is_ok()) return evaluator.status();
+  const tuner::Evaluation& eval =
+      (*evaluator)->evaluate((*evaluator)->space().uniform(4));
+  if (eval.outcome != tuner::Outcome::kPass && eval.outcome != tuner::Outcome::kFail) {
+    return Status(StatusCode::kInvalidArgument,
+                  "uniform 32-bit variant did not complete: " + eval.detail);
+  }
+  if (!std::isfinite(eval.error)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "uniform 32-bit variant has non-finite error");
+  }
+  return eval.error;
+}
+
+StatusOr<tuner::TargetSpec> with_uniform32_threshold(tuner::TargetSpec spec,
+                                                     double headroom) {
+  auto err = uniform32_error(spec);
+  if (!err.is_ok()) return err.status();
+  spec.error_threshold = *err * headroom;
+  return spec;
+}
+
+}  // namespace prose::models

@@ -1,0 +1,20 @@
+// Shared helpers for the model targets.
+#pragma once
+
+#include "tuner/evaluator.h"
+#include "tuner/target.h"
+
+namespace prose::models {
+
+/// Error of the uniform 32-bit configuration under the spec's own metric
+/// (the paper calibrates the MPAS-A threshold as exactly this quantity:
+/// the relative error between the developer-provided double- and
+/// single-precision builds).
+StatusOr<double> uniform32_error(const tuner::TargetSpec& spec);
+
+/// Returns the spec with error_threshold set to the uniform-32 error times
+/// `headroom`. Fails if the uniform-32 build itself faults.
+StatusOr<tuner::TargetSpec> with_uniform32_threshold(tuner::TargetSpec spec,
+                                                     double headroom = 1.0);
+
+}  // namespace prose::models

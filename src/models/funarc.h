@@ -1,0 +1,24 @@
+// The funarc motivating example (paper §II-B).
+//
+// Computes the arc length of x + Σ_k sin(2^k x)/2^k over [0, π] with a
+// hard-coded workload. Eight search atoms (five in `funarc`, three in `fun`),
+// the output variable excluded — a 2^8 = 256-variant space small enough for
+// the brute-force sweep behind Figure 2.
+#pragma once
+
+#include "tuner/target.h"
+
+namespace prose::models {
+
+struct FunarcOptions {
+  int intervals = 1000;  // integration intervals (the paper's n)
+};
+
+/// The Fortran-subset source of the funarc program.
+std::string funarc_source(const FunarcOptions& options = {});
+
+/// Tuning-target spec: whole-program timing, relative error of the final
+/// arc length, threshold 4e-4 (the paper's Figure 2 running example).
+tuner::TargetSpec funarc_target(const FunarcOptions& options = {});
+
+}  // namespace prose::models

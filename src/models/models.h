@@ -1,0 +1,8 @@
+// Umbrella header: the paper's four tuning targets.
+#pragma once
+
+#include "models/adcirc.h"
+#include "models/common.h"
+#include "models/funarc.h"
+#include "models/mom6.h"
+#include "models/mpas.h"

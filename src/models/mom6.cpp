@@ -1,0 +1,362 @@
+#include "models/mom6.h"
+
+#include "support/strings.h"
+
+namespace prose::models {
+
+std::string mom6_source(const Mom6Options& options) {
+  std::string src = R"f(
+module mom_grid
+  implicit none
+  integer, parameter :: ni = @NI@
+  integer, parameter :: nj = @NJ@
+  integer, parameter :: nk = @NK@
+  integer, parameter :: nsteps = @NSTEPS@
+  real(kind=8) :: h(ni, nj, nk)
+  real(kind=8) :: u(ni, nj, nk)
+  real(kind=8) :: v(ni, nj, nk)
+  real(kind=8) :: uh(ni, nj, nk)
+  real(kind=8) :: vh(ni, nj, nk)
+  real(kind=8) :: diag_cfl(nsteps)
+  real(kind=8) :: dt
+end module mom_grid
+
+module mom_continuity_ppm
+  use mom_grid
+  implicit none
+  ! Numerically delicate constants and surface-mass scalars, declared
+  ! together at the head of the module (as the real module groups its
+  ! parameters):
+  !   * href_big + the ssh scalars: the (href + h) - (href + h')
+  !     cancellation loses ~7 digits in binary32 — the Table II Fail class;
+  !   * h_neglect / h_neglect_v: representable in binary64, flushed to zero
+  !     in binary32 (below its smallest subnormal) — 0/0 at vanished layers,
+  !     the runtime-error mechanism;
+  !   * density_unit_scale: CGS-flavoured constant that overflows binary32.
+  real(kind=8) :: href_big
+  real(kind=8) :: h_neglect
+  real(kind=8) :: h_neglect_v
+  real(kind=8) :: density_unit_scale
+  real(kind=8) :: ssh_e
+  real(kind=8) :: ssh_w
+  ! Work fields of the hotspot (search atoms).
+  real(kind=8) :: h_w(ni)
+  real(kind=8) :: h_e(ni)
+  real(kind=8) :: g_w(nj)
+  real(kind=8) :: g_e(nj)
+  real(kind=8) :: tol_vel
+  real(kind=8) :: relax_newton
+  real(kind=8) :: grad_coef
+  integer, parameter :: max_itts = @MAXITTS@
+contains
+  subroutine continuity_setup()
+    h_neglect = 1.0d-46
+    h_neglect_v = 1.0d-46
+    tol_vel = 1.0d-12
+    relax_newton = 1.0
+    density_unit_scale = 1.0d39
+    href_big = 1.0d7
+    grad_coef = 0.05
+  end subroutine continuity_setup
+
+  ! Hotspot driver (instrumented): zonal sweeps per (j,k) slice, meridional
+  ! sweeps per k.
+  subroutine continuity_ppm()
+    integer :: j
+    integer :: k
+    do k = 1, nk
+      do j = 1, nj
+        call zonal_mass_flux(h, u, uh, j, k)
+      end do
+      call meridional_mass_flux(h, v, vh, k)
+    end do
+  end subroutine continuity_ppm
+
+  subroutine zonal_mass_flux(h3, u3, uh3, j, k)
+    real(kind=8), dimension(:, :, :), intent(in) :: h3
+    real(kind=8), dimension(:, :, :), intent(in) :: u3
+    real(kind=8), dimension(:, :, :), intent(inout) :: uh3
+    integer, intent(in) :: j
+    integer, intent(in) :: k
+    integer :: i
+    call ppm_reconstruction(h3, j, k)
+    call zonal_flux_layer(u3, uh3, j, k)
+    call zonal_flux_adjust(u3, h3, uh3, j, k)
+    ! Barotropic surface-slope correction applied on top of the adjusted
+    ! fluxes: the difference of two large column masses. Exact to ~1e-9 in
+    ! binary64; in binary32 the absolute rounding of href_big + h is O(1),
+    ! polluting the correction (the Table II correctness-Fail class).
+    do i = 2, ni - 1
+      if (h3(i, j, k) > 0.01) then
+        ssh_e = href_big + h_e(i)
+        ssh_w = href_big + h_w(i)
+        uh3(i, j, k) = uh3(i, j, k) + grad_coef * (ssh_e - ssh_w)
+      end if
+    end do
+  end subroutine zonal_mass_flux
+
+  ! PPM edge-value reconstruction with positivity limiting (vectorizable).
+  subroutine ppm_reconstruction(h3, j, k)
+    real(kind=8), dimension(:, :, :), intent(in) :: h3
+    integer, intent(in) :: j
+    integer, intent(in) :: k
+    integer :: i
+    do i = 2, ni - 1
+      h_w(i) = (2.0 * h3(i - 1, j, k) + 5.0 * h3(i, j, k) - h3(i + 1, j, k)) / 6.0
+      h_e(i) = (-h3(i - 1, j, k) + 5.0 * h3(i, j, k) + 2.0 * h3(i + 1, j, k)) / 6.0
+      h_w(i) = max(h_w(i), 0.0)
+      h_e(i) = max(h_e(i), 0.0)
+    end do
+    h_w(1) = h3(1, j, k)
+    h_e(1) = h3(1, j, k)
+    h_w(ni) = h3(ni, j, k)
+    h_e(ni) = h3(ni, j, k)
+  end subroutine ppm_reconstruction
+
+  ! First-guess layer fluxes from upwinded edge values (vectorizable).
+  subroutine zonal_flux_layer(u3, uh3, j, k)
+    real(kind=8), dimension(:, :, :), intent(in) :: u3
+    real(kind=8), dimension(:, :, :), intent(inout) :: uh3
+    integer, intent(in) :: j
+    integer, intent(in) :: k
+    integer :: i
+    do i = 2, ni - 1
+      if (u3(i, j, k) >= 0.0) then
+        uh3(i, j, k) = u3(i, j, k) * h_e(i - 1)
+      else
+        uh3(i, j, k) = u3(i, j, k) * h_w(i)
+      end if
+    end do
+  end subroutine zonal_flux_layer
+
+  ! Newton refinement of the fluxes toward the target velocity. Binary64
+  ! converges below the 1e-12 tolerance in a couple of iterations; binary32
+  ! stalls at its rounding floor and runs to the cap (paper Fig. 6's
+  ! 0.01-0.1x flux_adjust variants).
+  subroutine zonal_flux_adjust(u3, h3, uh3, j, k)
+    real(kind=8), dimension(:, :, :), intent(in) :: u3
+    real(kind=8), dimension(:, :, :), intent(in) :: h3
+    real(kind=8), dimension(:, :, :), intent(inout) :: uh3
+    integer, intent(in) :: j
+    integer, intent(in) :: k
+    real(kind=8) :: uh_guess
+    real(kind=8) :: duhdu
+    real(kind=8) :: u_implied
+    real(kind=8) :: err_u
+    integer :: i
+    integer :: itt
+    do i = 2, ni - 1
+      uh_guess = uh3(i, j, k)
+      duhdu = 0.5 * (h3(i - 1, j, k) + h3(i, j, k))
+      itt = 0
+      do while (itt < max_itts)
+        u_implied = uh_guess / (duhdu + h_neglect)
+        err_u = u_implied - u3(i, j, k)
+        if (abs(err_u) < tol_vel) exit
+        uh_guess = uh_guess - relax_newton * err_u * (duhdu + h_neglect)
+        itt = itt + 1
+      end do
+      uh3(i, j, k) = uh_guess
+    end do
+  end subroutine zonal_flux_adjust
+
+  subroutine meridional_mass_flux(h3, v3, vh3, k)
+    real(kind=8), dimension(:, :, :), intent(in) :: h3
+    real(kind=8), dimension(:, :, :), intent(in) :: v3
+    real(kind=8), dimension(:, :, :), intent(inout) :: vh3
+    integer, intent(in) :: k
+    real(kind=8) :: vh_guess
+    real(kind=8) :: dvhdv
+    real(kind=8) :: v_implied
+    real(kind=8) :: err_v
+    integer :: i
+    integer :: j
+    integer :: itt
+    do i = 1, ni
+      do j = 2, nj - 1
+        g_w(j) = max((2.0 * h3(i, j - 1, k) + 5.0 * h3(i, j, k) - h3(i, j + 1, k)) / 6.0, 0.0)
+        g_e(j) = max((-h3(i, j - 1, k) + 5.0 * h3(i, j, k) + 2.0 * h3(i, j + 1, k)) / 6.0, 0.0)
+      end do
+      do j = 2, nj - 1
+        if (v3(i, j, k) >= 0.0) then
+          vh3(i, j, k) = v3(i, j, k) * g_e(j - 1)
+        else
+          vh3(i, j, k) = v3(i, j, k) * g_w(j)
+        end if
+      end do
+      do j = 2, nj - 1
+        vh_guess = vh3(i, j, k)
+        dvhdv = 0.5 * (h3(i, j - 1, k) + h3(i, j, k))
+        itt = 0
+        do while (itt < max_itts)
+          v_implied = vh_guess / (dvhdv + h_neglect_v)
+          err_v = v_implied - v3(i, j, k)
+          if (abs(err_v) < tol_vel) exit
+          vh_guess = vh_guess - relax_newton * err_v * (dvhdv + h_neglect_v)
+          itt = itt + 1
+        end do
+        vh3(i, j, k) = vh_guess
+      end do
+    end do
+  end subroutine meridional_mass_flux
+end module mom_continuity_ppm
+
+module mom_thermo
+  use mom_grid
+  implicit none
+  real(kind=8) :: twork(ni, nj, nk)
+contains
+  ! Thermodynamics/EOS stand-in: transcendental-heavy, outside the hotspot,
+  ! keeping continuity at the paper's ~9% CPU share.
+  subroutine thermo_step()
+    integer :: i
+    integer :: j
+    integer :: k
+    integer :: m
+    do k = 1, nk
+      do j = 1, nj
+        do i = 1, ni
+          do m = 1, @NTHERMO@
+            twork(i, j, k) = twork(i, j, k) * 0.97d0 &
+                           + exp(-0.05d0 * dble(m)) * log(2.0d0 + h(i, j, k))
+          end do
+        end do
+      end do
+    end do
+  end subroutine thermo_step
+end module mom_thermo
+
+module mom_model
+  use mom_grid
+  use mom_continuity_ppm
+  use mom_thermo
+  implicit none
+contains
+  subroutine setup_ocean()
+    integer :: i
+    integer :: j
+    integer :: k
+    dt = 0.02d0
+    do k = 1, nk
+      do j = 1, nj
+        do i = 1, ni
+          ! Wind-driven steady velocities; layered thickness with a vanished
+          ! (h == 0) band in the top layer — the MOM6 hazard zone.
+          u(i, j, k) = 0.5d0 * sin(6.2831853d0 * dble(i) / dble(ni)) &
+                     + 0.1d0 * dble(k)
+          v(i, j, k) = 0.3d0 * cos(6.2831853d0 * dble(j) / dble(nj))
+          h(i, j, k) = 50.0d0 + 10.0d0 * dble(k) &
+                     + 5.0d0 * sin(6.2831853d0 * dble(i + j) / dble(ni))
+          if (k == nk) then
+            if (i > ni / 2) then
+              h(i, j, k) = 0.0d0
+              u(i, j, k) = 0.0d0
+              v(i, j, k) = 0.0d0
+            end if
+          end if
+          ! A thin "strait" column in the top layer: its CFL number
+          ! dominates the diagnostic, and its flux is carried almost
+          ! entirely by the barotropic correction term.
+          if (k == 1) then
+            if (i == ni / 4) then
+              h(i, j, k) = 0.02d0
+              u(i, j, k) = 0.0d0
+            end if
+          end if
+          uh(i, j, k) = 0.0d0
+          vh(i, j, k) = 0.0d0
+          twork(i, j, k) = 0.0d0
+        end do
+      end do
+    end do
+    call continuity_setup()
+  end subroutine setup_ocean
+
+  subroutine advance_thickness()
+    integer :: i
+    integer :: j
+    integer :: k
+    do k = 1, nk
+      do j = 2, nj - 1
+        do i = 2, ni - 1
+          h(i, j, k) = h(i, j, k) - dt * ((uh(i, j, k) - uh(i - 1, j, k)) &
+                     + (vh(i, j, k) - vh(i, j - 1, k)))
+          h(i, j, k) = max(h(i, j, k), 0.0d0)
+        end do
+      end do
+    end do
+  end subroutine advance_thickness
+
+  ! Per-step maximum CFL number — the regression quantity the paper's
+  ! correctness metric is built on (§IV-A).
+  subroutine record_cfl(step)
+    integer, intent(in) :: step
+    integer :: i
+    integer :: j
+    integer :: k
+    real(kind=8) :: cfl
+    real(kind=8) :: cfl_max
+    cfl_max = 0.0d0
+    do k = 1, nk
+      do j = 1, nj
+        do i = 1, ni
+          cfl = abs(uh(i, j, k)) * dt / (h(i, j, k) + 1.0d-10)
+          cfl_max = max(cfl_max, cfl)
+        end do
+      end do
+    end do
+    diag_cfl(step) = cfl_max + 1.0d-6
+  end subroutine record_cfl
+
+  subroutine run_model()
+    integer :: step
+    call setup_ocean()
+    do step = 1, nsteps
+      call continuity_ppm()
+      call advance_thickness()
+      call thermo_step()
+      call record_cfl(step)
+    end do
+  end subroutine run_model
+end module mom_model
+)f";
+  src = replace_all(std::move(src), "@NI@", std::to_string(options.ni));
+  src = replace_all(std::move(src), "@NJ@", std::to_string(options.nj));
+  src = replace_all(std::move(src), "@NK@", std::to_string(options.nk));
+  src = replace_all(std::move(src), "@NSTEPS@", std::to_string(options.nsteps));
+  src = replace_all(std::move(src), "@MAXITTS@", std::to_string(options.max_itts));
+  src = replace_all(std::move(src), "@NTHERMO@", std::to_string(options.thermo_iters));
+  return src;
+}
+
+tuner::TargetSpec mom6_target(const Mom6Options& options) {
+  tuner::TargetSpec spec;
+  spec.name = "MOM6";
+  spec.source = mom6_source(options);
+  spec.entry = "mom_model::run_model";
+  spec.atom_scopes = {"mom_continuity_ppm"};
+  spec.hotspot_procs = {"mom_continuity_ppm::continuity_ppm"};
+  spec.figure6_procs = {
+      "mom_continuity_ppm::zonal_mass_flux",
+      "mom_continuity_ppm::ppm_reconstruction",
+      "mom_continuity_ppm::zonal_flux_layer",
+      "mom_continuity_ppm::zonal_flux_adjust",
+      "mom_continuity_ppm::meridional_mass_flux",
+  };
+  // Correctness (§IV-A): max CFL per step, relative error per step, L2 over
+  // time; threshold 0.25 per the domain expert.
+  spec.series_fn = [](const sim::Vm& vm) {
+    return vm.get_array("mom_grid::diag_cfl");
+  };
+  spec.series_group_size = 1;
+  spec.error_threshold = 0.25;
+  spec.noise_rsd = 0.09;  // 9% observed baseline RSD → n = 7 (§IV-A)
+  spec.baseline_wall_seconds = 60.0;
+  // MOM6 plus its FMS/netCDF dependency stack is notoriously slow to build;
+  // each variant pays a full rebuild of the transformed module's dependents.
+  spec.variant_build_seconds = 1500.0;
+  spec.machine.mpi_ranks = 128;
+  return spec;
+}
+
+}  // namespace prose::models

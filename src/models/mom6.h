@@ -1,0 +1,40 @@
+// Miniature MOM6 ocean model with the MOM_continuity_PPM hotspot
+// (paper §IV-A/§IV-B).
+//
+// Captures the tuning-relevant structure at reduced scale:
+//   * layered (ni × nj × nk) state with a partially *vanished* top layer —
+//     the MOM6 numerical hazard: lowering the `h_neglect`-style guards to
+//     binary32 flushes them to zero and division at dried cells produces
+//     NaN/Inf → the Table II runtime-error class (51.7%);
+//   * `zonal_mass_flux` / `meridional_mass_flux` pass whole rank-3 arrays to
+//     `ppm_reconstruction`, `*_flux_layer`, and `*_flux_adjust`; lowering
+//     subsets of dummies routes those large arrays through casting wrappers
+//     on every call — the paper's 40%-of-CPU casting-overhead mechanism;
+//   * `zonal_flux_adjust`/`meridional_flux_adjust` iterate Newton updates to
+//     a 1e-12 velocity tolerance: binary32 stalls at its rounding floor and
+//     runs to the iteration cap, 10–40× more iterations (paper Fig. 6's
+//     0.01–0.1× flux_adjust variants);
+//   * correctness follows the paper: the per-step maximum CFL number,
+//     relative error per step, L2 norm over time, threshold 0.25.
+#pragma once
+
+#include "tuner/target.h"
+
+namespace prose::models {
+
+struct Mom6Options {
+  int ni = 20;
+  int nj = 6;
+  int nk = 3;
+  int nsteps = 8;
+  /// Iteration cap of the flux-adjust Newton loops.
+  int max_itts = 40;
+  /// Iterations of the per-cell thermodynamics loop (tunes the hotspot's
+  /// ~9% CPU share).
+  int thermo_iters = 24;
+};
+
+std::string mom6_source(const Mom6Options& options = {});
+tuner::TargetSpec mom6_target(const Mom6Options& options = {});
+
+}  // namespace prose::models

@@ -1,0 +1,334 @@
+#include "models/mpas.h"
+
+#include "support/strings.h"
+
+namespace prose::models {
+
+std::string mpas_source(const MpasOptions& options) {
+  std::string src = R"f(
+module atm_state
+  implicit none
+  integer, parameter :: ncells = @NCELLS@
+  integer, parameter :: nsteps = @NSTEPS@
+  integer, parameter :: nlevels = @NLEV@
+  ! Prognostic and reference state: produced by the double-precision
+  ! preprocessing step, deliberately outside the tuned module (§IV-C). The
+  ! work routines receive all of these as arguments every call, like the
+  ! real model's many 3-D fields. The reference/geometry fields span the
+  ! full column (ncells × nlevels) even though this single-level mini-core
+  ! computes on level 1 — exactly the "data moved across the hotspot
+  ! boundary but barely touched" hazard of §V criterion (3).
+  real(kind=8) :: rho(ncells)
+  real(kind=8) :: theta(ncells)
+  real(kind=8) :: u(ncells)
+  real(kind=8) :: w(ncells)
+  real(kind=8) :: pres(ncells)
+  real(kind=8) :: rho_base(ncells * nlevels)
+  real(kind=8) :: theta_base(ncells * nlevels)
+  real(kind=8) :: zgrid(ncells * nlevels)
+  real(kind=8) :: fzm(ncells * nlevels)
+  real(kind=8) :: fzp(ncells * nlevels)
+  ! Per-step, per-cell kinetic-energy diagnostic for the correctness metric.
+  real(kind=8) :: diag_ke(ncells * nsteps)
+end module atm_state
+
+module atm_time_integration
+  use atm_state
+  implicit none
+  ! Work fields of the hotspot (search atoms).
+  real(kind=8) :: tend_rho(ncells)
+  real(kind=8) :: tend_theta(ncells)
+  real(kind=8) :: tend_u(ncells)
+  real(kind=8) :: rho_p(ncells)
+  real(kind=8) :: u_p(ncells)
+  ! Integration coefficients (search atoms).
+  real(kind=8) :: dt_large
+  real(kind=8) :: dts
+  real(kind=8) :: cs2
+  real(kind=8) :: epssm
+  real(kind=8) :: rdnw
+  real(kind=8) :: diff_coef
+  real(kind=8) :: relax_base
+  integer, parameter :: n_acoustic = @NSUB@
+  integer, parameter :: n_rk_stages = 2
+contains
+  subroutine atm_setup_coefficients()
+    dt_large = 0.04d0
+    dts = 0.35d0
+    cs2 = 0.3d0
+    epssm = 0.1d0
+    rdnw = 1.0d0
+    diff_coef = 0.45d0
+    relax_base = 0.01d0
+    tend_rho = 0.0d0
+    tend_theta = 0.0d0
+    tend_u = 0.0d0
+    rho_p = 0.0d0
+    u_p = 0.0d0
+  end subroutine atm_setup_coefficients
+
+  subroutine atm_srk3_step()
+    integer :: rk
+    integer :: sub
+    do rk = 1, n_rk_stages
+      call atm_compute_dyn_tend_work(rho, theta, u, rho_base, theta_base, &
+                                     tend_rho, tend_theta, tend_u)
+      do sub = 1, n_acoustic
+        call atm_advance_acoustic_step_work(rho_p, u_p, tend_rho, &
+                                            w, pres, rho_base, theta_base, &
+                                            zgrid, fzm, fzp)
+      end do
+    end do
+    call atm_recover_large_step_variables_work(rho, theta, u, w, pres, &
+                                               rho_p, u_p, &
+                                               tend_rho, tend_theta, tend_u)
+  end subroutine atm_srk3_step
+
+  ! 4th-order centered transport flux (the paper's hot `flux` functions:
+  ! small, pure, inlinable — until a wrapper intervenes).
+  function flux4(q_im1, q_i, q_ip1, q_ip2, ua) result(fq)
+    real(kind=8), intent(in) :: q_im1
+    real(kind=8), intent(in) :: q_i
+    real(kind=8), intent(in) :: q_ip1
+    real(kind=8), intent(in) :: q_ip2
+    real(kind=8), intent(in) :: ua
+    real(kind=8) :: fq
+    fq = ua * (7.0 * (q_i + q_ip1) - (q_im1 + q_ip2)) / 12.0
+  end function flux4
+
+  ! 3rd-order upwind-biased variant.
+  function flux3(q_im1, q_i, q_ip1, q_ip2, ua) result(fq)
+    real(kind=8), intent(in) :: q_im1
+    real(kind=8), intent(in) :: q_i
+    real(kind=8), intent(in) :: q_ip1
+    real(kind=8), intent(in) :: q_ip2
+    real(kind=8), intent(in) :: ua
+    real(kind=8) :: fq
+    fq = ua * (7.0 * (q_i + q_ip1) - (q_im1 + q_ip2)) / 12.0 &
+       - abs(ua) * ((q_ip2 - q_im1) - 3.0 * (q_ip1 - q_i)) / 12.0
+  end function flux3
+
+  subroutine atm_compute_dyn_tend_work(rho_in, theta_in, u_in, rho_b, theta_b, &
+                                       t_rho, t_theta, t_u)
+    real(kind=8), dimension(:), intent(in) :: rho_in
+    real(kind=8), dimension(:), intent(in) :: theta_in
+    real(kind=8), dimension(:), intent(in) :: u_in
+    real(kind=8), dimension(:), intent(in) :: rho_b
+    real(kind=8), dimension(:), intent(in) :: theta_b
+    real(kind=8), dimension(:), intent(out) :: t_rho
+    real(kind=8), dimension(:), intent(out) :: t_theta
+    real(kind=8), dimension(:), intent(out) :: t_u
+    real(kind=8) :: ru_east
+    real(kind=8) :: ru_west
+    real(kind=8) :: flux_e
+    real(kind=8) :: flux_w
+    real(kind=8) :: flux_te
+    real(kind=8) :: flux_tw
+    real(kind=8) :: adv_u
+    real(kind=8) :: lap
+    integer :: i
+    do i = 3, ncells - 2
+      ru_east = 0.5 * (u_in(i) + u_in(i + 1))
+      ru_west = 0.5 * (u_in(i - 1) + u_in(i))
+      flux_e = flux4(rho_in(i - 1), rho_in(i), rho_in(i + 1), rho_in(i + 2), ru_east)
+      flux_w = flux4(rho_in(i - 2), rho_in(i - 1), rho_in(i), rho_in(i + 1), ru_west)
+      lap = rho_in(i - 1) - 2.0 * rho_in(i) + rho_in(i + 1)
+      t_rho(i) = -(flux_e - flux_w) * rdnw + diff_coef * lap &
+               + relax_base * (rho_b(i) - rho_in(i))
+      flux_te = flux3(theta_in(i - 1), theta_in(i), theta_in(i + 1), theta_in(i + 2), ru_east)
+      flux_tw = flux3(theta_in(i - 2), theta_in(i - 1), theta_in(i), theta_in(i + 1), ru_west)
+      lap = theta_in(i - 1) - 2.0 * theta_in(i) + theta_in(i + 1)
+      t_theta(i) = -(flux_te - flux_tw) * rdnw + diff_coef * lap &
+                 + relax_base * (theta_b(i) - theta_in(i))
+      adv_u = u_in(i) * (u_in(i + 1) - u_in(i - 1)) * 0.5
+      lap = u_in(i - 1) - 2.0 * u_in(i) + u_in(i + 1)
+      t_u(i) = -adv_u * rdnw + diff_coef * lap
+    end do
+    do i = 1, 2
+      t_rho(i) = 0.0
+      t_theta(i) = 0.0
+      t_u(i) = 0.0
+      t_rho(ncells + 1 - i) = 0.0
+      t_theta(ncells + 1 - i) = 0.0
+      t_u(ncells + 1 - i) = 0.0
+    end do
+  end subroutine atm_compute_dyn_tend_work
+
+  ! One acoustic/fast-wave substep. Called at high frequency with the full
+  ! state argument list — cheap per call, heavy on data flow across the
+  ! procedure boundary (the §IV-C criterion-3 hazard).
+  subroutine atm_advance_acoustic_step_work(rp, up, t_rho, w_in, pres_in, &
+                                            rho_b, theta_b, zgrid_in, fzm_in, fzp_in)
+    real(kind=8), dimension(:), intent(inout) :: rp
+    real(kind=8), dimension(:), intent(inout) :: up
+    real(kind=8), dimension(:), intent(in) :: t_rho
+    real(kind=8), dimension(:), intent(in) :: w_in
+    real(kind=8), dimension(:), intent(in) :: pres_in
+    real(kind=8), dimension(:), intent(in) :: rho_b
+    real(kind=8), dimension(:), intent(in) :: theta_b
+    real(kind=8), dimension(:), intent(in) :: zgrid_in
+    real(kind=8), dimension(:), intent(in) :: fzm_in
+    real(kind=8), dimension(:), intent(in) :: fzp_in
+    integer :: i
+    ! rho_b/theta_b/zgrid_in/fzm_in/fzp_in are part of the standard work-
+    ! routine interface; this substep only reads the pressure and vertical
+    ! velocity (interface-compatibility arguments are common in the real
+    ! model's work routines — and they still cross the precision boundary).
+    do i = 2, ncells - 1
+      up(i) = 0.99 * up(i) - dts * cs2 * (rp(i + 1) - rp(i - 1)) * 0.5 &
+            - dts * 0.002 * (pres_in(i + 1) - pres_in(i - 1))
+    end do
+    do i = 2, ncells - 1
+      rp(i) = 0.99 * rp(i) - dts * (up(i + 1) - up(i - 1)) * 0.5 &
+            + dts * t_rho(i) * 0.25 + dts * 0.0005 * w_in(i)
+    end do
+  end subroutine atm_advance_acoustic_step_work
+
+  subroutine atm_recover_large_step_variables_work(rho_io, theta_io, u_io, &
+                                                   w_io, pres_io, rp, up, &
+                                                   t_rho, t_theta, t_u)
+    real(kind=8), dimension(:), intent(inout) :: rho_io
+    real(kind=8), dimension(:), intent(inout) :: theta_io
+    real(kind=8), dimension(:), intent(inout) :: u_io
+    real(kind=8), dimension(:), intent(inout) :: w_io
+    real(kind=8), dimension(:), intent(inout) :: pres_io
+    real(kind=8), dimension(:), intent(in) :: rp
+    real(kind=8), dimension(:), intent(in) :: up
+    real(kind=8), dimension(:), intent(in) :: t_rho
+    real(kind=8), dimension(:), intent(in) :: t_theta
+    real(kind=8), dimension(:), intent(in) :: t_u
+    integer :: i
+    do i = 3, ncells - 2
+      rho_io(i) = rho_io(i) + dt_large * t_rho(i) + epssm * rp(i)
+      theta_io(i) = theta_io(i) + dt_large * t_theta(i)
+      u_io(i) = u_io(i) + dt_large * t_u(i) + epssm * up(i)
+      w_io(i) = 0.999 * w_io(i) + 0.001 * up(i)
+      pres_io(i) = pres_io(i) + 0.05 * t_rho(i)
+    end do
+  end subroutine atm_recover_large_step_variables_work
+end module atm_time_integration
+
+module atm_physics
+  use atm_state
+  implicit none
+  real(kind=8) :: pwork(ncells)
+contains
+  ! Column physics stand-in: transcendental-heavy, scalar (non-vectorizable
+  ! reduction over k), outside the tuned hotspot. Keeps the hotspot at the
+  ! paper's ~15% CPU-time share.
+  subroutine physics_step()
+    integer :: i
+    integer :: k
+    do i = 1, ncells
+      do k = 1, @NPHYS@
+        pwork(i) = pwork(i) * 0.98d0 &
+                 + exp(-0.08d0 * dble(k)) * log(1.0d0 + theta(i) * 1.0d-3)
+      end do
+    end do
+  end subroutine physics_step
+end module atm_physics
+
+module mpas_model
+  use atm_state
+  use atm_time_integration
+  use atm_physics
+  implicit none
+contains
+  ! Offline preprocessing: generates the (double-precision) input state —
+  ! the paper's point that the 32-bit *build* converts inputs up front while
+  ! a tuned hotspot pays conversion at every call.
+  subroutine preprocess()
+    integer :: i
+    do i = 1, ncells
+      rho(i) = 1.0d0 + 0.1d0 * cos(6.2831853071796d0 * dble(i) / dble(ncells))
+      theta(i) = 300.0d0 + 10.0d0 * sin(6.2831853071796d0 * dble(i) / dble(ncells))
+      u(i) = 0.4d0 + 8.0d0 * sin(12.566370614359d0 * dble(i) / dble(ncells))
+      w(i) = 0.1d0 * sin(6.2831853071796d0 * dble(i) / dble(ncells))
+      pres(i) = 100.0d0 + 5.0d0 * cos(6.2831853071796d0 * dble(i) / dble(ncells))
+      pwork(i) = 0.0d0
+    end do
+    do i = 1, ncells * nlevels
+      rho_base(i) = 1.0d0
+      theta_base(i) = 300.0d0
+      zgrid(i) = dble(i) * 250.0d0
+      fzm(i) = 0.5d0
+      fzp(i) = 0.5d0
+    end do
+    call atm_setup_coefficients()
+  end subroutine preprocess
+
+  subroutine run_model()
+    integer :: step
+    integer :: i
+    call preprocess()
+    do step = 1, nsteps
+      call atm_srk3_step()
+      call physics_step()
+      do i = 1, ncells
+        diag_ke((step - 1) * ncells + i) = 0.5d0 * rho(i) * u(i) * u(i)
+      end do
+    end do
+  end subroutine run_model
+end module mpas_model
+)f";
+  src = replace_all(std::move(src), "@NCELLS@", std::to_string(options.ncells));
+  src = replace_all(std::move(src), "@NSTEPS@", std::to_string(options.nsteps));
+  src = replace_all(std::move(src), "@NLEV@", std::to_string(options.nlevels));
+  src = replace_all(std::move(src), "@NSUB@", std::to_string(options.acoustic_substeps));
+  src = replace_all(std::move(src), "@NPHYS@", std::to_string(options.physics_iters));
+  return src;
+}
+
+namespace {
+
+tuner::TargetSpec base_spec(const MpasOptions& options) {
+  tuner::TargetSpec spec;
+  spec.name = "MPAS-A";
+  spec.source = mpas_source(options);
+  spec.entry = "mpas_model::run_model";
+  spec.atom_scopes = {"atm_time_integration"};
+  spec.hotspot_procs = {
+      "atm_time_integration::atm_compute_dyn_tend_work",
+      "atm_time_integration::atm_advance_acoustic_step_work",
+      "atm_time_integration::atm_recover_large_step_variables_work",
+  };
+  spec.figure6_procs = {
+      "atm_time_integration::atm_compute_dyn_tend_work",
+      "atm_time_integration::atm_advance_acoustic_step_work",
+      "atm_time_integration::atm_recover_large_step_variables_work",
+      "atm_time_integration::flux4",
+      "atm_time_integration::flux3",
+  };
+  // Correctness (§IV-A): KE at each cell, max relative error across cells
+  // per step, L2 norm over time. The series is grouped per timestep.
+  spec.series_fn = [](const sim::Vm& vm) {
+    return vm.get_array("atm_state::diag_ke");
+  };
+  spec.series_group_size = static_cast<std::size_t>(options.ncells);
+  // Threshold: the paper sets it to the error of the developer-provided
+  // single-precision build under the same metric; use
+  // models::with_uniform32_threshold to recalibrate for non-default scales.
+  // This constant is the measured uniform-32 error at the default scale
+  // (pinned by the models test suite).
+  spec.error_threshold = kDefaultMpasThreshold;
+  spec.noise_rsd = 0.01;  // 1% observed baseline RSD → n = 1
+  spec.baseline_wall_seconds = 90.0;
+  spec.variant_build_seconds = 300.0;
+  spec.machine.mpi_ranks = 64;
+  return spec;
+}
+
+}  // namespace
+
+tuner::TargetSpec mpas_target(const MpasOptions& options) {
+  tuner::TargetSpec spec = base_spec(options);
+  spec.measure_whole_model = options.whole_model_metric;
+  return spec;
+}
+
+tuner::TargetSpec mpas_whole_model_target(MpasOptions options) {
+  options.whole_model_metric = true;
+  return mpas_target(options);
+}
+
+}  // namespace prose::models

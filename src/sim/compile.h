@@ -1,0 +1,36 @@
+// AST → bytecode compiler for the evaluation substrate.
+//
+// Expects a resolved program satisfying the wrapper invariant (every real
+// argument binding kind-matched); rejects programs that violate it — the
+// moral equivalent of a Fortran compiler refusing mixed-kind argument
+// association.
+//
+// Cost modeling happens here: every instruction's simulated cycle cost is
+// computed at compile time, including vectorization amortization for
+// instructions inside vectorizable innermost loops, cast penalties, memory
+// traffic by element width, and call overheads (zero for inlined callees,
+// which also inherit the calling loop's vector scale).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ftn/sema.h"
+#include "sim/bytecode.h"
+
+namespace prose::sim {
+
+struct CompileOptions {
+  /// Allow the cost model's inliner (disable for ablation studies).
+  bool enable_inlining = true;
+  /// Qualified procedure names ("module::proc") to instrument with GPTL
+  /// regions (the hotspot boundary). Per-procedure VM statistics are always
+  /// collected regardless.
+  std::set<std::string> instrument;
+};
+
+StatusOr<CompiledProgram> compile(const ftn::ResolvedProgram& rp,
+                                  const MachineModel& machine,
+                                  const CompileOptions& options = {});
+
+}  // namespace prose::sim

@@ -1,0 +1,7 @@
+#include "sim/machine.h"
+
+namespace prose::sim {
+
+// to_string(VecStatus) lives in vectorize.cpp alongside the analysis.
+
+}  // namespace prose::sim

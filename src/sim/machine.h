@@ -1,0 +1,101 @@
+// Analytic machine model for the simulated evaluation substrate.
+//
+// The paper's experiments ran on Derecho nodes (AMD Milan, AVX2-class SIMD,
+// 64-bit and 32-bit vector arithmetic at 2× relative throughput). We do not
+// claim cycle-accurate fidelity to that hardware; the model captures the
+// first-order effects the paper's analysis rests on:
+//   * vector lanes: twice as many f32 elements per vector op as f64,
+//   * memory traffic: f32 moves half the bytes,
+//   * casting overhead: explicit convert instructions at kind boundaries,
+//   * call overhead: non-inlined calls pay a fixed cost; wrapper-mediated
+//     calls are never inlined,
+//   * collectives: latency ∝ log2(ranks), not vectorizable.
+//
+// All costs are in "cycles" of a simulated clock; speedups are ratios, so
+// the absolute scale is immaterial.
+#pragma once
+
+#include <cstdint>
+
+namespace prose::sim {
+
+struct MachineModel {
+  // --- SIMD ---
+  int vector_lanes_f32 = 16;  // AVX-512-class single-precision lanes
+  int vector_lanes_f64 = 8;
+  /// Fixed cycles charged when entering a vectorized loop (prologue/epilogue
+  /// and remainder handling, amortized per entry).
+  double vector_loop_overhead = 12.0;
+
+  // --- ALU (scalar cost per operation; vector ops amortize by lane count) ---
+  double cost_add = 1.0;
+  double cost_mul = 1.0;
+  double cost_div = 8.0;
+  double cost_pow = 30.0;
+  double cost_cmp = 1.0;
+  double cost_logical = 0.5;
+  double cost_intrin_cheap = 2.0;    // abs, min, max, sign, mod
+  double cost_intrin_sqrt = 10.0;
+  double cost_intrin_trans = 22.0;   // exp/log/sin/cos/tan/atan
+  double cost_int_op = 0.5;
+  /// Scalar single-precision division/sqrt/transcendentals are cheaper than
+  /// their double counterparts (divss vs divsd, sinf vs sin): multiplier on
+  /// those op costs for f32 operands outside vectorized loops. (Inside
+  /// vectorized loops the wider lane count already models the advantage.)
+  double f32_scalar_math_discount = 0.55;
+  /// One kind-conversion instruction (cvtss2sd-class). Inside vectorized
+  /// loops casts also force lane splitting/merging; see cast_vector_penalty.
+  double cost_cast = 2.0;
+  /// Extra factor applied to casts inside vectorized loops (pack/unpack).
+  double cast_vector_penalty = 1.2;
+
+  // --- Memory ---
+  /// Per-access instruction overhead (address generation, issue); amortizes
+  /// under vectorization.
+  double mem_access_overhead = 0.8;
+  /// Cycles per byte of array traffic (never amortized by vectorization —
+  /// bandwidth is bandwidth). 8-byte load = 1 cycle, 4-byte = 0.5.
+  double mem_cost_per_byte = 0.125;
+  /// Scalar (non-array) variable accesses are register/L1-resident.
+  double scalar_access_cost = 0.15;
+
+  // --- Control flow and calls ---
+  double cost_branch = 1.5;
+  double cost_loop_iter = 1.0;       // induction update + compare + branch
+  double call_overhead = 35.0;       // non-inlined call + frame + returns
+  double cost_arg = 1.0;             // per scalar argument moved
+  double cost_array_arg = 2.0;       // array descriptor passing
+  /// Statement-count ceiling for inline eligibility.
+  int inline_max_stmts = 8;
+
+  // --- MPI (single simulated process owns the global domain; collectives
+  //     charge the latency the decomposed run would observe) ---
+  int mpi_ranks = 64;
+  double allreduce_alpha = 220.0;    // per-hop latency, × log2(ranks)
+  double allreduce_beta = 0.5;       // per-byte
+
+  // --- GPTL instrumentation ---
+  double gptl_overhead_cycles = 40.0;
+
+  [[nodiscard]] int lanes_for_kind(int kind) const {
+    return kind == 4 ? vector_lanes_f32 : vector_lanes_f64;
+  }
+  [[nodiscard]] double bytes_for_kind(int kind) const { return kind == 4 ? 4.0 : 8.0; }
+};
+
+/// Why a loop failed (or succeeded) vectorization — the analogue of the
+/// compiler vectorization report the paper recommends consulting (§V).
+enum class VecStatus : std::uint8_t {
+  kVectorized,
+  kCarriedDependence,   // loop-carried data dependence (e.g. x(i) uses x(i-1))
+  kNonInlinableCall,    // calls a procedure the inliner rejected (e.g. wrapper)
+  kIrregularControl,    // exit/cycle/return or do-while form
+  kCollective,          // MPI collective in the body
+  kPrintIo,             // I/O in the body
+  kOuterLoop,           // not an innermost loop
+  kScalarRecurrence,    // non-reduction scalar recurrence
+};
+
+const char* to_string(VecStatus s);
+
+}  // namespace prose::sim

@@ -1,0 +1,546 @@
+#include "sim/vectorize.h"
+
+#include <functional>
+#include <optional>
+#include <sstream>
+
+namespace prose::sim {
+
+using ftn::BinaryOp;
+using ftn::Expr;
+using ftn::ExprKind;
+using ftn::ExprPtr;
+using ftn::Intrinsic;
+using ftn::Procedure;
+using ftn::ResolvedProgram;
+using ftn::Stmt;
+using ftn::StmtKind;
+using ftn::StmtPtr;
+using ftn::Symbol;
+using ftn::SymbolId;
+
+const char* to_string(VecStatus s) {
+  switch (s) {
+    case VecStatus::kVectorized: return "vectorized";
+    case VecStatus::kCarriedDependence: return "loop-carried dependence";
+    case VecStatus::kNonInlinableCall: return "call to non-inlinable procedure";
+    case VecStatus::kIrregularControl: return "irregular control flow";
+    case VecStatus::kCollective: return "MPI collective in body";
+    case VecStatus::kPrintIo: return "I/O in body";
+    case VecStatus::kOuterLoop: return "not an innermost loop";
+    case VecStatus::kScalarRecurrence: return "scalar recurrence";
+  }
+  return "?";
+}
+
+std::size_t VectorizationReport::vectorized_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, info] : loops) {
+    if (info.status == VecStatus::kVectorized) ++n;
+  }
+  return n;
+}
+
+std::string VectorizationReport::to_string(const ftn::SymbolTable& symbols) const {
+  std::ostringstream os;
+  for (const auto& [id, info] : loops) {
+    const Symbol& proc = symbols.get(info.proc);
+    os << proc.qualified() << " loop@" << id << ": " << sim::to_string(info.status);
+    if (info.status == VecStatus::kVectorized) {
+      os << " (lanes=" << info.effective_lanes;
+      if (info.cast_sites > 0) os << ", casts=" << info.cast_sites;
+      if (info.has_reduction) os << ", reduction";
+      os << ")";
+    } else if (!info.detail.empty()) {
+      os << " — " << info.detail;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Affine subscript pattern `loopvar + c`, `loopvar - c`, `loopvar`, or a
+/// loop-invariant expression.
+struct Subscript {
+  bool uses_loop_var = false;
+  bool affine = false;          // loopvar ± const (or bare loopvar)
+  std::int64_t offset = 0;      // only when affine
+};
+
+bool expr_mentions(const Expr& e, SymbolId sym) {
+  if (e.symbol == sym) return true;
+  for (const auto& a : e.args) {
+    if (a && expr_mentions(*a, sym)) return true;
+  }
+  if (e.lhs && expr_mentions(*e.lhs, sym)) return true;
+  if (e.rhs && expr_mentions(*e.rhs, sym)) return true;
+  return false;
+}
+
+Subscript classify_subscript(const Expr& e, SymbolId loop_var) {
+  Subscript s;
+  s.uses_loop_var = expr_mentions(e, loop_var);
+  if (!s.uses_loop_var) {
+    s.affine = false;
+    return s;
+  }
+  if (e.kind == ExprKind::kVarRef && e.symbol == loop_var) {
+    s.affine = true;
+    s.offset = 0;
+    return s;
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.binary_op == BinaryOp::kAdd || e.binary_op == BinaryOp::kSub)) {
+    const Expr* var_side = nullptr;
+    const Expr* const_side = nullptr;
+    if (e.lhs->kind == ExprKind::kVarRef && e.lhs->symbol == loop_var) {
+      var_side = e.lhs.get();
+      const_side = e.rhs.get();
+    } else if (e.binary_op == BinaryOp::kAdd && e.rhs->kind == ExprKind::kVarRef &&
+               e.rhs->symbol == loop_var) {
+      var_side = e.rhs.get();
+      const_side = e.lhs.get();
+    }
+    if (var_side != nullptr && const_side->kind == ExprKind::kIntLit) {
+      s.affine = true;
+      s.offset = e.binary_op == BinaryOp::kAdd ? const_side->int_value
+                                               : -const_side->int_value;
+      return s;
+    }
+  }
+  s.affine = false;  // uses the loop var in a non-affine way
+  return s;
+}
+
+struct BodyScan {
+  // Per array symbol: write/read subscript signatures in the vectorized dim.
+  struct Access {
+    std::vector<Subscript> writes;
+    std::vector<Subscript> reads;
+  };
+  std::map<SymbolId, Access> arrays;
+  std::vector<SymbolId> scalar_write_order;      // scalars written, in order
+  std::set<SymbolId> scalars_written;
+  std::set<SymbolId> scalars_read_before_write;  // read while not yet written
+  std::set<SymbolId> reduction_scalars;
+  bool has_irregular = false;   // exit/cycle/return
+  bool has_print = false;
+  bool has_collective = false;
+  std::vector<SymbolId> called;  // user procedures called in body
+  bool has_f32 = false;
+  bool has_f64 = false;
+  int cast_sites = 0;
+  bool non_reduction_recurrence = false;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const ResolvedProgram& rp, const ftn::CallGraph& cg,
+           const MachineModel& machine)
+      : rp_(rp), cg_(cg), machine_(machine) {}
+
+  VectorizationReport run() {
+    compute_inlinability();
+    for (const auto& mod : rp_.program.modules) {
+      for (const auto& proc : mod.procedures) {
+        for (const auto& s : proc.body) walk(*s, proc.symbol);
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void compute_inlinability() {
+    for (const auto& mod : rp_.program.modules) {
+      for (const auto& proc : mod.procedures) {
+        report_.inlinable[proc.symbol] = judge(proc);
+      }
+    }
+  }
+
+  InlineInfo judge(const Procedure& proc) {
+    InlineInfo info;
+    if (proc.generated) {
+      info.reason = "generated wrapper (kind conversions at boundary)";
+      return info;
+    }
+    if (proc.kind != ftn::ProcKind::kFunction) {
+      info.reason = "subroutine";
+      return info;
+    }
+    if (cg_.is_recursive(proc.symbol)) {
+      info.reason = "recursive";
+      return info;
+    }
+    int stmts = 0;
+    bool has_loop = false;
+    bool has_call = false;
+    std::function<void(const Stmt&)> count = [&](const Stmt& s) {
+      ++stmts;
+      if (s.kind == StmtKind::kDo || s.kind == StmtKind::kDoWhile) has_loop = true;
+      if (s.kind == StmtKind::kCall) has_call = true;
+      std::function<void(const Expr&)> scan = [&](const Expr& e) {
+        if (e.kind == ExprKind::kCall && e.symbol != ftn::kInvalidSymbol) has_call = true;
+        for (const auto& a : e.args) {
+          if (a) scan(*a);
+        }
+        if (e.lhs) scan(*e.lhs);
+        if (e.rhs) scan(*e.rhs);
+      };
+      for (const ExprPtr* e : {&s.lhs, &s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+        if (*e) scan(**e);
+      }
+      for (const auto& a : s.args) scan(*a);
+      for (const auto& b : s.branches) {
+        if (b.cond) scan(*b.cond);
+        for (const auto& inner : b.body) count(*inner);
+      }
+      for (const auto& inner : s.body) count(*inner);
+    };
+    for (const auto& s : proc.body) count(*s);
+
+    if (has_loop) {
+      info.reason = "contains loops";
+      return info;
+    }
+    if (has_call) {
+      info.reason = "calls other procedures";
+      return info;
+    }
+    if (stmts > machine_.inline_max_stmts) {
+      info.reason = "too large (" + std::to_string(stmts) + " statements)";
+      return info;
+    }
+    for (const auto& d : proc.decls) {
+      if (d.is_array()) {
+        info.reason = "has array locals/arguments";
+        return info;
+      }
+    }
+    info.eligible = true;
+    info.reason = "ok";
+    return info;
+  }
+
+  void walk(const Stmt& s, SymbolId proc) {
+    if (s.kind == StmtKind::kDo) {
+      const bool innermost = !contains_loop(s.body);
+      if (innermost) {
+        analyze_loop(s, proc);
+      } else {
+        LoopInfo info;
+        info.loop = s.id;
+        info.proc = proc;
+        info.status = VecStatus::kOuterLoop;
+        report_.loops.emplace(s.id, std::move(info));
+      }
+    }
+    for (const auto& b : s.branches) {
+      for (const auto& inner : b.body) walk(*inner, proc);
+    }
+    for (const auto& inner : s.body) walk(*inner, proc);
+    if (s.kind == StmtKind::kDoWhile) {
+      // do-while loops are never vectorized; record only innermost ones so
+      // the report stays readable.
+      if (!contains_loop(s.body)) {
+        LoopInfo info;
+        info.loop = s.id;
+        info.proc = proc;
+        info.status = VecStatus::kIrregularControl;
+        info.detail = "do-while form";
+        report_.loops.emplace(s.id, std::move(info));
+      }
+    }
+  }
+
+  static bool contains_loop(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::kDo || s->kind == StmtKind::kDoWhile) return true;
+      for (const auto& b : s->branches) {
+        if (contains_loop(b.body)) return true;
+      }
+      if (contains_loop(s->body)) return true;
+    }
+    return false;
+  }
+
+  void scan_expr(const Expr& e, SymbolId loop_var, BodyScan& scan, bool /*lvalue*/,
+                 int expected_kind) {
+    switch (e.kind) {
+      case ExprKind::kIndex: {
+        const Symbol& arr = rp_.symbols.get(e.symbol);
+        // Dependence testing uses the subscript that varies with the loop.
+        Subscript sig;
+        bool any_loop_dim = false;
+        for (const auto& idx : e.args) {
+          const Subscript s2 = classify_subscript(*idx, loop_var);
+          if (s2.uses_loop_var) {
+            any_loop_dim = true;
+            sig = s2;
+          }
+          scan_expr(*idx, loop_var, scan, false, 4);
+        }
+        if (!any_loop_dim) {
+          sig.uses_loop_var = false;
+          sig.affine = false;
+        }
+        scan.arrays[arr.id].reads.push_back(sig);
+        note_kind(e.type, scan, expected_kind);
+        return;
+      }
+      case ExprKind::kCall: {
+        if (e.symbol != ftn::kInvalidSymbol) {
+          scan.called.push_back(e.symbol);
+          // The inlined callee's body kinds matter for width selection.
+          note_callee_kinds(e.symbol, scan);
+        } else {
+          const auto intr = ftn::find_intrinsic(e.name);
+          if (intr.has_value() && ftn::intrinsic_is_collective(*intr)) {
+            scan.has_collective = true;
+          }
+        }
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          scan_expr(*e.args[i], loop_var, scan, false, e.type.kind);
+        }
+        note_kind(e.type, scan, expected_kind);
+        return;
+      }
+      case ExprKind::kVarRef: {
+        if (e.symbol != ftn::kInvalidSymbol) {
+          const Symbol& sym = rp_.symbols.get(e.symbol);
+          if (sym.is_variable() && !sym.is_array() && sym.type.is_real() &&
+              sym.kind != ftn::SymbolKind::kParameterConst) {
+            if (!scan.scalars_written.contains(e.symbol)) {
+              scan.scalars_read_before_write.insert(e.symbol);
+            }
+          }
+        }
+        note_kind(e.type, scan, expected_kind);
+        return;
+      }
+      case ExprKind::kBinary: {
+        // A cast site occurs when operand kinds differ.
+        if (e.lhs->type.is_real() && e.rhs->type.is_real() &&
+            e.lhs->type.kind != e.rhs->type.kind) {
+          ++scan.cast_sites;
+        }
+        scan_expr(*e.lhs, loop_var, scan, false, e.type.kind);
+        scan_expr(*e.rhs, loop_var, scan, false, e.type.kind);
+        note_kind(e.type, scan, expected_kind);
+        return;
+      }
+      case ExprKind::kUnary:
+        scan_expr(*e.lhs, loop_var, scan, false, e.type.kind);
+        return;
+      default:
+        note_kind(e.type, scan, expected_kind);
+        return;
+    }
+  }
+
+  void note_kind(const ftn::ScalarType& t, BodyScan& scan, int expected_kind) {
+    if (!t.is_real()) return;
+    if (t.kind == 4) scan.has_f32 = true;
+    if (t.kind == 8) scan.has_f64 = true;
+    if (expected_kind != 0 && expected_kind != t.kind) ++scan.cast_sites;
+  }
+
+  void note_callee_kinds(SymbolId callee, BodyScan& scan) {
+    for (const auto& sym : rp_.symbols.all()) {
+      if (sym.kind == ftn::SymbolKind::kProcedure) continue;
+      if (!sym.type.is_real()) continue;
+      // Symbols owned by the callee procedure.
+      const Symbol& c = rp_.symbols.get(callee);
+      if (sym.module_name == c.module_name && sym.proc_name == c.name) {
+        if (sym.type.kind == 4) scan.has_f32 = true;
+        if (sym.type.kind == 8) scan.has_f64 = true;
+      }
+    }
+  }
+
+  void scan_stmt(const Stmt& s, SymbolId loop_var, BodyScan& scan) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        const Expr& lhs = *s.lhs;
+        // RHS first: read-before-write ordering for scalars.
+        // Reduction detection: lhs scalar appears in rhs as the spine of an
+        // add/sub/min/max.
+        scan_expr(*s.rhs, loop_var, scan, false, lhs.type.kind);
+        if (lhs.kind == ExprKind::kIndex) {
+          const Symbol& arr = rp_.symbols.get(lhs.symbol);
+          Subscript sig;
+          bool any_loop_dim = false;
+          for (const auto& idx : lhs.args) {
+            const Subscript s2 = classify_subscript(*idx, loop_var);
+            if (s2.uses_loop_var) {
+              any_loop_dim = true;
+              sig = s2;
+            }
+            scan_expr(*idx, loop_var, scan, false, 4);
+          }
+          if (!any_loop_dim) {
+            sig.uses_loop_var = false;
+            sig.affine = false;
+          }
+          scan.arrays[arr.id].writes.push_back(sig);
+          note_kind(lhs.type, scan, s.rhs->type.is_real() ? s.rhs->type.kind : 0);
+        } else if (lhs.symbol != ftn::kInvalidSymbol) {
+          const Symbol& sym = rp_.symbols.get(lhs.symbol);
+          if (sym.is_variable() && !sym.is_array()) {
+            if (is_reduction_assign(s, lhs.symbol)) {
+              scan.reduction_scalars.insert(lhs.symbol);
+            } else if (expr_mentions(*s.rhs, lhs.symbol) ||
+                       scan.scalars_read_before_write.contains(lhs.symbol)) {
+              if (sym.type.is_real()) scan.non_reduction_recurrence = true;
+            }
+            scan.scalars_written.insert(lhs.symbol);
+            scan.scalar_write_order.push_back(lhs.symbol);
+          }
+          note_kind(lhs.type, scan, s.rhs->type.is_real() ? s.rhs->type.kind : 0);
+        }
+        return;
+      }
+      case StmtKind::kIf:
+        for (const auto& b : s.branches) {
+          if (b.cond) scan_expr(*b.cond, loop_var, scan, false, 0);
+          for (const auto& inner : b.body) scan_stmt(*inner, loop_var, scan);
+        }
+        return;
+      case StmtKind::kCall:
+        scan.called.push_back(s.callee_symbol);
+        note_callee_kinds(s.callee_symbol, scan);
+        for (const auto& a : s.args) scan_expr(*a, loop_var, scan, false, 0);
+        return;
+      case StmtKind::kExit:
+      case StmtKind::kCycle:
+      case StmtKind::kReturn:
+        scan.has_irregular = true;
+        return;
+      case StmtKind::kPrint:
+        scan.has_print = true;
+        return;
+      case StmtKind::kDo:
+      case StmtKind::kDoWhile:
+        // Unreachable for innermost loops.
+        return;
+    }
+  }
+
+  /// `s` is `x = x + e`, `x = e + x`, `x = x - e`, `x = min/max(x, e)`.
+  static bool is_reduction_assign(const Stmt& s, SymbolId x) {
+    const Expr& rhs = *s.rhs;
+    const auto is_x = [&](const ExprPtr& e) {
+      return e && e->kind == ExprKind::kVarRef && e->symbol == x;
+    };
+    if (rhs.kind == ExprKind::kBinary) {
+      if (rhs.binary_op == BinaryOp::kAdd &&
+          ((is_x(rhs.lhs) && !expr_mentions(*rhs.rhs, x)) ||
+           (is_x(rhs.rhs) && !expr_mentions(*rhs.lhs, x)))) {
+        return true;
+      }
+      if (rhs.binary_op == BinaryOp::kSub && is_x(rhs.lhs) &&
+          !expr_mentions(*rhs.rhs, x)) {
+        return true;
+      }
+    }
+    if (rhs.kind == ExprKind::kCall && rhs.symbol == ftn::kInvalidSymbol) {
+      const auto intr = ftn::find_intrinsic(rhs.name);
+      if ((intr == Intrinsic::kMin || intr == Intrinsic::kMax) && rhs.args.size() == 2) {
+        if ((is_x(rhs.args[0]) && !expr_mentions(*rhs.args[1], x)) ||
+            (is_x(rhs.args[1]) && !expr_mentions(*rhs.args[0], x))) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void analyze_loop(const Stmt& loop, SymbolId proc) {
+    LoopInfo info;
+    info.loop = loop.id;
+    info.proc = proc;
+
+    BodyScan scan;
+    for (const auto& s : loop.body) scan_stmt(*s, loop.do_symbol, scan);
+
+    info.body_has_f32 = scan.has_f32;
+    info.body_has_f64 = scan.has_f64;
+    info.cast_sites = scan.cast_sites;
+    info.has_reduction = !scan.reduction_scalars.empty();
+    info.has_calls = !scan.called.empty();
+
+    const auto fail = [&](VecStatus status, std::string detail) {
+      info.status = status;
+      info.effective_lanes = 1;
+      info.detail = std::move(detail);
+      report_.loops.emplace(loop.id, info);
+    };
+
+    if (scan.has_print) return fail(VecStatus::kPrintIo, "");
+    if (scan.has_collective) return fail(VecStatus::kCollective, "");
+    if (scan.has_irregular) return fail(VecStatus::kIrregularControl, "exit/cycle/return");
+    for (const SymbolId callee : scan.called) {
+      const auto it = report_.inlinable.find(callee);
+      if (it == report_.inlinable.end() || !it->second.eligible) {
+        return fail(VecStatus::kNonInlinableCall,
+                    rp_.symbols.get(callee).qualified() + ": " +
+                        (it == report_.inlinable.end() ? "unknown" : it->second.reason));
+      }
+    }
+    // Non-reduction real scalar recurrences defeat vectorization.
+    if (scan.non_reduction_recurrence) {
+      return fail(VecStatus::kScalarRecurrence, "");
+    }
+    // Array dependence test.
+    for (const auto& [arr, acc] : scan.arrays) {
+      if (acc.writes.empty()) continue;
+      for (const auto& w : acc.writes) {
+        if (!w.affine) {
+          // A write whose varying subscript is not affine (or that does not
+          // vary with the loop at all) conflicts with everything.
+          return fail(VecStatus::kCarriedDependence,
+                      rp_.symbols.get(arr).qualified() + " write subscript not affine");
+        }
+        for (const auto& r : acc.reads) {
+          if (!r.uses_loop_var) continue;  // invariant read of a written array
+          if (!r.affine || r.offset != w.offset) {
+            return fail(VecStatus::kCarriedDependence,
+                        rp_.symbols.get(arr).qualified() + " read/write offsets differ");
+          }
+        }
+        for (const auto& w2 : acc.writes) {
+          if (w2.affine && w2.offset != w.offset) {
+            return fail(VecStatus::kCarriedDependence,
+                        rp_.symbols.get(arr).qualified() + " conflicting writes");
+          }
+        }
+      }
+    }
+
+    info.status = VecStatus::kVectorized;
+    const bool mixed = scan.has_f32 && scan.has_f64;
+    if (mixed || scan.has_f64 || !scan.has_f32) {
+      info.effective_lanes = machine_.vector_lanes_f64;
+    } else {
+      info.effective_lanes = machine_.vector_lanes_f32;
+    }
+    report_.loops.emplace(loop.id, std::move(info));
+  }
+
+  const ResolvedProgram& rp_;
+  const ftn::CallGraph& cg_;
+  const MachineModel& machine_;
+  VectorizationReport report_;
+};
+
+}  // namespace
+
+VectorizationReport analyze_vectorization(const ftn::ResolvedProgram& rp,
+                                          const ftn::CallGraph& cg,
+                                          const MachineModel& machine) {
+  return Analyzer(rp, cg, machine).run();
+}
+
+}  // namespace prose::sim

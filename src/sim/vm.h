@@ -1,0 +1,151 @@
+// Register VM executing compiled programs with genuine IEEE float/double
+// semantics and simulated-cycle accounting.
+//
+// Numerics are real: kind-4 operations are computed in binary32, kind-8 in
+// binary64, conversions round exactly as the hardware would. Time is
+// simulated: every instruction charges its compile-time cost (scaled for
+// inlined callees) to a SimClock, with per-procedure attribution and optional
+// GPTL regions for instrumented procedures.
+//
+// Failure modes map to the paper's variant outcomes:
+//   * non-finite arithmetic results  → RuntimeFault ("Error" column)
+//   * out-of-bounds subscripts       → RuntimeFault
+//   * exceeding the cycle budget     → Timeout (3× baseline in campaigns)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gptl/gptl.h"
+#include "sim/bytecode.h"
+#include "support/status.h"
+
+namespace prose::sim {
+
+struct VmOptions {
+  bool trap_nonfinite = true;
+  /// Simulated-cycle budget for one call(); exceeding it returns Timeout.
+  double cycle_budget = std::numeric_limits<double>::infinity();
+  /// Hard instruction-count backstop against runaway loops.
+  std::uint64_t max_instructions = 4'000'000'000ull;
+  std::size_t max_frames = 4096;
+};
+
+/// Per-procedure execution statistics (collected without instrumentation
+/// overhead — this is the data behind Figure 6).
+struct ProcRunStats {
+  std::uint64_t calls = 0;
+  double inclusive_cycles = 0.0;
+  double exclusive_cycles = 0.0;
+
+  [[nodiscard]] double mean_call_cycles() const {
+    return calls == 0 ? 0.0 : inclusive_cycles / static_cast<double>(calls);
+  }
+};
+
+struct RunResult {
+  Status status;
+  double cycles = 0.0;            // simulated cycles for this call
+  std::uint64_t instructions = 0;
+  double cast_cycles = 0.0;       // cycles spent on kind conversions
+};
+
+/// Dense multi-dimensional array storage (column-major, 1-based like Fortran).
+class ArrayStorage {
+ public:
+  ArrayStorage(int kind, int rank, const std::int64_t* extents);
+
+  [[nodiscard]] int kind() const { return kind_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::int64_t extent(int dim) const { return extents_[dim]; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+  /// Linear index from 1-based subscripts; negative on out-of-bounds.
+  [[nodiscard]] std::int64_t linearize(std::int64_t i, std::int64_t j,
+                                       std::int64_t k) const;
+
+  [[nodiscard]] double get(std::int64_t linear) const;
+  void set(std::int64_t linear, double value);
+
+ private:
+  int kind_;
+  int rank_;
+  std::int64_t extents_[3] = {1, 1, 1};
+  std::int64_t total_ = 0;
+  std::vector<float> f32_;
+  std::vector<double> f64_;
+};
+
+class Vm {
+ public:
+  explicit Vm(const CompiledProgram* program, VmOptions options = {});
+
+  /// Re-initializes all module storage (zeros + declared initializers).
+  void reset();
+
+  // --- module data access for harness drivers ---
+  Status set_scalar(const std::string& qualified, double value);
+  StatusOr<double> get_scalar(const std::string& qualified) const;
+  Status set_array(const std::string& qualified, std::span<const double> values);
+  StatusOr<std::vector<double>> get_array(const std::string& qualified) const;
+  /// Element count of a module array.
+  StatusOr<std::int64_t> array_size(const std::string& qualified) const;
+
+  /// Runs a no-argument entry procedure ("module::proc") to completion.
+  RunResult call(const std::string& qualified_proc);
+
+  [[nodiscard]] const std::vector<ProcRunStats>& proc_stats() const { return proc_stats_; }
+  [[nodiscard]] const ProcRunStats* proc_stats(const std::string& qualified) const;
+
+  [[nodiscard]] gptl::Timers& timers() { return timers_; }
+  [[nodiscard]] const gptl::Timers& timers() const { return timers_; }
+  [[nodiscard]] double now() const { return clock_.now(); }
+  [[nodiscard]] const std::string& print_log() const { return print_log_; }
+  [[nodiscard]] const CompiledProgram& program() const { return *program_; }
+
+ private:
+  struct Frame {
+    std::int32_t proc = -1;
+    std::size_t slot_base = 0;
+    std::int32_t return_pc = -1;
+    std::int32_t site = -1;          // CallSiteMeta index (-1 for the entry)
+    std::size_t caller_slot_base = 0;
+    double scale = 1.0;              // inlined-call cost multiplier
+    double entry_cycles = 0.0;
+    double child_cycles = 0.0;
+    std::vector<ArrayStorage*> arrays;             // bound views
+    std::vector<std::unique_ptr<ArrayStorage>> owned;  // locals/automatics
+  };
+
+  Status push_frame(std::int32_t proc_index, std::int32_t site_index,
+                    std::int32_t return_pc);
+  void bind_frame_arrays(Frame& frame, const ProcMeta& meta, const CallSiteMeta* site);
+  Status pop_frame(std::int32_t& pc);
+
+  [[nodiscard]] Status fault(const std::string& message) const;
+  Status run_loop();
+
+  double slot(std::size_t index) const { return slots_[index]; }
+
+  const CompiledProgram* program_;
+  VmOptions options_;
+  gptl::SimClock clock_;
+  gptl::Timers timers_;
+  std::vector<double> globals_;
+  std::vector<ArrayStorage> global_arrays_;
+  std::vector<double> slots_;
+  std::vector<Frame> frames_;
+  std::vector<ProcRunStats> proc_stats_;
+  std::string print_log_;
+  double run_start_cycles_ = 0.0;
+  double cast_cycles_ = 0.0;
+  std::uint64_t instructions_ = 0;
+  std::int32_t fault_pc_ = -1;
+};
+
+}  // namespace prose::sim

@@ -1,0 +1,133 @@
+#include "support/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace prose {
+
+AsciiScatter::AsciiScatter(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void AsciiScatter::set_size(std::size_t width, std::size_t height) {
+  PROSE_CHECK(width >= 16 && height >= 8);
+  width_ = width;
+  height_ = height;
+}
+
+void AsciiScatter::add_point(double x, double y, char glyph) {
+  points_.push_back({x, y, glyph});
+}
+
+void AsciiScatter::add_series(const std::vector<PlotPoint>& pts) {
+  points_.insert(points_.end(), pts.begin(), pts.end());
+}
+
+double AsciiScatter::tx(double x) const {
+  return log_x_ ? std::log10(std::max(x, 1e-300)) : x;
+}
+double AsciiScatter::ty(double y) const {
+  return log_y_ ? std::log10(std::max(y, 1e-300)) : y;
+}
+
+std::string AsciiScatter::render() const {
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  std::vector<PlotPoint> pts;
+  for (const auto& p : points_) {
+    if (std::isfinite(p.x) && std::isfinite(p.y) &&
+        (!log_x_ || p.x > 0) && (!log_y_ || p.y > 0)) {
+      pts.push_back(p);
+    }
+  }
+  const std::size_t dropped = points_.size() - pts.size();
+  if (pts.empty()) {
+    os << "(no finite points to plot";
+    if (dropped) os << "; " << dropped << " dropped";
+    os << ")\n";
+    return os.str();
+  }
+
+  double xlo = std::numeric_limits<double>::infinity(), xhi = -xlo;
+  double ylo = xlo, yhi = -xlo;
+  for (const auto& p : pts) {
+    xlo = std::min(xlo, tx(p.x));
+    xhi = std::max(xhi, tx(p.x));
+    ylo = std::min(ylo, ty(p.y));
+    yhi = std::max(yhi, ty(p.y));
+  }
+  for (double g : x_guides_) {
+    if (!log_x_ || g > 0) {
+      xlo = std::min(xlo, tx(g));
+      xhi = std::max(xhi, tx(g));
+    }
+  }
+  for (double g : y_guides_) {
+    if (!log_y_ || g > 0) {
+      ylo = std::min(ylo, ty(g));
+      yhi = std::max(yhi, ty(g));
+    }
+  }
+  const auto widen = [](double& lo, double& hi) {
+    if (hi <= lo) {
+      lo -= 0.5;
+      hi += 0.5;
+    } else {
+      const double pad = 0.04 * (hi - lo);
+      lo -= pad;
+      hi += pad;
+    }
+  };
+  widen(xlo, xhi);
+  widen(ylo, yhi);
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const auto col_of = [&](double x) {
+    const double t = (tx(x) - xlo) / (xhi - xlo);
+    return std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(t * static_cast<double>(width_ - 1)), 0,
+        static_cast<std::ptrdiff_t>(width_) - 1);
+  };
+  const auto row_of = [&](double y) {
+    const double t = (ty(y) - ylo) / (yhi - ylo);
+    const auto from_bottom = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(t * static_cast<double>(height_ - 1)), 0,
+        static_cast<std::ptrdiff_t>(height_) - 1);
+    return static_cast<std::ptrdiff_t>(height_) - 1 - from_bottom;
+  };
+
+  for (double g : x_guides_) {
+    if (log_x_ && g <= 0) continue;
+    const auto c = col_of(g);
+    for (auto& row : grid) row[static_cast<std::size_t>(c)] = ':';
+  }
+  for (double g : y_guides_) {
+    if (log_y_ && g <= 0) continue;
+    const auto r = row_of(g);
+    for (std::size_t c = 0; c < width_; ++c) {
+      grid[static_cast<std::size_t>(r)][c] = '.';
+    }
+  }
+  for (const auto& p : pts) {
+    grid[static_cast<std::size_t>(row_of(p.y))][static_cast<std::size_t>(col_of(p.x))] =
+        p.glyph;
+  }
+
+  const auto fmt_axis = [&](double v, bool log_axis) {
+    return format_sci(log_axis ? std::pow(10.0, v) : v, 2);
+  };
+  os << "y: " << y_label_ << "  [" << fmt_axis(ylo, log_y_) << ", "
+     << fmt_axis(yhi, log_y_) << (log_y_ ? "] (log)\n" : "]\n");
+  for (const auto& row : grid) os << "  |" << row << "|\n";
+  os << "x: " << x_label_ << "  [" << fmt_axis(xlo, log_x_) << ", "
+     << fmt_axis(xhi, log_x_) << (log_x_ ? "] (log)" : "]");
+  if (dropped) os << "  (" << dropped << " non-plottable points dropped)";
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace prose

@@ -1,0 +1,55 @@
+// Text scatter plots for the bench binaries.
+//
+// The paper's artifact produces interactive Plotly HTML; our benches emit the
+// same series as CSV plus a terminal-renderable scatter so the cluster
+// structure (Figures 2, 5, 6, 7) is visible directly in bench output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prose {
+
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+  char glyph = '*';  // one glyph per series
+};
+
+/// Scatter plot on a character grid with optional log axes and threshold
+/// guide lines (the dotted speedup/error thresholds in Fig. 5).
+class AsciiScatter {
+ public:
+  AsciiScatter(std::string title, std::string x_label, std::string y_label);
+
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_size(std::size_t width, std::size_t height);
+
+  /// Vertical guide at x = value (rendered with ':').
+  void add_x_guide(double value) { x_guides_.push_back(value); }
+  /// Horizontal guide at y = value (rendered with '.').
+  void add_y_guide(double value) { y_guides_.push_back(value); }
+
+  void add_point(double x, double y, char glyph = '*');
+  void add_series(const std::vector<PlotPoint>& pts);
+
+  /// Renders the plot; empty plots render a placeholder note.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Extent {
+    double lo, hi;
+  };
+  [[nodiscard]] double tx(double x) const;  // axis transforms
+  [[nodiscard]] double ty(double y) const;
+
+  std::string title_, x_label_, y_label_;
+  bool log_x_ = false, log_y_ = false;
+  std::size_t width_ = 72, height_ = 24;
+  std::vector<PlotPoint> points_;
+  std::vector<double> x_guides_, y_guides_;
+};
+
+}  // namespace prose

@@ -1,0 +1,96 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/status.h"
+
+namespace prose {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0,1) with full double resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PROSE_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  have_spare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_noise(double rsd) {
+  if (rsd <= 0.0) return 1.0;
+  // For X ~ LogNormal(mu, sigma^2): rsd^2 = exp(sigma^2) - 1, E[X] = 1 when
+  // mu = -sigma^2 / 2.
+  const double sigma2 = std::log1p(rsd * rsd);
+  const double sigma = std::sqrt(sigma2);
+  return std::exp(normal(-0.5 * sigma2, sigma));
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Hash the current state with the stream id; forked streams are independent
+  // of how many draws the parent has made *after* forking.
+  SplitMix64 sm(s_[0] ^ rotl(s_[3], 13) ^ (stream_id * 0xD1342543DE82EF95ull));
+  return Rng(sm.next());
+}
+
+}  // namespace prose

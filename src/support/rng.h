@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the reproduction (run-to-run performance noise,
+// randomized search baselines, property-test case generation) draws from a
+// seeded xoshiro256** so that experiments are bit-reproducible across runs on
+// the same build — the paper's searches are non-deterministic on real
+// hardware, but our simulated campaigns should not be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prose {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, 1).
+  double uniform();
+
+  /// Uniform on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer on [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative noise with relative standard deviation `rsd`
+  /// around 1.0 — the model used to inject per-run timing jitter.
+  /// E[X] == 1, sd(X)/E[X] ≈ rsd for small rsd.
+  double lognormal_noise(double rsd);
+
+  /// Bernoulli(p).
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Deterministically derive a child RNG (for per-variant noise streams that
+  /// must not depend on evaluation order).
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace prose

@@ -1,0 +1,36 @@
+// Source locations for the Fortran-subset frontend.
+//
+// Every token, AST node, and diagnostic carries a SourceLoc so that tuner
+// reports can point users back at the exact declaration being retyped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prose {
+
+/// A position within a named source buffer (1-based line/column).
+struct SourceLoc {
+  /// Index into the SourceManager's file table; 0 is the synthetic
+  /// "<builtin>" buffer used for generated wrappers.
+  std::uint32_t file = 0;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A half-open range [begin, end) of source text.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+/// Renders "name:line:col" for diagnostics.
+std::string to_string(const SourceLoc& loc, const std::string& file_name);
+
+}  // namespace prose

@@ -1,0 +1,47 @@
+#include "support/status.h"
+
+#include <sstream>
+
+namespace prose {
+
+std::string to_string(const SourceLoc& loc, const std::string& file_name) {
+  std::ostringstream os;
+  os << file_name << ':' << loc.line << ':' << loc.column;
+  return os.str();
+}
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kSemanticError: return "SemanticError";
+    case StatusCode::kTransformError: return "TransformError";
+    case StatusCode::kRuntimeFault: return "RuntimeFault";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  std::ostringstream os;
+  os << status_code_name(code_);
+  if (!message_.empty()) os << ": " << message_;
+  if (loc_.valid()) os << " (line " << loc_.line << ", col " << loc_.column << ')';
+  return os.str();
+}
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message) {
+  std::ostringstream os;
+  os << "PROSE_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace prose

@@ -1,0 +1,122 @@
+// Lightweight Status / StatusOr error handling.
+//
+// The frontend and tuner report recoverable failures (parse errors, variants
+// that fail to transform, runtime faults in the VM) as values rather than
+// exceptions, per the project style: exceptions are reserved for programmer
+// errors surfaced via PROSE_CHECK.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/source_location.h"
+
+namespace prose {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller misuse detected at a library boundary
+  kParseError,        // frontend rejected the source text
+  kSemanticError,     // type/shape checking failed
+  kTransformError,    // a precision assignment could not be applied
+  kRuntimeFault,      // VM trapped (overflow to inf in a guarded op, OOB, ...)
+  kTimeout,           // simulated wall clock exceeded the variant budget
+  kNotFound,
+  kUnimplemented,
+};
+
+/// Human-readable code name, e.g. "ParseError".
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, SourceLoc loc)
+      : code_(code), message_(std::move(message)), loc_(loc) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+  /// "ParseError: unexpected token" (with location when available).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  SourceLoc loc_;
+};
+
+/// Result-or-error, in the spirit of absl::StatusOr but minimal.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void require_ok() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("StatusOr accessed without value: " +
+                             status_.to_string());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// Programmer-error assertion that stays on in release builds.  Used to guard
+/// internal invariants (e.g. the wrapper generator's matching-edge invariant).
+#define PROSE_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::prose::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (false)
+
+#define PROSE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::prose::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)
+
+}  // namespace prose

@@ -1,0 +1,75 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace prose {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  PROSE_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PROSE_CHECK_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out += '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out += pad_right(row[c], widths[c]);
+      out += " |";
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  out += '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += std::string(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ += ',';
+    out_ += escape(row[i]);
+  }
+  out_ += '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << out_;
+  return static_cast<bool>(f);
+}
+
+}  // namespace prose

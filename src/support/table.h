@@ -1,0 +1,44 @@
+// ASCII table rendering for bench reports (Table I / Table II style output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prose {
+
+/// Column-aligned text table with a header row, e.g.
+///
+///   | Model  | Total | Pass  | Speedup |
+///   |--------|-------|-------|---------|
+///   | MPAS-A | 48    | 37.5% | 1.95x   |
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders in GitHub-markdown-compatible form.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer; quotes fields containing separators/quotes/newlines.
+class CsvWriter {
+ public:
+  void add_row(const std::vector<std::string>& row);
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Writes accumulated rows to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& field);
+  std::string out_;
+};
+
+}  // namespace prose

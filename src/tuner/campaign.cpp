@@ -1,0 +1,100 @@
+#include "tuner/campaign.h"
+
+#include <set>
+
+namespace prose::tuner {
+
+CampaignSummary summarize(const std::string& model, const SearchResult& search,
+                          const ClusterSim& cluster) {
+  CampaignSummary s;
+  s.model = model;
+  s.total = search.records.size();
+  std::size_t pass = 0, fail = 0, timeout = 0, error = 0;
+  for (const auto& r : search.records) {
+    switch (r.eval.outcome) {
+      case Outcome::kPass: ++pass; break;
+      case Outcome::kFail: ++fail; break;
+      case Outcome::kTimeout: ++timeout; break;
+      case Outcome::kRuntimeError:
+      case Outcome::kCompileError: ++error; break;
+    }
+  }
+  if (s.total > 0) {
+    const auto pct = [&](std::size_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(s.total);
+    };
+    s.pass_pct = pct(pass);
+    s.fail_pct = pct(fail);
+    s.timeout_pct = pct(timeout);
+    s.error_pct = pct(error);
+  }
+  s.best_speedup = search.best_speedup;
+  s.finished = search.one_minimal;
+  s.wall_hours = cluster.elapsed_seconds() / 3600.0;
+  return s;
+}
+
+std::vector<ProcedureVariantPoint> figure6_series(const Evaluator& evaluator,
+                                                  const SearchResult& search) {
+  std::vector<ProcedureVariantPoint> out;
+  const auto& spec = evaluator.spec();
+  const auto& space = evaluator.space();
+  for (const auto& proc : spec.figure6_procs) {
+    const auto base_it = evaluator.baseline().proc_mean_cycles.find(proc);
+    if (base_it == evaluator.baseline().proc_mean_cycles.end()) continue;
+    const double base_mean = base_it->second;
+    const auto proc_atoms = space.atoms_in_scope(proc);
+    std::set<std::string> seen;
+    for (const auto& r : search.records) {
+      const auto it = r.eval.proc_mean_cycles.find(proc);
+      if (it == r.eval.proc_mean_cycles.end() || it->second <= 0.0) continue;
+      const std::string key = space.scope_key(r.config, proc);
+      if (!seen.insert(key).second) continue;  // unique procedure variants only
+      ProcedureVariantPoint p;
+      p.proc = proc;
+      p.scope_key = key;
+      p.speedup = base_mean / it->second;
+      if (!proc_atoms.empty()) {
+        std::size_t low = 0;
+        for (const std::size_t a : proc_atoms) {
+          if (r.config.kinds[a] == 4) ++low;
+        }
+        p.fraction32 = static_cast<double>(low) / static_cast<double>(proc_atoms.size());
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
+                                      const CampaignOptions& options) {
+  auto evaluator = Evaluator::create(spec, options.noise_seed);
+  if (!evaluator.is_ok()) return evaluator.status();
+  Evaluator& ev = *evaluator.value();
+
+  ClusterSim cluster(options.cluster);
+  SearchOptions sopts;
+  sopts.max_variants = options.max_variants;
+  sopts.batch_hook = [&](const std::vector<const VariantRecord*>& batch) {
+    std::vector<double> tasks;
+    tasks.reserve(batch.size());
+    for (const auto* r : batch) tasks.push_back(r->eval.node_seconds);
+    return cluster.run_batch(tasks);
+  };
+
+  CampaignResult result;
+  result.search = delta_debug_search(ev, sopts);
+  result.summary = summarize(spec.name, result.search, cluster);
+  result.figure6 = figure6_series(ev, result.search);
+
+  const Config& final_config = result.search.best.has_value()
+                                   ? *result.search.best
+                                   : result.search.accepted;
+  for (std::size_t i = 0; i < ev.space().size(); ++i) {
+    result.final_kinds[ev.space().atoms()[i].qualified] = final_config.kinds[i];
+  }
+  return result;
+}
+
+}  // namespace prose::tuner

@@ -1,0 +1,67 @@
+// Campaign driver: one full tuning experiment (paper §IV).
+//
+// Wires the delta-debugging search to the simulated 20-node cluster with a
+// 12-hour budget and 3×-baseline per-variant timeouts, then aggregates the
+// Table II summary row and the Figure 5/6 series.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tuner/evaluator.h"
+#include "tuner/schedule.h"
+#include "tuner/search.h"
+
+namespace prose::tuner {
+
+struct CampaignOptions {
+  ClusterOptions cluster;
+  std::size_t max_variants = 0;  // safety cap on top of the wall budget
+  std::uint64_t noise_seed = 2024;
+};
+
+/// Table II row.
+struct CampaignSummary {
+  std::string model;
+  std::size_t total = 0;
+  double pass_pct = 0.0;
+  double fail_pct = 0.0;
+  double timeout_pct = 0.0;
+  double error_pct = 0.0;  // runtime errors (the paper's "Error" column)
+  double best_speedup = 0.0;
+  bool finished = false;       // search reached 1-minimality within budget
+  double wall_hours = 0.0;
+};
+
+/// Figure 6 series: per procedure, the unique per-procedure precision
+/// assignments explored and their mean-cycles-per-call speedups.
+struct ProcedureVariantPoint {
+  std::string proc;
+  std::string scope_key;     // per-procedure precision pattern
+  double speedup = 0.0;      // baseline mean/call ÷ variant mean/call
+  double fraction32 = 0.0;   // fraction of the procedure's atoms at 32-bit
+};
+
+struct CampaignResult {
+  CampaignSummary summary;
+  SearchResult search;
+  std::vector<ProcedureVariantPoint> figure6;
+  /// The 1-minimal (or best-so-far) configuration's per-atom kinds, by
+  /// qualified name — the paper's human-readable variant description.
+  std::map<std::string, int> final_kinds;
+};
+
+/// Runs one campaign on a target spec.
+StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
+                                      const CampaignOptions& options = {});
+
+/// Builds the Figure 6 series from an existing evaluator + search trace.
+std::vector<ProcedureVariantPoint> figure6_series(const Evaluator& evaluator,
+                                                  const SearchResult& search);
+
+/// Summarizes a search trace into the Table II row shape.
+CampaignSummary summarize(const std::string& model, const SearchResult& search,
+                          const ClusterSim& cluster);
+
+}  // namespace prose::tuner

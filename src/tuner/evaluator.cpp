@@ -1,0 +1,203 @@
+#include "tuner/evaluator.h"
+
+#include <cmath>
+#include <set>
+
+#include "ftn/parser.h"
+#include "ftn/transform.h"
+#include "sim/compile.h"
+
+namespace prose::tuner {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kPass: return "pass";
+    case Outcome::kFail: return "fail";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kRuntimeError: return "error";
+    case Outcome::kCompileError: return "compile-error";
+  }
+  return "?";
+}
+
+Evaluator::Evaluator(const TargetSpec& spec, std::uint64_t noise_seed)
+    : spec_(spec), noise_seed_(noise_seed) {}
+
+StatusOr<std::unique_ptr<Evaluator>> Evaluator::create(const TargetSpec& spec,
+                                                       std::uint64_t noise_seed) {
+  std::unique_ptr<Evaluator> ev(new Evaluator(spec, noise_seed));
+  if (Status s = ev->init(); !s.is_ok()) return s;
+  return ev;
+}
+
+Status Evaluator::init() {
+  auto rp = ftn::parse_and_resolve(spec_.source, spec_.name);
+  if (!rp.is_ok()) return rp.status();
+  pristine_ = std::move(rp.value());
+
+  auto space = SearchSpace::build(pristine_, spec_.atom_scopes, spec_.exclude_atoms);
+  if (!space.is_ok()) return space.status();
+  space_ = std::move(space.value());
+
+  eq1_n_ = choose_eq1_n(spec_.noise_rsd);
+
+  // T0 preprocessing (§III-C): reduce the program to the minimal subset the
+  // transformation needs, verify it resolves, and record the statistics. The
+  // paper reports this costs ~1% of an experiment.
+  if (spec_.run_reduction_preprocessing) {
+    std::set<ftn::NodeId> targets;
+    for (const auto& atom : space_.atoms()) targets.insert(atom.decl);
+    auto reduced = ftn::reduce_for_targets(pristine_, targets);
+    if (!reduced.is_ok()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "T0 reduction failed: " + reduced.status().to_string());
+    }
+    reduction_stats_ = reduced->stats;
+  }
+
+  // Baseline: the untouched program (original declared kinds).
+  Evaluation base = run_variant(space_.uniform(8), /*is_baseline=*/true);
+  if (base.outcome != Outcome::kPass) {
+    return Status(StatusCode::kInvalidArgument,
+                  "baseline evaluation failed (" + std::string(to_string(base.outcome)) +
+                      "): " + base.detail);
+  }
+  baseline_ = base;
+  baseline_.speedup = 1.0;
+  seconds_per_cycle_ = spec_.baseline_wall_seconds / baseline_.whole_cycles;
+  // The paper gives each variant 3× the baseline's runtime before declaring
+  // a timeout.
+  cycle_budget_ = 3.0 * baseline_.whole_cycles;
+  baseline_samples_ =
+      sample_noisy_times(baseline_.measured_cycles, spec_.noise_rsd, eq1_n_,
+                         noise_seed_, /*stream_id=*/0);
+  return Status::ok();
+}
+
+const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
+  const std::string key = config.key();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  Evaluation eval = run_variant(config, /*is_baseline=*/false);
+  return cache_.emplace(key, std::move(eval)).first->second;
+}
+
+Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
+  Evaluation out;
+  out.fraction32 = config.fraction32();
+
+  // Transform: clone + retype + wrap (§III-C).
+  ftn::WrapperReport wreport;
+  auto variant =
+      ftn::make_variant(pristine_.program, space_.to_assignment(config), &wreport);
+  if (!variant.is_ok()) {
+    out.outcome = Outcome::kCompileError;
+    out.detail = variant.status().to_string();
+    out.node_seconds = spec_.variant_build_seconds;
+    return out;
+  }
+  out.wrappers = wreport.wrappers_generated;
+
+  // Compile with hotspot instrumentation.
+  sim::CompileOptions copts;
+  for (const auto& proc : spec_.hotspot_procs) copts.instrument.insert(proc);
+  auto compiled = sim::compile(variant.value(), spec_.machine, copts);
+  if (!compiled.is_ok()) {
+    out.outcome = Outcome::kCompileError;
+    out.detail = compiled.status().to_string();
+    out.node_seconds = spec_.variant_build_seconds;
+    return out;
+  }
+
+  // Execute the representative workload.
+  sim::VmOptions vopts;
+  if (!is_baseline && cycle_budget_ > 0.0) vopts.cycle_budget = cycle_budget_;
+  sim::Vm vm(&compiled.value(), vopts);
+  if (spec_.setup) {
+    if (Status s = spec_.setup(vm); !s.is_ok()) {
+      out.outcome = Outcome::kCompileError;
+      out.detail = "setup failed: " + s.to_string();
+      return out;
+    }
+  }
+  const sim::RunResult run = vm.call(spec_.entry);
+  out.whole_cycles = run.cycles;
+  out.cast_cycles = run.cast_cycles;
+  const double build = spec_.variant_build_seconds;
+
+  if (!run.status.is_ok()) {
+    out.outcome = run.status.code() == StatusCode::kTimeout ? Outcome::kTimeout
+                                                            : Outcome::kRuntimeError;
+    out.detail = run.status.to_string();
+    out.node_seconds =
+        build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;
+    return out;
+  }
+
+  // Hotspot CPU time from the instrumented regions.
+  double hotspot = 0.0;
+  for (const auto& proc : spec_.hotspot_procs) {
+    auto stats = vm.timers().stats(proc);
+    if (stats.is_ok()) hotspot += stats->inclusive_cycles;
+  }
+  out.hotspot_cycles = hotspot;
+  out.measured_cycles = spec_.measure_whole_model ? run.cycles : hotspot;
+
+  for (const auto& proc : spec_.figure6_procs) {
+    const sim::ProcRunStats* stats = vm.proc_stats(proc);
+    if (stats != nullptr && stats->calls > 0) {
+      out.proc_mean_cycles[proc] = stats->mean_call_cycles();
+      out.proc_calls[proc] = stats->calls;
+    }
+  }
+
+  // Correctness metric (§III-D): scalar metric or diagnostic field series.
+  std::vector<double> series;
+  if (spec_.series_fn) {
+    auto s = spec_.series_fn(vm);
+    if (!s.is_ok()) {
+      out.outcome = Outcome::kRuntimeError;
+      out.detail = "series metric failed: " + s.status().to_string();
+      out.node_seconds = build + run.cycles * seconds_per_cycle_;
+      return out;
+    }
+    series = std::move(s.value());
+    out.metric = series.empty() ? 0.0 : series.back();
+  } else {
+    auto metric = spec_.metric ? spec_.metric(vm) : StatusOr<double>(0.0);
+    if (!metric.is_ok()) {
+      out.outcome = Outcome::kRuntimeError;
+      out.detail = "metric failed: " + metric.status().to_string();
+      out.node_seconds = build + run.cycles * seconds_per_cycle_;
+      return out;
+    }
+    out.metric = metric.value();
+  }
+
+  if (is_baseline) {
+    baseline_series_ = std::move(series);
+    out.outcome = Outcome::kPass;
+    out.error = 0.0;
+    out.node_seconds = build + run.cycles * 0.0;  // scale not yet calibrated
+    return out;
+  }
+
+  out.error = spec_.series_fn
+                  ? series_error(baseline_series_, series, spec_.series_group_size)
+                  : output_relative_error(baseline_.metric, out.metric);
+  out.outcome = out.error <= spec_.error_threshold ? Outcome::kPass : Outcome::kFail;
+
+  // Eq. (1) speedup with injected run-to-run noise (§III-E).
+  const auto samples = sample_noisy_times(out.measured_cycles, spec_.noise_rsd,
+                                          eq1_n_, noise_seed_, next_stream_++);
+  out.speedup = eq1_speedup(baseline_samples_, samples);
+  out.node_seconds =
+      build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;
+  return out;
+}
+
+}  // namespace prose::tuner

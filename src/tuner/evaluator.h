@@ -1,0 +1,105 @@
+// Dynamic variant evaluation (paper Fig. 1: transform → compile → execute →
+// measure), with memoization — the delta-debugging search revisits
+// configurations, and the paper's tool caches them too.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ftn/reduce.h"
+#include "ftn/sema.h"
+#include "tuner/metrics.h"
+#include "tuner/search_space.h"
+#include "tuner/target.h"
+
+namespace prose::tuner {
+
+enum class Outcome : std::uint8_t {
+  kPass,           // ran to completion, correctness within threshold
+  kFail,           // ran to completion, correctness over threshold
+  kTimeout,        // exceeded 3× the baseline budget
+  kRuntimeError,   // trapped (non-finite, OOB, ...)
+  kCompileError,   // transformation or compilation failed
+};
+
+const char* to_string(Outcome o);
+
+/// Everything measured about one variant.
+struct Evaluation {
+  Outcome outcome = Outcome::kCompileError;
+  std::string detail;           // failure diagnostics
+
+  double metric = 0.0;          // the model's scalar correctness metric
+  double error = 0.0;           // relative error vs. the baseline metric
+  double hotspot_cycles = 0.0;  // GPTL-attributed hotspot CPU time
+  double whole_cycles = 0.0;    // whole-run simulated time
+  double cast_cycles = 0.0;
+  double measured_cycles = 0.0; // the quantity Eq. (1) is computed over
+  double speedup = 0.0;         // Eq. (1) vs. the baseline, noise included
+  double fraction32 = 0.0;
+
+  int wrappers = 0;
+  /// Per-procedure mean cycles per call (Fig. 6), for the spec's
+  /// figure6_procs that executed.
+  std::map<std::string, double> proc_mean_cycles;
+  std::map<std::string, std::uint64_t> proc_calls;
+
+  /// Simulated wall seconds this evaluation would cost on one node
+  /// (build + n executions), for the campaign scheduler.
+  double node_seconds = 0.0;
+
+  [[nodiscard]] bool acceptable() const {
+    return outcome == Outcome::kPass && speedup >= 1.0;
+  }
+};
+
+class Evaluator {
+ public:
+  /// Parses and resolves the spec's source, builds the search space, and
+  /// evaluates the uniform-64 baseline. Fails if the model itself is broken.
+  static StatusOr<std::unique_ptr<Evaluator>> create(const TargetSpec& spec,
+                                                     std::uint64_t noise_seed = 2024);
+
+  [[nodiscard]] const SearchSpace& space() const { return space_; }
+  [[nodiscard]] const TargetSpec& spec() const { return spec_; }
+  [[nodiscard]] const Evaluation& baseline() const { return baseline_; }
+  [[nodiscard]] const ftn::ResolvedProgram& pristine() const { return pristine_; }
+  [[nodiscard]] int eq1_n() const { return eq1_n_; }
+  /// Simulated seconds per cycle (calibrated from baseline_wall_seconds).
+  [[nodiscard]] double seconds_per_cycle() const { return seconds_per_cycle_; }
+
+  /// Evaluates a configuration (memoized). `cache_hit` reports reuse.
+  const Evaluation& evaluate(const Config& config, bool* cache_hit = nullptr);
+
+  /// Number of distinct variants evaluated so far (excluding the baseline).
+  [[nodiscard]] std::size_t unique_evaluations() const { return cache_.size(); }
+
+  /// Statistics of the T0 reduction preprocessing; nullopt unless the spec
+  /// enabled run_reduction_preprocessing.
+  [[nodiscard]] const std::optional<ftn::ReductionStats>& reduction_stats() const {
+    return reduction_stats_;
+  }
+
+ private:
+  Evaluator(const TargetSpec& spec, std::uint64_t noise_seed);
+  Status init();
+  Evaluation run_variant(const Config& config, bool is_baseline);
+
+  TargetSpec spec_;
+  std::uint64_t noise_seed_;
+  ftn::ResolvedProgram pristine_;
+  SearchSpace space_;
+  Evaluation baseline_;
+  std::vector<double> baseline_series_;
+  std::vector<double> baseline_samples_;
+  int eq1_n_ = 1;
+  double seconds_per_cycle_ = 0.0;
+  double cycle_budget_ = 0.0;
+  std::map<std::string, Evaluation> cache_;
+  std::optional<ftn::ReductionStats> reduction_stats_;
+  std::uint64_t next_stream_ = 1;
+};
+
+}  // namespace prose::tuner

@@ -1,0 +1,45 @@
+#include "tuner/frontier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prose::tuner {
+
+std::vector<FrontierPoint> optimal_frontier(const std::vector<VariantRecord>& records) {
+  std::vector<FrontierPoint> pts;
+  for (const auto& r : records) {
+    if (r.eval.outcome != Outcome::kPass && r.eval.outcome != Outcome::kFail) continue;
+    if (!std::isfinite(r.eval.error) || !std::isfinite(r.eval.speedup)) continue;
+    pts.push_back({r.id, r.eval.speedup, r.eval.error});
+  }
+  // Sort by error ascending, speedup descending; sweep keeping strictly
+  // increasing speedup.
+  std::sort(pts.begin(), pts.end(), [](const FrontierPoint& a, const FrontierPoint& b) {
+    if (a.error != b.error) return a.error < b.error;
+    return a.speedup > b.speedup;
+  });
+  std::vector<FrontierPoint> frontier;
+  double best_speedup = -1.0;
+  for (const auto& p : pts) {
+    if (p.speedup > best_speedup) {
+      frontier.push_back(p);
+      best_speedup = p.speedup;
+    }
+  }
+  return frontier;
+}
+
+int select_within_threshold(const std::vector<FrontierPoint>& frontier,
+                            double error_threshold) {
+  int best = -1;
+  double best_speedup = -1.0;
+  for (const auto& p : frontier) {
+    if (p.error <= error_threshold && p.speedup > best_speedup) {
+      best = p.variant_id;
+      best_speedup = p.speedup;
+    }
+  }
+  return best;
+}
+
+}  // namespace prose::tuner

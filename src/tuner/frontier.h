@@ -1,0 +1,28 @@
+// Optimal (Pareto) frontier extraction over speedup-error points (Fig. 2/5).
+#pragma once
+
+#include <vector>
+
+#include "tuner/search.h"
+
+namespace prose::tuner {
+
+struct FrontierPoint {
+  int variant_id = 0;
+  double speedup = 0.0;
+  double error = 0.0;
+};
+
+/// Variants on the optimal frontier: maximize speedup, minimize error.
+/// A point dominates another if it has >= speedup and <= error (strict in at
+/// least one). Only completed runs (pass/fail outcomes) participate —
+/// timeouts and runtime errors have no meaningful coordinates.
+/// Result is sorted by ascending error.
+std::vector<FrontierPoint> optimal_frontier(const std::vector<VariantRecord>& records);
+
+/// Picks from the frontier the fastest variant whose error is within the
+/// threshold; -1 when none qualifies.
+int select_within_threshold(const std::vector<FrontierPoint>& frontier,
+                            double error_threshold);
+
+}  // namespace prose::tuner

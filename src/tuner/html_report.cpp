@@ -1,0 +1,256 @@
+#include "tuner/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace prose::tuner {
+namespace {
+
+constexpr int kWidth = 860;
+constexpr int kHeight = 540;
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 30;
+constexpr int kMarginTop = 50;
+constexpr int kMarginBottom = 60;
+
+struct AxisMap {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  int pixel_lo = 0;
+  int pixel_hi = 1;
+
+  [[nodiscard]] double to_pixel(double v) const {
+    const double t = log_scale ? (std::log10(v) - std::log10(lo)) /
+                                     (std::log10(hi) - std::log10(lo))
+                               : (v - lo) / (hi - lo);
+    return pixel_lo + t * (pixel_hi - pixel_lo);
+  }
+};
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void page_head(std::ostringstream& os, const std::string& title) {
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+     << html_escape(title) << "</title>\n<style>\n"
+     << "body { font-family: sans-serif; margin: 24px; }\n"
+     << "svg { border: 1px solid #ccc; background: #fff; }\n"
+     << "circle:hover { stroke: #000; stroke-width: 2; }\n"
+     << ".legend { font-size: 14px; margin-top: 8px; }\n"
+     << ".note { color: #555; font-size: 13px; }\n"
+     << "</style></head><body>\n<h2>" << html_escape(title) << "</h2>\n";
+}
+
+void svg_axes(std::ostringstream& os, const AxisMap& x, const AxisMap& y,
+              const std::string& x_label, const std::string& y_label) {
+  // Frame.
+  os << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+     << kWidth - kMarginLeft - kMarginRight << "\" height=\""
+     << kHeight - kMarginTop - kMarginBottom
+     << "\" fill=\"none\" stroke=\"#888\"/>\n";
+  // X ticks.
+  const int n_ticks = 6;
+  for (int t = 0; t <= n_ticks; ++t) {
+    double v;
+    if (x.log_scale) {
+      const double e = std::log10(x.lo) +
+                       (std::log10(x.hi) - std::log10(x.lo)) * t / n_ticks;
+      v = std::pow(10.0, e);
+    } else {
+      v = x.lo + (x.hi - x.lo) * t / n_ticks;
+    }
+    const double px = x.to_pixel(v);
+    os << "<line x1=\"" << px << "\" y1=\"" << kHeight - kMarginBottom
+       << "\" x2=\"" << px << "\" y2=\"" << kHeight - kMarginBottom + 5
+       << "\" stroke=\"#555\"/>\n"
+       << "<text x=\"" << px << "\" y=\"" << kHeight - kMarginBottom + 20
+       << "\" text-anchor=\"middle\" font-size=\"11\">" << format_sci(v, 2)
+       << "</text>\n";
+  }
+  // Y ticks.
+  for (int t = 0; t <= n_ticks; ++t) {
+    double v;
+    if (y.log_scale) {
+      const double e = std::log10(y.lo) +
+                       (std::log10(y.hi) - std::log10(y.lo)) * t / n_ticks;
+      v = std::pow(10.0, e);
+    } else {
+      v = y.lo + (y.hi - y.lo) * t / n_ticks;
+    }
+    const double py = y.to_pixel(v);
+    os << "<line x1=\"" << kMarginLeft - 5 << "\" y1=\"" << py << "\" x2=\""
+       << kMarginLeft << "\" y2=\"" << py << "\" stroke=\"#555\"/>\n"
+       << "<text x=\"" << kMarginLeft - 8 << "\" y=\"" << py + 4
+       << "\" text-anchor=\"end\" font-size=\"11\">" << format_double(v, 2)
+       << "</text>\n";
+  }
+  os << "<text x=\"" << (kMarginLeft + kWidth - kMarginRight) / 2 << "\" y=\""
+     << kHeight - 12 << "\" text-anchor=\"middle\" font-size=\"13\">"
+     << html_escape(x_label) << "</text>\n";
+  os << "<text x=\"18\" y=\"" << (kMarginTop + kHeight - kMarginBottom) / 2
+     << "\" text-anchor=\"middle\" font-size=\"13\" transform=\"rotate(-90 18 "
+     << (kMarginTop + kHeight - kMarginBottom) / 2 << ")\">"
+     << html_escape(y_label) << "</text>\n";
+}
+
+}  // namespace
+
+std::string variants_html(const std::string& title, const SearchResult& search,
+                          double error_threshold) {
+  std::ostringstream os;
+  page_head(os, title);
+
+  // Plottable points.
+  struct Pt {
+    const VariantRecord* rec;
+    double err;
+  };
+  std::vector<Pt> pts;
+  std::size_t timeouts = 0, errors = 0;
+  double err_lo = error_threshold > 0 ? error_threshold : 1e-12;
+  double err_hi = err_lo * 10;
+  double sp_lo = 0.9, sp_hi = 1.1;
+  for (const auto& r : search.records) {
+    if (r.eval.outcome == Outcome::kTimeout) {
+      ++timeouts;
+      continue;
+    }
+    if (r.eval.outcome == Outcome::kRuntimeError ||
+        r.eval.outcome == Outcome::kCompileError) {
+      ++errors;
+      continue;
+    }
+    if (!std::isfinite(r.eval.error) || !std::isfinite(r.eval.speedup)) continue;
+    const double err = std::max(r.eval.error, 1e-17);
+    pts.push_back({&r, err});
+    err_lo = std::min(err_lo, err);
+    err_hi = std::max(err_hi, err);
+    sp_lo = std::min(sp_lo, r.eval.speedup);
+    sp_hi = std::max(sp_hi, r.eval.speedup);
+  }
+  AxisMap x{err_lo / 2, err_hi * 2, true, kMarginLeft, kWidth - kMarginRight};
+  AxisMap y{sp_lo * 0.92, sp_hi * 1.08, false, kHeight - kMarginBottom, kMarginTop};
+
+  os << "<svg width=\"" << kWidth << "\" height=\"" << kHeight << "\">\n";
+  svg_axes(os, x, y, "relative error (log)", "speedup (Eq. 1)");
+
+  // Guides: error threshold (vertical) and speedup 1x (horizontal).
+  if (error_threshold > x.lo && error_threshold < x.hi) {
+    const double px = x.to_pixel(error_threshold);
+    os << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\"" << px
+       << "\" y2=\"" << kHeight - kMarginBottom
+       << "\" stroke=\"#c33\" stroke-dasharray=\"5,4\"/>\n";
+  }
+  if (1.0 > y.lo && 1.0 < y.hi) {
+    const double py = y.to_pixel(1.0);
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+       << kWidth - kMarginRight << "\" y2=\"" << py
+       << "\" stroke=\"#36c\" stroke-dasharray=\"5,4\"/>\n";
+  }
+
+  for (const auto& p : pts) {
+    const bool pass = p.rec->eval.outcome == Outcome::kPass;
+    os << "<circle cx=\"" << x.to_pixel(p.err) << "\" cy=\""
+       << y.to_pixel(p.rec->eval.speedup) << "\" r=\"4\" fill=\""
+       << (pass ? "#2a2" : "#d44") << "\" fill-opacity=\"0.75\">"
+       << "<title>variant " << p.rec->id << "\nspeedup "
+       << format_double(p.rec->eval.speedup, 3) << "x\nerror "
+       << format_sci(p.rec->eval.error, 3) << "\n32-bit "
+       << format_percent(p.rec->eval.fraction32) << "\nwrappers "
+       << p.rec->eval.wrappers << "</title></circle>\n";
+  }
+  os << "</svg>\n";
+  os << "<div class=\"legend\"><span style=\"color:#2a2\">&#9679;</span> pass "
+     << "&nbsp; <span style=\"color:#d44\">&#9679;</span> fail &nbsp; "
+     << "red dashes: error threshold &nbsp; blue dashes: speedup 1x</div>\n";
+  os << "<p class=\"note\">" << pts.size() << " completed variants plotted; "
+     << timeouts << " timeouts and " << errors
+     << " runtime/compile errors have no coordinates.</p>\n";
+  os << "</body></html>\n";
+  return os.str();
+}
+
+std::string figure6_html(const std::string& title,
+                         const std::vector<ProcedureVariantPoint>& points) {
+  std::ostringstream os;
+  page_head(os, title);
+
+  std::map<std::string, std::vector<const ProcedureVariantPoint*>> by_proc;
+  double sp_lo = 0.5, sp_hi = 2.0;
+  for (const auto& p : points) {
+    by_proc[p.proc].push_back(&p);
+    const double s = std::max(p.speedup, 1e-4);
+    sp_lo = std::min(sp_lo, s);
+    sp_hi = std::max(sp_hi, s);
+  }
+  AxisMap x{0.5, static_cast<double>(by_proc.size()) + 0.5, false, kMarginLeft,
+            kWidth - kMarginRight};
+  AxisMap y{sp_lo / 1.5, sp_hi * 1.5, true, kHeight - kMarginBottom, kMarginTop};
+
+  os << "<svg width=\"" << kWidth << "\" height=\"" << kHeight << "\">\n";
+  // Frame + log y ticks; x tick per procedure.
+  os << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+     << kWidth - kMarginLeft - kMarginRight << "\" height=\""
+     << kHeight - kMarginTop - kMarginBottom
+     << "\" fill=\"none\" stroke=\"#888\"/>\n";
+  for (double v = std::pow(10.0, std::floor(std::log10(y.lo))); v <= y.hi; v *= 10.0) {
+    if (v < y.lo) continue;
+    const double py = y.to_pixel(v);
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+       << kWidth - kMarginRight << "\" y2=\"" << py
+       << "\" stroke=\"#eee\"/><text x=\"" << kMarginLeft - 8 << "\" y=\""
+       << py + 4 << "\" text-anchor=\"end\" font-size=\"11\">"
+       << format_double(v, v < 1 ? 2 : 0) << "x</text>\n";
+  }
+  if (1.0 > y.lo && 1.0 < y.hi) {
+    const double py = y.to_pixel(1.0);
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+       << kWidth - kMarginRight << "\" y2=\"" << py
+       << "\" stroke=\"#36c\" stroke-dasharray=\"5,4\"/>\n";
+  }
+
+  double col = 1.0;
+  for (const auto& [proc, pts] : by_proc) {
+    const double px_center = x.to_pixel(col);
+    // Shortened label: the procedure name without the module prefix.
+    const std::size_t sep = proc.rfind("::");
+    const std::string short_name = sep == std::string::npos ? proc : proc.substr(sep + 2);
+    os << "<text x=\"" << px_center << "\" y=\"" << kHeight - kMarginBottom + 20
+       << "\" text-anchor=\"middle\" font-size=\"10\">" << html_escape(short_name)
+       << " (" << pts.size() << ")</text>\n";
+    double jitter = -0.18;
+    for (const auto* p : pts) {
+      const double s = std::max(p->speedup, 1e-4);
+      os << "<circle cx=\"" << x.to_pixel(col + jitter) << "\" cy=\""
+         << y.to_pixel(s) << "\" r=\"4\" fill=\"#37b\" fill-opacity=\"0.7\">"
+         << "<title>" << html_escape(proc) << "\npattern " << p->scope_key
+         << "\nper-call speedup " << format_double(p->speedup, 3) << "x\n32-bit "
+         << format_percent(p->fraction32) << "</title></circle>\n";
+      jitter += 0.36 / std::max<std::size_t>(1, pts.size());
+    }
+    col += 1.0;
+  }
+  os << "</svg>\n";
+  os << "<p class=\"note\">One dot per unique per-procedure precision "
+        "assignment; per-call speedup on a log axis (blue dashes: 1x). Hover "
+        "a dot for its pattern.</p>\n";
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace prose::tuner

@@ -1,0 +1,25 @@
+// Self-contained HTML/SVG reports — the counterpart of the paper artifact's
+// interactive HTML visualizations. Each report is a single standalone file:
+// an SVG scatter with axes, threshold guides, outcome-coloured points, and
+// per-point hover tooltips (variant id, speedup, error, %32-bit).
+#pragma once
+
+#include <string>
+
+#include "tuner/campaign.h"
+#include "tuner/search.h"
+
+namespace prose::tuner {
+
+/// Figure 2/5/7-style page: speedup (y) vs relative error (x, log scale),
+/// with the error-threshold and speedup-1x guide lines. Timeouts and runtime
+/// errors are listed below the plot (they have no meaningful coordinates).
+std::string variants_html(const std::string& title, const SearchResult& search,
+                          double error_threshold);
+
+/// Figure 6-style page: per-procedure columns with per-call speedup on a log
+/// y axis, one dot per unique per-procedure precision assignment.
+std::string figure6_html(const std::string& title,
+                         const std::vector<ProcedureVariantPoint>& points);
+
+}  // namespace prose::tuner

@@ -1,0 +1,58 @@
+#include "tuner/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/stats.h"
+
+namespace prose::tuner {
+
+double eq1_speedup(std::span<const double> baseline_times,
+                   std::span<const double> variant_times) {
+  PROSE_CHECK(!baseline_times.empty() && !variant_times.empty());
+  const double vb = median(baseline_times);
+  const double vv = median(variant_times);
+  if (vv <= 0.0) return std::numeric_limits<double>::infinity();
+  return vb / vv;
+}
+
+int choose_eq1_n(double observed_rsd) { return observed_rsd < 0.02 ? 1 : 7; }
+
+std::vector<double> sample_noisy_times(double deterministic_time, double rsd, int n,
+                                       std::uint64_t seed, std::uint64_t stream_id) {
+  PROSE_CHECK(n >= 1);
+  Rng rng = Rng(seed).fork(stream_id);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(deterministic_time * rng.lognormal_noise(rsd));
+  }
+  return out;
+}
+
+double output_relative_error(double baseline_metric, double variant_metric) {
+  if (!std::isfinite(variant_metric)) return std::numeric_limits<double>::infinity();
+  return relative_error(baseline_metric, variant_metric);
+}
+
+double series_error(std::span<const double> baseline, std::span<const double> variant,
+                    std::size_t group_size) {
+  if (baseline.size() != variant.size() || baseline.empty() || group_size == 0 ||
+      baseline.size() % group_size != 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> group_max;
+  group_max.reserve(baseline.size() / group_size);
+  for (std::size_t g = 0; g < baseline.size(); g += group_size) {
+    double worst = 0.0;
+    for (std::size_t i = g; i < g + group_size; ++i) {
+      if (!std::isfinite(variant[i])) return std::numeric_limits<double>::infinity();
+      worst = std::max(worst, relative_error(baseline[i], variant[i]));
+    }
+    group_max.push_back(worst);
+  }
+  return l2_norm(group_max);
+}
+
+}  // namespace prose::tuner

@@ -1,0 +1,44 @@
+// Performance and correctness metrics (paper §III-D, §III-E).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace prose::tuner {
+
+/// Equation (1): Speedup = median(T_baseline_1..n) / median(T_variant_1..n).
+/// Values above 1 are improvements.
+double eq1_speedup(std::span<const double> baseline_times,
+                   std::span<const double> variant_times);
+
+/// The paper's rule for choosing n from the observed baseline relative
+/// standard deviation: a 10-member MPAS-A/ADCIRC ensemble at ~1% RSD used
+/// n = 1, MOM6 at ~9% used n = 7. We generalize: n = 1 below 2% RSD, n = 7
+/// at or above, which reproduces both published choices.
+int choose_eq1_n(double observed_rsd);
+
+/// Draws `n` noisy timing samples around a deterministic simulated time,
+/// using multiplicative log-normal noise of the given RSD. The stream is
+/// derived from (seed, stream_id) so results are independent of evaluation
+/// order.
+std::vector<double> sample_noisy_times(double deterministic_time, double rsd, int n,
+                                       std::uint64_t seed, std::uint64_t stream_id);
+
+/// Relative error per the paper: |(out_baseline - out_variant)/out_baseline|.
+/// Non-finite variant outputs map to +infinity (always over threshold).
+double output_relative_error(double baseline_metric, double variant_metric);
+
+/// Field-series error: partitions both series into consecutive groups of
+/// `group_size`, takes the most extreme per-element relative error within
+/// each group, and returns the L2 norm across groups — the paper's MPAS-A
+/// construction (per-timestep max over cells, then L2 over time). With
+/// group_size == 1 it is the ADCIRC/MOM6 L2-of-relative-errors form.
+/// Series length mismatch or non-finite variant entries yield +infinity.
+double series_error(std::span<const double> baseline, std::span<const double> variant,
+                    std::size_t group_size);
+
+}  // namespace prose::tuner

@@ -1,0 +1,242 @@
+#include "tuner/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ftn/callgraph.h"
+#include "ftn/paramflow.h"
+#include "ftn/transform.h"
+#include "sim/compile.h"
+
+namespace prose::tuner {
+
+StatusOr<VariantFeatures> extract_features(const Evaluator& evaluator,
+                                           const Config& config) {
+  VariantFeatures f;
+  f.fraction32 = config.fraction32();
+
+  const auto& space = evaluator.space();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (config.kinds[i] == 4 && space.atoms()[i].is_array) {
+      f.array_atoms_lowered += 1.0;
+    }
+  }
+
+  // Pre-wrap mixed-flow penalty (the §V cost model).
+  ftn::Program raw = evaluator.pristine().program.clone();
+  if (Status s = ftn::apply_assignment(raw, space.to_assignment(config)); !s.is_ok()) {
+    return s;
+  }
+  auto resolved = ftn::resolve(std::move(raw));
+  if (!resolved.is_ok()) return resolved.status();
+  {
+    const ftn::CallGraph cg = ftn::CallGraph::build(resolved.value());
+    const auto pf = ftn::build_param_flow(resolved.value(), cg);
+    const double total = pf.total_flow();
+    f.mixed_flow_penalty = total > 0.0 ? pf.mismatch_penalty() / total : 0.0;
+  }
+
+  // Post-wrap vectorization report and wrapper count.
+  ftn::WrapperReport wreport;
+  auto variant =
+      ftn::make_variant(evaluator.pristine().program, space.to_assignment(config),
+                        &wreport);
+  if (!variant.is_ok()) return variant.status();
+  f.wrappers = wreport.wrappers_generated;
+  auto compiled = sim::compile(variant.value(), evaluator.spec().machine);
+  if (!compiled.is_ok()) return compiled.status();
+  f.vectorized_loops = static_cast<double>(compiled->vec_report.vectorized_count());
+  double casts = 0.0;
+  for (const auto& [id, info] : compiled->vec_report.loops) {
+    casts += info.cast_sites;
+  }
+  f.cast_sites = casts;
+  return f;
+}
+
+Status RidgePredictor::fit(const std::vector<VariantFeatures>& features,
+                           const std::vector<double>& targets) {
+  constexpr std::size_t n = VariantFeatures::kCount;
+  if (features.size() != targets.size() || features.size() < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "fit needs >= 2 samples with matching targets");
+  }
+  const auto m = features.size();
+
+  // Standardize features.
+  mean_.fill(0.0);
+  scale_.fill(0.0);
+  for (const auto& f : features) {
+    const auto x = f.as_array();
+    for (std::size_t j = 0; j < n; ++j) mean_[j] += x[j];
+  }
+  for (std::size_t j = 0; j < n; ++j) mean_[j] /= static_cast<double>(m);
+  for (const auto& f : features) {
+    const auto x = f.as_array();
+    for (std::size_t j = 0; j < n; ++j) {
+      scale_[j] += (x[j] - mean_[j]) * (x[j] - mean_[j]);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    scale_[j] = std::sqrt(scale_[j] / static_cast<double>(m));
+    if (scale_[j] < 1e-12) scale_[j] = 1.0;  // constant feature: no effect
+  }
+
+  const double target_mean =
+      std::accumulate(targets.begin(), targets.end(), 0.0) / static_cast<double>(m);
+
+  // Normal equations (X^T X + λI) w = X^T y on standardized, centered data.
+  double xtx[n][n] = {};
+  double xty[n] = {};
+  for (std::size_t s = 0; s < m; ++s) {
+    const auto raw = features[s].as_array();
+    std::array<double, n> x;
+    for (std::size_t j = 0; j < n; ++j) x[j] = (raw[j] - mean_[j]) / scale_[j];
+    const double y = targets[s] - target_mean;
+    for (std::size_t j = 0; j < n; ++j) {
+      xty[j] += x[j] * y;
+      for (std::size_t k = 0; k < n; ++k) xtx[j][k] += x[j] * x[k];
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) xtx[j][j] += lambda_;
+
+  // Gaussian elimination with partial pivoting on the (n x n) system.
+  std::array<std::array<double, n + 1>, n> aug{};
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) aug[j][k] = xtx[j][k];
+    aug[j][n] = xty[j];
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(aug[row][col]) > std::abs(aug[pivot][col])) pivot = row;
+    }
+    std::swap(aug[col], aug[pivot]);
+    if (std::abs(aug[col][col]) < 1e-12) {
+      return Status(StatusCode::kInvalidArgument, "singular feature matrix");
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const double factor = aug[row][col] / aug[col][col];
+      for (std::size_t k = col; k <= n; ++k) aug[row][k] -= factor * aug[col][k];
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) weights_[j] = aug[j][n] / aug[j][j];
+  intercept_ = target_mean;
+  trained_ = true;
+  return Status::ok();
+}
+
+double RidgePredictor::predict(const VariantFeatures& f) const {
+  PROSE_CHECK_MSG(trained_, "predict before fit");
+  const auto raw = f.as_array();
+  double y = intercept_;
+  for (std::size_t j = 0; j < VariantFeatures::kCount; ++j) {
+    y += weights_[j] * (raw[j] - mean_[j]) / scale_[j];
+  }
+  return y;
+}
+
+double RidgePredictor::r_squared(const std::vector<VariantFeatures>& features,
+                                 const std::vector<double>& targets) const {
+  PROSE_CHECK(features.size() == targets.size() && !targets.empty());
+  const double mean =
+      std::accumulate(targets.begin(), targets.end(), 0.0) /
+      static_cast<double>(targets.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double pred = predict(features[i]);
+    ss_res += (targets[i] - pred) * (targets[i] - pred);
+    ss_tot += (targets[i] - mean) * (targets[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-18 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+namespace {
+
+std::vector<double> ranks_of(const std::vector<double>& xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Average ranks over ties.
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  PROSE_CHECK(a.size() == b.size() && a.size() >= 2);
+  const auto ra = ranks_of(a);
+  const auto rb = ranks_of(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+StatusOr<PredictorEvaluation> evaluate_predictor_on_trace(
+    const Evaluator& evaluator, const SearchResult& trace, double train_fraction,
+    double lambda) {
+  std::vector<VariantFeatures> features;
+  std::vector<double> speedups;
+  for (const auto& r : trace.records) {
+    if (r.eval.outcome != Outcome::kPass && r.eval.outcome != Outcome::kFail) continue;
+    auto f = extract_features(evaluator, r.config);
+    if (!f.is_ok()) continue;
+    features.push_back(*f);
+    speedups.push_back(r.eval.speedup);
+  }
+  if (features.size() < 8) {
+    return Status(StatusCode::kInvalidArgument,
+                  "trace has too few completed variants to train on");
+  }
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(features.size()) * train_fraction);
+  const std::vector<VariantFeatures> train_x(features.begin(),
+                                             features.begin() + static_cast<std::ptrdiff_t>(split));
+  const std::vector<double> train_y(speedups.begin(),
+                                    speedups.begin() + static_cast<std::ptrdiff_t>(split));
+  const std::vector<VariantFeatures> test_x(features.begin() + static_cast<std::ptrdiff_t>(split),
+                                            features.end());
+  const std::vector<double> test_y(speedups.begin() + static_cast<std::ptrdiff_t>(split),
+                                   speedups.end());
+
+  RidgePredictor predictor(lambda);
+  if (Status s = predictor.fit(train_x, train_y); !s.is_ok()) return s;
+
+  PredictorEvaluation out;
+  out.train_samples = train_x.size();
+  out.test_samples = test_x.size();
+  out.r2 = predictor.r_squared(test_x, test_y);
+  std::vector<double> predicted;
+  predicted.reserve(test_x.size());
+  for (const auto& f : test_x) predicted.push_back(predictor.predict(f));
+  out.spearman = test_y.size() >= 2 ? spearman_correlation(predicted, test_y) : 0.0;
+  return out;
+}
+
+}  // namespace prose::tuner

@@ -1,0 +1,83 @@
+// Learned variant-performance prediction (§V's closing recommendation).
+//
+// The paper argues that scaling FPPT requires avoiding dynamic evaluation of
+// bad variants and points at learned predictors of mixed-precision
+// performance (its ref. [42]) as the needed innovation. This module
+// implements that extension over our substrate: a ridge-regression model on
+// cheap *static* features of a variant (fraction lowered, mixed-flow
+// penalty, wrapper count, vectorization report, cast sites) that predicts
+// Eq. (1) speedup without running the variant. The ablation bench trains it
+// on a prefix of a recorded search trace and scores it on the rest.
+#pragma once
+
+#include <vector>
+
+#include "tuner/evaluator.h"
+#include "tuner/search.h"
+
+namespace prose::tuner {
+
+/// Static (no-execution) features of one configuration. Computing them costs
+/// one transform + resolve + compile — the T2 half of the cycle, without T3.
+struct VariantFeatures {
+  double fraction32 = 0.0;
+  double mixed_flow_penalty = 0.0;    // pre-wrap calls × elements (normalized)
+  double wrappers = 0.0;              // wrappers the transform generated
+  double vectorized_loops = 0.0;      // post-transform vectorization report
+  double cast_sites = 0.0;            // in-loop kind-conversion points
+  double array_atoms_lowered = 0.0;   // lowered atoms that are arrays
+
+  static constexpr std::size_t kCount = 6;
+  [[nodiscard]] std::array<double, kCount> as_array() const {
+    return {fraction32, mixed_flow_penalty, wrappers,
+            vectorized_loops, cast_sites, array_atoms_lowered};
+  }
+};
+
+/// Extracts features; fails only if the transform itself fails.
+StatusOr<VariantFeatures> extract_features(const Evaluator& evaluator,
+                                           const Config& config);
+
+/// Ridge regression over standardized features.
+class RidgePredictor {
+ public:
+  explicit RidgePredictor(double lambda = 1.0) : lambda_(lambda) {}
+
+  /// Fits targets ~ features. Requires at least 2 samples.
+  Status fit(const std::vector<VariantFeatures>& features,
+             const std::vector<double>& targets);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] double predict(const VariantFeatures& f) const;
+
+  /// Coefficient of determination on a held-out set.
+  [[nodiscard]] double r_squared(const std::vector<VariantFeatures>& features,
+                                 const std::vector<double>& targets) const;
+
+ private:
+  double lambda_;
+  bool trained_ = false;
+  std::array<double, VariantFeatures::kCount> mean_{};
+  std::array<double, VariantFeatures::kCount> scale_{};
+  std::array<double, VariantFeatures::kCount> weights_{};
+  double intercept_ = 0.0;
+};
+
+/// Spearman rank correlation between two equally-sized samples — the
+/// ranking quality that matters for using predictions as a search pre-filter.
+double spearman_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Convenience: train on the first `train_fraction` of a recorded trace
+/// (completed variants only) and report held-out quality.
+struct PredictorEvaluation {
+  std::size_t train_samples = 0;
+  std::size_t test_samples = 0;
+  double r2 = 0.0;
+  double spearman = 0.0;
+};
+
+StatusOr<PredictorEvaluation> evaluate_predictor_on_trace(
+    const Evaluator& evaluator, const SearchResult& trace,
+    double train_fraction = 0.6, double lambda = 1.0);
+
+}  // namespace prose::tuner

@@ -1,0 +1,125 @@
+#include "tuner/report.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/ascii_plot.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace prose::tuner {
+
+std::string variants_csv(const SearchResult& search) {
+  CsvWriter csv;
+  csv.add_row({"id", "outcome", "speedup", "rel_error", "fraction32", "wrappers",
+               "cast_cycles", "hotspot_cycles", "whole_cycles"});
+  for (const auto& r : search.records) {
+    csv.add_row({std::to_string(r.id), to_string(r.eval.outcome),
+                 format_double(r.eval.speedup, 4), format_sci(r.eval.error, 4),
+                 format_double(r.eval.fraction32, 4), std::to_string(r.eval.wrappers),
+                 format_double(r.eval.cast_cycles, 0),
+                 format_double(r.eval.hotspot_cycles, 0),
+                 format_double(r.eval.whole_cycles, 0)});
+  }
+  return csv.str();
+}
+
+std::string figure6_csv(const std::vector<ProcedureVariantPoint>& points) {
+  CsvWriter csv;
+  csv.add_row({"procedure", "scope_key", "speedup", "fraction32"});
+  for (const auto& p : points) {
+    csv.add_row({p.proc, p.scope_key, format_double(p.speedup, 4),
+                 format_double(p.fraction32, 4)});
+  }
+  return csv.str();
+}
+
+std::string variants_scatter(const std::string& title, const SearchResult& search,
+                             double error_threshold, bool log_error_axis) {
+  AsciiScatter plot(title, "relative error", "speedup (Eq. 1)");
+  plot.set_log_x(log_error_axis);
+  plot.set_size(76, 22);
+  plot.add_y_guide(1.0);
+  if (!log_error_axis || error_threshold > 0) plot.add_x_guide(error_threshold);
+  for (const auto& r : search.records) {
+    if (r.eval.outcome != Outcome::kPass && r.eval.outcome != Outcome::kFail) continue;
+    char glyph = r.eval.outcome == Outcome::kPass ? '+' : 'x';
+    double err = r.eval.error;
+    if (log_error_axis && err <= 0.0) err = 1e-17;  // exact matches still plot
+    plot.add_point(err, r.eval.speedup, glyph);
+  }
+  std::ostringstream os;
+  os << plot.render();
+  std::size_t timeouts = 0, errors = 0;
+  for (const auto& r : search.records) {
+    if (r.eval.outcome == Outcome::kTimeout) ++timeouts;
+    if (r.eval.outcome == Outcome::kRuntimeError ||
+        r.eval.outcome == Outcome::kCompileError) {
+      ++errors;
+    }
+  }
+  os << "legend: '+' pass  'x' fail   (" << timeouts << " timeouts and " << errors
+     << " runtime errors not plotted; ':' error threshold, '.' speedup 1x)\n";
+  return os.str();
+}
+
+std::string figure6_scatter(const std::string& title,
+                            const std::vector<ProcedureVariantPoint>& points) {
+  // Group by procedure; x = procedure index + jitter by variant order,
+  // y = speedup (log). Mirrors the paper's per-procedure columns.
+  std::map<std::string, std::vector<const ProcedureVariantPoint*>> by_proc;
+  for (const auto& p : points) by_proc[p.proc].push_back(&p);
+
+  AsciiScatter plot(title, "procedure (column index)", "per-call speedup");
+  plot.set_log_y(true);
+  plot.set_size(76, 22);
+  plot.add_y_guide(1.0);
+  std::ostringstream legend;
+  double x = 1.0;
+  char glyph = 'a';
+  for (const auto& [proc, pts] : by_proc) {
+    legend << "  " << glyph << " = " << proc << " (" << pts.size() << " variants)\n";
+    double jitter = 0.0;
+    for (const auto* p : pts) {
+      plot.add_point(x + jitter, std::max(p->speedup, 1e-4), glyph);
+      jitter += 0.6 / std::max<std::size_t>(1, pts.size());
+    }
+    x += 1.0;
+    ++glyph;
+  }
+  return plot.render() + legend.str();
+}
+
+std::vector<std::string> table2_row(const CampaignSummary& s) {
+  return {s.model,
+          std::to_string(s.total),
+          format_percent(s.pass_pct / 100.0),
+          format_percent(s.fail_pct / 100.0),
+          format_percent(s.timeout_pct / 100.0),
+          format_percent(s.error_pct / 100.0),
+          format_double(s.best_speedup, 2) + "x"};
+}
+
+std::string final_variant_report(const CampaignResult& result) {
+  std::ostringstream os;
+  std::size_t high = 0;
+  std::vector<std::string> high_names;
+  for (const auto& [name, kind] : result.final_kinds) {
+    if (kind == 8) {
+      ++high;
+      if (high_names.size() < 50) high_names.push_back(name);
+    }
+  }
+  os << "final variant: " << high << "/" << result.final_kinds.size()
+     << " variables remain in 64-bit";
+  if (result.search.one_minimal) os << " (1-minimal)";
+  os << '\n';
+  for (const auto& name : high_names) os << "  real(kind=8) :: " << name << '\n';
+  if (high > high_names.size()) {
+    os << "  ... and " << (high - high_names.size()) << " more\n";
+  }
+  return os.str();
+}
+
+}  // namespace prose::tuner

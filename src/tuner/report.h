@@ -1,0 +1,37 @@
+// Report builders: the tables and figure series the benches print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tuner/campaign.h"
+#include "tuner/frontier.h"
+
+namespace prose::tuner {
+
+/// CSV of a search trace: one row per variant with id, outcome, speedup,
+/// error, %32-bit, wrappers (the Figure 2/5/7 series).
+std::string variants_csv(const SearchResult& search);
+
+/// CSV of the Figure 6 per-procedure series.
+std::string figure6_csv(const std::vector<ProcedureVariantPoint>& points);
+
+/// ASCII scatter of a search trace on speedup-error axes, with the paper's
+/// threshold guide lines (Fig. 5 style). Glyphs: '+' pass, 'x' fail,
+/// 't' timeout, 'e' runtime error.
+std::string variants_scatter(const std::string& title, const SearchResult& search,
+                             double error_threshold, bool log_error_axis = true);
+
+/// ASCII scatter of per-procedure speedups on a log axis (Fig. 6 style),
+/// one row block per procedure.
+std::string figure6_scatter(const std::string& title,
+                            const std::vector<ProcedureVariantPoint>& points);
+
+/// Table II row cells for one campaign summary.
+std::vector<std::string> table2_row(const CampaignSummary& summary);
+
+/// A human-readable description of the final variant: which atoms stayed in
+/// 64-bit (the paper reports these counts, e.g. ADCIRC's single variable).
+std::string final_variant_report(const CampaignResult& result);
+
+}  // namespace prose::tuner

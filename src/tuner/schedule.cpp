@@ -1,0 +1,39 @@
+#include "tuner/schedule.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace prose::tuner {
+
+ClusterSim::ClusterSim(ClusterOptions options) : options_(options) {
+  PROSE_CHECK(options_.nodes > 0);
+}
+
+double ClusterSim::remaining_seconds() const {
+  return std::max(0.0, options_.wall_budget_seconds - elapsed_);
+}
+
+bool ClusterSim::run_batch(const std::vector<double>& task_seconds) {
+  if (exhausted_) return false;
+  ++batches_;
+  // Longest-processing-time list scheduling onto the least-loaded node.
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<double> node_load(options_.nodes, 0.0);
+  for (const double t : sorted) {
+    PROSE_CHECK(t >= 0.0);
+    auto least = std::min_element(node_load.begin(), node_load.end());
+    *least += t;
+    busy_ += t;
+  }
+  const double makespan = *std::max_element(node_load.begin(), node_load.end());
+  elapsed_ += makespan;
+  if (elapsed_ >= options_.wall_budget_seconds) {
+    exhausted_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prose::tuner

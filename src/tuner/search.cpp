@@ -1,0 +1,271 @@
+#include "tuner/search.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/rng.h"
+
+namespace prose::tuner {
+namespace {
+
+/// Shared bookkeeping for all search strategies.
+class Recorder {
+ public:
+  Recorder(Evaluator& evaluator, const SearchOptions& options)
+      : evaluator_(evaluator), options_(options) {}
+
+  /// Evaluates and records a configuration; returns null when the search
+  /// must stop (variant cap or batch hook said so).
+  const VariantRecord* probe(const Config& config) {
+    if (stopped_) return nullptr;
+    if (options_.prefilter && !options_.prefilter(config)) {
+      // Statically rejected (§V): no dynamic evaluation, treated as an
+      // unacceptable candidate by the caller (probe returns null).
+      ++result_.statically_skipped;
+      return nullptr;
+    }
+    bool cache_hit = false;
+    const Evaluation& eval = evaluator_.evaluate(config, &cache_hit);
+    if (cache_hit) {
+      ++result_.cache_hits;
+      // Cached configurations were already recorded; find them. (A deque
+      // keeps references stable across push_back.)
+      for (const auto& r : records_) {
+        if (r.config == config) return &r;
+      }
+    }
+    VariantRecord rec;
+    rec.id = static_cast<int>(records_.size()) + 1;
+    rec.config = config;
+    rec.eval = eval;
+    records_.push_back(std::move(rec));
+    const VariantRecord* stored = &records_.back();
+    pending_batch_.push_back(stored);
+
+    if (eval.outcome == Outcome::kPass &&
+        (!result_.best.has_value() || eval.speedup > result_.best_speedup)) {
+      result_.best = config;
+      result_.best_speedup = eval.speedup;
+    }
+    if (options_.max_variants > 0 && records_.size() >= options_.max_variants) {
+      stopped_ = true;
+      result_.budget_exhausted = true;
+    }
+    return stored;
+  }
+
+  /// Flushes the pending proposals through the batch hook (campaign timing).
+  void end_batch() {
+    if (pending_batch_.empty()) return;
+    if (options_.batch_hook && !options_.batch_hook(pending_batch_)) {
+      stopped_ = true;
+      result_.budget_exhausted = true;
+    }
+    pending_batch_.clear();
+  }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  SearchResult take() {
+    end_batch();
+    result_.records.assign(std::make_move_iterator(records_.begin()),
+                           std::make_move_iterator(records_.end()));
+    records_.clear();
+    return std::move(result_);
+  }
+
+ private:
+  Evaluator& evaluator_;
+  const SearchOptions& options_;
+  SearchResult result_;
+  std::deque<VariantRecord> records_;
+  std::vector<const VariantRecord*> pending_batch_;
+  bool stopped_ = false;
+};
+
+Config lower_atoms(const Config& base, const std::vector<std::size_t>& atoms) {
+  Config out = base;
+  for (const std::size_t i : atoms) out.kinds[i] = 4;
+  return out;
+}
+
+std::vector<std::size_t> still_high(const Config& config) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < config.kinds.size(); ++i) {
+    if (config.kinds[i] == 8) out.push_back(i);
+  }
+  return out;
+}
+
+/// Splits `items` into `parts` contiguous chunks of near-equal size.
+std::vector<std::vector<std::size_t>> partition(const std::vector<std::size_t>& items,
+                                                std::size_t parts) {
+  parts = std::min(parts, items.size());
+  std::vector<std::vector<std::size_t>> out(parts);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[i * parts / items.size()].push_back(items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& options) {
+  Recorder rec(evaluator, options);
+
+  Config accepted = evaluator.space().uniform(8);
+  // Respect declarations that were already 32-bit in the original source.
+  for (std::size_t i = 0; i < evaluator.space().atoms().size(); ++i) {
+    accepted.kinds[i] =
+        static_cast<std::uint8_t>(evaluator.space().atoms()[i].original_kind);
+  }
+
+  std::vector<std::size_t> candidates = still_high(accepted);
+  std::size_t div = 2;
+  bool reached_minimal = false;
+
+  // First proposal: the uniform 32-bit configuration (the paper's searches
+  // always measure it — it anchors Figures 2/5).
+  if (const auto* r = rec.probe(lower_atoms(accepted, candidates)); r != nullptr) {
+    if (r->eval.acceptable()) {
+      accepted = r->config;
+      candidates.clear();
+      reached_minimal = true;  // nothing left in 64-bit
+    }
+  }
+  rec.end_batch();
+
+  while (!candidates.empty() && !rec.stopped()) {
+    const auto subsets = partition(candidates, div);
+    bool progressed = false;
+
+    // Try lowering each subset (one batch: the paper evaluates these in
+    // parallel across nodes). A null probe is either a statically-rejected
+    // candidate (skip it) or a stopped search (break).
+    std::vector<const VariantRecord*> batch;
+    for (const auto& subset : subsets) {
+      const auto* r = rec.probe(lower_atoms(accepted, subset));
+      if (rec.stopped()) break;
+      if (r != nullptr) batch.push_back(r);
+    }
+    rec.end_batch();
+    if (rec.stopped()) break;
+
+    for (std::size_t si = 0; si < batch.size(); ++si) {
+      if (batch[si]->eval.acceptable()) {
+        accepted = batch[si]->config;
+        candidates = still_high(accepted);
+        div = std::max<std::size_t>(2, div - 1);
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+
+    // Try the complements (skip when div == 2: complements equal the other
+    // subset).
+    if (div > 2) {
+      std::vector<const VariantRecord*> cbatch;
+      for (const auto& subset : subsets) {
+        std::vector<std::size_t> complement;
+        for (const std::size_t c : candidates) {
+          if (std::find(subset.begin(), subset.end(), c) == subset.end()) {
+            complement.push_back(c);
+          }
+        }
+        if (complement.empty()) continue;
+        const auto* r = rec.probe(lower_atoms(accepted, complement));
+        if (rec.stopped()) break;
+        if (r != nullptr) cbatch.push_back(r);
+      }
+      rec.end_batch();
+      if (rec.stopped()) break;
+      for (const auto* r : cbatch) {
+        if (r->eval.acceptable()) {
+          accepted = r->config;
+          candidates = still_high(accepted);
+          div = std::max<std::size_t>(2, div - 2);
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) continue;
+    }
+
+    // Refine the partition; at singleton granularity we are done and the
+    // accepted configuration is 1-minimal by construction.
+    if (div >= candidates.size()) {
+      reached_minimal = true;
+      break;
+    }
+    div = std::min(candidates.size(), div * 2);
+  }
+
+  SearchResult result = rec.take();
+  result.accepted = accepted;
+  result.one_minimal = reached_minimal && !result.budget_exhausted;
+  return result;
+}
+
+SearchResult brute_force_search(Evaluator& evaluator, const SearchOptions& options) {
+  Recorder rec(evaluator, options);
+  const std::size_t n = evaluator.space().size();
+  PROSE_CHECK_MSG(n <= 24, "brute force is limited to 2^24 variants");
+  const std::size_t total = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < total && !rec.stopped(); ++mask) {
+    Config config = evaluator.space().uniform(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) config.kinds[i] = 4;
+    }
+    rec.probe(config);
+    if ((mask & 0x3f) == 0x3f) rec.end_batch();
+  }
+  SearchResult result = rec.take();
+  if (result.best.has_value()) result.accepted = *result.best;
+  return result;
+}
+
+SearchResult random_search(Evaluator& evaluator, std::size_t samples,
+                           std::uint64_t seed, const SearchOptions& options) {
+  Recorder rec(evaluator, options);
+  Rng rng(seed);
+  const std::size_t n = evaluator.space().size();
+  for (std::size_t s = 0; s < samples && !rec.stopped(); ++s) {
+    Config config = evaluator.space().uniform(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) config.kinds[i] = 4;
+    }
+    rec.probe(config);
+    rec.end_batch();
+  }
+  SearchResult result = rec.take();
+  if (result.best.has_value()) result.accepted = *result.best;
+  return result;
+}
+
+SearchResult one_at_a_time_search(Evaluator& evaluator, const SearchOptions& options) {
+  Recorder rec(evaluator, options);
+  Config accepted = evaluator.space().uniform(8);
+  for (std::size_t i = 0; i < evaluator.space().size() && !rec.stopped(); ++i) {
+    Config candidate = accepted;
+    candidate.kinds[i] = 4;
+    const auto* r = rec.probe(candidate);
+    rec.end_batch();
+    if (r != nullptr && r->eval.acceptable()) accepted = candidate;
+  }
+  SearchResult result = rec.take();
+  result.accepted = accepted;
+  return result;
+}
+
+std::vector<std::size_t> check_one_minimal(Evaluator& evaluator, const Config& config) {
+  std::vector<std::size_t> violations;
+  for (std::size_t i = 0; i < config.kinds.size(); ++i) {
+    if (config.kinds[i] != 8) continue;
+    Config candidate = config;
+    candidate.kinds[i] = 4;
+    if (evaluator.evaluate(candidate).acceptable()) violations.push_back(i);
+  }
+  return violations;
+}
+
+}  // namespace prose::tuner

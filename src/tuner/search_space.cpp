@@ -1,0 +1,98 @@
+#include "tuner/search_space.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace prose::tuner {
+
+StatusOr<SearchSpace> SearchSpace::build(const ftn::ResolvedProgram& rp,
+                                         const std::vector<std::string>& scopes,
+                                         const std::set<std::string>& exclude) {
+  SearchSpace space;
+  const auto in_scope = [&](const ftn::Symbol& sym) {
+    for (const auto& scope : scopes) {
+      if (scope.find("::") != std::string::npos) {
+        const std::size_t sep = scope.find("::");
+        const std::string mod = scope.substr(0, sep);
+        const std::string proc = scope.substr(sep + 2);
+        if (sym.module_name == mod && sym.proc_name == proc) return true;
+      } else if (sym.module_name == scope) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto& sym : rp.symbols.all()) {
+    if (!sym.is_variable() || !sym.type.is_real()) continue;
+    if (!in_scope(sym)) continue;
+    // Declarations inside tool-generated wrappers are not search atoms: the
+    // transformation owns them, and retyping them would decouple a wrapper's
+    // name from its signature.
+    if (!sym.proc_name.empty()) {
+      const auto owner = rp.symbols.find_procedure(sym.module_name, sym.proc_name);
+      if (owner.has_value() && rp.symbols.get(*owner).generated) continue;
+    }
+    const std::string q = sym.qualified();
+    if (exclude.contains(q)) continue;
+    Atom atom;
+    atom.decl = sym.decl_node;
+    atom.qualified = q;
+    atom.is_array = sym.is_array();
+    atom.elements = sym.element_count();
+    atom.original_kind = sym.type.kind;
+    space.atoms_.push_back(std::move(atom));
+  }
+  if (space.atoms_.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no real-typed variables found in the targeted scopes");
+  }
+  return space;
+}
+
+Config SearchSpace::uniform(int kind) const {
+  Config c;
+  c.kinds.assign(atoms_.size(), static_cast<std::uint8_t>(kind));
+  return c;
+}
+
+ftn::PrecisionAssignment SearchSpace::to_assignment(const Config& config) const {
+  PROSE_CHECK(config.kinds.size() == atoms_.size());
+  ftn::PrecisionAssignment pa;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (config.kinds[i] != atoms_[i].original_kind) {
+      pa.kinds[atoms_[i].decl] = config.kinds[i];
+    }
+  }
+  return pa;
+}
+
+std::ptrdiff_t SearchSpace::index_of(const std::string& qualified) const {
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].qualified == qualified) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+std::vector<std::size_t> SearchSpace::atoms_in_scope(const std::string& scope) const {
+  std::vector<std::size_t> out;
+  const std::string prefix = scope + "::";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (starts_with(atoms_[i].qualified, prefix) &&
+        atoms_[i].qualified.find("::", prefix.size()) == std::string::npos) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string SearchSpace::scope_key(const Config& config, const std::string& scope) const {
+  std::string key;
+  for (const std::size_t i : atoms_in_scope(scope)) {
+    key += config.kinds[i] == 4 ? '4' : '8';
+  }
+  return key;
+}
+
+}  // namespace prose::tuner

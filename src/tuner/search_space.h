@@ -1,0 +1,89 @@
+// Search-space construction (paper §III-A).
+//
+// Search atoms are floating-point *variable declarations* within the targeted
+// scope (a module, or specific procedures), at two precision levels — the
+// paper's choices for keeping the 2^n design space tractable and the
+// resulting variants readable by domain experts.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ftn/sema.h"
+#include "ftn/transform.h"
+
+namespace prose::tuner {
+
+/// One tunable declaration.
+struct Atom {
+  ftn::NodeId decl = ftn::kInvalidNode;
+  std::string qualified;     // "module::proc::var" or "module::var"
+  bool is_array = false;
+  std::int64_t elements = 1; // 0 when the shape is assumed/automatic
+  int original_kind = 8;
+};
+
+/// A precision configuration: kinds[i] applies to atoms[i]. Value semantics,
+/// cheap to copy, hashable for the evaluation cache.
+struct Config {
+  std::vector<std::uint8_t> kinds;  // 4 or 8 per atom
+
+  [[nodiscard]] std::size_t count32() const {
+    std::size_t n = 0;
+    for (const auto k : kinds) {
+      if (k == 4) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] double fraction32() const {
+    return kinds.empty() ? 0.0
+                         : static_cast<double>(count32()) / static_cast<double>(kinds.size());
+  }
+  [[nodiscard]] std::string key() const {
+    std::string k(kinds.size(), '8');
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == 4) k[i] = '4';
+    }
+    return k;
+  }
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+class SearchSpace {
+ public:
+  /// Enumerates the real-typed variable declarations of the given scopes.
+  /// A scope is a module name ("mpas") or a procedure ("mpas::flux4").
+  /// `exclude` removes atoms by qualified name (e.g. funarc's `result`).
+  static StatusOr<SearchSpace> build(const ftn::ResolvedProgram& rp,
+                                     const std::vector<std::string>& scopes,
+                                     const std::set<std::string>& exclude = {});
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+  [[nodiscard]] std::size_t size() const { return atoms_.size(); }
+
+  /// All-64-bit / all-32-bit configurations.
+  [[nodiscard]] Config uniform(int kind) const;
+
+  /// Converts a configuration into the transformation plan. Only atoms whose
+  /// kind differs from the declaration's original kind appear in the plan.
+  [[nodiscard]] ftn::PrecisionAssignment to_assignment(const Config& config) const;
+
+  /// Index of an atom by qualified name; -1 if absent.
+  [[nodiscard]] std::ptrdiff_t index_of(const std::string& qualified) const;
+
+  /// Atoms belonging to one procedure ("module::proc"), for per-procedure
+  /// variant analysis (Figure 6).
+  [[nodiscard]] std::vector<std::size_t> atoms_in_scope(const std::string& scope) const;
+
+  /// Restriction of a config to one scope, as a key string (identifies the
+  /// unique per-procedure variants of Figure 6).
+  [[nodiscard]] std::string scope_key(const Config& config,
+                                      const std::string& scope) const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace prose::tuner

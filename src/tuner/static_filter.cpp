@@ -1,0 +1,77 @@
+#include "tuner/static_filter.h"
+
+#include "ftn/callgraph.h"
+#include "ftn/paramflow.h"
+#include "ftn/transform.h"
+#include "support/strings.h"
+
+namespace prose::tuner {
+
+StatusOr<StaticScreener> StaticScreener::create(const Evaluator& evaluator,
+                                                StaticFilterOptions options) {
+  StaticScreener screener;
+  screener.options_ = options;
+  const auto& rp = evaluator.pristine();
+  const ftn::CallGraph cg = ftn::CallGraph::build(rp);
+  const ftn::ParamFlowGraph pf = ftn::build_param_flow(rp, cg);
+  screener.baseline_total_flow_ = pf.total_flow();
+
+  auto compiled = sim::compile(rp, evaluator.spec().machine);
+  if (!compiled.is_ok()) return compiled.status();
+  screener.baseline_vectorized_ = compiled->vec_report.vectorized_count();
+  return screener;
+}
+
+StaticScreenResult StaticScreener::screen(const Evaluator& evaluator,
+                                          const Config& config) const {
+  StaticScreenResult result;
+  result.baseline_vectorized_loops = baseline_vectorized_;
+
+  auto variant = ftn::make_variant(evaluator.pristine().program,
+                                   evaluator.space().to_assignment(config));
+  if (!variant.is_ok()) {
+    result.rejected = true;
+    result.reason = "transform failed: " + variant.status().to_string();
+    return result;
+  }
+
+  if (options_.use_mixed_flow_filter) {
+    // After wrapping, the former mismatches appear as wrapper-internal array
+    // copies; measure the *pre-wrap* mismatch volume instead, which is what
+    // the §V cost model would see.
+    ftn::Program raw = evaluator.pristine().program.clone();
+    if (ftn::apply_assignment(raw, evaluator.space().to_assignment(config)).is_ok()) {
+      auto resolved = ftn::resolve(std::move(raw));
+      if (resolved.is_ok()) {
+        const ftn::CallGraph cg = ftn::CallGraph::build(resolved.value());
+        const ftn::ParamFlowGraph pf = ftn::build_param_flow(resolved.value(), cg);
+        result.mixed_flow_penalty = pf.mismatch_penalty();
+        if (baseline_total_flow_ > 0.0 &&
+            result.mixed_flow_penalty >
+                options_.mixed_flow_fraction_threshold * baseline_total_flow_) {
+          result.rejected = true;
+          result.reason = "mixed-precision interprocedural flow penalty " +
+                          format_double(result.mixed_flow_penalty, 0) + " exceeds " +
+                          format_percent(options_.mixed_flow_fraction_threshold) +
+                          " of baseline flow";
+        }
+      }
+    }
+  }
+
+  if (options_.use_vectorization_filter && !result.rejected) {
+    auto compiled = sim::compile(variant.value(), evaluator.spec().machine);
+    if (compiled.is_ok()) {
+      result.vectorized_loops = compiled->vec_report.vectorized_count();
+      if (result.vectorized_loops < baseline_vectorized_) {
+        result.rejected = true;
+        result.reason = "vectorization report regressed: " +
+                        std::to_string(result.vectorized_loops) + " < baseline " +
+                        std::to_string(baseline_vectorized_);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace prose::tuner

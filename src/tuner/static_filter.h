@@ -1,0 +1,53 @@
+// Static variant evaluation (paper §V recommendations).
+//
+// Two filters that predict a bad variant *without* running it:
+//   1. Mixed-flow cost model: penalize mixed-precision interprocedural data
+//     flow as a function of estimated call count × array element count
+//     (suggested by the MPAS-A flux and MOM6 zonal_mass_flux analyses).
+//   2. Vectorization report filter: reject variants whose compiled code
+//     vectorizes fewer loops than the baseline (suggested by the flux
+//     inlining analysis).
+// The ablation bench measures how many dynamic evaluations these filters
+// would have saved and whether they ever reject an acceptable variant.
+#pragma once
+
+#include <string>
+
+#include "sim/compile.h"
+#include "tuner/evaluator.h"
+
+namespace prose::tuner {
+
+struct StaticScreenResult {
+  bool rejected = false;
+  std::string reason;
+  double mixed_flow_penalty = 0.0;   // Σ calls × elements over mismatched edges
+  std::size_t vectorized_loops = 0;
+  std::size_t baseline_vectorized_loops = 0;
+};
+
+struct StaticFilterOptions {
+  /// Reject when the mixed-flow penalty exceeds this fraction of the
+  /// baseline's total interprocedural FP flow.
+  double mixed_flow_fraction_threshold = 0.25;
+  bool use_mixed_flow_filter = true;
+  bool use_vectorization_filter = true;
+};
+
+class StaticScreener {
+ public:
+  /// Precomputes baseline facts (flow volume, vectorized-loop count).
+  static StatusOr<StaticScreener> create(const Evaluator& evaluator,
+                                         StaticFilterOptions options = {});
+
+  /// Screens one configuration: transforms (cheap, no execution), rebuilds
+  /// the flow graph and vectorization report, and applies the filters.
+  StaticScreenResult screen(const Evaluator& evaluator, const Config& config) const;
+
+ private:
+  StaticFilterOptions options_;
+  double baseline_total_flow_ = 0.0;
+  std::size_t baseline_vectorized_ = 0;
+};
+
+}  // namespace prose::tuner

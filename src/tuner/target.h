@@ -1,0 +1,79 @@
+// Tuning-target specification: everything the FPPT cycle (paper Fig. 1)
+// needs to know about one program — the source, the representative workload,
+// the targeted hotspot, the correctness metric, and the noise/timing profile.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/vm.h"
+#include "support/status.h"
+
+namespace prose::tuner {
+
+struct TargetSpec {
+  std::string name;                 // "MPAS-A", "ADCIRC", "MOM6", "funarc"
+  std::string source;               // Fortran-subset model source
+  std::string entry;                // "module::proc" running the workload once
+
+  /// Scopes whose real declarations are the search atoms (§III-A):
+  /// module names or "module::proc".
+  std::vector<std::string> atom_scopes;
+  std::set<std::string> exclude_atoms;
+
+  /// Hotspot boundary procedures, instrumented with GPTL; hotspot CPU time is
+  /// the summed inclusive time of these regions (§III-E).
+  std::vector<std::string> hotspot_procs;
+
+  /// Procedures reported individually in Figure 6.
+  std::vector<std::string> figure6_procs;
+
+  /// Prepares module inputs before a run (initial conditions). May be null.
+  std::function<Status(sim::Vm&)> setup;
+
+  /// Computes the scalar correctness metric from module outputs after a
+  /// successful run (§III-D). Mutually exclusive with series_fn.
+  std::function<StatusOr<double>(const sim::Vm&)> metric;
+
+  /// Alternative field metric: extracts a diagnostic series from the run
+  /// (e.g. per-timestep-per-cell kinetic energy, flattened with groups of
+  /// `series_group_size` contiguous entries per timestep). The variant error
+  /// is then the L2-norm across groups of the per-group maximum relative
+  /// error vs. the baseline series — the exact construction of the paper's
+  /// MPAS-A metric; with group size 1 it degenerates to the ADCIRC/MOM6
+  /// L2-of-relative-errors form.
+  std::function<StatusOr<std::vector<double>>(const sim::Vm&)> series_fn;
+  std::size_t series_group_size = 1;
+
+  /// Relative-error threshold on the metric (§IV-A).
+  double error_threshold = 0.1;
+
+  /// Observed run-to-run relative standard deviation (noise model input) and
+  /// the paper's matching Eq. (1) n.
+  double noise_rsd = 0.01;
+
+  /// Measure whole-model wall time instead of hotspot CPU time (§IV-C).
+  bool measure_whole_model = false;
+
+  /// Wall-clock seconds of one baseline run on the paper's testbed; fixes
+  /// the simulated-cycles → seconds scale used by the campaign scheduler.
+  double baseline_wall_seconds = 90.0;
+
+  /// Simulated seconds to transform + compile one variant on a node (the
+  /// paper parallelizes this per variant); part of the campaign time model.
+  double variant_build_seconds = 60.0;
+
+  /// Run the §III-C taint-based program reduction as a one-time
+  /// preprocessing step (the artifact's T0): computes the minimal
+  /// transformable subset for the search atoms and records its statistics.
+  /// Our in-process pipeline does not require it (no ROSE to work around),
+  /// so it is off by default; enabling it exercises the paper-faithful path.
+  bool run_reduction_preprocessing = false;
+
+  sim::MachineModel machine;
+};
+
+}  // namespace prose::tuner

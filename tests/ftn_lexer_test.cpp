@@ -1,0 +1,199 @@
+// Lexer unit tests.
+#include <gtest/gtest.h>
+
+#include "ftn/lexer.h"
+
+namespace prose::ftn {
+namespace {
+
+std::vector<Tok> kinds_of(const std::string& src) {
+  auto stream = lex(src, "<test>");
+  EXPECT_TRUE(stream.is_ok()) << stream.status().to_string();
+  std::vector<Tok> out;
+  for (const auto& t : stream->tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  auto stream = lex("", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  ASSERT_EQ(stream->tokens.size(), 1u);
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, IdentifiersAreLowerCased) {
+  auto stream = lex("Foo FOO foo", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stream->tokens[i].kind, Tok::kIdent);
+    EXPECT_EQ(stream->tokens[i].text, "foo");
+  }
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  const auto kinds = kinds_of("MODULE Module module");
+  EXPECT_EQ(kinds[0], Tok::kKwModule);
+  EXPECT_EQ(kinds[1], Tok::kKwModule);
+  EXPECT_EQ(kinds[2], Tok::kKwModule);
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto stream = lex("12345", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kIntLit);
+  EXPECT_EQ(stream->tokens[0].int_value, 12345);
+}
+
+TEST(Lexer, RealLiteralDefaultKind4) {
+  auto stream = lex("3.25", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(stream->tokens[0].real_value, 3.25);
+  EXPECT_EQ(stream->tokens[0].real_kind, 4);
+}
+
+TEST(Lexer, DExponentForcesKind8) {
+  auto stream = lex("1.5d-3", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(stream->tokens[0].real_value, 1.5e-3);
+  EXPECT_EQ(stream->tokens[0].real_kind, 8);
+}
+
+TEST(Lexer, EExponentKeepsKind4) {
+  auto stream = lex("2.0e10", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].real_kind, 4);
+}
+
+TEST(Lexer, KindSuffix8) {
+  auto stream = lex("1.0_8", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].real_kind, 8);
+}
+
+TEST(Lexer, RealLiteralWithLeadingDot) {
+  auto stream = lex(".5", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(stream->tokens[0].real_value, 0.5);
+}
+
+TEST(Lexer, DotOperatorsAndLegacyRelationals) {
+  const auto kinds = kinds_of("a .and. b .or. .not. c .lt. d .ge. e");
+  const std::vector<Tok> expected = {Tok::kIdent, Tok::kAnd, Tok::kIdent, Tok::kOr,
+                                     Tok::kNot,   Tok::kIdent, Tok::kLt, Tok::kIdent,
+                                     Tok::kGe,    Tok::kIdent};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(kinds[i], expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, LogicalLiterals) {
+  auto stream = lex(".true. .false.", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kLogicalLit);
+  EXPECT_TRUE(stream->tokens[0].logical_value);
+  EXPECT_EQ(stream->tokens[1].kind, Tok::kLogicalLit);
+  EXPECT_FALSE(stream->tokens[1].logical_value);
+}
+
+TEST(Lexer, ModernRelationalOperators) {
+  const auto kinds = kinds_of("a == b /= c <= d >= e < f > g");
+  const std::vector<Tok> ops = {Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe, Tok::kLt, Tok::kGt};
+  std::vector<Tok> seen;
+  for (const auto k : kinds) {
+    if (k != Tok::kIdent && k != Tok::kNewline && k != Tok::kEof) seen.push_back(k);
+  }
+  EXPECT_EQ(seen, ops);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto kinds = kinds_of("a ! this is a comment == nonsense\nb");
+  EXPECT_EQ(kinds[0], Tok::kIdent);
+  EXPECT_EQ(kinds[1], Tok::kNewline);
+  EXPECT_EQ(kinds[2], Tok::kIdent);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  const auto kinds = kinds_of("a + &\n  b");
+  // No newline between the '+' and 'b'.
+  const std::vector<Tok> expected = {Tok::kIdent, Tok::kPlus, Tok::kIdent};
+  for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(kinds[i], expected[i]);
+}
+
+TEST(Lexer, ContinuationWithLeadingAmp) {
+  const auto kinds = kinds_of("a + &\n  & b");
+  const std::vector<Tok> expected = {Tok::kIdent, Tok::kPlus, Tok::kIdent};
+  for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(kinds[i], expected[i]);
+}
+
+TEST(Lexer, SemicolonSeparatesStatements) {
+  const auto kinds = kinds_of("a = 1; b = 2");
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::kNewline), kinds.end());
+}
+
+TEST(Lexer, PowerVersusMul) {
+  const auto kinds = kinds_of("a ** b * c");
+  EXPECT_EQ(kinds[1], Tok::kPower);
+  EXPECT_EQ(kinds[3], Tok::kStar);
+}
+
+TEST(Lexer, SlashEqualsIsNotEqual) {
+  const auto kinds = kinds_of("a /= b / c");
+  EXPECT_EQ(kinds[1], Tok::kNe);
+  EXPECT_EQ(kinds[3], Tok::kSlash);
+}
+
+TEST(Lexer, ElseIfIsFused) {
+  const auto kinds = kinds_of("else if");
+  EXPECT_EQ(kinds[0], Tok::kKwElseIf);
+}
+
+TEST(Lexer, DoublePrecisionIsFused) {
+  const auto kinds = kinds_of("double precision :: x");
+  EXPECT_EQ(kinds[0], Tok::kKwDoublePrecision);
+  EXPECT_EQ(kinds[1], Tok::kDoubleColon);
+}
+
+TEST(Lexer, EndifEnddoSingleTokens) {
+  const auto kinds = kinds_of("endif\nenddo");
+  EXPECT_EQ(kinds[0], Tok::kKwEndIf);
+  EXPECT_EQ(kinds[2], Tok::kKwEndDo);
+}
+
+TEST(Lexer, SourceLocationsTrackLinesAndColumns) {
+  auto stream = lex("a\n  b", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].loc.line, 1u);
+  EXPECT_EQ(stream->tokens[0].loc.column, 1u);
+  // tokens[1] is the newline; tokens[2] is b.
+  EXPECT_EQ(stream->tokens[2].loc.line, 2u);
+  EXPECT_EQ(stream->tokens[2].loc.column, 3u);
+}
+
+TEST(Lexer, UnknownCharacterIsAnError) {
+  auto stream = lex("a @ b", "<test>");
+  EXPECT_FALSE(stream.is_ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, UnterminatedStringIsAnError) {
+  auto stream = lex("x = 'oops", "<test>");
+  EXPECT_FALSE(stream.is_ok());
+}
+
+TEST(Lexer, StringLiteralWithDoubledQuote) {
+  auto stream = lex("'it''s'", "<test>");
+  ASSERT_TRUE(stream.is_ok());
+  EXPECT_EQ(stream->tokens[0].kind, Tok::kStringLit);
+  EXPECT_EQ(stream->tokens[0].text, "it's");
+}
+
+TEST(Lexer, UnknownDotOperatorIsAnError) {
+  auto stream = lex("a .xor. b", "<test>");
+  EXPECT_FALSE(stream.is_ok());
+}
+
+}  // namespace
+}  // namespace prose::ftn

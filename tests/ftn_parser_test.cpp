@@ -1,0 +1,356 @@
+// Parser unit tests.
+#include <gtest/gtest.h>
+
+#include "ftn/parser.h"
+#include "ftn/unparse.h"
+#include "test_util.h"
+
+namespace prose::ftn {
+namespace {
+
+Program must_parse(const std::string& src) {
+  auto p = parse_source(src);
+  EXPECT_TRUE(p.is_ok()) << p.status().to_string();
+  return std::move(p.value());
+}
+
+TEST(Parser, TinyModuleStructure) {
+  Program prog = must_parse(prose::testing::tiny_module_source());
+  ASSERT_EQ(prog.modules.size(), 1u);
+  const Module& m = prog.modules[0];
+  EXPECT_EQ(m.name, "demo");
+  ASSERT_EQ(m.decls.size(), 3u);
+  EXPECT_EQ(m.decls[0].name, "n");
+  EXPECT_TRUE(m.decls[0].is_parameter);
+  EXPECT_EQ(m.decls[2].name, "xs");
+  EXPECT_TRUE(m.decls[2].is_array());
+  ASSERT_EQ(m.procedures.size(), 2u);
+  EXPECT_EQ(m.procedures[0].name, "accumulate");
+  EXPECT_EQ(m.procedures[0].kind, ProcKind::kSubroutine);
+  EXPECT_EQ(m.procedures[1].name, "weight");
+  EXPECT_EQ(m.procedures[1].kind, ProcKind::kFunction);
+  EXPECT_EQ(m.procedures[1].result_name, "w");
+}
+
+TEST(Parser, DeclKindsAndAttributes) {
+  Program prog = must_parse(R"f(
+module kinds
+  real(kind=4) :: a
+  real(kind=8) :: b
+  real :: c
+  double precision :: d
+  integer :: i
+  logical :: flag
+end module kinds
+)f");
+  const auto& decls = prog.modules[0].decls;
+  ASSERT_EQ(decls.size(), 6u);
+  EXPECT_EQ(decls[0].type, (ScalarType{BaseType::kReal, 4}));
+  EXPECT_EQ(decls[1].type, (ScalarType{BaseType::kReal, 8}));
+  EXPECT_EQ(decls[2].type, (ScalarType{BaseType::kReal, 4}));  // default real
+  EXPECT_EQ(decls[3].type, (ScalarType{BaseType::kReal, 8}));
+  EXPECT_EQ(decls[4].type.base, BaseType::kInteger);
+  EXPECT_EQ(decls[5].type.base, BaseType::kLogical);
+}
+
+TEST(Parser, MultiEntityDeclLine) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: s1, h, t1, t2, dppi
+end module m
+)f");
+  EXPECT_EQ(prog.modules[0].decls.size(), 5u);
+}
+
+TEST(Parser, DimensionAttributeAppliesToAllEntities) {
+  Program prog = must_parse(R"f(
+module m
+  integer, parameter :: n = 4
+  real(kind=8), dimension(n) :: a, b
+  real(kind=8) :: c(n, 2)
+end module m
+)f");
+  const auto& decls = prog.modules[0].decls;
+  EXPECT_EQ(decls[1].dims.size(), 1u);
+  EXPECT_EQ(decls[2].dims.size(), 1u);
+  EXPECT_EQ(decls[3].dims.size(), 2u);
+}
+
+TEST(Parser, IntentAttributes) {
+  Program prog = must_parse(R"f(
+module m
+contains
+  subroutine s(a, b, c)
+    real(kind=8), intent(in) :: a
+    real(kind=8), intent(out) :: b
+    real(kind=8), intent(inout) :: c
+    b = a
+    c = c + a
+  end subroutine s
+end module m
+)f");
+  const auto& decls = prog.modules[0].procedures[0].decls;
+  EXPECT_EQ(decls[0].intent, Intent::kIn);
+  EXPECT_EQ(decls[1].intent, Intent::kOut);
+  EXPECT_EQ(decls[2].intent, Intent::kInOut);
+}
+
+TEST(Parser, AssumedShapeDummy) {
+  Program prog = must_parse(R"f(
+module m
+contains
+  subroutine s(a)
+    real(kind=8), dimension(:), intent(inout) :: a
+    a(1) = 0.0d0
+  end subroutine s
+end module m
+)f");
+  const auto& d = prog.modules[0].procedures[0].decls[0];
+  ASSERT_EQ(d.dims.size(), 1u);
+  EXPECT_TRUE(d.dims[0].assumed());
+}
+
+TEST(Parser, FunctionWithTypePrefix) {
+  Program prog = must_parse(R"f(
+module m
+contains
+  real(kind=8) function f(x)
+    real(kind=8) :: x
+    f = x * 2.0d0
+  end function f
+end module m
+)f");
+  const Procedure& p = prog.modules[0].procedures[0];
+  EXPECT_EQ(p.kind, ProcKind::kFunction);
+  EXPECT_EQ(p.result_name, "f");
+  // The prefix type becomes a declaration of the result.
+  EXPECT_NE(p.find_decl("f"), nullptr);
+  EXPECT_EQ(p.find_decl("f")->type.kind, 8);
+}
+
+TEST(Parser, OneLineIf) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    if (x > 0.0d0) x = 0.0d0
+  end subroutine s
+end module m
+)f");
+  const auto& body = prog.modules[0].procedures[0].body;
+  ASSERT_EQ(body.size(), 1u);
+  EXPECT_EQ(body[0]->kind, StmtKind::kIf);
+  ASSERT_EQ(body[0]->branches.size(), 1u);
+  EXPECT_EQ(body[0]->branches[0].body.size(), 1u);
+}
+
+TEST(Parser, IfElseChain) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x, y
+contains
+  subroutine s()
+    if (x > 1.0d0) then
+      y = 1.0d0
+    else if (x > 0.0d0) then
+      y = 0.5d0
+    else
+      y = 0.0d0
+    end if
+  end subroutine s
+end module m
+)f");
+  const auto& s = *prog.modules[0].procedures[0].body[0];
+  ASSERT_EQ(s.branches.size(), 3u);
+  EXPECT_NE(s.branches[0].cond, nullptr);
+  EXPECT_NE(s.branches[1].cond, nullptr);
+  EXPECT_EQ(s.branches[2].cond, nullptr);
+}
+
+TEST(Parser, DoLoopWithStep) {
+  Program prog = must_parse(R"f(
+module m
+  integer :: i
+  real(kind=8) :: x
+contains
+  subroutine s()
+    do i = 1, 10, 2
+      x = x + 1.0d0
+    end do
+  end subroutine s
+end module m
+)f");
+  const auto& s = *prog.modules[0].procedures[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::kDo);
+  EXPECT_EQ(s.do_var, "i");
+  EXPECT_NE(s.step, nullptr);
+}
+
+TEST(Parser, DoWhileWithExit) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    do while (x > 1.0d0)
+      x = x * 0.5d0
+      if (x < 0.1d0) exit
+    end do
+  end subroutine s
+end module m
+)f");
+  const auto& s = *prog.modules[0].procedures[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::kDoWhile);
+  EXPECT_EQ(s.body.size(), 2u);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    x = 2.0d0 ** 3 ** 2
+  end subroutine s
+end module m
+)f");
+  const Expr& rhs = *prog.modules[0].procedures[0].body[0]->rhs;
+  ASSERT_EQ(rhs.kind, ExprKind::kBinary);
+  EXPECT_EQ(rhs.binary_op, BinaryOp::kPow);
+  // Right child is itself a power: 2 ** (3 ** 2).
+  EXPECT_EQ(rhs.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(rhs.rhs->binary_op, BinaryOp::kPow);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    x = 1.0d0 + 2.0d0 * 3.0d0
+  end subroutine s
+end module m
+)f");
+  const Expr& rhs = *prog.modules[0].procedures[0].body[0]->rhs;
+  EXPECT_EQ(rhs.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(rhs.rhs->binary_op, BinaryOp::kMul);
+}
+
+TEST(Parser, UseOnlyList) {
+  Program prog = must_parse(R"f(
+module a
+  real(kind=8) :: x, y
+end module a
+
+module b
+  use a, only: x
+end module b
+)f");
+  ASSERT_EQ(prog.modules[1].uses.size(), 1u);
+  EXPECT_EQ(prog.modules[1].uses[0].module_name, "a");
+  ASSERT_EQ(prog.modules[1].uses[0].only.size(), 1u);
+  EXPECT_EQ(prog.modules[1].uses[0].only[0], "x");
+}
+
+TEST(Parser, CallStatement) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine a()
+    call b(x, 1.0d0)
+  end subroutine a
+  subroutine b(p, q)
+    real(kind=8), intent(inout) :: p
+    real(kind=8), intent(in) :: q
+    p = p + q
+  end subroutine b
+end module m
+)f");
+  const auto& s = *prog.modules[0].procedures[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::kCall);
+  EXPECT_EQ(s.callee, "b");
+  EXPECT_EQ(s.args.size(), 2u);
+}
+
+TEST(Parser, MismatchedEndNameIsAnError) {
+  auto p = parse_source(R"f(
+module m
+contains
+  subroutine s()
+    return
+  end subroutine wrong_name
+end module m
+)f");
+  EXPECT_FALSE(p.is_ok());
+}
+
+TEST(Parser, ParameterWithoutInitializerIsAnError) {
+  auto p = parse_source(R"f(
+module m
+  integer, parameter :: n
+end module m
+)f");
+  EXPECT_FALSE(p.is_ok());
+}
+
+TEST(Parser, RankAboveThreeIsAnError) {
+  auto p = parse_source(R"f(
+module m
+  real(kind=8) :: a(2, 2, 2, 2)
+end module m
+)f");
+  EXPECT_FALSE(p.is_ok());
+}
+
+TEST(Parser, MissingEndModuleIsAnError) {
+  auto p = parse_source("module m\n  real(kind=8) :: x\n");
+  EXPECT_FALSE(p.is_ok());
+}
+
+TEST(Parser, NodeIdsAreUniqueAndDense) {
+  Program prog = must_parse(prose::testing::tiny_module_source());
+  std::vector<NodeId> seen;
+  for (const auto& m : prog.modules) {
+    seen.push_back(m.id);
+    for (const auto& d : m.decls) seen.push_back(d.id);
+    for (const auto& p : m.procedures) {
+      seen.push_back(p.id);
+      for (const auto& d : p.decls) seen.push_back(d.id);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "duplicate NodeIds";
+  for (const auto id : seen) EXPECT_NE(id, kInvalidNode);
+}
+
+TEST(Parser, CloningPreservesNodeIds) {
+  Program prog = must_parse(prose::testing::tiny_module_source());
+  Program copy = prog.clone();
+  ASSERT_EQ(copy.modules.size(), prog.modules.size());
+  EXPECT_EQ(copy.modules[0].decls[0].id, prog.modules[0].decls[0].id);
+  EXPECT_EQ(copy.modules[0].procedures[0].id, prog.modules[0].procedures[0].id);
+  // And unparse identically.
+  EXPECT_EQ(unparse(copy), unparse(prog));
+}
+
+TEST(Parser, RealIntrinsicInExpressionPosition) {
+  Program prog = must_parse(R"f(
+module m
+  real(kind=4) :: x
+  real(kind=8) :: y
+contains
+  subroutine s()
+    y = real(x, 8) + dble(x)
+    x = real(y)
+  end subroutine s
+end module m
+)f");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace prose::ftn

@@ -1,0 +1,233 @@
+// Taint-based program reduction tests (§III-C rules 1–5).
+#include <gtest/gtest.h>
+
+#include "ftn/reduce.h"
+#include "ftn/transform.h"
+#include "ftn/unparse.h"
+#include "test_util.h"
+
+namespace prose::ftn {
+namespace {
+
+using prose::testing::must_resolve;
+
+NodeId decl_id(const ResolvedProgram& rp, const std::string& qualified) {
+  const auto sym = rp.symbols.find_qualified(qualified);
+  EXPECT_TRUE(sym.has_value()) << qualified;
+  return rp.symbols.get(*sym).decl_node;
+}
+
+/// A program with a clearly separable "relevant" and "irrelevant" half.
+const char* kTwoHalvesSource = R"f(
+module halves
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8) :: target_field(n)
+  real(kind=8) :: unrelated_field(n)
+  real(kind=8) :: tstat, ustat
+contains
+  subroutine run_all()
+    call relevant(target_field)
+    call irrelevant()
+  end subroutine run_all
+
+  subroutine relevant(a)
+    real(kind=8), dimension(:), intent(inout) :: a
+    integer :: i
+    do i = 1, n
+      a(i) = a(i) * 2.0d0
+    end do
+    tstat = sum(a)
+  end subroutine relevant
+
+  subroutine irrelevant()
+    integer :: i
+    do i = 1, n
+      unrelated_field(i) = dble(i)
+    end do
+    ustat = sum(unrelated_field)
+  end subroutine irrelevant
+end module halves
+)f";
+
+TEST(Reduce, KeepsTargetDeclAndPassingStatement) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  const NodeId target = decl_id(rp, "halves::target_field");
+  auto red = reduce_for_targets(rp, {target});
+  ASSERT_TRUE(red.is_ok()) << red.status().to_string();
+  const Module* m = red->program.find_module("halves");
+  ASSERT_NE(m, nullptr);
+  // The target declaration survives.
+  bool has_target = false;
+  for (const auto& d : m->decls) {
+    if (d.name == "target_field") has_target = true;
+  }
+  EXPECT_TRUE(has_target);
+  // The call passing the target survives, and the callee's body with it.
+  EXPECT_NE(m->find_procedure("run_all"), nullptr);
+  EXPECT_NE(m->find_procedure("relevant"), nullptr);
+}
+
+TEST(Reduce, DropsTheIrrelevantHalf) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  auto red = reduce_for_targets(rp, {decl_id(rp, "halves::target_field")});
+  ASSERT_TRUE(red.is_ok());
+  const Module* m = red->program.find_module("halves");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->find_procedure("irrelevant"), nullptr);
+  for (const auto& d : m->decls) {
+    EXPECT_NE(d.name, "unrelated_field");
+    EXPECT_NE(d.name, "ustat");
+  }
+  EXPECT_LT(red->stats.kept_statements, red->stats.total_statements);
+}
+
+TEST(Reduce, ReducedProgramResolves) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  auto red = reduce_for_targets(rp, {decl_id(rp, "halves::target_field")});
+  ASSERT_TRUE(red.is_ok());
+  auto resolved = resolve(red->program.clone());
+  EXPECT_TRUE(resolved.is_ok()) << resolved.status().to_string() << "\n"
+                                << unparse(red->program);
+}
+
+TEST(Reduce, KeepsParametersReferencedByKeptDecls) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  auto red = reduce_for_targets(rp, {decl_id(rp, "halves::target_field")});
+  ASSERT_TRUE(red.is_ok());
+  const Module* m = red->program.find_module("halves");
+  bool has_n = false;
+  for (const auto& d : m->decls) {
+    if (d.name == "n") has_n = true;
+  }
+  EXPECT_TRUE(has_n) << "extent parameter n must be kept";
+}
+
+TEST(Reduce, MonotoneInTargets) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  auto small = reduce_for_targets(rp, {decl_id(rp, "halves::target_field")});
+  auto big = reduce_for_targets(rp, {decl_id(rp, "halves::target_field"),
+                                     decl_id(rp, "halves::unrelated_field")});
+  ASSERT_TRUE(small.is_ok() && big.is_ok());
+  EXPECT_GE(big->stats.kept_statements, small->stats.kept_statements);
+  EXPECT_GE(big->stats.kept_decls, small->stats.kept_decls);
+}
+
+TEST(Reduce, ControlFlowSkeletonSurvives) {
+  auto rp = must_resolve(R"f(
+module cf
+  implicit none
+  real(kind=8) :: t
+  real(kind=8) :: guard
+  real(kind=8) :: junk
+contains
+  subroutine s()
+    integer :: i
+    junk = 1.0d0
+    do i = 1, 4
+      if (guard > 0.0d0) then
+        call sink(t)
+      end if
+    end do
+  end subroutine s
+  subroutine sink(v)
+    real(kind=8), intent(inout) :: v
+    v = v + 1.0d0
+  end subroutine sink
+end module cf
+)f");
+  auto red = reduce_for_targets(rp, {decl_id(rp, "cf::t")});
+  ASSERT_TRUE(red.is_ok());
+  const std::string text = unparse(red->program);
+  // The enclosing do and if are kept (with their condition symbols).
+  EXPECT_NE(text.find("do i = 1, 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("if (guard > 0.0d0)"), std::string::npos) << text;
+  // The unrelated assignment is dropped.
+  EXPECT_EQ(text.find("junk = 1.0d0"), std::string::npos) << text;
+}
+
+TEST(Reduce, UseOnlyListsAreFiltered) {
+  auto rp = must_resolve(R"f(
+module base
+  real(kind=8) :: wanted, unwanted
+end module base
+
+module app
+  use base, only: wanted, unwanted
+  real(kind=8) :: t
+contains
+  subroutine s()
+    call sink(t)
+    wanted = 1.0d0
+  end subroutine s
+  subroutine sink(v)
+    real(kind=8), intent(inout) :: v
+    v = v * 2.0d0
+  end subroutine sink
+end module app
+)f");
+  auto red = reduce_for_targets(rp, {decl_id(rp, "app::t")});
+  ASSERT_TRUE(red.is_ok());
+  const Module* app = red->program.find_module("app");
+  ASSERT_NE(app, nullptr);
+  // `wanted` is defined by a statement in the same procedure as the kept
+  // call... it is NOT referenced by kept statements, so the import shrinks.
+  for (const auto& use : app->uses) {
+    for (const auto& name : use.only) {
+      EXPECT_NE(name, "unwanted");
+    }
+  }
+}
+
+TEST(Reduce, TransformOnReducedReplaysOntoFull) {
+  // The paper's pipeline: compute the transformation on the reduced program,
+  // then replay it on the full program by NodeId. Kind edits use DeclEntity
+  // NodeIds, which reduction preserves.
+  auto rp = must_resolve(kTwoHalvesSource);
+  const NodeId target = decl_id(rp, "halves::target_field");
+  auto red = reduce_for_targets(rp, {target});
+  ASSERT_TRUE(red.is_ok());
+
+  PrecisionAssignment pa;
+  pa.kinds[target] = 4;
+
+  // Applies cleanly to both the reduced and the full program.
+  Program reduced_variant = red->program.clone();
+  ASSERT_TRUE(apply_assignment(reduced_variant, pa).is_ok());
+  auto full_variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(full_variant.is_ok()) << full_variant.status().to_string();
+  // Both ends see kind 4 for the target.
+  const Module* rm = reduced_variant.find_module("halves");
+  const Module* fm = full_variant->program.find_module("halves");
+  for (const Module* m : {rm, fm}) {
+    ASSERT_NE(m, nullptr);
+    for (const auto& d : m->decls) {
+      if (d.name == "target_field") {
+        EXPECT_EQ(d.type.kind, 4);
+      }
+    }
+  }
+}
+
+TEST(Reduce, EmptyTargetsYieldEmptyProgramStats) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  auto red = reduce_for_targets(rp, {});
+  ASSERT_TRUE(red.is_ok());
+  EXPECT_EQ(red->stats.kept_statements, 0u);
+  EXPECT_EQ(red->program.modules.size(), 0u);
+}
+
+TEST(Reduce, IsIdempotent) {
+  auto rp = must_resolve(kTwoHalvesSource);
+  const NodeId target = decl_id(rp, "halves::target_field");
+  auto once = reduce_for_targets(rp, {target});
+  ASSERT_TRUE(once.is_ok());
+  auto once_resolved = resolve(once->program.clone());
+  ASSERT_TRUE(once_resolved.is_ok());
+  auto twice = reduce_for_targets(once_resolved.value(), {target});
+  ASSERT_TRUE(twice.is_ok()) << twice.status().to_string();
+  EXPECT_EQ(unparse(twice->program), unparse(once->program));
+}
+
+}  // namespace
+}  // namespace prose::ftn

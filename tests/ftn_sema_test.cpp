@@ -1,0 +1,459 @@
+// Semantic resolution tests: symbol binding, constant folding, type rules.
+#include <gtest/gtest.h>
+
+#include "ftn/sema.h"
+#include "test_util.h"
+
+namespace prose::ftn {
+namespace {
+
+using prose::testing::must_resolve;
+
+TEST(Sema, ResolvesTinyModule) {
+  auto r = must_resolve(prose::testing::tiny_module_source());
+  // Expect symbols: n, total, xs, accumulate, weight + proc-locals.
+  EXPECT_TRUE(r.symbols.find_qualified("demo::total").has_value());
+  EXPECT_TRUE(r.symbols.find_qualified("demo::xs").has_value());
+  EXPECT_TRUE(r.symbols.find_procedure("demo", "accumulate").has_value());
+  EXPECT_TRUE(r.symbols.find_procedure("demo", "weight").has_value());
+  EXPECT_TRUE(r.symbols.find_qualified("demo::accumulate::i").has_value());
+}
+
+TEST(Sema, ParameterConstantsFold) {
+  auto r = must_resolve(R"f(
+module m
+  integer, parameter :: nx = 10
+  integer, parameter :: ny = nx * 2 + 1
+  real(kind=8), parameter :: pi = 3.14159265358979d0
+  real(kind=8), parameter :: two_pi = 2.0d0 * pi
+  real(kind=8) :: grid(nx, ny)
+end module m
+)f");
+  const auto ny = r.symbols.find_qualified("m::ny");
+  ASSERT_TRUE(ny.has_value());
+  EXPECT_EQ(r.symbols.get(*ny).const_value->int_value, 21);
+  const auto two_pi = r.symbols.find_qualified("m::two_pi");
+  ASSERT_TRUE(two_pi.has_value());
+  EXPECT_NEAR(r.symbols.get(*two_pi).const_value->real_value, 6.2831853, 1e-6);
+  const auto grid = r.symbols.find_qualified("m::grid");
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_EQ(r.symbols.get(*grid).extents, (std::vector<std::int64_t>{10, 21}));
+}
+
+TEST(Sema, Kind4ParameterValueIsRoundedToFloat) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=4), parameter :: third = 0.333333333333333333d0
+end module m
+)f");
+  const auto s = r.symbols.find_qualified("m::third");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(r.symbols.get(*s).const_value->real_value,
+            static_cast<double>(static_cast<float>(1.0 / 3.0)));
+}
+
+TEST(Sema, PromotionRules) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=4) :: a
+  real(kind=8) :: b
+  integer :: i
+  real(kind=8) :: out
+contains
+  subroutine s()
+    out = a + b
+    out = a + i
+    out = b + i
+  end subroutine s
+end module m
+)f");
+  const auto& body = r.program.modules[0].procedures[0].body;
+  EXPECT_EQ(body[0]->rhs->type, (ScalarType{BaseType::kReal, 8}));  // f32+f64
+  EXPECT_EQ(body[1]->rhs->type, (ScalarType{BaseType::kReal, 4}));  // f32+int
+  EXPECT_EQ(body[2]->rhs->type, (ScalarType{BaseType::kReal, 8}));  // f64+int
+}
+
+TEST(Sema, ComparisonYieldsLogical) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: a, b
+  logical :: flag
+contains
+  subroutine s()
+    flag = a < b
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(r.program.modules[0].procedures[0].body[0]->rhs->type.base,
+            BaseType::kLogical);
+}
+
+TEST(Sema, IndexVsCallDisambiguation) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: arr(4)
+  real(kind=8) :: y
+contains
+  subroutine s()
+    y = arr(2) + f(3.0d0)
+  end subroutine s
+  function f(x) result(fx)
+    real(kind=8) :: x, fx
+    fx = x
+  end function f
+end module m
+)f");
+  const Expr& rhs = *r.program.modules[0].procedures[0].body[0]->rhs;
+  EXPECT_EQ(rhs.lhs->kind, ExprKind::kIndex);
+  EXPECT_EQ(rhs.rhs->kind, ExprKind::kCall);
+  EXPECT_NE(rhs.rhs->symbol, kInvalidSymbol);
+}
+
+TEST(Sema, VariableShadowsIntrinsic) {
+  // `sum` declared as an array: sum(1) must resolve to indexing, not the
+  // intrinsic.
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: sum(3)
+  real(kind=8) :: y
+contains
+  subroutine s()
+    y = sum(1)
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(r.program.modules[0].procedures[0].body[0]->rhs->kind, ExprKind::kIndex);
+}
+
+TEST(Sema, IntrinsicSumRequiresArray) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: x, y
+contains
+  subroutine s()
+    y = sum(x)
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, IntrinsicSumOnWholeArray) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: a(5)
+  real(kind=8) :: y
+contains
+  subroutine s()
+    y = sum(a) + maxval(a) - minval(a)
+  end subroutine s
+end module m
+)f");
+  SUCCEED();
+}
+
+TEST(Sema, UnknownNameIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+contains
+  subroutine s()
+    undeclared = 1.0d0
+  end subroutine s
+end module m
+)f");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(Sema, AssignToParameterIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  integer, parameter :: n = 3
+contains
+  subroutine s()
+    n = 4
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, LoopVariableMustBeIntegerScalar) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    do x = 1, 3
+      x = x
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, ExitOutsideLoopIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+contains
+  subroutine s()
+    exit
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, CallArgCountChecked) {
+  auto bad = parse_and_resolve(R"f(
+module m
+contains
+  subroutine callee(a)
+    real(kind=8), intent(in) :: a
+    return
+  end subroutine callee
+  subroutine caller()
+    call callee(1.0d0, 2.0d0)
+  end subroutine caller
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, RankMismatchAtCallIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine callee(a)
+    real(kind=8), dimension(:), intent(inout) :: a
+    a(1) = 0.0d0
+  end subroutine callee
+  subroutine caller()
+    call callee(x)
+  end subroutine caller
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, RealKindMismatchAtCallIsAccepted) {
+  // Deliberate: kind mismatches are the wrapper generator's job (§III-C).
+  auto r = must_resolve(R"f(
+module m
+  real(kind=4) :: x
+contains
+  subroutine callee(a)
+    real(kind=8), intent(in) :: a
+    return
+  end subroutine callee
+  subroutine caller()
+    call callee(x)
+  end subroutine caller
+end module m
+)f");
+  SUCCEED();
+}
+
+TEST(Sema, IntentOutNeedsDesignator) {
+  auto bad = parse_and_resolve(R"f(
+module m
+contains
+  subroutine callee(a)
+    real(kind=8), intent(out) :: a
+    a = 1.0d0
+  end subroutine callee
+  subroutine caller()
+    call callee(1.0d0 + 2.0d0)
+  end subroutine caller
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, WholeArrayAssignBroadcast) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: a(4), b(4)
+  real(kind=4) :: c(4)
+contains
+  subroutine s()
+    a = 0.0d0
+    b = a
+    c = a
+  end subroutine s
+end module m
+)f");
+  SUCCEED();
+}
+
+TEST(Sema, WholeArrayShapeMismatchIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: a(4), b(5)
+contains
+  subroutine s()
+    a = b
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, WholeArraysNotAllowedInExpressions) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: a(4), b(4)
+contains
+  subroutine s()
+    a = a + b
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, UseImportsSymbols) {
+  auto r = must_resolve(R"f(
+module physics
+  real(kind=8) :: gravity
+contains
+  function accel(m) result(a)
+    real(kind=8) :: m, a
+    a = m * gravity
+  end function accel
+end module physics
+
+module driver
+  use physics
+  real(kind=8) :: out
+contains
+  subroutine run()
+    gravity = 9.81d0
+    out = accel(2.0d0)
+  end subroutine run
+end module driver
+)f");
+  const auto& call = r.program.modules[1].procedures[0].body[1]->rhs;
+  EXPECT_EQ(call->kind, ExprKind::kCall);
+  EXPECT_EQ(r.symbols.get(call->symbol).module_name, "physics");
+}
+
+TEST(Sema, UseOnlyRestrictsImports) {
+  auto bad = parse_and_resolve(R"f(
+module a
+  real(kind=8) :: x, hidden
+end module a
+
+module b
+  use a, only: x
+contains
+  subroutine s()
+    hidden = 1.0d0
+  end subroutine s
+end module b
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, UseOfUndefinedModuleIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module b
+  use nonexistent
+end module b
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, ForwardCallWithinModule) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: y
+contains
+  subroutine first()
+    call second()
+  end subroutine first
+  subroutine second()
+    y = 1.0d0
+  end subroutine second
+end module m
+)f");
+  EXPECT_NE(r.program.modules[0].procedures[0].body[0]->callee_symbol, kInvalidSymbol);
+}
+
+TEST(Sema, DuplicateDeclarationIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: x
+  real(kind=4) :: x
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, MixedLogicalArithmeticIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  logical :: f
+  real(kind=8) :: x
+contains
+  subroutine s()
+    x = x + f
+  end subroutine s
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, SubroutineUsedAsFunctionIsAnError) {
+  auto bad = parse_and_resolve(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    x = t(1.0d0)
+  end subroutine s
+  subroutine t(a)
+    real(kind=8), intent(in) :: a
+    return
+  end subroutine t
+end module m
+)f");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+TEST(Sema, EpsilonTypeFollowsArgument) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=4) :: x4
+  real(kind=8) :: x8, y
+contains
+  subroutine s()
+    y = epsilon(x8)
+    x4 = epsilon(x4)
+  end subroutine s
+end module m
+)f");
+  const auto& body = r.program.modules[0].procedures[0].body;
+  EXPECT_EQ(body[0]->rhs->type.kind, 8);
+  EXPECT_EQ(body[1]->rhs->type.kind, 4);
+}
+
+TEST(Sema, MpiAllreduceIntrinsics) {
+  auto r = must_resolve(R"f(
+module m
+  real(kind=8) :: x, y
+contains
+  subroutine s()
+    y = mpi_allreduce_sum(x)
+    y = mpi_allreduce_max(x)
+    y = mpi_allreduce_min(x)
+  end subroutine s
+end module m
+)f");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace prose::ftn

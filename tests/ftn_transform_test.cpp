@@ -1,0 +1,355 @@
+// Precision-assignment and wrapper-generation tests (paper §III-C, Fig. 4).
+#include <gtest/gtest.h>
+
+#include "ftn/paramflow.h"
+#include "ftn/callgraph.h"
+#include "ftn/transform.h"
+#include "ftn/unparse.h"
+#include "test_util.h"
+
+namespace prose::ftn {
+namespace {
+
+using prose::testing::must_resolve;
+
+/// DeclEntity NodeId for "module::proc::var" / "module::var".
+NodeId decl_id(const ResolvedProgram& rp, const std::string& qualified) {
+  const auto sym = rp.symbols.find_qualified(qualified);
+  EXPECT_TRUE(sym.has_value()) << qualified;
+  return rp.symbols.get(*sym).decl_node;
+}
+
+const char* kScalarCallSource = R"f(
+module sc
+  implicit none
+  real(kind=8) :: x, acc
+contains
+  subroutine drive()
+    acc = fun(x)
+  end subroutine drive
+  function fun(a) result(r)
+    real(kind=8), intent(in) :: a
+    real(kind=8) :: r
+    r = a * a
+  end function fun
+end module sc
+)f";
+
+TEST(Transform, ApplyAssignmentRewritesKind) {
+  auto rp = must_resolve(kScalarCallSource);
+  Program variant = rp.program.clone();
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  ASSERT_TRUE(apply_assignment(variant, pa).is_ok());
+  EXPECT_EQ(variant.modules[0].decls[0].type.kind, 4);
+  // Other declarations untouched.
+  EXPECT_EQ(variant.modules[0].decls[1].type.kind, 8);
+}
+
+TEST(Transform, ApplyAssignmentRejectsUnknownNode) {
+  auto rp = must_resolve(kScalarCallSource);
+  Program variant = rp.program.clone();
+  PrecisionAssignment pa;
+  pa.kinds[99999] = 4;
+  EXPECT_FALSE(apply_assignment(variant, pa).is_ok());
+}
+
+TEST(Transform, ApplyAssignmentRejectsNonReal) {
+  auto rp = must_resolve(R"f(
+module m
+  integer :: i
+end module m
+)f");
+  Program variant = rp.program.clone();
+  PrecisionAssignment pa;
+  pa.kinds[variant.modules[0].decls[0].id] = 4;
+  EXPECT_FALSE(apply_assignment(variant, pa).is_ok());
+}
+
+TEST(Transform, NoMismatchMeansNoWrappers) {
+  auto rp = must_resolve(kScalarCallSource);
+  WrapperReport report;
+  auto variant = make_variant(rp.program, PrecisionAssignment{}, &report);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  EXPECT_EQ(report.wrappers_generated, 0);
+  EXPECT_TRUE(verify_call_kind_invariant(variant.value()).is_ok());
+}
+
+TEST(Transform, ScalarWrapperRestoresInvariant) {
+  // Lower the actual `x` but keep the dummy in 64-bit: the paper's Fig. 4
+  // situation, requiring a 4→8 wrapper.
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  WrapperReport report;
+  auto variant = make_variant(rp.program, pa, &report);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  EXPECT_EQ(report.wrappers_generated, 1);
+  EXPECT_EQ(report.callsites_retargeted, 1);
+  EXPECT_EQ(report.scalar_args_wrapped, 1);
+  EXPECT_TRUE(verify_call_kind_invariant(variant.value()).is_ok());
+  // The wrapper exists, is marked generated, and the call site targets it.
+  const Module& m = variant->program.modules[0];
+  const Procedure* w = m.find_procedure("fun_wrap_4");
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->generated);
+  const std::string text = unparse(variant->program);
+  EXPECT_NE(text.find("fun_wrap_4(x)"), std::string::npos) << text;
+}
+
+TEST(Transform, WrapperBodyHasCastThroughAssignment) {
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok());
+  const Procedure* w = variant->program.modules[0].find_procedure("fun_wrap_4");
+  ASSERT_NE(w, nullptr);
+  // Body: tmp = a (copy-in cast); wres = fun(tmp). intent(in) → no copy-out.
+  ASSERT_EQ(w->body.size(), 2u);
+  EXPECT_EQ(w->body[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(w->kind, ProcKind::kFunction);
+  // Wrapper dummy has the actual's kind; temp has the callee's kind.
+  EXPECT_EQ(w->find_decl("a1")->type.kind, 4);
+  EXPECT_EQ(w->find_decl("a1_tmp")->type.kind, 8);
+}
+
+TEST(Transform, LoweringTheDummyInsteadWrapsTheOtherWay) {
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::fun::a")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  const Procedure* w = variant->program.modules[0].find_procedure("fun_wrap_8");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->find_decl("a1")->type.kind, 8);
+  EXPECT_EQ(w->find_decl("a1_tmp")->type.kind, 4);
+  EXPECT_TRUE(verify_call_kind_invariant(variant.value()).is_ok());
+}
+
+const char* kInOutSource = R"f(
+module io
+  implicit none
+  real(kind=8) :: state
+contains
+  subroutine drive()
+    call bump(state)
+  end subroutine drive
+  subroutine bump(v)
+    real(kind=8), intent(inout) :: v
+    v = v + 1.0d0
+  end subroutine bump
+end module io
+)f";
+
+TEST(Transform, InOutWrapperCopiesBothWays) {
+  auto rp = must_resolve(kInOutSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "io::state")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  const Procedure* w = variant->program.modules[0].find_procedure("bump_wrap_4");
+  ASSERT_NE(w, nullptr);
+  // copy-in, call, copy-out.
+  ASSERT_EQ(w->body.size(), 3u);
+  EXPECT_EQ(w->body[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(w->body[1]->kind, StmtKind::kCall);
+  EXPECT_EQ(w->body[2]->kind, StmtKind::kAssign);
+}
+
+TEST(Transform, IntentOutWrapperSkipsCopyIn) {
+  auto rp = must_resolve(R"f(
+module oo
+  real(kind=8) :: result_value
+contains
+  subroutine drive()
+    call produce(result_value)
+  end subroutine drive
+  subroutine produce(v)
+    real(kind=8), intent(out) :: v
+    v = 42.0d0
+  end subroutine produce
+end module oo
+)f");
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "oo::result_value")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  const Procedure* w = variant->program.modules[0].find_procedure("produce_wrap_4");
+  ASSERT_NE(w, nullptr);
+  // call, copy-out only.
+  ASSERT_EQ(w->body.size(), 2u);
+  EXPECT_EQ(w->body[0]->kind, StmtKind::kCall);
+  EXPECT_EQ(w->body[1]->kind, StmtKind::kAssign);
+}
+
+const char* kArraySource = R"f(
+module ar
+  implicit none
+  integer, parameter :: n = 20
+  real(kind=8) :: field(n)
+contains
+  subroutine drive()
+    call smooth(field)
+  end subroutine drive
+  subroutine smooth(a)
+    real(kind=8), dimension(:), intent(inout) :: a
+    integer :: i
+    do i = 2, n - 1
+      a(i) = 0.5d0 * (a(i - 1) + a(i + 1))
+    end do
+  end subroutine smooth
+end module ar
+)f";
+
+TEST(Transform, ArrayWrapperUsesAutomaticTemp) {
+  auto rp = must_resolve(kArraySource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "ar::field")] = 4;
+  WrapperReport report;
+  auto variant = make_variant(rp.program, pa, &report);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  EXPECT_EQ(report.array_args_wrapped, 1);
+  const Procedure* w = variant->program.modules[0].find_procedure("smooth_wrap_4");
+  ASSERT_NE(w, nullptr);
+  const DeclEntity* tmp = w->find_decl("a1_tmp");
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_EQ(tmp->dims.size(), 1u);
+  EXPECT_FALSE(tmp->dims[0].assumed());  // automatic extent via size(a1)
+  const std::string text = unparse(variant->program);
+  EXPECT_NE(text.find("size(a1)"), std::string::npos) << text;
+  EXPECT_TRUE(verify_call_kind_invariant(variant.value()).is_ok());
+}
+
+TEST(Transform, WrapperIsSharedAcrossCallSitesWithSamePattern) {
+  auto rp = must_resolve(R"f(
+module sh
+  real(kind=8) :: p, q, out1, out2
+contains
+  subroutine drive()
+    out1 = twice(p)
+    out2 = twice(q)
+  end subroutine drive
+  function twice(a) result(r)
+    real(kind=8), intent(in) :: a
+    real(kind=8) :: r
+    r = 2.0d0 * a
+  end function twice
+end module sh
+)f");
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sh::p")] = 4;
+  pa.kinds[decl_id(rp, "sh::q")] = 4;
+  WrapperReport report;
+  auto variant = make_variant(rp.program, pa, &report);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  EXPECT_EQ(report.wrappers_generated, 1);       // one shared wrapper
+  EXPECT_EQ(report.callsites_retargeted, 2);     // both sites retargeted
+}
+
+TEST(Transform, MixedMatchedAndMismatchedArgs) {
+  auto rp = must_resolve(R"f(
+module mx
+  real(kind=8) :: a, b, r
+contains
+  subroutine drive()
+    r = combine(a, b)
+  end subroutine drive
+  function combine(x, y) result(z)
+    real(kind=8), intent(in) :: x, y
+    real(kind=8) :: z
+    z = x + y
+  end function combine
+end module mx
+)f");
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "mx::a")] = 4;  // only the first argument mismatches
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  const Procedure* w = variant->program.modules[0].find_procedure("combine_wrap_48");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->find_decl("a1")->type.kind, 4);
+  EXPECT_EQ(w->find_decl("a2")->type.kind, 8);
+  EXPECT_EQ(w->find_decl("a2_tmp"), nullptr);  // matched arg passes through
+}
+
+TEST(Transform, OnlyListGetsWrapperName) {
+  auto rp = must_resolve(R"f(
+module lib
+  real(kind=8) :: unused_state
+contains
+  subroutine apply(v)
+    real(kind=8), intent(inout) :: v
+    v = v * 2.0d0
+  end subroutine apply
+end module lib
+
+module app
+  use lib, only: apply
+  real(kind=8) :: x
+contains
+  subroutine drive()
+    call apply(x)
+  end subroutine drive
+end module app
+)f");
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "app::x")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  // The wrapper was added to lib and imported through the only-list.
+  const auto& uses = variant->program.modules[1].uses;
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_NE(std::find(uses[0].only.begin(), uses[0].only.end(), "apply_wrap_4"),
+            uses[0].only.end());
+}
+
+TEST(Transform, WrapperGenerationIsIdempotent) {
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok());
+  WrapperReport second;
+  auto again = generate_wrappers(variant->program.clone(), &second);
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_EQ(second.wrappers_generated, 0);
+}
+
+TEST(Transform, UniformLoweringNeedsNoWrappers) {
+  // Lower *everything*: all kinds agree again, so no wrappers — this is why
+  // uniform 32-bit variants have no casting overhead (paper §IV-C).
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  for (const auto& sym : rp.symbols.all()) {
+    if (sym.is_variable() && sym.type.is_real()) pa.kinds[sym.decl_node] = 4;
+  }
+  WrapperReport report;
+  auto variant = make_variant(rp.program, pa, &report);
+  ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+  EXPECT_EQ(report.wrappers_generated, 0);
+}
+
+TEST(Transform, VariantLeavesPristineUntouched) {
+  auto rp = must_resolve(kScalarCallSource);
+  const std::string before = unparse(rp.program);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok());
+  EXPECT_EQ(unparse(rp.program), before);
+}
+
+TEST(Transform, DiffShowsOnlyDeclAndWrapperChanges) {
+  auto rp = must_resolve(kScalarCallSource);
+  PrecisionAssignment pa;
+  pa.kinds[decl_id(rp, "sc::x")] = 4;
+  auto variant = make_variant(rp.program, pa);
+  ASSERT_TRUE(variant.is_ok());
+  const std::string diff = source_diff(rp.program, variant->program);
+  EXPECT_NE(diff.find("real(kind=4) :: x"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("fun_wrap_4"), std::string::npos) << diff;
+}
+
+}  // namespace
+}  // namespace prose::ftn

@@ -1,0 +1,172 @@
+// Unparser round-trip tests: parse → unparse → parse must be stable.
+#include <gtest/gtest.h>
+
+#include "ftn/parser.h"
+#include "ftn/sema.h"
+#include "ftn/unparse.h"
+#include "test_util.h"
+
+namespace prose::ftn {
+namespace {
+
+/// The key property: unparse(parse(unparse(parse(src)))) == unparse(parse(src))
+/// and the unparsed text resolves cleanly.
+void check_roundtrip(const std::string& src) {
+  auto p1 = parse_source(src);
+  ASSERT_TRUE(p1.is_ok()) << p1.status().to_string();
+  const std::string text1 = unparse(p1.value());
+  auto p2 = parse_source(text1);
+  ASSERT_TRUE(p2.is_ok()) << "unparsed text failed to re-parse: "
+                          << p2.status().to_string() << "\n"
+                          << text1;
+  const std::string text2 = unparse(p2.value());
+  EXPECT_EQ(text1, text2);
+  auto resolved = resolve(std::move(p2.value()));
+  EXPECT_TRUE(resolved.is_ok()) << resolved.status().to_string();
+}
+
+TEST(Unparse, TinyModuleRoundTrips) {
+  check_roundtrip(prose::testing::tiny_module_source());
+}
+
+TEST(Unparse, ControlFlowRoundTrips) {
+  check_roundtrip(R"f(
+module cf
+  integer :: i, j
+  real(kind=8) :: acc
+contains
+  subroutine s(n)
+    integer, intent(in) :: n
+    acc = 0.0d0
+    do i = 1, n
+      do j = i, n, 2
+        if (acc > 100.0d0) then
+          acc = acc * 0.5d0
+        else if (acc > 10.0d0) then
+          acc = acc - 1.0d0
+        else
+          acc = acc + dble(i * j)
+        end if
+        if (acc < 0.0d0) exit
+      end do
+    end do
+    do while (acc > 1.0d0)
+      acc = acc / 2.0d0
+      if (acc > 0.0d0) cycle
+      return
+    end do
+  end subroutine s
+end module cf
+)f");
+}
+
+TEST(Unparse, LiteralKindsSurvive) {
+  auto p = parse_source(R"f(
+module lits
+  real(kind=8), parameter :: a = 1.5d0
+  real(kind=4), parameter :: b = 1.5
+  real(kind=8), parameter :: c = 2.5d-3
+end module lits
+)f");
+  ASSERT_TRUE(p.is_ok());
+  const std::string text = unparse(p.value());
+  EXPECT_NE(text.find("1.5d0"), std::string::npos);
+  // Kind-4 literal must NOT gain a d exponent.
+  EXPECT_NE(text.find("= 1.5\n"), std::string::npos);
+  check_roundtrip(text);
+  // Value and kind of the d-exponent literal survive the round trip exactly.
+  auto again = parse_and_resolve(text);
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  const auto c = again->symbols.find_qualified("lits::c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(again->symbols.get(*c).const_value->real_value, 2.5e-3);
+}
+
+TEST(Unparse, OperatorPrecedencePreserved) {
+  // (a + b) * c must keep its parentheses; a + b * c must not gain any.
+  auto p = parse_and_resolve(R"f(
+module prec
+  real(kind=8) :: a, b, c, r
+contains
+  subroutine s()
+    r = (a + b) * c
+    r = a + b * c
+    r = -(a + b)
+    r = a - (b - c)
+    r = a ** (b + c)
+    r = (a * b) / (c * a)
+  end subroutine s
+end module prec
+)f");
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  const auto& body = p->program.modules[0].procedures[0].body;
+  EXPECT_EQ(unparse_expr(*body[0]->rhs), "(a + b) * c");
+  EXPECT_EQ(unparse_expr(*body[1]->rhs), "a + b * c");
+  EXPECT_EQ(unparse_expr(*body[2]->rhs), "-(a + b)");
+  EXPECT_EQ(unparse_expr(*body[3]->rhs), "a - (b - c)");
+  EXPECT_EQ(unparse_expr(*body[4]->rhs), "a ** (b + c)");
+  // Associativity makes explicit grouping of the left product redundant.
+  EXPECT_EQ(unparse_expr(*body[5]->rhs), "a * b / (c * a)");
+}
+
+TEST(Unparse, DeclRendering) {
+  auto p = parse_source(R"f(
+module d
+  integer, parameter :: n = 4
+  real(kind=8), intent(in) :: unused_intent_demo
+  real(kind=4) :: grid(n, n)
+end module d
+)f");
+  ASSERT_TRUE(p.is_ok());
+  const std::string text = unparse(p.value());
+  EXPECT_NE(text.find("integer, parameter :: n = 4"), std::string::npos);
+  EXPECT_NE(text.find("real(kind=4) :: grid(n, n)"), std::string::npos);
+}
+
+TEST(Unparse, SourceDiffShowsKindChangeOnly) {
+  auto before = parse_source(R"f(
+module m
+  real(kind=8) :: a, b
+contains
+  subroutine s()
+    a = b
+  end subroutine s
+end module m
+)f");
+  ASSERT_TRUE(before.is_ok());
+  Program after = before->clone();
+  after.modules[0].decls[0].type.kind = 4;  // lower `a`
+
+  const std::string diff = source_diff(before.value(), after);
+  EXPECT_NE(diff.find("- "), std::string::npos);
+  EXPECT_NE(diff.find("+ "), std::string::npos);
+  EXPECT_NE(diff.find("real(kind=4) :: a"), std::string::npos);
+  // The body is unchanged, so it must not appear.
+  EXPECT_EQ(diff.find("a = b"), std::string::npos);
+}
+
+TEST(Unparse, IdenticalProgramsHaveEmptyDiff) {
+  auto p = parse_source(prose::testing::tiny_module_source());
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(source_diff(p.value(), p.value()), "");
+}
+
+TEST(Unparse, LegacyOperatorSpellingsNormalize) {
+  // `.lt.` parses and unparses as `<` — normal-form output.
+  auto p = parse_source(R"f(
+module m
+  real(kind=8) :: x
+contains
+  subroutine s()
+    if (x .lt. 1.0d0) x = 1.0d0
+  end subroutine s
+end module m
+)f");
+  ASSERT_TRUE(p.is_ok());
+  const std::string text = unparse(p.value());
+  EXPECT_NE(text.find("x < 1.0d0"), std::string::npos);
+  check_roundtrip(text);
+}
+
+}  // namespace
+}  // namespace prose::ftn

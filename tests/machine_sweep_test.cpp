@@ -1,0 +1,162 @@
+// Parameterized sweeps over the machine model: the measured (dynamic)
+// performance ratios must track the configured hardware parameters — the
+// property that makes the cost model a *model* rather than a lookup table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/compile.h"
+#include "sim/vm.h"
+#include "test_util.h"
+#include "tuner/campaign.h"
+#include "tuner/search.h"
+#include "gptl/gptl.h"
+
+namespace prose::sim {
+namespace {
+
+using prose::testing::must_resolve;
+
+double stream_cycles(const std::string& kind, const MachineModel& machine) {
+  const std::string src = R"f(
+module k
+  integer, parameter :: n = 4096
+  real(kind=)f" + kind + R"f() :: a(n), b(n), c(n)
+contains
+  subroutine go()
+    integer :: i, rep
+    do rep = 1, 6
+      do i = 1, n
+        c(i) = a(i) * b(i) + c(i)
+      end do
+    end do
+  end subroutine go
+end module k
+)f";
+  auto rp = must_resolve(src);
+  auto compiled = compile(rp, machine);
+  EXPECT_TRUE(compiled.is_ok());
+  Vm vm(&compiled.value());
+  auto r = vm.call("k::go");
+  EXPECT_TRUE(r.status.is_ok());
+  return r.cycles;
+}
+
+class LaneRatioSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaneRatioSweep, F32AdvantageGrowsWithLaneRatio) {
+  // Fix f64 lanes, widen f32 lanes: the f32 stream's advantage must grow
+  // monotonically (compute amortizes further; memory stays halved).
+  MachineModel narrow;
+  narrow.vector_lanes_f64 = 8;
+  narrow.vector_lanes_f32 = 8;  // no lane advantage
+
+  MachineModel wide = narrow;
+  wide.vector_lanes_f32 = GetParam();
+
+  const double t64 = stream_cycles("8", wide);
+  const double speed_narrow = t64 / stream_cycles("4", narrow);
+  const double speed_wide = t64 / stream_cycles("4", wide);
+  EXPECT_GE(speed_wide, speed_narrow - 1e-9);
+  if (GetParam() > 8) {
+    EXPECT_GT(speed_wide, speed_narrow);
+  }
+  // Even with equal lanes, f32 still wins on memory traffic alone.
+  EXPECT_GT(speed_narrow, 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneRatioSweep, ::testing::Values(8, 16, 32));
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, AllreduceCostScalesWithLog2Ranks) {
+  const std::string src = R"f(
+module k
+  real(kind=8) :: x, out
+contains
+  subroutine go()
+    out = mpi_allreduce_sum(x)
+  end subroutine go
+end module k
+)f";
+  auto rp = must_resolve(src);
+  MachineModel machine;
+  machine.mpi_ranks = GetParam();
+  auto compiled = compile(rp, machine);
+  ASSERT_TRUE(compiled.is_ok());
+  Vm vm(&compiled.value());
+  auto r = vm.call("k::go");
+  ASSERT_TRUE(r.status.is_ok());
+  const double expected =
+      machine.allreduce_alpha * std::log2(GetParam()) + machine.allreduce_beta * 8.0;
+  EXPECT_NEAR(r.cycles, expected, expected * 0.5)
+      << "collective cost should dominate this tiny run";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(4, 64, 1024));
+
+TEST(MachineSweep, CallOverheadControlsOutlinedPenalty) {
+  const char* src = R"f(
+module k
+  integer, parameter :: n = 512
+  real(kind=8) :: a(n), b(n)
+contains
+  subroutine go()
+    integer :: i
+    do i = 1, n
+      b(i) = f(a(i))
+    end do
+  end subroutine go
+  function f(x) result(y)
+    real(kind=8), intent(in) :: x
+    real(kind=8) :: y
+    y = x * 2.0d0 + 1.0d0
+  end function f
+end module k
+)f";
+  auto rp = must_resolve(src);
+  CompileOptions no_inline;
+  no_inline.enable_inlining = false;
+
+  MachineModel cheap;
+  cheap.call_overhead = 5.0;
+  MachineModel pricey;
+  pricey.call_overhead = 100.0;
+
+  const auto run = [&](const MachineModel& m) {
+    auto compiled = compile(rp, m, no_inline);
+    EXPECT_TRUE(compiled.is_ok());
+    Vm vm(&compiled.value());
+    auto r = vm.call("k::go");
+    EXPECT_TRUE(r.status.is_ok());
+    return r.cycles;
+  };
+  const double t_cheap = run(cheap);
+  const double t_pricey = run(pricey);
+  // 512 calls × 95 extra cycles.
+  EXPECT_NEAR(t_pricey - t_cheap, 512.0 * 95.0, 512.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace prose::sim
+
+namespace prose::tuner {
+namespace {
+
+TEST(CampaignExtra, SummarizeEmptyTraceIsAllZero) {
+  SearchResult empty;
+  ClusterSim cluster;
+  const CampaignSummary s = summarize("empty", empty, cluster);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_DOUBLE_EQ(s.pass_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.best_speedup, 0.0);
+}
+
+TEST(GptlExtra, OverheadFractionOfUnknownRegionIsZero) {
+  gptl::SimClock clock;
+  gptl::Timers timers(&clock);
+  EXPECT_DOUBLE_EQ(timers.overhead_fraction("never-started"), 0.0);
+}
+
+}  // namespace
+}  // namespace prose::tuner

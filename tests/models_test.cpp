@@ -1,0 +1,291 @@
+// Model-substrate tests: these pin the paper-relevant behaviours of the four
+// targets (funarc, mini-MPAS-A, mini-ADCIRC, mini-MOM6). If a cost-model or
+// frontend change shifts any headline phenomenon, these fail first.
+#include <gtest/gtest.h>
+
+#include "ftn/sema.h"
+#include "models/models.h"
+#include "tuner/evaluator.h"
+
+namespace prose::models {
+namespace {
+
+using tuner::Config;
+using tuner::Evaluation;
+using tuner::Evaluator;
+using tuner::Outcome;
+
+std::unique_ptr<Evaluator> make_eval(const tuner::TargetSpec& spec) {
+  auto ev = Evaluator::create(spec);
+  if (!ev.is_ok()) {
+    throw std::runtime_error("evaluator create failed: " + ev.status().to_string());
+  }
+  return std::move(ev.value());
+}
+
+Config lowered_except(const Evaluator& ev, std::initializer_list<const char*> keep) {
+  Config c = ev.space().uniform(4);
+  for (const char* name : keep) {
+    const auto i = ev.space().index_of(name);
+    EXPECT_GE(i, 0) << name;
+    if (i >= 0) c.kinds[static_cast<std::size_t>(i)] = 8;
+  }
+  return c;
+}
+
+Config lowered_only(const Evaluator& ev, std::initializer_list<const char*> lower) {
+  Config c = ev.space().uniform(8);
+  for (const char* name : lower) {
+    const auto i = ev.space().index_of(name);
+    EXPECT_GE(i, 0) << name;
+    if (i >= 0) c.kinds[static_cast<std::size_t>(i)] = 4;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// funarc (§II-B, Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST(Funarc, SourceResolves) {
+  auto rp = ftn::parse_and_resolve(funarc_source());
+  ASSERT_TRUE(rp.is_ok()) << rp.status().to_string();
+}
+
+TEST(Funarc, HasEightSearchAtoms) {
+  auto ev = make_eval(funarc_target());
+  EXPECT_EQ(ev->space().size(), 8u);  // 2^8 = 256 variants, as in the paper
+}
+
+TEST(Funarc, BaselineArcLength) {
+  auto ev = make_eval(funarc_target());
+  // Arc length of x + Σ sin(2^k x)/2^k on [0, π]: a fixed mathematical value.
+  EXPECT_NEAR(ev->baseline().metric, 5.7954521, 1e-6);
+}
+
+TEST(Funarc, Uniform32FailsButKeepS1Passes) {
+  // The Figure 2 story: the frontier variant keeps only s1 in 64-bit, is
+  // nearly as fast as uniform-32, and has several times less error.
+  auto ev = make_eval(funarc_target());
+  const Evaluation& u32 = ev->evaluate(ev->space().uniform(4));
+  EXPECT_EQ(u32.outcome, Outcome::kFail);
+  EXPECT_GT(u32.speedup, 1.15);
+
+  const Evaluation& s1 = ev->evaluate(lowered_except(*ev, {"funarc_mod::funarc::s1"}));
+  EXPECT_EQ(s1.outcome, Outcome::kPass) << "err=" << s1.error;
+  EXPECT_GT(s1.speedup, 1.1);
+  EXPECT_LT(s1.error * 4.0, u32.error)
+      << "keep-s1 must have several times less error than uniform 32";
+  EXPECT_GT(s1.speedup, 0.95 * u32.speedup) << "and nearly the same speedup";
+}
+
+// ---------------------------------------------------------------------------
+// mini-MPAS-A (§IV-A/B/C)
+// ---------------------------------------------------------------------------
+
+TEST(Mpas, SourceResolvesAndHotspotShareNearPaper) {
+  auto ev = make_eval(mpas_target());
+  const double share = ev->baseline().hotspot_cycles / ev->baseline().whole_cycles;
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.25);  // paper: ~15% of CPU time
+  EXPECT_GE(ev->space().size(), 40u);
+}
+
+TEST(Mpas, Uniform32HotspotSpeedupNearPaper) {
+  auto ev = make_eval(mpas_target());
+  const Evaluation& u32 = ev->evaluate(ev->space().uniform(4));
+  // High hotspot speedup (paper's >90%-32bit cluster is ≥1.8x)...
+  EXPECT_GT(u32.speedup, 1.7) << "hotspot speedup";
+  EXPECT_LT(u32.speedup, 2.4);
+  // ...but over the correctness threshold (the search must find better).
+  EXPECT_EQ(u32.outcome, Outcome::kFail);
+  EXPECT_GT(u32.error, mpas_target().error_threshold);
+}
+
+TEST(Mpas, WholeModelUniform32IsASlowdown) {
+  // §IV-C / Figure 7: the same lowering measured on whole-model wall time
+  // is a heavy slowdown (casting f64 inputs into the f32 hotspot per call).
+  auto ev = make_eval(mpas_whole_model_target());
+  const Evaluation& u32 = ev->evaluate(ev->space().uniform(4));
+  EXPECT_LT(u32.speedup, 0.7) << "paper: most >90%-32bit variants below 0.6x";
+  EXPECT_GT(u32.speedup, 0.3);
+}
+
+TEST(Mpas, FluxWrapperVariantSlowsTheHotspot) {
+  // Lowering only the flux functions' dummies forces wrappers at a
+  // high-call-volume boundary inside the hotspot (§IV-B).
+  auto ev = make_eval(mpas_target());
+  Config flux = ev->space().uniform(8);
+  for (std::size_t i = 0; i < ev->space().size(); ++i) {
+    const auto& q = ev->space().atoms()[i].qualified;
+    if (q.find("::flux4::") != std::string::npos ||
+        q.find("::flux3::") != std::string::npos) {
+      flux.kinds[i] = 4;
+    }
+  }
+  const Evaluation& eval = ev->evaluate(flux);
+  EXPECT_GT(eval.wrappers, 0);
+  EXPECT_LT(eval.speedup, 0.8) << "hotspot CPU time must increase";
+  EXPECT_GT(eval.hotspot_cycles, ev->baseline().hotspot_cycles * 1.1);
+}
+
+TEST(Mpas, ThresholdMatchesPinnedConstant) {
+  EXPECT_DOUBLE_EQ(mpas_target().error_threshold, kDefaultMpasThreshold);
+  // And the uniform-32 error really is above it (the calibration premise).
+  auto ev = make_eval(mpas_target());
+  const Evaluation& u32 = ev->evaluate(ev->space().uniform(4));
+  EXPECT_GT(u32.error, kDefaultMpasThreshold);
+  EXPECT_LT(u32.error, 20 * kDefaultMpasThreshold);
+}
+
+// ---------------------------------------------------------------------------
+// mini-ADCIRC (§IV-A/B)
+// ---------------------------------------------------------------------------
+
+TEST(Adcirc, SourceResolvesAndHotspotShareNearPaper) {
+  auto ev = make_eval(adcirc_target());
+  const double share = ev->baseline().hotspot_cycles / ev->baseline().whole_cycles;
+  EXPECT_GT(share, 0.07);
+  EXPECT_LT(share, 0.22);  // paper: ~12%
+}
+
+TEST(Adcirc, SpectralEstimateIsTheCriticalParameter) {
+  // The paper's finding: one parameter in jcg must stay 64-bit; lowering it
+  // collapses the adaptive acceleration, control flow changes, and the
+  // solver exits fast with intolerable error.
+  auto ev = make_eval(adcirc_target());
+  const Evaluation& eval =
+      ev->evaluate(lowered_only(*ev, {"itpackv::jcg::spectral_est"}));
+  EXPECT_EQ(eval.outcome, Outcome::kFail);
+  EXPECT_GT(eval.error, 1.0) << "intolerable error (threshold is 0.1)";
+  EXPECT_GT(eval.speedup, 1.5) << "and markedly faster (paper: 3-10x per call)";
+}
+
+TEST(Adcirc, CondProbeOverflowsInSingle) {
+  auto ev = make_eval(adcirc_target());
+  const Evaluation& eval =
+      ev->evaluate(lowered_only(*ev, {"itpackv::jcg::cond_probe"}));
+  EXPECT_EQ(eval.outcome, Outcome::kRuntimeError);
+}
+
+TEST(Adcirc, KeepCriticalPairGivesModestSpeedup) {
+  // Everything 32-bit except the two critical jcg parameters: a correct
+  // variant with modest speedup (paper: 1.12x; pjac's dependence and the
+  // allreduce-bound peror cap the gains).
+  auto ev = make_eval(adcirc_target());
+  const Evaluation& eval = ev->evaluate(lowered_except(
+      *ev, {"itpackv::jcg::spectral_est", "itpackv::jcg::cond_probe"}));
+  EXPECT_EQ(eval.outcome, Outcome::kPass) << eval.detail << " err=" << eval.error;
+  EXPECT_GT(eval.speedup, 1.05);
+  EXPECT_LT(eval.speedup, 1.6);
+}
+
+TEST(Adcirc, EtamaxSeriesIsTheMetric) {
+  auto ev = make_eval(adcirc_target());
+  // etamax is finite and nonzero everywhere after a run (the series the
+  // L2-of-relative-errors metric is computed over).
+  EXPECT_GT(std::abs(ev->baseline().metric), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// mini-MOM6 (§IV-A/B)
+// ---------------------------------------------------------------------------
+
+TEST(Mom6, SourceResolvesAndHotspotShareNearPaper) {
+  auto ev = make_eval(mom6_target());
+  const double share = ev->baseline().hotspot_cycles / ev->baseline().whole_cycles;
+  EXPECT_GT(share, 0.05);
+  EXPECT_LT(share, 0.15);  // paper: ~9%
+  EXPECT_EQ(ev->eq1_n(), 7);  // 9% RSD → n = 7
+}
+
+TEST(Mom6, VanishedLayerGuardFaultsInSingle) {
+  // h_neglect flushes to zero in binary32; 0/0 at the vanished layer.
+  auto ev = make_eval(mom6_target());
+  EXPECT_EQ(ev->evaluate(lowered_only(*ev, {"mom_continuity_ppm::h_neglect"})).outcome,
+            Outcome::kRuntimeError);
+  EXPECT_EQ(
+      ev->evaluate(lowered_only(*ev, {"mom_continuity_ppm::h_neglect_v"})).outcome,
+      Outcome::kRuntimeError);
+}
+
+TEST(Mom6, Uniform32IsARuntimeError) {
+  // Paper: of variants >10% 32-bit, 95% gave runtime errors.
+  auto ev = make_eval(mom6_target());
+  EXPECT_EQ(ev->evaluate(ev->space().uniform(4)).outcome, Outcome::kRuntimeError);
+}
+
+TEST(Mom6, ExecutableHighlyLoweredVariantIsASlowdown) {
+  // Keeping only the guards and the two delicate constants 64-bit (~88%
+  // lowered — the paper's ">98% 32-bit" at its 351-atom scale) runs but
+  // stalls the flux_adjust Newton loops: paper reports 0.2-0.6x.
+  auto ev = make_eval(mom6_target());
+  const Evaluation& eval = ev->evaluate(lowered_except(
+      *ev, {"mom_continuity_ppm::h_neglect", "mom_continuity_ppm::h_neglect_v",
+            "mom_continuity_ppm::ssh_e",
+            "mom_continuity_ppm::ssh_w",
+            "mom_continuity_ppm::href_big",
+            "mom_continuity_ppm::density_unit_scale"}));
+  EXPECT_EQ(eval.outcome, Outcome::kPass) << eval.detail;
+  EXPECT_GT(eval.speedup, 0.1);
+  EXPECT_LT(eval.speedup, 0.6);
+}
+
+TEST(Mom6, FluxAdjustStallInSingleVariable) {
+  // A single stalled Newton accumulator produces the paper's 0.01-0.1x
+  // zonal_flux_adjust per-procedure variants.
+  auto ev = make_eval(mom6_target());
+  const Evaluation& eval = ev->evaluate(
+      lowered_only(*ev, {"mom_continuity_ppm::zonal_flux_adjust::uh_guess"}));
+  EXPECT_EQ(eval.outcome, Outcome::kPass) << eval.detail;
+  EXPECT_LT(eval.speedup, 0.35);
+}
+
+TEST(Mom6, BarotropicCancellationFailsCorrectness) {
+  // Lowering the surface-slope correction chain loses ~7 digits in the
+  // (href + h) - (href + h') cancellation: the Table II Fail class.
+  auto ev = make_eval(mom6_target());
+  const Evaluation& eval = ev->evaluate(lowered_only(
+      *ev, {"mom_continuity_ppm::ssh_e",
+            "mom_continuity_ppm::ssh_w",
+            "mom_continuity_ppm::href_big", "mom_continuity_ppm::grad_coef",
+            "mom_continuity_ppm::h_w", "mom_continuity_ppm::h_e"}));
+  EXPECT_EQ(eval.outcome, Outcome::kFail) << "err=" << eval.error;
+  EXPECT_GT(eval.error, 0.25);
+}
+
+TEST(Mom6, DensityUnitScaleOverflowsStorage) {
+  auto ev = make_eval(mom6_target());
+  EXPECT_EQ(ev->evaluate(
+                  lowered_only(*ev, {"mom_continuity_ppm::density_unit_scale"}))
+                .outcome,
+            Outcome::kRuntimeError);
+}
+
+// ---------------------------------------------------------------------------
+// Shared calibration helper
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, Uniform32ErrorMatchesDirectEvaluation) {
+  const auto spec = funarc_target();
+  auto err = uniform32_error(spec);
+  ASSERT_TRUE(err.is_ok()) << err.status().to_string();
+  auto ev = make_eval(spec);
+  EXPECT_DOUBLE_EQ(*err, ev->evaluate(ev->space().uniform(4)).error);
+}
+
+TEST(Calibration, WithUniform32ThresholdMakesUniform32Borderline) {
+  auto spec = with_uniform32_threshold(funarc_target(), 1.0);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  auto ev = make_eval(*spec);
+  // With the threshold set exactly at the uniform-32 error, uniform-32 passes.
+  EXPECT_EQ(ev->evaluate(ev->space().uniform(4)).outcome, Outcome::kPass);
+}
+
+TEST(Calibration, FailsWhenUniform32Faults) {
+  // MOM6's uniform-32 variant faults, so calibration must refuse.
+  EXPECT_FALSE(uniform32_error(mom6_target()).is_ok());
+}
+
+}  // namespace
+}  // namespace prose::models

@@ -1,0 +1,105 @@
+// Tests for the learned performance predictor (§V extension).
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "tuner/predictor.h"
+#include "tuner_target_util.h"
+
+namespace prose::tuner {
+namespace {
+
+using prose::testing::toy_target;
+
+VariantFeatures synth(double a, double b, double c) {
+  VariantFeatures f;
+  f.fraction32 = a;
+  f.mixed_flow_penalty = b;
+  f.wrappers = c;
+  f.vectorized_loops = 3.0;  // constant feature: must be neutral
+  f.cast_sites = a * 2.0;
+  f.array_atoms_lowered = b * 0.5;
+  return f;
+}
+
+TEST(Ridge, RecoversLinearRelationship) {
+  Rng rng(42);
+  std::vector<VariantFeatures> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    const double c = rng.uniform();
+    xs.push_back(synth(a, b, c));
+    ys.push_back(1.0 + 0.8 * a - 0.5 * b + 0.2 * c);
+  }
+  RidgePredictor model(1e-6);
+  ASSERT_TRUE(model.fit(xs, ys).is_ok());
+  // In-sample fit must be essentially perfect for noiseless linear data.
+  EXPECT_GT(model.r_squared(xs, ys), 0.999);
+  // And a fresh point predicts correctly.
+  EXPECT_NEAR(model.predict(synth(0.5, 0.5, 0.5)), 1.0 + 0.4 - 0.25 + 0.1, 1e-3);
+}
+
+TEST(Ridge, HandlesNoise) {
+  Rng rng(7);
+  std::vector<VariantFeatures> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform();
+    xs.push_back(synth(a, 0.3, 0.1));
+    ys.push_back(2.0 - a + rng.normal(0.0, 0.05));
+  }
+  RidgePredictor model(1.0);
+  ASSERT_TRUE(model.fit(xs, ys).is_ok());
+  EXPECT_GT(model.r_squared(xs, ys), 0.9);
+}
+
+TEST(Ridge, RejectsTinySamples) {
+  RidgePredictor model;
+  EXPECT_FALSE(model.fit({synth(0, 0, 0)}, {1.0}).is_ok());
+  EXPECT_FALSE(model.fit({synth(0, 0, 0), synth(1, 1, 1)}, {1.0}).is_ok());  // size mismatch
+}
+
+TEST(Spearman, PerfectAndInverted) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {10, 20, 30, 40, 50};
+  const std::vector<double> down = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(spearman_correlation(a, up), 1.0);
+  EXPECT_DOUBLE_EQ(spearman_correlation(a, down), -1.0);
+}
+
+TEST(Spearman, TiesAreAveraged) {
+  const std::vector<double> a = {1, 2, 2, 3};
+  const std::vector<double> b = {1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman_correlation(a, b), 1.0);
+}
+
+TEST(Features, ExtractedFromToyTarget) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  const auto uniform64 = extract_features(**ev, (*ev)->space().uniform(8));
+  ASSERT_TRUE(uniform64.is_ok()) << uniform64.status().to_string();
+  EXPECT_DOUBLE_EQ(uniform64->fraction32, 0.0);
+  EXPECT_DOUBLE_EQ(uniform64->wrappers, 0.0);
+
+  const auto uniform32 = extract_features(**ev, (*ev)->space().uniform(4));
+  ASSERT_TRUE(uniform32.is_ok());
+  EXPECT_DOUBLE_EQ(uniform32->fraction32, 1.0);
+  EXPECT_GT(uniform32->array_atoms_lowered, 0.0);
+}
+
+TEST(Predictor, RanksToyTraceVariants) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  // Build a richer trace than the plain dd search: random sampling.
+  const SearchResult trace = random_search(**ev, 40, 99);
+  auto eval = evaluate_predictor_on_trace(**ev, trace, 0.6, 1.0);
+  ASSERT_TRUE(eval.is_ok()) << eval.status().to_string();
+  EXPECT_GE(eval->train_samples, 8u);
+  EXPECT_GE(eval->test_samples, 4u);
+  // Static features must carry real signal about dynamic speedups.
+  EXPECT_GT(eval->spearman, 0.4) << "r2=" << eval->r2;
+}
+
+}  // namespace
+}  // namespace prose::tuner

@@ -1,0 +1,237 @@
+// Property-based pipeline tests over randomly generated Fortran-subset
+// programs (TEST_P sweeps over generator seeds).
+//
+// Generated programs are numerically tame by construction, so across every
+// seed the following must hold:
+//   * they lex, parse, resolve, and unparse to a fixpoint;
+//   * the wrapper invariant is restorable for ANY precision assignment;
+//   * the identity assignment preserves semantics exactly;
+//   * baseline execution is finite and deterministic;
+//   * mixed-precision variants execute without faults;
+//   * taint reduction yields resolvable subsets of the original.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "ftn/generator.h"
+#include "ftn/parser.h"
+#include "ftn/reduce.h"
+#include "ftn/sema.h"
+#include "ftn/transform.h"
+#include "ftn/unparse.h"
+#include "sim/compile.h"
+#include "sim/vm.h"
+#include "support/rng.h"
+#include "tuner/search.h"
+#include "tuner/search_space.h"
+
+namespace prose {
+namespace {
+
+class GeneratedProgramTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ftn::GeneratedProgram gen() const {
+    ftn::GeneratorOptions options;
+    options.modules = 1 + static_cast<int>(GetParam() % 2);  // multi-module too
+    options.procs_per_module = 3;
+    options.module_vars = 6;
+    options.stmts_per_proc = 6;
+    return ftn::generate_program(GetParam(), options);
+  }
+
+  /// Full pipeline to a wrapper-complete resolved program.
+  static ftn::ResolvedProgram wrapped(const std::string& source) {
+    auto rp = ftn::parse_and_resolve(source);
+    EXPECT_TRUE(rp.is_ok()) << rp.status().to_string() << "\n" << source;
+    auto complete = ftn::generate_wrappers(std::move(rp->program));
+    EXPECT_TRUE(complete.is_ok()) << complete.status().to_string();
+    return std::move(complete.value());
+  }
+
+  static double run_output(const ftn::ResolvedProgram& rp, const std::string& entry,
+                           const std::string& output) {
+    auto compiled = sim::compile(rp, sim::MachineModel{});
+    EXPECT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+    sim::Vm vm(&compiled.value());
+    auto result = vm.call(entry);
+    EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+    auto out = vm.get_scalar(output);
+    EXPECT_TRUE(out.is_ok());
+    return out.is_ok() ? out.value() : std::nan("");
+  }
+};
+
+TEST_P(GeneratedProgramTest, ParsesAndResolves) {
+  const auto program = gen();
+  auto rp = ftn::parse_and_resolve(program.source);
+  ASSERT_TRUE(rp.is_ok()) << rp.status().to_string() << "\n" << program.source;
+}
+
+TEST_P(GeneratedProgramTest, UnparseReachesFixpoint) {
+  const auto program = gen();
+  auto p1 = ftn::parse_source(program.source);
+  ASSERT_TRUE(p1.is_ok());
+  const std::string text1 = ftn::unparse(p1.value());
+  auto p2 = ftn::parse_source(text1);
+  ASSERT_TRUE(p2.is_ok()) << "unparsed text must re-parse\n" << text1;
+  EXPECT_EQ(ftn::unparse(p2.value()), text1);
+}
+
+TEST_P(GeneratedProgramTest, BaselineRunsFiniteAndDeterministic) {
+  const auto program = gen();
+  const auto rp = wrapped(program.source);
+  const double a = run_output(rp, program.entry, program.output_var);
+  const double b = run_output(rp, program.entry, program.output_var);
+  EXPECT_TRUE(std::isfinite(a)) << program.source;
+  EXPECT_EQ(a, b) << "same program, same inputs, same bits";
+}
+
+TEST_P(GeneratedProgramTest, IdentityAssignmentPreservesSemantics) {
+  const auto program = gen();
+  const auto rp = wrapped(program.source);
+  auto identity = ftn::make_variant(rp.program, ftn::PrecisionAssignment{});
+  ASSERT_TRUE(identity.is_ok()) << identity.status().to_string();
+  EXPECT_EQ(run_output(rp, program.entry, program.output_var),
+            run_output(identity.value(), program.entry, program.output_var));
+}
+
+TEST_P(GeneratedProgramTest, RandomAssignmentsKeepWrapperInvariant) {
+  const auto program = gen();
+  const auto rp = wrapped(program.source);
+  auto space = tuner::SearchSpace::build(
+      rp, {"gen_mod0"}, {"gen_mod0::gen_out"});
+  ASSERT_TRUE(space.is_ok()) << space.status().to_string();
+
+  Rng rng(GetParam() * 7919 + 13);
+  for (int trial = 0; trial < 4; ++trial) {
+    tuner::Config config = space->uniform(8);
+    for (auto& k : config.kinds) {
+      if (rng.chance(0.5)) k = 4;
+    }
+    auto variant = ftn::make_variant(rp.program, space->to_assignment(config));
+    ASSERT_TRUE(variant.is_ok()) << variant.status().to_string();
+    EXPECT_TRUE(ftn::verify_call_kind_invariant(variant.value()).is_ok());
+    // And the variant must compile.
+    auto compiled = sim::compile(variant.value(), sim::MachineModel{});
+    EXPECT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+  }
+}
+
+TEST_P(GeneratedProgramTest, MixedVariantsRunWithoutFaults) {
+  const auto program = gen();
+  const auto rp = wrapped(program.source);
+  auto space = tuner::SearchSpace::build(rp, {"gen_mod0"}, {"gen_mod0::gen_out"});
+  ASSERT_TRUE(space.is_ok());
+
+  Rng rng(GetParam() * 104729 + 5);
+  tuner::Config config = space->uniform(8);
+  for (auto& k : config.kinds) {
+    if (rng.chance(0.5)) k = 4;
+  }
+  auto variant = ftn::make_variant(rp.program, space->to_assignment(config));
+  ASSERT_TRUE(variant.is_ok());
+  const double out = run_output(variant.value(), program.entry, program.output_var);
+  EXPECT_TRUE(std::isfinite(out)) << "tame programs must stay finite in binary32";
+}
+
+TEST_P(GeneratedProgramTest, ReductionYieldsResolvableSubsets) {
+  const auto program = gen();
+  auto rp = ftn::parse_and_resolve(program.source);
+  ASSERT_TRUE(rp.is_ok());
+
+  // Target a random non-empty subset of the real declarations.
+  Rng rng(GetParam() * 31 + 7);
+  std::set<ftn::NodeId> targets;
+  for (const auto& sym : rp->symbols.all()) {
+    if (sym.is_variable() && sym.type.is_real() && rng.chance(0.3)) {
+      targets.insert(sym.decl_node);
+    }
+  }
+  if (targets.empty()) return;
+
+  auto reduced = ftn::reduce_for_targets(rp.value(), targets);
+  ASSERT_TRUE(reduced.is_ok()) << reduced.status().to_string();
+  EXPECT_LE(reduced->stats.kept_statements, reduced->stats.total_statements);
+  EXPECT_LE(reduced->stats.kept_procedures, reduced->stats.total_procedures);
+  auto resolved = ftn::resolve(reduced->program.clone());
+  EXPECT_TRUE(resolved.is_ok()) << resolved.status().to_string();
+}
+
+TEST_P(GeneratedProgramTest, VectorizationReportCoversLoops) {
+  const auto program = gen();
+  const auto rp = wrapped(program.source);
+  auto compiled = sim::compile(rp, sim::MachineModel{});
+  ASSERT_TRUE(compiled.is_ok());
+  // Every recorded loop has a definite status, and vectorized loops report
+  // sane lane counts.
+  for (const auto& [id, info] : compiled->vec_report.loops) {
+    if (info.status == sim::VecStatus::kVectorized) {
+      EXPECT_GE(info.effective_lanes, 2);
+      EXPECT_LE(info.effective_lanes, 16);
+    } else {
+      EXPECT_EQ(info.effective_lanes, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedProgramTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// End-to-end search properties on generated tuning targets
+// ---------------------------------------------------------------------------
+
+class GeneratedSearchTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedSearchTest, DeltaDebugResultIsOneMinimal) {
+  ftn::GeneratorOptions options;
+  options.module_vars = 5;
+  options.procs_per_module = 2;
+  options.stmts_per_proc = 5;
+  const auto program = ftn::generate_program(GetParam(), options);
+
+  tuner::TargetSpec spec;
+  spec.name = "generated";
+  spec.source = program.source;
+  spec.entry = program.entry;
+  spec.atom_scopes = {"gen_mod0"};
+  spec.exclude_atoms = {program.output_var};
+  spec.measure_whole_model = true;
+  spec.metric = [out = program.output_var](const sim::Vm& vm) {
+    return vm.get_scalar(out);
+  };
+  spec.noise_rsd = 0.0;
+
+  auto evaluator = tuner::Evaluator::create(spec);
+  ASSERT_TRUE(evaluator.is_ok()) << evaluator.status().to_string();
+  tuner::Evaluator& ev = *evaluator.value();
+
+  // Calibrate a threshold between "tight" and the uniform-32 error so the
+  // search has real work to do on most seeds.
+  const auto& u32 = ev.evaluate(ev.space().uniform(4));
+  spec.error_threshold = std::max(u32.error * 0.5, 1e-13);
+  auto evaluator2 = tuner::Evaluator::create(spec);
+  ASSERT_TRUE(evaluator2.is_ok());
+  tuner::Evaluator& ev2 = *evaluator2.value();
+
+  const tuner::SearchResult result = tuner::delta_debug_search(ev2);
+  ASSERT_TRUE(result.one_minimal);
+  EXPECT_TRUE(tuner::check_one_minimal(ev2, result.accepted).empty())
+      << "accepted configuration must be 1-minimal";
+  // Every recorded evaluation carries a classified outcome.
+  for (const auto& r : result.records) {
+    EXPECT_TRUE(r.eval.outcome == tuner::Outcome::kPass ||
+                r.eval.outcome == tuner::Outcome::kFail ||
+                r.eval.outcome == tuner::Outcome::kTimeout ||
+                r.eval.outcome == tuner::Outcome::kRuntimeError ||
+                r.eval.outcome == tuner::Outcome::kCompileError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSearchTest,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace prose

@@ -1,0 +1,114 @@
+// Tests for the reporting layer (CSV/scatter/HTML) and the T0 reduction
+// preprocessing option.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tuner/html_report.h"
+#include "tuner/report.h"
+#include "tuner/search.h"
+#include "tuner_target_util.h"
+
+namespace prose::tuner {
+namespace {
+
+using prose::testing::toy_target;
+
+SearchResult toy_trace() {
+  auto ev = Evaluator::create(toy_target());
+  EXPECT_TRUE(ev.is_ok());
+  return delta_debug_search(**ev);
+}
+
+TEST(HtmlReport, VariantsPageIsWellFormed) {
+  const SearchResult trace = toy_trace();
+  const std::string html = variants_html("toy", trace, toy_target().error_threshold);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("</svg>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // One circle per completed variant.
+  std::size_t completed = 0;
+  for (const auto& r : trace.records) {
+    if (r.eval.outcome == Outcome::kPass || r.eval.outcome == Outcome::kFail) {
+      ++completed;
+    }
+  }
+  std::size_t circles = 0;
+  for (std::size_t pos = html.find("<circle"); pos != std::string::npos;
+       pos = html.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, completed);
+  // Tooltips carry the variant metadata.
+  EXPECT_NE(html.find("<title>variant "), std::string::npos);
+  EXPECT_NE(html.find("wrappers"), std::string::npos);
+}
+
+TEST(HtmlReport, VariantsPageReportsNonPlottableCounts) {
+  const SearchResult trace = toy_trace();
+  const std::string html = variants_html("toy", trace, toy_target().error_threshold);
+  // The toy search always hits the uniform-32 runtime error.
+  EXPECT_NE(html.find("runtime/compile errors"), std::string::npos);
+}
+
+TEST(HtmlReport, Figure6PageRendersPerProcedureColumns) {
+  auto result = run_campaign(toy_target());
+  ASSERT_TRUE(result.is_ok());
+  const std::string html = figure6_html("toy fig6", result->figure6);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("kernel"), std::string::npos);  // shortened proc label
+  // One circle per unique per-procedure variant.
+  std::size_t circles = 0;
+  for (std::size_t pos = html.find("<circle"); pos != std::string::npos;
+       pos = html.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, result->figure6.size());
+}
+
+TEST(HtmlReport, EscapesAngleBracketsInTitles) {
+  SearchResult empty;
+  const std::string html = variants_html("<weird&title>", empty, 0.1);
+  EXPECT_EQ(html.find("<weird"), std::string::npos);
+  EXPECT_NE(html.find("&lt;weird&amp;title&gt;"), std::string::npos);
+}
+
+TEST(Evaluator, ReductionPreprocessingRecordsStats) {
+  TargetSpec spec = toy_target();
+  spec.run_reduction_preprocessing = true;
+  auto ev = Evaluator::create(spec);
+  ASSERT_TRUE(ev.is_ok()) << ev.status().to_string();
+  const auto& stats = (*ev)->reduction_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->kept_statements, 0u);
+  EXPECT_LE(stats->kept_statements, stats->total_statements);
+  EXPECT_GT(stats->taint_iterations, 0u);
+}
+
+TEST(Evaluator, ReductionPreprocessingOffByDefault) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_FALSE((*ev)->reduction_stats().has_value());
+}
+
+TEST(Report, FinalVariantReportTruncatesLongLists) {
+  CampaignResult result;
+  for (int i = 0; i < 80; ++i) {
+    result.final_kinds["mod::var" + std::to_string(i)] = 8;
+  }
+  const std::string text = final_variant_report(result);
+  EXPECT_NE(text.find("80/80"), std::string::npos);
+  EXPECT_NE(text.find("... and 30 more"), std::string::npos);
+}
+
+TEST(Report, VariantsCsvHasOneRowPerVariant) {
+  const SearchResult trace = toy_trace();
+  const std::string csv = variants_csv(trace);
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, trace.records.size() + 1);  // + header
+}
+
+}  // namespace
+}  // namespace prose::tuner

@@ -1,0 +1,377 @@
+// Direct unit tests of the vectorization legality analysis and the inliner
+// judgement — the "compiler vectorization report" §V tells users to consult.
+#include <gtest/gtest.h>
+
+#include "ftn/callgraph.h"
+#include "sim/vectorize.h"
+#include "test_util.h"
+
+namespace prose::sim {
+namespace {
+
+using prose::testing::must_resolve;
+
+VectorizationReport analyze(const std::string& src, MachineModel machine = {}) {
+  auto rp = must_resolve(src);
+  const ftn::CallGraph cg = ftn::CallGraph::build(rp);
+  return analyze_vectorization(rp, cg, machine);
+}
+
+/// Status of the single innermost loop in a one-loop program.
+LoopInfo only_loop(const VectorizationReport& report) {
+  LoopInfo inner;
+  bool found = false;
+  for (const auto& [id, info] : report.loops) {
+    if (info.status != VecStatus::kOuterLoop) {
+      EXPECT_FALSE(found) << "expected exactly one innermost loop";
+      inner = info;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  return inner;
+}
+
+TEST(Vectorize, CleanStreamVectorizesAtF64Lanes) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64), b(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      b(i) = a(i) * 2.0d0 + 1.0d0
+    end do
+  end subroutine s
+end module m
+)f");
+  const auto info = only_loop(report);
+  EXPECT_EQ(info.status, VecStatus::kVectorized);
+  EXPECT_EQ(info.effective_lanes, MachineModel{}.vector_lanes_f64);
+}
+
+TEST(Vectorize, PureF32BodyGetsWideLanes) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=4) :: a(64), b(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      b(i) = a(i) * 2.0 + 1.0
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).effective_lanes, MachineModel{}.vector_lanes_f32);
+}
+
+TEST(Vectorize, MixedBodyFallsBackToNarrowLanes) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=4) :: a(64)
+  real(kind=8) :: b(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      b(i) = a(i) * 2.0d0
+    end do
+  end subroutine s
+end module m
+)f");
+  const auto info = only_loop(report);
+  EXPECT_EQ(info.status, VecStatus::kVectorized);
+  EXPECT_EQ(info.effective_lanes, MachineModel{}.vector_lanes_f64);
+  EXPECT_TRUE(info.body_has_f32);
+  EXPECT_TRUE(info.body_has_f64);
+}
+
+TEST(Vectorize, BackwardDependenceDetected) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 2, 64
+      a(i) = a(i - 1) * 0.5d0
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kCarriedDependence);
+}
+
+TEST(Vectorize, ForwardOffsetReadIsAlsoADependence) {
+  // a(i) written, a(i+1) read: conservative dependence (as real
+  // vectorizers treat potential WAR/RAW across the vector body).
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 63
+      a(i) = a(i + 1) * 0.5d0
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kCarriedDependence);
+}
+
+TEST(Vectorize, InvariantReadOfWrittenArrayIsADependence) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      a(i) = a(i) + 1.0d0
+      a(1) = a(1) * 0.5d0
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kCarriedDependence);
+}
+
+TEST(Vectorize, SumReductionIsAllowed) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+  real(kind=8) :: acc
+contains
+  subroutine s()
+    integer :: i
+    acc = 0.0d0
+    do i = 1, 64
+      acc = acc + a(i)
+    end do
+  end subroutine s
+end module m
+)f");
+  const auto info = only_loop(report);
+  EXPECT_EQ(info.status, VecStatus::kVectorized);
+  EXPECT_TRUE(info.has_reduction);
+}
+
+TEST(Vectorize, MinMaxReductionIsAllowed) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+  real(kind=8) :: peak
+contains
+  subroutine s()
+    integer :: i
+    peak = a(1)
+    do i = 1, 64
+      peak = max(peak, a(i))
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kVectorized);
+}
+
+TEST(Vectorize, NonReductionScalarRecurrenceBlocks) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+  real(kind=8) :: carry
+contains
+  subroutine s()
+    integer :: i
+    carry = 0.0d0
+    do i = 1, 64
+      carry = carry * 0.5d0 + a(i)
+      a(i) = carry
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kScalarRecurrence);
+}
+
+TEST(Vectorize, PrivatizableTempIsAllowed) {
+  // t written before read each iteration: privatizable, no recurrence.
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64), b(64)
+contains
+  subroutine s()
+    real(kind=8) :: t
+    integer :: i
+    do i = 1, 64
+      t = a(i) * 2.0d0
+      b(i) = t + 1.0d0
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kVectorized);
+}
+
+TEST(Vectorize, ExitBlocksVectorization) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      a(i) = a(i) + 1.0d0
+      if (a(i) > 10.0d0) exit
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kIrregularControl);
+}
+
+TEST(Vectorize, CollectiveBlocksVectorization) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      a(i) = mpi_allreduce_sum(a(i))
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kCollective);
+}
+
+TEST(Vectorize, PrintBlocksVectorization) {
+  const auto report = analyze(R"f(
+module m
+  real(kind=8) :: a(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      print *, a(i)
+    end do
+  end subroutine s
+end module m
+)f");
+  EXPECT_EQ(only_loop(report).status, VecStatus::kPrintIo);
+}
+
+TEST(Vectorize, InlinableCallIsFineWrapperIsNot) {
+  auto rp = must_resolve(R"f(
+module m
+  real(kind=8) :: a(64), b(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      b(i) = twice(a(i))
+    end do
+  end subroutine s
+  function twice(x) result(y)
+    real(kind=8), intent(in) :: x
+    real(kind=8) :: y
+    y = x * 2.0d0
+  end function twice
+end module m
+)f");
+  const ftn::CallGraph cg = ftn::CallGraph::build(rp);
+  const auto report = analyze_vectorization(rp, cg, MachineModel{});
+  const auto info = only_loop(report);
+  EXPECT_EQ(info.status, VecStatus::kVectorized);
+  EXPECT_TRUE(info.has_calls);
+  // The inliner judgement.
+  const auto twice = rp.symbols.find_procedure("m", "twice");
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_TRUE(report.inlinable.at(*twice).eligible);
+  const auto s = rp.symbols.find_procedure("m", "s");
+  EXPECT_FALSE(report.inlinable.at(*s).eligible);  // subroutine, has loop
+}
+
+TEST(Vectorize, RecursiveFunctionNotInlinable) {
+  auto rp = must_resolve(R"f(
+module m
+  real(kind=8) :: out
+contains
+  subroutine s()
+    out = f(3.0d0)
+  end subroutine s
+  function f(x) result(y)
+    real(kind=8), intent(in) :: x
+    real(kind=8) :: y
+    if (x < 1.0d0) then
+      y = x
+    else
+      y = f(x - 1.0d0)
+    end if
+  end function f
+end module m
+)f");
+  const ftn::CallGraph cg = ftn::CallGraph::build(rp);
+  const auto report = analyze_vectorization(rp, cg, MachineModel{});
+  const auto f = rp.symbols.find_procedure("m", "f");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(report.inlinable.at(*f).eligible);
+  EXPECT_NE(report.inlinable.at(*f).reason.find("recursive"), std::string::npos);
+}
+
+TEST(Vectorize, ReportTextMentionsEveryLoop) {
+  auto rp = must_resolve(R"f(
+module m
+  real(kind=8) :: a(8)
+contains
+  subroutine s()
+    integer :: i, j
+    do i = 1, 8
+      do j = 1, 8
+        a(j) = a(j) + 1.0d0
+      end do
+    end do
+  end subroutine s
+end module m
+)f");
+  const ftn::CallGraph cg = ftn::CallGraph::build(rp);
+  const auto report = analyze_vectorization(rp, cg, MachineModel{});
+  const std::string text = report.to_string(rp.symbols);
+  EXPECT_NE(text.find("vectorized"), std::string::npos);
+  EXPECT_NE(text.find("not an innermost loop"), std::string::npos);
+  EXPECT_EQ(report.loop_count(), 2u);
+  EXPECT_EQ(report.vectorized_count(), 1u);
+}
+
+// Machine-parameter sweep: the f32 stream advantage must scale with the lane
+// ratio the machine model advertises.
+class LaneSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaneSweepTest, StreamSpeedupGrowsWithLaneRatio) {
+  // Verified indirectly through the analysis: lanes reported for f32 bodies
+  // equal the configured width.
+  MachineModel machine;
+  machine.vector_lanes_f32 = GetParam();
+  machine.vector_lanes_f64 = GetParam() / 2;
+  const char* src = R"f(
+module m
+  real(kind=4) :: a(64), b(64)
+contains
+  subroutine s()
+    integer :: i
+    do i = 1, 64
+      b(i) = a(i) + 1.0
+    end do
+  end subroutine s
+end module m
+)f";
+  const auto report = analyze(src, machine);
+  EXPECT_EQ(only_loop(report).effective_lanes, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LaneSweepTest, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace prose::sim

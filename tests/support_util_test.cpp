@@ -1,0 +1,104 @@
+// Strings / table / CLI / plot utility tests.
+#include <gtest/gtest.h>
+
+#include "support/ascii_plot.h"
+#include "support/cli.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace prose {
+namespace {
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("MiXeD_09"), "mixed_09"); }
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split_ws("  a  b\tc "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("MPAS", "mpas"));
+  EXPECT_FALSE(iequals("MPAS", "mpas6"));
+}
+
+TEST(Strings, JoinAndReplace) {
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_EQ(replace_all("x+x+x", "+", "-"), "x-x-x");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(format_double(1.946, 2), "1.95");
+  EXPECT_EQ(format_percent(0.5625, 1), "56.2%");
+  EXPECT_EQ(format_sci(140.0, 2), "1.4e+02");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");  // no truncation
+}
+
+TEST(TextTable, RendersAlignedMarkdown) {
+  TextTable t({"Model", "Speedup"});
+  t.add_row({"MPAS-A", "1.95x"});
+  t.add_row({"ADCIRC", "1.12x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Model  | Speedup |"), std::string::npos);
+  EXPECT_NE(s.find("| MPAS-A | 1.95x   |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter w;
+  w.add_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(w.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--model=mpas", "--trials", "7",
+                        "--verbose", "--no-color", "input.f90"};
+  auto flags = CliFlags::parse(7, argv);
+  ASSERT_TRUE(flags.is_ok());
+  EXPECT_EQ(flags->get_string("model", ""), "mpas");
+  EXPECT_EQ(flags->get_int("trials", 0), 7);
+  EXPECT_TRUE(flags->get_bool("verbose", false));
+  EXPECT_FALSE(flags->get_bool("color", true));
+  EXPECT_EQ(flags->get_double("missing", 2.5), 2.5);
+  ASSERT_EQ(flags->positional().size(), 1u);
+  EXPECT_EQ(flags->positional()[0], "input.f90");
+}
+
+TEST(AsciiScatter, RendersPointsAndGuides) {
+  AsciiScatter plot("test", "speedup", "error");
+  plot.set_size(40, 10);
+  plot.add_point(1.0, 1.0, 'a');
+  plot.add_point(2.0, 4.0, 'b');
+  plot.add_x_guide(1.0);
+  const std::string s = plot.render();
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('b'), std::string::npos);
+  EXPECT_NE(s.find(':'), std::string::npos);  // guide line
+}
+
+TEST(AsciiScatter, LogAxisDropsNonpositive) {
+  AsciiScatter plot("log", "x", "y");
+  plot.set_log_y(true);
+  plot.add_point(1.0, 0.0, 'z');  // non-plottable on log axis
+  plot.add_point(1.0, 1.0, 'k');
+  const std::string s = plot.render();
+  EXPECT_NE(s.find("dropped"), std::string::npos);
+  EXPECT_NE(s.find('k'), std::string::npos);
+}
+
+TEST(AsciiScatter, EmptyPlotHasPlaceholder) {
+  AsciiScatter plot("empty", "x", "y");
+  EXPECT_NE(plot.render().find("no finite points"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prose

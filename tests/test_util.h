@@ -1,0 +1,52 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <string>
+
+#include "ftn/sema.h"
+#include "support/status.h"
+
+namespace prose::testing {
+
+/// Parses and resolves, failing the test with the diagnostic on error.
+inline ftn::ResolvedProgram must_resolve(const std::string& source) {
+  auto r = ftn::parse_and_resolve(source, "<test>");
+  if (!r.is_ok()) {
+    throw std::runtime_error("resolve failed: " + r.status().to_string());
+  }
+  return std::move(r.value());
+}
+
+/// A tiny but representative module used across frontend tests: two
+/// procedures, mixed kinds, an array, a loop, and an if.
+inline const char* tiny_module_source() {
+  return R"f(
+module demo
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8) :: total
+  real(kind=8), dimension(n) :: xs
+contains
+  subroutine accumulate(scale)
+    real(kind=8), intent(in) :: scale
+    integer :: i
+    total = 0.0d0
+    do i = 1, n
+      total = total + weight(xs(i)) * scale
+    end do
+  end subroutine accumulate
+
+  function weight(x) result(w)
+    real(kind=8), intent(in) :: x
+    real(kind=8) :: w
+    if (x > 0.0d0) then
+      w = sqrt(x)
+    else
+      w = 0.0d0
+    end if
+  end function weight
+end module demo
+)f";
+}
+
+}  // namespace prose::testing

@@ -1,0 +1,243 @@
+// Tuner core tests: search space, metrics, evaluator, frontier, scheduler.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "tuner/evaluator.h"
+#include "tuner/frontier.h"
+#include "tuner/metrics.h"
+#include "tuner/schedule.h"
+#include "tuner/search_space.h"
+#include "test_util.h"
+#include "tuner_target_util.h"
+
+namespace prose::tuner {
+namespace {
+
+using prose::testing::must_resolve;
+using prose::testing::toy_target;
+
+TEST(SearchSpace, EnumeratesRealVariablesOnly) {
+  auto rp = must_resolve(R"f(
+module m
+  integer :: count
+  integer, parameter :: n = 4
+  real(kind=8), parameter :: pi = 3.14d0
+  real(kind=8) :: a
+  real(kind=4) :: b(n)
+  logical :: flag
+contains
+  subroutine s()
+    real(kind=8) :: local_var
+    local_var = a
+    a = local_var
+  end subroutine s
+end module m
+)f");
+  auto space = SearchSpace::build(rp, {"m"});
+  ASSERT_TRUE(space.is_ok()) << space.status().to_string();
+  // a, b, s::local_var — not count/n/pi/flag.
+  EXPECT_EQ(space->size(), 3u);
+  EXPECT_GE(space->index_of("m::a"), 0);
+  EXPECT_GE(space->index_of("m::b"), 0);
+  EXPECT_GE(space->index_of("m::s::local_var"), 0);
+  EXPECT_EQ(space->index_of("m::pi"), -1);
+}
+
+TEST(SearchSpace, ScopeFilterByProcedure) {
+  auto rp = must_resolve(R"f(
+module m
+  real(kind=8) :: module_var
+contains
+  subroutine p()
+    real(kind=8) :: inside
+    inside = module_var
+    module_var = inside
+  end subroutine p
+  subroutine q()
+    real(kind=8) :: elsewhere
+    elsewhere = 0.0d0
+    module_var = elsewhere
+  end subroutine q
+end module m
+)f");
+  auto space = SearchSpace::build(rp, {"m::p"});
+  ASSERT_TRUE(space.is_ok());
+  EXPECT_EQ(space->size(), 1u);
+  EXPECT_EQ(space->atoms()[0].qualified, "m::p::inside");
+}
+
+TEST(SearchSpace, ExcludeList) {
+  auto rp = must_resolve(R"f(
+module m
+  real(kind=8) :: keep_me, skip_me
+end module m
+)f");
+  auto space = SearchSpace::build(rp, {"m"}, {"m::skip_me"});
+  ASSERT_TRUE(space.is_ok());
+  EXPECT_EQ(space->size(), 1u);
+  EXPECT_EQ(space->atoms()[0].qualified, "m::keep_me");
+}
+
+TEST(SearchSpace, ConfigAccounting) {
+  auto rp = must_resolve("module m\n  real(kind=8) :: a, b, c, d\nend module m\n");
+  auto space = SearchSpace::build(rp, {"m"});
+  ASSERT_TRUE(space.is_ok());
+  Config c = space->uniform(8);
+  EXPECT_EQ(c.count32(), 0u);
+  c.kinds[1] = 4;
+  c.kinds[3] = 4;
+  EXPECT_EQ(c.count32(), 2u);
+  EXPECT_DOUBLE_EQ(c.fraction32(), 0.5);
+  EXPECT_EQ(c.key(), "8484");
+  const auto pa = space->to_assignment(c);
+  EXPECT_EQ(pa.kinds.size(), 2u);  // only the changed atoms appear
+}
+
+TEST(SearchSpace, EmptyScopeIsAnError) {
+  auto rp = must_resolve("module m\n  integer :: i\nend module m\n");
+  EXPECT_FALSE(SearchSpace::build(rp, {"m"}).is_ok());
+}
+
+TEST(Metrics, Eq1UsesMedians) {
+  const std::array<double, 3> base = {100.0, 102.0, 98.0};
+  const std::array<double, 3> var = {50.0, 51.0, 1000.0};  // outlier shed
+  EXPECT_DOUBLE_EQ(eq1_speedup(base, var), 100.0 / 51.0);
+}
+
+TEST(Metrics, ChooseNReproducesPaperChoices) {
+  EXPECT_EQ(choose_eq1_n(0.01), 1);  // MPAS-A, ADCIRC
+  EXPECT_EQ(choose_eq1_n(0.09), 7);  // MOM6
+}
+
+TEST(Metrics, NoisySamplesAreDeterministicPerStream) {
+  const auto a = sample_noisy_times(100.0, 0.05, 5, 42, 7);
+  const auto b = sample_noisy_times(100.0, 0.05, 5, 42, 7);
+  EXPECT_EQ(a, b);
+  const auto c = sample_noisy_times(100.0, 0.05, 5, 42, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Metrics, ZeroRsdSamplesAreExact) {
+  const auto a = sample_noisy_times(123.0, 0.0, 3, 1, 1);
+  for (const double t : a) EXPECT_DOUBLE_EQ(t, 123.0);
+}
+
+TEST(Metrics, NonFiniteVariantMetricIsInfiniteError) {
+  EXPECT_TRUE(std::isinf(output_relative_error(1.0, std::nan(""))));
+}
+
+TEST(Evaluator, BaselinePassesAndCalibrates) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok()) << ev.status().to_string();
+  const Evaluation& base = (*ev)->baseline();
+  EXPECT_EQ(base.outcome, Outcome::kPass);
+  EXPECT_DOUBLE_EQ(base.error, 0.0);
+  EXPECT_GT(base.hotspot_cycles, 0.0);
+  EXPECT_GT(base.whole_cycles, base.hotspot_cycles);
+  EXPECT_GT((*ev)->seconds_per_cycle(), 0.0);
+  EXPECT_EQ((*ev)->space().size(), 6u);
+  EXPECT_EQ((*ev)->eq1_n(), 1);
+}
+
+TEST(Evaluator, UniformLoweringHitsTheCriticalDivide) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  const Evaluation& eval = (*ev)->evaluate((*ev)->space().uniform(4));
+  EXPECT_EQ(eval.outcome, Outcome::kRuntimeError) << eval.detail;
+}
+
+TEST(Evaluator, ToleranceOfArraysAndFragilityOfSensitive) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  const auto& space = (*ev)->space();
+
+  Config arrays_only = space.uniform(8);
+  arrays_only.kinds[static_cast<std::size_t>(space.index_of("toy::state"))] = 4;
+  arrays_only.kinds[static_cast<std::size_t>(space.index_of("toy::coefs"))] = 4;
+  arrays_only.kinds[static_cast<std::size_t>(space.index_of("toy::t1"))] = 4;
+  arrays_only.kinds[static_cast<std::size_t>(space.index_of("toy::t2"))] = 4;
+  const Evaluation& tolerant = (*ev)->evaluate(arrays_only);
+  EXPECT_EQ(tolerant.outcome, Outcome::kPass)
+      << tolerant.detail << " err=" << tolerant.error;
+  EXPECT_GT(tolerant.speedup, 1.2);
+
+  Config sens = space.uniform(8);
+  sens.kinds[static_cast<std::size_t>(space.index_of("toy::sensitive"))] = 4;
+  const Evaluation& fragile = (*ev)->evaluate(sens);
+  EXPECT_EQ(fragile.outcome, Outcome::kFail) << "err=" << fragile.error;
+}
+
+TEST(Evaluator, CacheHitsAreReported) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  const Config c = (*ev)->space().uniform(4);
+  bool hit = true;
+  (*ev)->evaluate(c, &hit);
+  EXPECT_FALSE(hit);
+  (*ev)->evaluate(c, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ((*ev)->unique_evaluations(), 1u);
+}
+
+TEST(Evaluator, NodeSecondsIncludeBuildAndRuns) {
+  auto ev = Evaluator::create(toy_target());
+  ASSERT_TRUE(ev.is_ok());
+  const Evaluation& eval = (*ev)->evaluate((*ev)->space().uniform(8));
+  // Uniform-8 equals the baseline program: ~90 s run + 60 s build.
+  EXPECT_NEAR(eval.node_seconds, 150.0, 10.0);
+}
+
+TEST(Frontier, ExtractsParetoSet) {
+  SearchResult search;
+  const auto add = [&](int id, double speedup, double error, Outcome outcome) {
+    VariantRecord r;
+    r.id = id;
+    r.eval.outcome = outcome;
+    r.eval.speedup = speedup;
+    r.eval.error = error;
+    search.records.push_back(std::move(r));
+  };
+  add(1, 1.0, 0.0, Outcome::kPass);
+  add(2, 1.5, 1e-6, Outcome::kPass);
+  add(3, 1.2, 1e-5, Outcome::kFail);   // dominated by 2
+  add(4, 2.0, 1e-3, Outcome::kFail);
+  add(5, 0.5, 1e-2, Outcome::kFail);   // dominated
+  add(6, 9.9, 1e-9, Outcome::kTimeout);  // not plottable
+
+  const auto frontier = optimal_frontier(search.records);
+  std::vector<int> ids;
+  for (const auto& p : frontier) ids.push_back(p.variant_id);
+  EXPECT_EQ(ids, (std::vector<int>{1, 2, 4}));
+
+  EXPECT_EQ(select_within_threshold(frontier, 1e-4), 2);
+  EXPECT_EQ(select_within_threshold(frontier, 1.0), 4);
+  EXPECT_EQ(select_within_threshold(frontier, -1.0), -1);
+}
+
+TEST(Cluster, BatchMakespanUsesAllNodes) {
+  ClusterSim cluster(ClusterOptions{.nodes = 4, .wall_budget_seconds = 1e9});
+  // 8 unit tasks on 4 nodes: makespan 2.
+  EXPECT_TRUE(cluster.run_batch(std::vector<double>(8, 1.0)));
+  EXPECT_DOUBLE_EQ(cluster.elapsed_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.busy_node_seconds(), 8.0);
+}
+
+TEST(Cluster, LongTaskDominatesMakespan) {
+  ClusterSim cluster(ClusterOptions{.nodes = 4, .wall_budget_seconds = 1e9});
+  EXPECT_TRUE(cluster.run_batch({10.0, 1.0, 1.0, 1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(cluster.elapsed_seconds(), 10.0);
+}
+
+TEST(Cluster, BudgetExpiryStopsCampaign) {
+  ClusterSim cluster(ClusterOptions{.nodes = 2, .wall_budget_seconds = 5.0});
+  EXPECT_TRUE(cluster.run_batch({2.0, 2.0}));       // elapsed 2
+  EXPECT_FALSE(cluster.run_batch({4.0}));           // elapsed 6 > 5
+  EXPECT_TRUE(cluster.exhausted());
+  EXPECT_FALSE(cluster.run_batch({0.1}));           // stays stopped
+  EXPECT_DOUBLE_EQ(cluster.remaining_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace prose::tuner

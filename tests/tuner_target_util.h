@@ -1,0 +1,83 @@
+// A synthetic tuning target with designed-in behaviours, shared by the tuner
+// tests:
+//   * `state`, `coefs`, `t1`, `t2` — tolerant: lowering them keeps the metric
+//     within threshold and speeds up the vectorizable kernel loop;
+//   * `sensitive` — fragile: lowering it perturbs the metric far beyond the
+//     threshold (correctness Fail);
+//   * `critical_scale` — explosive: lowering it rounds 1+1e-9 to exactly 1,
+//     and the model divides by (critical_scale - 1) → RuntimeError.
+// The expected 1-minimal variant keeps exactly {sensitive, critical_scale}
+// in 64-bit.
+#pragma once
+
+#include "tuner/target.h"
+
+namespace prose::testing {
+
+inline const char* toy_model_source() {
+  return R"f(
+module toy
+  implicit none
+  integer, parameter :: n = 512
+  real(kind=8) :: state(n)
+  real(kind=8) :: coefs(n)
+  real(kind=8) :: t1
+  real(kind=8) :: t2
+  real(kind=8) :: sensitive
+  real(kind=8) :: critical_scale
+  real(kind=8) :: out_metric
+contains
+  subroutine run_model()
+    integer :: step
+    call init()
+    do step = 1, 12
+      call kernel()
+    end do
+    out_metric = sum(state) * 1.0d-3 + sensitive * 1.0d4 &
+               + 1.0d-9 / (critical_scale - 1.0d0)
+  end subroutine run_model
+
+  subroutine init()
+    integer :: i
+    do i = 1, n
+      state(i) = 0.3d0 + dble(i) * 1.0d-4
+      coefs(i) = 0.9d0 + dble(i - i / 7 * 7) * 1.0d-3
+    end do
+    sensitive = 1.2345678901234d0
+    critical_scale = 1.0d0 + 1.0d-9
+  end subroutine init
+
+  subroutine kernel()
+    integer :: i
+    do i = 1, n
+      ! Default-kind literals: they follow the variables' precision, the way
+      ! kind-parameterized model code behaves after retyping declarations.
+      t1 = coefs(i) * state(i)
+      t2 = t1 + 0.05 * (1.0 - t1)
+      state(i) = t2
+    end do
+  end subroutine kernel
+end module toy
+)f";
+}
+
+inline prose::tuner::TargetSpec toy_target() {
+  prose::tuner::TargetSpec spec;
+  spec.name = "toy";
+  spec.source = toy_model_source();
+  spec.entry = "toy::run_model";
+  spec.atom_scopes = {"toy"};
+  spec.exclude_atoms = {"toy::out_metric"};
+  spec.hotspot_procs = {"toy::kernel"};
+  spec.figure6_procs = {"toy::kernel", "toy::init"};
+  spec.metric = [](const prose::sim::Vm& vm) {
+    return vm.get_scalar("toy::out_metric");
+  };
+  spec.error_threshold = 2.0e-9;
+  spec.noise_rsd = 0.0;  // deterministic by default; tests opt into noise
+  spec.baseline_wall_seconds = 90.0;
+  spec.variant_build_seconds = 60.0;
+  return spec;
+}
+
+}  // namespace prose::testing
