@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_funarc.dir/bench_fig2_funarc.cpp.o"
+  "CMakeFiles/bench_fig2_funarc.dir/bench_fig2_funarc.cpp.o.d"
+  "bench_fig2_funarc"
+  "bench_fig2_funarc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_funarc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_procedures.dir/bench_fig6_procedures.cpp.o"
+  "CMakeFiles/bench_fig6_procedures.dir/bench_fig6_procedures.cpp.o.d"
+  "bench_fig6_procedures"
+  "bench_fig6_procedures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

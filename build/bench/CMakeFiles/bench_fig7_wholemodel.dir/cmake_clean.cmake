@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wholemodel.dir/bench_fig7_wholemodel.cpp.o"
+  "CMakeFiles/bench_fig7_wholemodel.dir/bench_fig7_wholemodel.cpp.o.d"
+  "bench_fig7_wholemodel"
+  "bench_fig7_wholemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wholemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_campaigns.dir/bench_table2_campaigns.cpp.o"
+  "CMakeFiles/bench_table2_campaigns.dir/bench_table2_campaigns.cpp.o.d"
+  "bench_table2_campaigns"
+  "bench_table2_campaigns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

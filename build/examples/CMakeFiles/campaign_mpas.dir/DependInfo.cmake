@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/campaign_mpas.cpp" "examples/CMakeFiles/campaign_mpas.dir/campaign_mpas.cpp.o" "gcc" "examples/CMakeFiles/campaign_mpas.dir/campaign_mpas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/prose_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/prose_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftn/CMakeFiles/prose_ftn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptl/CMakeFiles/prose_gptl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prose_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

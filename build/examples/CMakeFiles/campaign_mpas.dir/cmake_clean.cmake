@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_mpas.dir/campaign_mpas.cpp.o"
+  "CMakeFiles/campaign_mpas.dir/campaign_mpas.cpp.o.d"
+  "campaign_mpas"
+  "campaign_mpas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_mpas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

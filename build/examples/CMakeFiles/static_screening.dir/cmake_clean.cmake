@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_screening.dir/static_screening.cpp.o"
+  "CMakeFiles/static_screening.dir/static_screening.cpp.o.d"
+  "static_screening"
+  "static_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_fortran_file.dir/tune_fortran_file.cpp.o"
+  "CMakeFiles/tune_fortran_file.dir/tune_fortran_file.cpp.o.d"
+  "tune_fortran_file"
+  "tune_fortran_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_fortran_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

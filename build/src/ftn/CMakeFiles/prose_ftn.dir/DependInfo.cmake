@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftn/ast.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/ast.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/ast.cpp.o.d"
+  "/root/repo/src/ftn/callgraph.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/callgraph.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/callgraph.cpp.o.d"
+  "/root/repo/src/ftn/generator.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/generator.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/generator.cpp.o.d"
+  "/root/repo/src/ftn/lexer.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/lexer.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/lexer.cpp.o.d"
+  "/root/repo/src/ftn/paramflow.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/paramflow.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/paramflow.cpp.o.d"
+  "/root/repo/src/ftn/parser.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/parser.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/parser.cpp.o.d"
+  "/root/repo/src/ftn/reduce.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/reduce.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/reduce.cpp.o.d"
+  "/root/repo/src/ftn/sema.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/sema.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/sema.cpp.o.d"
+  "/root/repo/src/ftn/symbols.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/symbols.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/symbols.cpp.o.d"
+  "/root/repo/src/ftn/transform.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/transform.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/transform.cpp.o.d"
+  "/root/repo/src/ftn/unparse.cpp" "src/ftn/CMakeFiles/prose_ftn.dir/unparse.cpp.o" "gcc" "src/ftn/CMakeFiles/prose_ftn.dir/unparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/prose_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

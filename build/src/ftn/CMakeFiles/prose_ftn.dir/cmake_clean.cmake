@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_ftn.dir/ast.cpp.o"
+  "CMakeFiles/prose_ftn.dir/ast.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/callgraph.cpp.o"
+  "CMakeFiles/prose_ftn.dir/callgraph.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/generator.cpp.o"
+  "CMakeFiles/prose_ftn.dir/generator.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/lexer.cpp.o"
+  "CMakeFiles/prose_ftn.dir/lexer.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/paramflow.cpp.o"
+  "CMakeFiles/prose_ftn.dir/paramflow.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/parser.cpp.o"
+  "CMakeFiles/prose_ftn.dir/parser.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/reduce.cpp.o"
+  "CMakeFiles/prose_ftn.dir/reduce.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/sema.cpp.o"
+  "CMakeFiles/prose_ftn.dir/sema.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/symbols.cpp.o"
+  "CMakeFiles/prose_ftn.dir/symbols.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/transform.cpp.o"
+  "CMakeFiles/prose_ftn.dir/transform.cpp.o.d"
+  "CMakeFiles/prose_ftn.dir/unparse.cpp.o"
+  "CMakeFiles/prose_ftn.dir/unparse.cpp.o.d"
+  "libprose_ftn.a"
+  "libprose_ftn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_ftn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_gptl.dir/gptl.cpp.o"
+  "CMakeFiles/prose_gptl.dir/gptl.cpp.o.d"
+  "libprose_gptl.a"
+  "libprose_gptl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_gptl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

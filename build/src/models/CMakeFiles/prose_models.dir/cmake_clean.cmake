@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_models.dir/adcirc.cpp.o"
+  "CMakeFiles/prose_models.dir/adcirc.cpp.o.d"
+  "CMakeFiles/prose_models.dir/common.cpp.o"
+  "CMakeFiles/prose_models.dir/common.cpp.o.d"
+  "CMakeFiles/prose_models.dir/funarc.cpp.o"
+  "CMakeFiles/prose_models.dir/funarc.cpp.o.d"
+  "CMakeFiles/prose_models.dir/mom6.cpp.o"
+  "CMakeFiles/prose_models.dir/mom6.cpp.o.d"
+  "CMakeFiles/prose_models.dir/mpas.cpp.o"
+  "CMakeFiles/prose_models.dir/mpas.cpp.o.d"
+  "libprose_models.a"
+  "libprose_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

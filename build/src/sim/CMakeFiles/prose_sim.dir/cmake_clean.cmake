@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_sim.dir/compile.cpp.o"
+  "CMakeFiles/prose_sim.dir/compile.cpp.o.d"
+  "CMakeFiles/prose_sim.dir/machine.cpp.o"
+  "CMakeFiles/prose_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/prose_sim.dir/vectorize.cpp.o"
+  "CMakeFiles/prose_sim.dir/vectorize.cpp.o.d"
+  "CMakeFiles/prose_sim.dir/vm.cpp.o"
+  "CMakeFiles/prose_sim.dir/vm.cpp.o.d"
+  "libprose_sim.a"
+  "libprose_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

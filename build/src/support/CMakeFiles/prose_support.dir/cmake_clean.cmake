@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_support.dir/ascii_plot.cpp.o"
+  "CMakeFiles/prose_support.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/prose_support.dir/cli.cpp.o"
+  "CMakeFiles/prose_support.dir/cli.cpp.o.d"
+  "CMakeFiles/prose_support.dir/rng.cpp.o"
+  "CMakeFiles/prose_support.dir/rng.cpp.o.d"
+  "CMakeFiles/prose_support.dir/stats.cpp.o"
+  "CMakeFiles/prose_support.dir/stats.cpp.o.d"
+  "CMakeFiles/prose_support.dir/status.cpp.o"
+  "CMakeFiles/prose_support.dir/status.cpp.o.d"
+  "CMakeFiles/prose_support.dir/strings.cpp.o"
+  "CMakeFiles/prose_support.dir/strings.cpp.o.d"
+  "CMakeFiles/prose_support.dir/table.cpp.o"
+  "CMakeFiles/prose_support.dir/table.cpp.o.d"
+  "libprose_support.a"
+  "libprose_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/campaign.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/campaign.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/campaign.cpp.o.d"
+  "/root/repo/src/tuner/evaluator.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/evaluator.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/evaluator.cpp.o.d"
+  "/root/repo/src/tuner/frontier.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/frontier.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/frontier.cpp.o.d"
+  "/root/repo/src/tuner/html_report.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/html_report.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/html_report.cpp.o.d"
+  "/root/repo/src/tuner/metrics.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/metrics.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/metrics.cpp.o.d"
+  "/root/repo/src/tuner/predictor.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/predictor.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/predictor.cpp.o.d"
+  "/root/repo/src/tuner/report.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/report.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/report.cpp.o.d"
+  "/root/repo/src/tuner/schedule.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/schedule.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/schedule.cpp.o.d"
+  "/root/repo/src/tuner/search.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/search.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/search.cpp.o.d"
+  "/root/repo/src/tuner/search_space.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/search_space.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/search_space.cpp.o.d"
+  "/root/repo/src/tuner/static_filter.cpp" "src/tuner/CMakeFiles/prose_tuner.dir/static_filter.cpp.o" "gcc" "src/tuner/CMakeFiles/prose_tuner.dir/static_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftn/CMakeFiles/prose_ftn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/prose_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gptl/CMakeFiles/prose_gptl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

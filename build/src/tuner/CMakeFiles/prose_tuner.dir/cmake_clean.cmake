@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prose_tuner.dir/campaign.cpp.o"
+  "CMakeFiles/prose_tuner.dir/campaign.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/evaluator.cpp.o"
+  "CMakeFiles/prose_tuner.dir/evaluator.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/frontier.cpp.o"
+  "CMakeFiles/prose_tuner.dir/frontier.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/html_report.cpp.o"
+  "CMakeFiles/prose_tuner.dir/html_report.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/metrics.cpp.o"
+  "CMakeFiles/prose_tuner.dir/metrics.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/predictor.cpp.o"
+  "CMakeFiles/prose_tuner.dir/predictor.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/report.cpp.o"
+  "CMakeFiles/prose_tuner.dir/report.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/schedule.cpp.o"
+  "CMakeFiles/prose_tuner.dir/schedule.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/search.cpp.o"
+  "CMakeFiles/prose_tuner.dir/search.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/search_space.cpp.o"
+  "CMakeFiles/prose_tuner.dir/search_space.cpp.o.d"
+  "CMakeFiles/prose_tuner.dir/static_filter.cpp.o"
+  "CMakeFiles/prose_tuner.dir/static_filter.cpp.o.d"
+  "libprose_tuner.a"
+  "libprose_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prose_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

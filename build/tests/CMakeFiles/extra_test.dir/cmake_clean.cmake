@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_test.dir/coverage_extra_test.cpp.o"
+  "CMakeFiles/extra_test.dir/coverage_extra_test.cpp.o.d"
+  "CMakeFiles/extra_test.dir/machine_sweep_test.cpp.o"
+  "CMakeFiles/extra_test.dir/machine_sweep_test.cpp.o.d"
+  "CMakeFiles/extra_test.dir/predictor_test.cpp.o"
+  "CMakeFiles/extra_test.dir/predictor_test.cpp.o.d"
+  "CMakeFiles/extra_test.dir/report_extra_test.cpp.o"
+  "CMakeFiles/extra_test.dir/report_extra_test.cpp.o.d"
+  "extra_test"
+  "extra_test.pdb"
+  "extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

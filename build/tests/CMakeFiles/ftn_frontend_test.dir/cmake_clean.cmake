@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftn_frontend_test.dir/ftn_lexer_test.cpp.o"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_lexer_test.cpp.o.d"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_parser_test.cpp.o"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_parser_test.cpp.o.d"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_sema_test.cpp.o"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_sema_test.cpp.o.d"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_unparse_test.cpp.o"
+  "CMakeFiles/ftn_frontend_test.dir/ftn_unparse_test.cpp.o.d"
+  "ftn_frontend_test"
+  "ftn_frontend_test.pdb"
+  "ftn_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftn_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftn_tooling_test.dir/ftn_analysis_test.cpp.o"
+  "CMakeFiles/ftn_tooling_test.dir/ftn_analysis_test.cpp.o.d"
+  "CMakeFiles/ftn_tooling_test.dir/ftn_reduce_test.cpp.o"
+  "CMakeFiles/ftn_tooling_test.dir/ftn_reduce_test.cpp.o.d"
+  "CMakeFiles/ftn_tooling_test.dir/ftn_transform_test.cpp.o"
+  "CMakeFiles/ftn_tooling_test.dir/ftn_transform_test.cpp.o.d"
+  "ftn_tooling_test"
+  "ftn_tooling_test.pdb"
+  "ftn_tooling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftn_tooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

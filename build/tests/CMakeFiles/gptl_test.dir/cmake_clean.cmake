@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptl_test.dir/gptl_test.cpp.o"
+  "CMakeFiles/gptl_test.dir/gptl_test.cpp.o.d"
+  "gptl_test"
+  "gptl_test.pdb"
+  "gptl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
