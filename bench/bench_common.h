@@ -14,6 +14,7 @@
 
 #include "support/cli.h"
 #include "support/strings.h"
+#include "support/trace.h"
 #include "tuner/campaign.h"
 #include "tuner/report.h"
 
@@ -22,6 +23,11 @@ namespace prose::bench {
 struct BenchIo {
   std::string outdir = "bench_out";
   bool quick = false;  // reduced scale for smoke runs
+  /// Flight-recorder sinks (--trace-out=<chrome.json>, --trace-jsonl=<log>);
+  /// empty = tracing off. Benches that run several campaigns tag the paths
+  /// per campaign via trace_options(tag).
+  std::string trace_out;
+  std::string trace_jsonl;
 
   static BenchIo from_args(int argc, char** argv) {
     BenchIo io;
@@ -29,10 +35,36 @@ struct BenchIo {
     if (flags.is_ok()) {
       io.outdir = flags->get_string("outdir", "bench_out");
       io.quick = flags->get_bool("quick", false);
+      io.trace_out = flags->get_string("trace-out", "");
+      io.trace_jsonl = flags->get_string("trace-jsonl", "");
     }
     std::error_code ec;
     std::filesystem::create_directories(io.outdir, ec);  // best effort
     return io;
+  }
+
+  /// Inserts ".<tag>" before the final extension ("campaign.trace.json" +
+  /// "MPAS-A" → "campaign.trace.MPAS-A.json") so multi-campaign benches
+  /// write one trace pair per campaign instead of overwriting one file.
+  static std::string tagged_path(const std::string& path, const std::string& tag) {
+    if (path.empty() || tag.empty()) return path;
+    std::string safe = tag;
+    for (char& c : safe) {
+      if (c == '/' || c == '\\' || c == ' ') c = '-';
+    }
+    const std::size_t slash = path.find_last_of("/\\");
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+      return path + "." + safe;
+    }
+    return path.substr(0, dot) + "." + safe + path.substr(dot);
+  }
+
+  [[nodiscard]] trace::TraceOptions trace_options(const std::string& tag = "") const {
+    trace::TraceOptions t;
+    t.chrome_path = tagged_path(trace_out, tag);
+    t.jsonl_path = tagged_path(trace_jsonl, tag);
+    return t;
   }
 
   void write_file(const std::string& tag, const std::string& name,

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
   std::vector<CampaignSummary> summaries;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     std::cout << "running " << specs[i].name << " campaign...\n";
-    const auto result = bench::run_or_die(specs[i]);
+    CampaignOptions options;
+    options.trace = io.trace_options(specs[i].name);
+    const auto result = bench::run_or_die(specs[i], options);
     const CampaignSummary& s = result.summary;
     summaries.push_back(s);
     table.add_row({"paper " + std::string(paper[i].model), paper[i].total,
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
   {
     CampaignOptions scaled;
     scaled.cluster.wall_budget_seconds = 5.0 * 3600.0;
+    scaled.trace = io.trace_options("MOM6-5h");
     std::cout << "running MOM6 campaign at a reduced (5 h) budget...\n";
     const auto result = bench::run_or_die(models::mom6_target(), scaled);
     CampaignSummary s = result.summary;

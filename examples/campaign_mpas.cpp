@@ -4,6 +4,8 @@
 // per-procedure Figure-6 data, and the final variant.
 //
 // Flags: --nodes N  --hours H  --max-variants N
+//        --trace-out FILE (Perfetto/chrome://tracing timeline)
+//        --trace-jsonl FILE (structured event log, one JSON object per line)
 #include <iostream>
 
 #include "models/mpas.h"
@@ -21,6 +23,8 @@ int main(int argc, char** argv) {
     options.cluster.wall_budget_seconds = flags->get_double("hours", 12.0) * 3600.0;
     options.max_variants =
         static_cast<std::size_t>(flags->get_int("max-variants", 0));
+    options.trace.chrome_path = flags->get_string("trace-out", "");
+    options.trace.jsonl_path = flags->get_string("trace-jsonl", "");
   }
 
   const tuner::TargetSpec spec = models::mpas_target();
@@ -47,5 +51,12 @@ int main(int argc, char** argv) {
   std::cout << "\nper-procedure variants (Figure 6 data):\n"
             << tuner::figure6_csv(result->figure6);
   std::cout << "\n" << tuner::final_variant_report(*result);
+  if (!options.trace.chrome_path.empty()) {
+    std::cout << "\nwrote trace timeline: " << options.trace.chrome_path
+              << " (load in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (!options.trace.jsonl_path.empty()) {
+    std::cout << "wrote trace event log: " << options.trace.jsonl_path << "\n";
+  }
   return 0;
 }

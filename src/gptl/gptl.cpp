@@ -56,6 +56,9 @@ Status Timers::stop(const std::string& name) {
   region.calls += 1;
   region.inclusive_cycles += inclusive;
   region.exclusive_cycles += inclusive - frame.child_cycles;
+  // min_call_cycles is zero-initialized in RegionStats; a naive min() update
+  // would pin it at 0 forever. The first *completed* call (calls just became
+  // 1) must seed both extrema instead of folding into them.
   if (region.calls == 1) {
     region.min_call_cycles = region.max_call_cycles = inclusive;
   } else {

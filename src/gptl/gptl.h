@@ -44,7 +44,8 @@ struct RegionStats {
   std::uint64_t calls = 0;
   double inclusive_cycles = 0.0;  // time with children included
   double exclusive_cycles = 0.0;  // time with children excluded
-  double min_call_cycles = 0.0;   // fastest single call (inclusive)
+  double min_call_cycles = 0.0;   // fastest single call (inclusive); seeded by
+                                  // the first completed call, 0 only when calls == 0
   double max_call_cycles = 0.0;   // slowest single call (inclusive)
   double overhead_cycles = 0.0;   // instrumentation cost charged here
 

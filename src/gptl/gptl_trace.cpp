@@ -1,0 +1,17 @@
+#include "gptl/gptl_trace.h"
+
+namespace prose::gptl {
+
+void export_region_counters(trace::Tracer& tracer, const Timers& timers,
+                            trace::Track track, double ts_us,
+                            std::string_view prefix) {
+  if (!tracer.enabled()) return;
+  for (const RegionStats& r : timers.all_stats()) {
+    const std::string base = std::string(prefix) + r.name;
+    tracer.counter(base + "/cycles", track, ts_us, r.inclusive_cycles);
+    tracer.counter(base + "/calls", track, ts_us, static_cast<double>(r.calls));
+    tracer.counter(base + "/mean-call-cycles", track, ts_us, r.mean_call_cycles());
+  }
+}
+
+}  // namespace prose::gptl

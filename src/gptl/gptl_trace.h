@@ -1,0 +1,20 @@
+// GPTL → flight-recorder bridge: exports a Timers registry's RegionStats as
+// Chrome counter events (ph:"C"), one counter track per region, so per-region
+// hotspot CPU time shows up alongside the pipeline spans in Perfetto.
+#pragma once
+
+#include <string_view>
+
+#include "gptl/gptl.h"
+#include "support/trace.h"
+
+namespace prose::gptl {
+
+/// Emits, for every region in `timers`, counter samples at `ts_us` on
+/// `track`: "<prefix><region>/cycles" (inclusive), "<prefix><region>/calls",
+/// and "<prefix><region>/mean-call-cycles". No-op when tracing is disabled.
+void export_region_counters(trace::Tracer& tracer, const Timers& timers,
+                            trace::Track track, double ts_us,
+                            std::string_view prefix = "gptl/");
+
+}  // namespace prose::gptl

@@ -58,6 +58,49 @@ void ArrayStorage::set(std::int64_t linear, double value) {
 // Vm
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Op-mix accounting for the flight recorder. Observability only — never
+/// feeds the cost model. Loop entries are classified at the kLoopBegin case
+/// (the vectorization verdict lives in the loop metadata, not the opcode).
+void count_op(Op op, OpMix& mix) {
+  switch (op) {
+    case Op::kAddF32: case Op::kSubF32: case Op::kMulF32: case Op::kDivF32:
+    case Op::kPowF32: case Op::kNegF32:
+      ++mix.fp32_arith;
+      break;
+    case Op::kAddF64: case Op::kSubF64: case Op::kMulF64: case Op::kDivF64:
+    case Op::kPowF64: case Op::kNegF64:
+      ++mix.fp64_arith;
+      break;
+    case Op::kAddI: case Op::kSubI: case Op::kMulI: case Op::kDivI:
+    case Op::kPowI: case Op::kNegI: case Op::kCastInt:
+      ++mix.int_arith;
+      break;
+    case Op::kCastF32: case Op::kCastF64:
+      ++mix.casts;
+      break;
+    case Op::kLoadElem: case Op::kStoreElem: case Op::kArrayFill:
+    case Op::kArrayCopy: case Op::kReduce:
+      ++mix.mem;
+      break;
+    case Op::kCall:
+      ++mix.calls;
+      break;
+    case Op::kJmp: case Op::kJmpIfFalse: case Op::kLoopCond:
+      ++mix.branches;
+      break;
+    case Op::kIntrin1: case Op::kIntrin2:
+      ++mix.intrinsics;
+      break;
+    default:
+      ++mix.other;
+      break;
+  }
+}
+
+}  // namespace
+
 Vm::Vm(const CompiledProgram* program, VmOptions options)
     : program_(program),
       options_(options),
@@ -82,6 +125,7 @@ void Vm::reset() {
   print_log_.clear();
   cast_cycles_ = 0.0;
   instructions_ = 0;
+  op_mix_ = OpMix{};
 }
 
 Status Vm::set_scalar(const std::string& qualified, double value) {
@@ -318,6 +362,7 @@ RunResult Vm::call(const std::string& qualified_proc) {
   run_start_cycles_ = clock_.now();
   const double cast_start = cast_cycles_;
   const std::uint64_t instr_start = instructions_;
+  op_mix_ = OpMix{};  // per-call mix (observability; see RunResult::op_mix)
 
   Status pushed = push_frame(it->second, /*site_index=*/-1, /*return_pc=*/-1);
   if (!pushed.is_ok()) {
@@ -336,6 +381,7 @@ RunResult Vm::call(const std::string& qualified_proc) {
   result.cycles = clock_.now() - run_start_cycles_;
   result.cast_cycles = cast_cycles_ - cast_start;
   result.instructions = instructions_ - instr_start;
+  result.op_mix = op_mix_;
   return result;
 }
 
@@ -357,6 +403,7 @@ Status Vm::run_loop() {
     const std::size_t base = frame.slot_base;
     if (in.cost > 0.0) clock_.advance(in.cost * frame.scale);
     ++instructions_;
+    count_op(in.op, op_mix_);
 
     if (++since_budget_check >= 256) {
       since_budget_check = 0;
@@ -728,6 +775,13 @@ Status Vm::run_loop() {
         break;
       }
       case Op::kLoopBegin:
+        if (in.aux >= 0 &&
+            static_cast<std::size_t>(in.aux) < program_->loops.size() &&
+            program_->loops[static_cast<std::size_t>(in.aux)].vectorized) {
+          ++op_mix_.vector_loop_entries;
+        } else {
+          ++op_mix_.scalar_loop_entries;
+        }
         break;
 
       case Op::kAllocArray: {

@@ -48,11 +48,33 @@ struct ProcRunStats {
   }
 };
 
+/// Executed-instruction mix for one call() — observability data for the
+/// flight recorder (op-mix, cast-count, vectorized-vs-scalar counters per
+/// run). Pure accounting: nothing here feeds back into the cost model, so a
+/// run's simulated cycles are identical whether or not anyone reads this.
+struct OpMix {
+  std::uint64_t fp32_arith = 0;   // binary32 add/sub/mul/div/pow/neg
+  std::uint64_t fp64_arith = 0;   // binary64 add/sub/mul/div/pow/neg
+  std::uint64_t int_arith = 0;
+  std::uint64_t casts = 0;        // executed kind conversions (f32<->f64)
+  std::uint64_t mem = 0;          // element loads/stores, fills, copies, reductions
+  std::uint64_t calls = 0;
+  std::uint64_t branches = 0;     // jumps, conditional branches, loop conditions
+  std::uint64_t intrinsics = 0;
+  std::uint64_t other = 0;
+  /// kLoopBegin executions, split by the loop's vectorization verdict.
+  std::uint64_t vector_loop_entries = 0;
+  std::uint64_t scalar_loop_entries = 0;
+
+  [[nodiscard]] std::uint64_t fp_arith() const { return fp32_arith + fp64_arith; }
+};
+
 struct RunResult {
   Status status;
   double cycles = 0.0;            // simulated cycles for this call
   std::uint64_t instructions = 0;
   double cast_cycles = 0.0;       // cycles spent on kind conversions
+  OpMix op_mix;
 };
 
 /// Dense multi-dimensional array storage (column-major, 1-based like Fortran).
@@ -145,6 +167,7 @@ class Vm {
   double run_start_cycles_ = 0.0;
   double cast_cycles_ = 0.0;
   std::uint64_t instructions_ = 0;
+  OpMix op_mix_;
   std::int32_t fault_pc_ = -1;
 };
 

@@ -1,0 +1,190 @@
+// Campaign flight recorder: structured tracing for the tuning pipeline.
+//
+// The tuner's layers (evaluator, delta-debug search, cluster scheduler, VM)
+// emit spans, instants, and counters into a Tracer, which fans them out to
+// two sinks:
+//
+//   * a JSONL event log (one JSON object per line, streamed as events occur)
+//     for programmatic replay/analysis of a campaign, and
+//   * a Chrome trace-event JSON file (the `{"traceEvents":[...]}` schema)
+//     loadable in Perfetto / chrome://tracing, with one track per (pid, tid)
+//     pair — the cluster simulation maps simulated nodes to tids so node
+//     occupancy renders as a timeline.
+//
+// Tracing is zero-cost when disabled: a default-constructed Tracer (or one
+// built from empty TraceOptions) answers enabled() == false and every emit
+// method returns immediately; call sites guard attribute construction behind
+// enabled() so no strings are formatted on the disabled path. Tracing never
+// feeds back into simulated results — a traced campaign and an untraced one
+// produce bit-identical cycle counts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/status.h"
+
+namespace prose::trace {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters as \uXXXX or the short forms).
+std::string json_escape(std::string_view s);
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// true/false/null). Used by tests and the CI trace-file check; not a full
+/// parser — it only answers "would a JSON parser accept this text?".
+bool validate_json(std::string_view text, std::string* error = nullptr);
+
+/// Typed attribute value; serializes to a JSON scalar.
+class AttrValue {
+ public:
+  AttrValue(const char* s) : kind_(Kind::kString), str_(s) {}          // NOLINT
+  AttrValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  AttrValue(std::string_view s) : kind_(Kind::kString), str_(s) {}     // NOLINT
+  AttrValue(double d) : kind_(Kind::kDouble), num_(d) {}               // NOLINT
+  AttrValue(bool b) : kind_(Kind::kBool), int_(b ? 1 : 0) {}           // NOLINT
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  AttrValue(T v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  /// JSON scalar text ("\"x\"", "1.5", "42", "true").
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  enum class Kind : std::uint8_t { kString, kDouble, kInt, kBool };
+  Kind kind_;
+  std::string str_;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+};
+
+struct Attr {
+  std::string key;
+  AttrValue value;
+};
+using Attrs = std::vector<Attr>;
+
+/// Where a trace file pair goes. Empty paths disable the respective sink;
+/// both empty disables tracing entirely (the zero-cost path).
+struct TraceOptions {
+  std::string jsonl_path;   // structured JSONL event log
+  std::string chrome_path;  // Chrome trace-event JSON (Perfetto-loadable)
+
+  [[nodiscard]] bool enabled() const {
+    return !jsonl_path.empty() || !chrome_path.empty();
+  }
+};
+
+/// Track identity. Perfetto renders one horizontal track per (pid, tid); the
+/// pipeline uses the conventional assignments below so every campaign trace
+/// has the same layout.
+struct Track {
+  int pid = kPipelinePid;
+  int tid = 0;
+
+  // Conventional tracks. Real (wall-clock) time lives under kPipelinePid;
+  // simulated cluster time lives under kClusterPid, one tid per node.
+  static constexpr int kPipelinePid = 1;
+  static constexpr int kClusterPid = 2;
+  static constexpr int kEvaluatorTid = 0;
+  static constexpr int kSearchTid = 1;
+  static constexpr int kCampaignTid = 2;
+
+  static Track evaluator() { return {kPipelinePid, kEvaluatorTid}; }
+  static Track search() { return {kPipelinePid, kSearchTid}; }
+  static Track campaign() { return {kPipelinePid, kCampaignTid}; }
+  static Track node(int n) { return {kClusterPid, n}; }
+};
+
+/// The flight recorder. Construct with TraceOptions to enable; default
+/// construction yields a disabled tracer whose emit methods are no-ops.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(const TraceOptions& options);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Non-OK when a sink file could not be opened or written.
+  [[nodiscard]] const Status& error() const { return error_; }
+
+  /// Wall-clock microseconds since construction (the pipeline timeline).
+  /// Only meaningful on an enabled tracer; returns 0 when disabled.
+  [[nodiscard]] double now_us() const;
+
+  // --- track naming (Chrome metadata events) ---
+  void set_process_name(int pid, std::string_view name);
+  void set_thread_name(int pid, int tid, std::string_view name);
+
+  // --- events; all no-ops when disabled ---
+  /// Span open (ph:"B") / close (ph:"E"). Spans on one track must nest.
+  void begin(std::string_view name, Track track, double ts_us,
+             const Attrs& attrs = {});
+  void end(std::string_view name, Track track, double ts_us,
+           const Attrs& attrs = {});
+  /// A complete span (ph:"X") with an explicit duration — used for the
+  /// cluster node timeline where start and duration are known together.
+  void complete(std::string_view name, Track track, double ts_us,
+                double dur_us, const Attrs& attrs = {});
+  /// A point event (ph:"i").
+  void instant(std::string_view name, Track track, double ts_us,
+               const Attrs& attrs = {});
+  /// A counter sample (ph:"C"); Perfetto renders these as a value track.
+  void counter(std::string_view name, Track track, double ts_us, double value);
+
+  /// Writes the Chrome trace file and flushes the JSONL stream. Called by
+  /// the destructor; call explicitly to observe the Status.
+  Status flush();
+
+ private:
+  void emit(std::string_view name, char phase, Track track, double ts_us,
+            double dur_us, const Attrs& attrs, bool has_value, double value);
+
+  bool enabled_ = false;
+  bool flushed_ = false;
+  Status error_;
+  TraceOptions options_;
+  std::ofstream jsonl_;
+  std::vector<std::string> chrome_events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span on the wall-clock pipeline timeline. Degrades to a no-op when
+/// `tracer` is null or disabled.
+class Span {
+ public:
+  Span(Tracer* tracer, Track track, std::string name, const Attrs& attrs = {})
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        track_(track),
+        name_(std::move(name)) {
+    if (tracer_ != nullptr) tracer_->begin(name_, track_, tracer_->now_us(), attrs);
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attributes attached to the closing event (e.g. an outcome).
+  void annotate(Attrs attrs) { close_attrs_ = std::move(attrs); }
+  void close() {
+    if (tracer_ != nullptr) {
+      tracer_->end(name_, track_, tracer_->now_us(), close_attrs_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  Track track_;
+  std::string name_;
+  Attrs close_attrs_;
+};
+
+}  // namespace prose::trace

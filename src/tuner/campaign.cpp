@@ -69,14 +69,37 @@ std::vector<ProcedureVariantPoint> figure6_series(const Evaluator& evaluator,
 
 StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
                                       const CampaignOptions& options) {
-  auto evaluator = Evaluator::create(spec, options.noise_seed);
+  trace::Tracer tracer(options.trace);
+  if (options.trace.enabled() && !tracer.error().is_ok()) {
+    return tracer.error();
+  }
+  trace::Tracer* tr = tracer.enabled() ? &tracer : nullptr;
+  if (tr != nullptr) {
+    tr->set_process_name(trace::Track::kPipelinePid, "tuning-pipeline");
+    tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kEvaluatorTid, "evaluator");
+    tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kSearchTid, "search");
+    tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kCampaignTid, "campaign");
+  }
+
+  auto evaluator = Evaluator::create(spec, options.noise_seed, tr);
   if (!evaluator.is_ok()) return evaluator.status();
   Evaluator& ev = *evaluator.value();
 
   ClusterSim cluster(options.cluster);
+  cluster.set_tracer(tr);
   SearchOptions sopts;
   sopts.max_variants = options.max_variants;
+  sopts.tracer = tr;
   sopts.batch_hook = [&](const std::vector<const VariantRecord*>& batch) {
+    if (tr != nullptr) {
+      std::vector<ClusterTask> tasks(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        tasks[i].seconds = batch[i]->eval.node_seconds;
+        tasks[i].label = "v" + std::to_string(batch[i]->id) + " " +
+                         to_string(batch[i]->eval.outcome);
+      }
+      return cluster.run_labeled_batch(tasks);
+    }
     std::vector<double> tasks;
     tasks.reserve(batch.size());
     for (const auto* r : batch) tasks.push_back(r->eval.node_seconds);
@@ -84,8 +107,28 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   };
 
   CampaignResult result;
-  result.search = delta_debug_search(ev, sopts);
-  result.summary = summarize(spec.name, result.search, cluster);
+  {
+    trace::Span campaign_span(tr, trace::Track::campaign(),
+                              "campaign " + spec.name);
+    result.search = delta_debug_search(ev, sopts);
+    result.summary = summarize(spec.name, result.search, cluster);
+    if (tr != nullptr) {
+      campaign_span.annotate({{"variants", result.summary.total},
+                              {"best_speedup", result.summary.best_speedup},
+                              {"wall_hours", result.summary.wall_hours},
+                              {"finished", result.summary.finished}});
+      tr->instant("campaign/summary", trace::Track::campaign(), tr->now_us(),
+                  {{"model", result.summary.model},
+                   {"total", result.summary.total},
+                   {"pass_pct", result.summary.pass_pct},
+                   {"fail_pct", result.summary.fail_pct},
+                   {"timeout_pct", result.summary.timeout_pct},
+                   {"error_pct", result.summary.error_pct},
+                   {"best_speedup", result.summary.best_speedup},
+                   {"finished", result.summary.finished},
+                   {"wall_hours", result.summary.wall_hours}});
+    }
+  }
   result.figure6 = figure6_series(ev, result.search);
 
   const Config& final_config = result.search.best.has_value()
@@ -93,6 +136,12 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
                                    : result.search.accepted;
   for (std::size_t i = 0; i < ev.space().size(); ++i) {
     result.final_kinds[ev.space().atoms()[i].qualified] = final_config.kinds[i];
+  }
+  if (tr != nullptr) {
+    // Flush explicitly so a sink that failed mid-run surfaces as a campaign
+    // error instead of being swallowed by the destructor.
+    const Status flushed = tracer.flush();
+    if (!flushed.is_ok()) return flushed;
   }
   return result;
 }

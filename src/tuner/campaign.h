@@ -19,6 +19,10 @@ struct CampaignOptions {
   ClusterOptions cluster;
   std::size_t max_variants = 0;  // safety cap on top of the wall budget
   std::uint64_t noise_seed = 2024;
+  /// Flight-recorder sinks (both empty = tracing off; zero cost). When set,
+  /// the campaign traces every variant lifecycle, the delta-debug decisions,
+  /// and per-node cluster occupancy into a Perfetto-loadable timeline.
+  trace::TraceOptions trace;
 };
 
 /// Table II row.

@@ -1,13 +1,49 @@
 #include "tuner/evaluator.h"
 
 #include <cmath>
+#include <cstdio>
+#include <functional>
 #include <set>
 
 #include "ftn/parser.h"
 #include "ftn/transform.h"
+#include "gptl/gptl_trace.h"
 #include "sim/compile.h"
 
 namespace prose::tuner {
+namespace {
+
+/// Short stable identifier for a configuration (hex of the key's hash) —
+/// compact enough for trace attributes on 300+-atom spaces.
+std::string config_hash(const Config& config) {
+  const auto h = static_cast<unsigned long long>(
+      std::hash<std::string>{}(config.key()));
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", h);
+  return buf;
+}
+
+/// Emits the per-run VM counters (op mix, cast count, vectorized-vs-scalar
+/// loop entries) as Chrome counter events on the evaluator track.
+void emit_run_counters(trace::Tracer& tr, const sim::RunResult& run) {
+  const trace::Track track = trace::Track::evaluator();
+  const double ts = tr.now_us();
+  const sim::OpMix& m = run.op_mix;
+  tr.counter("vm/instructions", track, ts, static_cast<double>(run.instructions));
+  tr.counter("vm/fp32-arith", track, ts, static_cast<double>(m.fp32_arith));
+  tr.counter("vm/fp64-arith", track, ts, static_cast<double>(m.fp64_arith));
+  tr.counter("vm/casts", track, ts, static_cast<double>(m.casts));
+  tr.counter("vm/cast-cycles", track, ts, run.cast_cycles);
+  tr.counter("vm/mem-ops", track, ts, static_cast<double>(m.mem));
+  tr.counter("vm/calls", track, ts, static_cast<double>(m.calls));
+  tr.counter("vm/intrinsics", track, ts, static_cast<double>(m.intrinsics));
+  tr.counter("vm/vector-loop-entries", track, ts,
+             static_cast<double>(m.vector_loop_entries));
+  tr.counter("vm/scalar-loop-entries", track, ts,
+             static_cast<double>(m.scalar_loop_entries));
+}
+
+}  // namespace
 
 const char* to_string(Outcome o) {
   switch (o) {
@@ -24,8 +60,10 @@ Evaluator::Evaluator(const TargetSpec& spec, std::uint64_t noise_seed)
     : spec_(spec), noise_seed_(noise_seed) {}
 
 StatusOr<std::unique_ptr<Evaluator>> Evaluator::create(const TargetSpec& spec,
-                                                       std::uint64_t noise_seed) {
+                                                       std::uint64_t noise_seed,
+                                                       trace::Tracer* tracer) {
   std::unique_ptr<Evaluator> ev(new Evaluator(spec, noise_seed));
+  ev->tracer_ = tracer;  // before init() so the baseline run is traced too
   if (Status s = ev->init(); !s.is_ok()) return s;
   return ev;
 }
@@ -79,6 +117,14 @@ const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     if (cache_hit != nullptr) *cache_hit = true;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant("variant/cache-hit", trace::Track::evaluator(),
+                       tracer_->now_us(),
+                       {{"config", config_hash(config)},
+                        {"outcome", to_string(it->second.outcome)},
+                        {"speedup", it->second.speedup},
+                        {"cache_hit", true}});
+    }
     return it->second;
   }
   if (cache_hit != nullptr) *cache_hit = false;
@@ -87,13 +133,48 @@ const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
 }
 
 Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
+  // Zero-cost path: no tracer (or sinks disabled) means no attribute
+  // formatting, no clock reads — run_variant_impl is called bare.
+  trace::Tracer* tr =
+      (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+  if (tr == nullptr) return run_variant_impl(config, is_baseline, nullptr);
+
+  const trace::Track track = trace::Track::evaluator();
+  tr->begin(is_baseline ? "variant/baseline" : "variant", track, tr->now_us(),
+            {{"config", config_hash(config)},
+             {"fraction32", config.fraction32()},
+             {"atoms32", config.count32()}});
+  Evaluation out = run_variant_impl(config, is_baseline, tr);
+  tr->end(is_baseline ? "variant/baseline" : "variant", track, tr->now_us(),
+          {{"outcome", to_string(out.outcome)},
+           {"cycles", out.whole_cycles},
+           {"measured_cycles", out.measured_cycles},
+           {"speedup", out.speedup},
+           {"error", out.error},
+           {"node_seconds", out.node_seconds},
+           {"wrappers", out.wrappers},
+           {"cache_hit", false}});
+  return out;
+}
+
+Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
+                                       trace::Tracer* tr) {
+  const trace::Track track = trace::Track::evaluator();
   Evaluation out;
   out.fraction32 = config.fraction32();
 
   // Transform: clone + retype + wrap (§III-C).
   ftn::WrapperReport wreport;
-  auto variant =
-      ftn::make_variant(pristine_.program, space_.to_assignment(config), &wreport);
+  StatusOr<ftn::ResolvedProgram> variant = Status(StatusCode::kUnimplemented, "unset");
+  {
+    trace::Span stage(tr, track, "transform");
+    variant = ftn::make_variant(pristine_.program, space_.to_assignment(config),
+                                &wreport);
+    if (tr != nullptr) {
+      stage.annotate({{"ok", variant.is_ok()},
+                      {"wrappers", wreport.wrappers_generated}});
+    }
+  }
   if (!variant.is_ok()) {
     out.outcome = Outcome::kCompileError;
     out.detail = variant.status().to_string();
@@ -105,7 +186,12 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
   // Compile with hotspot instrumentation.
   sim::CompileOptions copts;
   for (const auto& proc : spec_.hotspot_procs) copts.instrument.insert(proc);
-  auto compiled = sim::compile(variant.value(), spec_.machine, copts);
+  StatusOr<sim::CompiledProgram> compiled = Status(StatusCode::kUnimplemented, "unset");
+  {
+    trace::Span stage(tr, track, "compile");
+    compiled = sim::compile(variant.value(), spec_.machine, copts);
+    if (tr != nullptr) stage.annotate({{"ok", compiled.is_ok()}});
+  }
   if (!compiled.is_ok()) {
     out.outcome = Outcome::kCompileError;
     out.detail = compiled.status().to_string();
@@ -124,7 +210,21 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
       return out;
     }
   }
-  const sim::RunResult run = vm.call(spec_.entry);
+  sim::RunResult run;
+  {
+    trace::Span stage(tr, track, "execute");
+    run = vm.call(spec_.entry);
+    if (tr != nullptr) {
+      stage.annotate({{"ok", run.status.is_ok()},
+                      {"cycles", run.cycles},
+                      {"instructions", run.instructions}});
+    }
+  }
+  if (tr != nullptr) {
+    emit_run_counters(*tr, run);
+    // GPTL → trace bridge: hotspot region stats as counter tracks.
+    gptl::export_region_counters(*tr, vm.timers(), track, tr->now_us());
+  }
   out.whole_cycles = run.cycles;
   out.cast_cycles = run.cast_cycles;
   const double build = spec_.variant_build_seconds;
@@ -137,6 +237,9 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
         build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;
     return out;
   }
+
+  // Measure: hotspot attribution, correctness metric, Eq. (1) speedup.
+  trace::Span measure_stage(tr, track, "measure");
 
   // Hotspot CPU time from the instrumented regions.
   double hotspot = 0.0;

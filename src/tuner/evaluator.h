@@ -10,6 +10,7 @@
 
 #include "ftn/reduce.h"
 #include "ftn/sema.h"
+#include "support/trace.h"
 #include "tuner/metrics.h"
 #include "tuner/search_space.h"
 #include "tuner/target.h"
@@ -59,8 +60,15 @@ class Evaluator {
  public:
   /// Parses and resolves the spec's source, builds the search space, and
   /// evaluates the uniform-64 baseline. Fails if the model itself is broken.
+  /// `tracer` (optional, non-owning, must outlive the evaluator) records one
+  /// span per variant lifecycle — transform → compile → execute → measure —
+  /// plus per-run VM op-mix counters and GPTL region counters.
   static StatusOr<std::unique_ptr<Evaluator>> create(const TargetSpec& spec,
-                                                     std::uint64_t noise_seed = 2024);
+                                                     std::uint64_t noise_seed = 2024,
+                                                     trace::Tracer* tracer = nullptr);
+
+  /// Attach or detach the flight recorder after construction.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   [[nodiscard]] const SearchSpace& space() const { return space_; }
   [[nodiscard]] const TargetSpec& spec() const { return spec_; }
@@ -86,6 +94,9 @@ class Evaluator {
   Evaluator(const TargetSpec& spec, std::uint64_t noise_seed);
   Status init();
   Evaluation run_variant(const Config& config, bool is_baseline);
+  /// run_variant body; `tr` is null when tracing is disabled (zero-cost path).
+  Evaluation run_variant_impl(const Config& config, bool is_baseline,
+                              trace::Tracer* tr);
 
   TargetSpec spec_;
   std::uint64_t noise_seed_;
@@ -100,6 +111,7 @@ class Evaluator {
   std::map<std::string, Evaluation> cache_;
   std::optional<ftn::ReductionStats> reduction_stats_;
   std::uint64_t next_stream_ = 1;
+  trace::Tracer* tracer_ = nullptr;  // non-owning flight recorder; may be null
 };
 
 }  // namespace prose::tuner

@@ -10,27 +10,77 @@ ClusterSim::ClusterSim(ClusterOptions options) : options_(options) {
   PROSE_CHECK(options_.nodes > 0);
 }
 
+void ClusterSim::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->set_process_name(trace::Track::kClusterPid, "cluster-sim");
+    for (std::size_t n = 0; n < options_.nodes; ++n) {
+      tracer_->set_thread_name(trace::Track::kClusterPid, static_cast<int>(n),
+                               "node " + std::to_string(n));
+    }
+  }
+}
+
 double ClusterSim::remaining_seconds() const {
   return std::max(0.0, options_.wall_budget_seconds - elapsed_);
 }
 
 bool ClusterSim::run_batch(const std::vector<double>& task_seconds) {
+  std::vector<ClusterTask> tasks(task_seconds.size());
+  for (std::size_t i = 0; i < task_seconds.size(); ++i) {
+    tasks[i].seconds = task_seconds[i];
+  }
+  return run_labeled_batch(tasks);
+}
+
+bool ClusterSim::run_labeled_batch(const std::vector<ClusterTask>& tasks) {
   if (exhausted_) return false;
   ++batches_;
-  // Longest-processing-time list scheduling onto the least-loaded node.
-  std::vector<double> sorted = task_seconds;
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  trace::Tracer* tr =
+      (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+  // Longest-processing-time list scheduling onto the least-loaded node. A
+  // stable sort keeps equal-length tasks in proposal order so traced slices
+  // are deterministic; node loads (and therefore elapsed/busy) are identical
+  // to any other descending order, since equal durations are interchangeable.
+  std::vector<const ClusterTask*> sorted;
+  sorted.reserve(tasks.size());
+  for (const ClusterTask& t : tasks) sorted.push_back(&t);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ClusterTask* a, const ClusterTask* b) {
+                     return a->seconds > b->seconds;
+                   });
   std::vector<double> node_load(options_.nodes, 0.0);
-  for (const double t : sorted) {
-    PROSE_CHECK(t >= 0.0);
+  for (const ClusterTask* t : sorted) {
+    PROSE_CHECK(t->seconds >= 0.0);
     auto least = std::min_element(node_load.begin(), node_load.end());
-    *least += t;
-    busy_ += t;
+    if (tr != nullptr) {
+      const int node = static_cast<int>(least - node_load.begin());
+      tr->complete(t->label.empty() ? "task" : t->label,
+                   trace::Track::node(node), (elapsed_ + *least) * 1e6,
+                   t->seconds * 1e6,
+                   {{"seconds", t->seconds}, {"batch", batches_}});
+    }
+    *least += t->seconds;
+    busy_ += t->seconds;
   }
   const double makespan = *std::max_element(node_load.begin(), node_load.end());
   elapsed_ += makespan;
+  if (tr != nullptr) {
+    const double ts = elapsed_ * 1e6;
+    tr->counter("cluster/busy-node-seconds", trace::Track::node(0), ts, busy_);
+    const double capacity = elapsed_ * static_cast<double>(options_.nodes);
+    tr->counter("cluster/utilization", trace::Track::node(0), ts,
+                capacity > 0.0 ? busy_ / capacity : 0.0);
+  }
   if (elapsed_ >= options_.wall_budget_seconds) {
     exhausted_ = true;
+    if (tr != nullptr) {
+      tr->instant("cluster/budget-exhausted", trace::Track::node(0),
+                  elapsed_ * 1e6,
+                  {{"elapsed_seconds", elapsed_},
+                   {"budget_seconds", options_.wall_budget_seconds},
+                   {"batches", batches_}});
+    }
     return false;
   }
   return true;

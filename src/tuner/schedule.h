@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
+
+#include "support/trace.h"
 
 namespace prose::tuner {
 
@@ -18,15 +21,32 @@ struct ClusterOptions {
   double wall_budget_seconds = 12.0 * 3600.0;
 };
 
+/// One schedulable unit of work: simulated node-seconds plus an optional
+/// label shown in the trace timeline ("v12 pass" etc.).
+struct ClusterTask {
+  double seconds = 0.0;
+  std::string label;
+};
+
 class ClusterSim {
  public:
   explicit ClusterSim(ClusterOptions options = {});
+
+  /// Attach a flight recorder (non-owning; may be null). When enabled, each
+  /// scheduled task becomes one complete ("X") slice on the Perfetto track of
+  /// the node it ran on, in *simulated* time (seconds × 1e6 → µs), so node
+  /// occupancy renders against the wall budget. Tracing never changes
+  /// scheduling decisions: elapsed/busy stay bit-identical.
+  void set_tracer(trace::Tracer* tracer);
 
   /// Schedules a batch of independent tasks (per-variant node-seconds) and
   /// advances the wall clock to the batch's completion (list scheduling onto
   /// the least-loaded node). Returns false if the budget expired before the
   /// batch completed — the campaign must stop.
   bool run_batch(const std::vector<double>& task_seconds);
+
+  /// Labeled variant of run_batch for traced campaigns; identical scheduling.
+  bool run_labeled_batch(const std::vector<ClusterTask>& tasks);
 
   [[nodiscard]] double elapsed_seconds() const { return elapsed_; }
   [[nodiscard]] double remaining_seconds() const;
@@ -41,6 +61,7 @@ class ClusterSim {
   double busy_ = 0.0;
   std::size_t batches_ = 0;
   bool exhausted_ = false;
+  trace::Tracer* tracer_ = nullptr;  // non-owning; may be null
 };
 
 }  // namespace prose::tuner

@@ -22,6 +22,11 @@ class Recorder {
       // Statically rejected (§V): no dynamic evaluation, treated as an
       // unacceptable candidate by the caller (probe returns null).
       ++result_.statically_skipped;
+      if (options_.tracer != nullptr && options_.tracer->enabled()) {
+        options_.tracer->instant("search/static-skip", trace::Track::search(),
+                                 options_.tracer->now_us(),
+                                 {{"skipped_so_far", result_.statically_skipped}});
+      }
       return nullptr;
     }
     bool cache_hit = false;
@@ -111,6 +116,10 @@ std::vector<std::vector<std::size_t>> partition(const std::vector<std::size_t>& 
 
 SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& options) {
   Recorder rec(evaluator, options);
+  trace::Tracer* tr =
+      (options.tracer != nullptr && options.tracer->enabled()) ? options.tracer
+                                                               : nullptr;
+  const trace::Track track = trace::Track::search();
 
   Config accepted = evaluator.space().uniform(8);
   // Respect declarations that were already 32-bit in the original source.
@@ -122,6 +131,13 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
   std::vector<std::size_t> candidates = still_high(accepted);
   std::size_t div = 2;
   bool reached_minimal = false;
+  int round = 0;
+
+  if (tr != nullptr) {
+    tr->begin("delta-debug", track, tr->now_us(),
+              {{"atoms", evaluator.space().size()},
+               {"candidates", candidates.size()}});
+  }
 
   // First proposal: the uniform 32-bit configuration (the paper's searches
   // always measure it — it anchors Figures 2/5).
@@ -130,6 +146,10 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
       accepted = r->config;
       candidates.clear();
       reached_minimal = true;  // nothing left in 64-bit
+      if (tr != nullptr) {
+        tr->instant("dd/accept", track, tr->now_us(),
+                    {{"round", 0}, {"what", "uniform32"}, {"remaining", 0}});
+      }
     }
   }
   rec.end_batch();
@@ -137,6 +157,17 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
   while (!candidates.empty() && !rec.stopped()) {
     const auto subsets = partition(candidates, div);
     bool progressed = false;
+    ++round;
+    if (tr != nullptr) {
+      const double ts = tr->now_us();
+      tr->instant("dd/round", track, ts,
+                  {{"round", round},
+                   {"div", div},
+                   {"partitions", subsets.size()},
+                   {"candidates", candidates.size()}});
+      tr->counter("dd/candidates-remaining", track, ts,
+                  static_cast<double>(candidates.size()));
+    }
 
     // Try lowering each subset (one batch: the paper evaluates these in
     // parallel across nodes). A null probe is either a statically-rejected
@@ -156,6 +187,13 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
         candidates = still_high(accepted);
         div = std::max<std::size_t>(2, div - 1);
         progressed = true;
+        if (tr != nullptr) {
+          tr->instant("dd/accept-subset", track, tr->now_us(),
+                      {{"round", round},
+                       {"subset", si},
+                       {"variant", batch[si]->id},
+                       {"remaining", candidates.size()}});
+        }
         break;
       }
     }
@@ -185,6 +223,12 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
           candidates = still_high(accepted);
           div = std::max<std::size_t>(2, div - 2);
           progressed = true;
+          if (tr != nullptr) {
+            tr->instant("dd/accept-complement", track, tr->now_us(),
+                        {{"round", round},
+                         {"variant", r->id},
+                         {"remaining", candidates.size()}});
+          }
           break;
         }
       }
@@ -195,14 +239,35 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
     // accepted configuration is 1-minimal by construction.
     if (div >= candidates.size()) {
       reached_minimal = true;
+      if (tr != nullptr) {
+        tr->instant("dd/one-minimal", track, tr->now_us(),
+                    {{"round", round}, {"remaining", candidates.size()}});
+      }
       break;
     }
     div = std::min(candidates.size(), div * 2);
+    if (tr != nullptr) {
+      tr->instant("dd/refine", track, tr->now_us(),
+                  {{"round", round}, {"div", div}});
+    }
   }
 
   SearchResult result = rec.take();
   result.accepted = accepted;
   result.one_minimal = reached_minimal && !result.budget_exhausted;
+  if (tr != nullptr) {
+    const double ts = tr->now_us();
+    if (result.budget_exhausted) {
+      tr->instant("dd/stopped", track, ts,
+                  {{"round", round}, {"budget_exhausted", true}});
+    }
+    tr->end("delta-debug", track, ts,
+            {{"variants", result.records.size()},
+             {"one_minimal", result.one_minimal},
+             {"cache_hits", result.cache_hits},
+             {"statically_skipped", result.statically_skipped},
+             {"best_speedup", result.best_speedup}});
+  }
   return result;
 }
 

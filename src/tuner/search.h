@@ -60,6 +60,10 @@ struct SearchOptions {
   /// *without* dynamic evaluation (it is treated as unacceptable and counted
   /// in SearchResult::statically_skipped, not in records).
   std::function<bool(const Config&)> prefilter;
+  /// Optional flight recorder (non-owning). The delta-debug search emits
+  /// round/partition/decision events so 1-minimality convergence is
+  /// replayable; per-variant spans come from the evaluator itself.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// The delta-debugging search. Deterministic given the evaluator.

@@ -62,6 +62,37 @@ TEST(Gptl, PerCallStatistics) {
   EXPECT_DOUBLE_EQ(s->max_call_cycles, 30.0);
 }
 
+TEST(Gptl, MinCallCyclesSeededByFirstCall) {
+  // Regression: min_call_cycles is zero-initialized; the first completed call
+  // must seed it rather than min() against the initial 0, which would pin
+  // the reported minimum at 0 forever.
+  SimClock clock;
+  Timers t(&clock, no_overhead());
+  for (const double c : {250.0, 90.0}) {
+    ASSERT_TRUE(t.start("seeded").is_ok());
+    t.charge(c);
+    ASSERT_TRUE(t.stop("seeded").is_ok());
+  }
+  auto s = t.stats("seeded");
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(s->calls, 2u);
+  EXPECT_GT(s->min_call_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(s->min_call_cycles, 90.0);
+  EXPECT_DOUBLE_EQ(s->max_call_cycles, 250.0);
+
+  // Ascending order must seed from the first call too, not stay at 0.
+  Timers t2(&clock, no_overhead());
+  for (const double c : {90.0, 250.0}) {
+    ASSERT_TRUE(t2.start("seeded").is_ok());
+    t2.charge(c);
+    ASSERT_TRUE(t2.stop("seeded").is_ok());
+  }
+  auto s2 = t2.stats("seeded");
+  ASSERT_TRUE(s2.is_ok());
+  EXPECT_GT(s2->min_call_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(s2->min_call_cycles, 90.0);
+}
+
 TEST(Gptl, RecursiveRegion) {
   SimClock clock;
   Timers t(&clock, no_overhead());

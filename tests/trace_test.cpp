@@ -1,0 +1,274 @@
+// Trace-layer unit tests: JSON escaping, the minimal validator, the
+// zero-cost disabled path, span nesting/ordering in the JSONL sink, counter
+// samples, and a golden-shape check of the Chrome trace-event export.
+#include "support/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prose::trace {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// --- json_escape ---
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("c:\\dir\\file"), "c:\\\\dir\\\\file");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(json_escape(std::string("nul\x01""end")), "nul\\u0001end");
+}
+
+TEST(JsonEscape, EscapedStringsSurviveTheValidator) {
+  const std::string nasty = "quote\" backslash\\ newline\n ctrl\x02 done";
+  const std::string doc = "{\"k\":\"" + json_escape(nasty) + "\"}";
+  std::string err;
+  EXPECT_TRUE(validate_json(doc, &err)) << err;
+}
+
+// --- AttrValue ---
+
+TEST(AttrValue, SerializesScalars) {
+  EXPECT_EQ(AttrValue("s").to_json(), "\"s\"");
+  EXPECT_EQ(AttrValue(std::string("a\"b")).to_json(), "\"a\\\"b\"");
+  EXPECT_EQ(AttrValue(42).to_json(), "42");
+  EXPECT_EQ(AttrValue(std::size_t{7}).to_json(), "7");
+  EXPECT_EQ(AttrValue(true).to_json(), "true");
+  EXPECT_EQ(AttrValue(false).to_json(), "false");
+  EXPECT_EQ(AttrValue(1.5).to_json(), "1.5");
+}
+
+// --- validate_json ---
+
+TEST(ValidateJson, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(validate_json("{}"));
+  EXPECT_TRUE(validate_json("[]"));
+  EXPECT_TRUE(validate_json("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":null},\"d\":true}"));
+  EXPECT_TRUE(validate_json("  \"just a string\"  "));
+}
+
+TEST(ValidateJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(validate_json(""));
+  EXPECT_FALSE(validate_json("{"));
+  EXPECT_FALSE(validate_json("{\"a\":}"));
+  EXPECT_FALSE(validate_json("{\"a\":1,}"));
+  EXPECT_FALSE(validate_json("[1 2]"));
+  EXPECT_FALSE(validate_json("{\"a\":1} trailing"));
+  EXPECT_FALSE(validate_json("\"unterminated"));
+}
+
+// --- disabled tracer: the zero-cost path ---
+
+TEST(Tracer, DefaultConstructedIsDisabledAndInert) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_TRUE(t.error().is_ok());
+  EXPECT_EQ(t.now_us(), 0.0);
+  // All emitters are no-ops; nothing crashes, nothing is written.
+  t.begin("x", Track::evaluator(), 0.0);
+  t.end("x", Track::evaluator(), 1.0);
+  t.complete("x", Track::node(3), 0.0, 5.0);
+  t.instant("x", Track::search(), 2.0);
+  t.counter("x", Track::search(), 2.0, 1.0);
+  EXPECT_TRUE(t.flush().is_ok());
+}
+
+TEST(Tracer, EmptyOptionsStayDisabled) {
+  TraceOptions opts;
+  EXPECT_FALSE(opts.enabled());
+  Tracer t(opts);
+  EXPECT_FALSE(t.enabled());
+}
+
+TEST(Span, NoOpOnNullAndDisabledTracers) {
+  { Span s(nullptr, Track::campaign(), "a"); }
+  Tracer t;
+  { Span s(&t, Track::campaign(), "b"); s.annotate({{"k", 1}}); }
+  SUCCEED();
+}
+
+// --- JSONL sink: nesting, ordering, validity ---
+
+TEST(Tracer, JsonlSpanNestingAndOrdering) {
+  const std::string path = tmp_path("trace_nest.jsonl");
+  {
+    TraceOptions opts;
+    opts.jsonl_path = path;
+    Tracer t(opts);
+    ASSERT_TRUE(t.enabled());
+    ASSERT_TRUE(t.error().is_ok());
+    t.begin("outer", Track::search(), 10.0);
+    t.begin("inner", Track::search(), 20.0, {{"depth", 2}});
+    t.instant("tick", Track::search(), 25.0);
+    t.end("inner", Track::search(), 30.0);
+    t.end("outer", Track::search(), 40.0, {{"ok", true}});
+    ASSERT_TRUE(t.flush().is_ok());
+  }
+  const auto lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 5u);
+  // Every line is standalone valid JSON.
+  for (const auto& line : lines) {
+    std::string err;
+    EXPECT_TRUE(validate_json(line, &err)) << line << ": " << err;
+  }
+  // Phases appear in emission order and B/E balance like a stack.
+  EXPECT_NE(lines[0].find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"name\":\"outer\""), std::string::npos);
+  // Timestamps are non-decreasing in file order.
+  EXPECT_NE(lines[0].find("\"ts\":10.000"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"ts\":40.000"), std::string::npos);
+}
+
+TEST(Tracer, CounterSeriesIsRecordedInOrder) {
+  const std::string path = tmp_path("trace_counter.jsonl");
+  {
+    TraceOptions opts;
+    opts.jsonl_path = path;
+    Tracer t(opts);
+    for (int i = 0; i < 4; ++i) {
+      t.counter("cands", Track::search(), 10.0 * i, 8.0 - i);
+    }
+    ASSERT_TRUE(t.flush().is_ok());
+  }
+  const auto lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 4u);
+  double prev_ts = -1.0;
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("\"ph\":\"C\""), std::string::npos);
+    const std::size_t p = line.find("\"ts\":");
+    ASSERT_NE(p, std::string::npos);
+    const double ts = std::stod(line.substr(p + 5));
+    EXPECT_GT(ts, prev_ts);  // monotone series
+    prev_ts = ts;
+  }
+  EXPECT_NE(lines[0].find("\"value\":8"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"value\":5"), std::string::npos);
+}
+
+TEST(Span, RaiiEmitsBeginThenEndWithAnnotations) {
+  const std::string path = tmp_path("trace_span.jsonl");
+  {
+    TraceOptions opts;
+    opts.jsonl_path = path;
+    Tracer t(opts);
+    {
+      Span s(&t, Track::evaluator(), "stage", {{"phase", "compile"}});
+      s.annotate({{"ok", true}});
+    }
+    ASSERT_TRUE(t.flush().is_ok());
+  }
+  const auto lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"phase\":\"compile\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Tracer, HostileNamesAndAttrsStayValidJson) {
+  const std::string path = tmp_path("trace_hostile.jsonl");
+  {
+    TraceOptions opts;
+    opts.jsonl_path = path;
+    Tracer t(opts);
+    t.instant("we\"ird\nname\\", Track::campaign(), 1.0,
+              {{"de\"tail", "multi\nline\tvalue\\"}});
+    ASSERT_TRUE(t.flush().is_ok());
+  }
+  const auto lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 1u);
+  std::string err;
+  EXPECT_TRUE(validate_json(lines[0], &err)) << lines[0] << ": " << err;
+}
+
+// --- Chrome trace-event export (golden shape) ---
+
+TEST(Tracer, ChromeExportIsValidTraceEventJson) {
+  const std::string path = tmp_path("trace_chrome.json");
+  {
+    TraceOptions opts;
+    opts.chrome_path = path;
+    Tracer t(opts);
+    t.set_process_name(Track::kClusterPid, "cluster-sim");
+    t.set_thread_name(Track::kClusterPid, 0, "node 0");
+    t.begin("variant", Track::evaluator(), 100.0, {{"config", "4848"}});
+    t.end("variant", Track::evaluator(), 250.0, {{"outcome", "pass"}});
+    t.complete("v1 pass", Track::node(0), 0.0, 5.0e6);
+    t.instant("dd/round", Track::search(), 120.0, {{"round", 1}});
+    t.counter("dd/candidates-remaining", Track::search(), 120.0, 6.0);
+    ASSERT_TRUE(t.flush().is_ok());
+  }
+  const std::string doc = slurp(path);
+  std::string err;
+  ASSERT_TRUE(validate_json(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"node 0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":5000000.000"), std::string::npos);
+}
+
+TEST(Tracer, FlushReportsUnwritablePath) {
+  TraceOptions opts;
+  opts.jsonl_path = "/nonexistent-dir-zzz/trace.jsonl";
+  Tracer t(opts);
+  EXPECT_FALSE(t.error().is_ok());
+}
+
+TEST(Tracer, NowUsIsMonotoneOnEnabledTracer) {
+  TraceOptions opts;
+  opts.jsonl_path = tmp_path("trace_now.jsonl");
+  Tracer t(opts);
+  const double a = t.now_us();
+  const double b = t.now_us();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace prose::trace
