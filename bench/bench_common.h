@@ -23,6 +23,10 @@ namespace prose::bench {
 struct BenchIo {
   std::string outdir = "bench_out";
   bool quick = false;  // reduced scale for smoke runs
+  /// Host worker threads for variant evaluation (--jobs=N; 1 = serial,
+  /// 0 = hardware concurrency). Campaign results are bit-identical for any
+  /// value — jobs only changes host wall-clock time.
+  std::size_t jobs = 1;
   /// Flight-recorder sinks (--trace-out=<chrome.json>, --trace-jsonl=<log>);
   /// empty = tracing off. Benches that run several campaigns tag the paths
   /// per campaign via trace_options(tag).
@@ -35,6 +39,7 @@ struct BenchIo {
     if (flags.is_ok()) {
       io.outdir = flags->get_string("outdir", "bench_out");
       io.quick = flags->get_bool("quick", false);
+      io.jobs = static_cast<std::size_t>(flags->get_int("jobs", 1));
       io.trace_out = flags->get_string("trace-out", "");
       io.trace_jsonl = flags->get_string("trace-jsonl", "");
     }
@@ -65,6 +70,15 @@ struct BenchIo {
     t.chrome_path = tagged_path(trace_out, tag);
     t.jsonl_path = tagged_path(trace_jsonl, tag);
     return t;
+  }
+
+  /// CampaignOptions carrying the shared bench knobs (--jobs, --trace-*).
+  [[nodiscard]] tuner::CampaignOptions campaign_options(
+      const std::string& tag = "") const {
+    tuner::CampaignOptions options;
+    options.jobs = jobs;
+    options.trace = trace_options(tag);
+    return options;
   }
 
   void write_file(const std::string& tag, const std::string& name,

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::vector<SearchResult> searches;
   for (const auto& spec : specs) {
     std::cout << "running " << spec.name << " campaign...\n";
-    auto result = bench::run_or_die(spec);
+    auto result = bench::run_or_die(spec, io.campaign_options(spec.name));
     std::cout << variants_scatter("Fig 5 — " + spec.name, result.search,
                                   spec.error_threshold);
     io.write_csv("fig5_" + to_lower(spec.name) + "_variants.csv",

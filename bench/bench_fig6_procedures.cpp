@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   std::map<std::string, ProcSummary> all;
   for (const auto& spec : specs) {
     std::cout << "running " << spec.name << " campaign...\n";
-    const auto result = bench::run_or_die(spec);
+    const auto result = bench::run_or_die(spec, io.campaign_options(spec.name));
     std::cout << figure6_scatter("Fig 6 — " + spec.name, result.figure6);
     io.write_csv("fig6_" + to_lower(spec.name) + "_procedures.csv",
                  figure6_csv(result.figure6));

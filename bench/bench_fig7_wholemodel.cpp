@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
   const TargetSpec spec = models::mpas_whole_model_target();
   std::cout << "running MPAS-A whole-model campaign...\n";
-  const auto result = bench::run_or_die(spec);
+  const auto result = bench::run_or_die(spec, io.campaign_options(spec.name));
 
   std::cout << variants_scatter("Fig 7 — MPAS-A (whole-model wall time)",
                                 result.search, spec.error_threshold);

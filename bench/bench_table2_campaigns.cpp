@@ -1,14 +1,84 @@
 // Table II: summary metrics for the variants explored by the three
 // delta-debugging campaigns (MPAS-A, ADCIRC, MOM6) on the simulated
 // 20-node / 12-hour cluster with 3x-baseline per-variant timeouts.
+//
+// Each campaign is run twice — serial (jobs=1) and parallel (jobs=4, or
+// --jobs when > 1) — and the host wall-clock seconds of both runs plus the
+// parallel speedup land in BENCH_parallel_eval.json. The Table II numbers
+// come from the serial run; the parallel run must (and is checked to)
+// reproduce them bit-identically.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
 #include "models/models.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 using namespace prose;
 using namespace prose::tuner;
+
+namespace {
+
+struct TimedRun {
+  CampaignResult result;
+  double seconds = 0.0;
+};
+
+TimedRun timed_run(const TargetSpec& spec, CampaignOptions options,
+                   std::size_t jobs) {
+  options.jobs = jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.result = bench::run_or_die(spec, options);
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return run;
+}
+
+/// The determinism contract, spot-checked on the bench path: a parallel run
+/// must reproduce the serial SearchResult exactly.
+bool same_search(const SearchResult& a, const SearchResult& b) {
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!(a.records[i].config == b.records[i].config)) return false;
+    if (a.records[i].eval.speedup != b.records[i].eval.speedup) return false;
+    if (a.records[i].eval.outcome != b.records[i].eval.outcome) return false;
+  }
+  return a.accepted == b.accepted && a.best == b.best &&
+         a.best_speedup == b.best_speedup && a.cache_hits == b.cache_hits;
+}
+
+struct ParallelEvalRow {
+  std::string model;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  bool identical = false;
+};
+
+std::string parallel_eval_json(const std::vector<ParallelEvalRow>& rows,
+                               std::size_t jobs) {
+  std::string out = "{\n";
+  out += "  \"parallel_jobs\": " + std::to_string(jobs) + ",\n";
+  out += "  \"host_hardware_threads\": " +
+         std::to_string(ThreadPool::hardware_workers()) + ",\n";
+  out += "  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const double speedup =
+        r.parallel_seconds > 0.0 ? r.serial_seconds / r.parallel_seconds : 0.0;
+    out += "    {\"model\": \"" + r.model + "\", \"serial_seconds\": " +
+           format_double(r.serial_seconds, 4) + ", \"parallel_seconds\": " +
+           format_double(r.parallel_seconds, 4) + ", \"speedup\": " +
+           format_double(speedup, 3) + ", \"identical_results\": " +
+           (r.identical ? "true" : "false") + "}";
+    out += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto io = bench::BenchIo::from_args(argc, argv);
@@ -34,14 +104,25 @@ int main(int argc, char** argv) {
   csv.add_row({"model", "total", "pass_pct", "fail_pct", "timeout_pct", "error_pct",
                "best_speedup", "finished", "wall_hours"});
 
+  // Host worker threads for the parallel leg of each campaign (the serial
+  // leg always runs jobs=1). Results are bit-identical either way.
+  const std::size_t parallel_jobs = io.jobs > 1 ? io.jobs : 4;
+  std::vector<ParallelEvalRow> timing;
+
   std::vector<TargetSpec> specs = {models::mpas_target(), models::adcirc_target(),
                                    models::mom6_target()};
   std::vector<CampaignSummary> summaries;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    std::cout << "running " << specs[i].name << " campaign...\n";
+    std::cout << "running " << specs[i].name << " campaign (serial, then jobs="
+              << parallel_jobs << ")...\n";
     CampaignOptions options;
     options.trace = io.trace_options(specs[i].name);
-    const auto result = bench::run_or_die(specs[i], options);
+    const auto serial = timed_run(specs[i], options, 1);
+    // Time the parallel leg without tracing so it measures evaluation alone.
+    const auto parallel = timed_run(specs[i], CampaignOptions{}, parallel_jobs);
+    timing.push_back({specs[i].name, serial.seconds, parallel.seconds,
+                      same_search(serial.result.search, parallel.result.search)});
+    const auto& result = serial.result;
     const CampaignSummary& s = result.summary;
     summaries.push_back(s);
     table.add_row({"paper " + std::string(paper[i].model), paper[i].total,
@@ -67,7 +148,14 @@ int main(int argc, char** argv) {
     scaled.cluster.wall_budget_seconds = 5.0 * 3600.0;
     scaled.trace = io.trace_options("MOM6-5h");
     std::cout << "running MOM6 campaign at a reduced (5 h) budget...\n";
-    const auto result = bench::run_or_die(models::mom6_target(), scaled);
+    const auto serial = timed_run(models::mom6_target(), scaled, 1);
+    CampaignOptions scaled_parallel;
+    scaled_parallel.cluster.wall_budget_seconds = 5.0 * 3600.0;
+    const auto parallel =
+        timed_run(models::mom6_target(), scaled_parallel, parallel_jobs);
+    timing.push_back({"MOM6-5h", serial.seconds, parallel.seconds,
+                      same_search(serial.result.search, parallel.result.search)});
+    const auto& result = serial.result;
     CampaignSummary s = result.summary;
     s.model = "MOM6 (5h budget)";
     table.add_row(table2_row(s));
@@ -82,6 +170,17 @@ int main(int argc, char** argv) {
 
   std::cout << table.to_string();
   io.write_csv("table2_campaigns.csv", csv.str());
+  io.write_file("json", "BENCH_parallel_eval.json",
+                parallel_eval_json(timing, parallel_jobs));
+  for (const auto& r : timing) {
+    const double speedup =
+        r.parallel_seconds > 0.0 ? r.serial_seconds / r.parallel_seconds : 0.0;
+    std::cout << "  parallel eval " << pad_right(r.model, 10) << " serial "
+              << format_double(r.serial_seconds, 2) << " s -> jobs="
+              << parallel_jobs << " " << format_double(r.parallel_seconds, 2)
+              << " s (" << format_double(speedup, 2) << "x, results "
+              << (r.identical ? "identical" : "DIVERGED") << ")\n";
+  }
 
   bench::header("Table II recap (shape checks)");
   bench::recap("MPAS-A best speedup", "1.95x",

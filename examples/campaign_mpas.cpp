@@ -4,6 +4,8 @@
 // per-procedure Figure-6 data, and the final variant.
 //
 // Flags: --nodes N  --hours H  --max-variants N
+//        --jobs N (host worker threads for variant evaluation; 1 = serial,
+//                  0 = hardware concurrency; results are bit-identical)
 //        --trace-out FILE (Perfetto/chrome://tracing timeline)
 //        --trace-jsonl FILE (structured event log, one JSON object per line)
 #include <iostream>
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
     options.cluster.wall_budget_seconds = flags->get_double("hours", 12.0) * 3600.0;
     options.max_variants =
         static_cast<std::size_t>(flags->get_int("max-variants", 0));
+    options.jobs = static_cast<std::size_t>(flags->get_int("jobs", 1));
     options.trace.chrome_path = flags->get_string("trace-out", "");
     options.trace.jsonl_path = flags->get_string("trace-jsonl", "");
   }
@@ -30,7 +33,10 @@ int main(int argc, char** argv) {
   const tuner::TargetSpec spec = models::mpas_target();
   std::cout << "tuning " << spec.name << " on " << options.cluster.nodes
             << " simulated nodes, "
-            << options.cluster.wall_budget_seconds / 3600.0 << " h budget...\n";
+            << options.cluster.wall_budget_seconds / 3600.0 << " h budget ("
+            << (options.jobs == 1 ? std::string("serial host evaluation")
+                                  : "jobs=" + std::to_string(options.jobs))
+            << ")...\n";
 
   auto result = tuner::run_campaign(spec, options);
   if (!result.is_ok()) {

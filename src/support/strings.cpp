@@ -114,4 +114,13 @@ std::string pad_left(std::string s, std::size_t width) {
   return s;
 }
 
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 }  // namespace prose

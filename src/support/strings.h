@@ -2,6 +2,7 @@
 // identifiers) and the report writers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,5 +42,11 @@ std::string format_sci(double x, int digits = 2);
 /// Pads/truncates to a column width (left- or right-aligned).
 std::string pad_right(std::string s, std::size_t width);
 std::string pad_left(std::string s, std::size_t width);
+
+/// 64-bit FNV-1a. Unlike std::hash, the value is fixed by the algorithm —
+/// identical across platforms, standard libraries, and process runs — so it
+/// is safe to persist (trace config ids) or to key reproducible data
+/// structures (the evaluator's memo cache).
+std::uint64_t fnv1a64(std::string_view s);
 
 }  // namespace prose

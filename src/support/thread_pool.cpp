@@ -1,0 +1,72 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace prose {
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = hardware_workers();
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back(
+        [this, w](std::stop_token stop) { worker_loop(stop, w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& t : threads_) t.request_stop();
+  work_cv_.notify_all();
+  // ~jthread joins each worker.
+}
+
+void ThreadPool::worker_loop(std::stop_token stop, std::size_t worker) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, stop,
+                  [this] { return fn_ != nullptr && next_item_ < batch_n_; });
+    if (stop.stop_requested()) return;
+    while (fn_ != nullptr && next_item_ < batch_n_) {
+      const std::size_t item = next_item_++;
+      const ItemFn* fn = fn_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*fn)(item, worker);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error) errors_.emplace_back(item, error);
+      if (++done_ == batch_n_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t n, const ItemFn& fn) {
+  if (n == 0) return;
+  std::lock_guard batch_lock(batch_mu_);
+  std::unique_lock lock(mu_);
+  fn_ = &fn;
+  batch_n_ = n;
+  next_item_ = 0;
+  done_ = 0;
+  errors_.clear();
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return done_ == batch_n_; });
+  fn_ = nullptr;
+  batch_n_ = 0;
+  if (errors_.empty()) return;
+  const auto first = std::min_element(
+      errors_.begin(), errors_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::exception_ptr error = first->second;
+  errors_.clear();
+  lock.unlock();
+  std::rethrow_exception(error);
+}
+
+}  // namespace prose

@@ -1,0 +1,71 @@
+// A small work pool for batch-parallel variant evaluation.
+//
+// The paper's campaigns fanned transform → compile → execute out one variant
+// per Derecho node; this pool is the single-host analogue: a fixed set of
+// std::jthread workers that drain an indexed batch of independent work items.
+// The pool is deliberately batch-oriented rather than a general task queue —
+// the tuner proposes whole delta-debugging rounds at once, and determinism
+// comes from the *caller* preassigning every per-item input (noise streams,
+// cache slots) before the batch starts, so the order in which workers pick
+// items can never influence results.
+//
+// Guarantees:
+//   * for_each(n, fn) calls fn(item, worker) exactly once for every
+//     item in [0, n), with worker in [0, size()), and returns only after all
+//     items completed (or the pool is unusable).
+//   * Exceptions thrown by items are caught per item; after the batch drains,
+//     the exception of the *lowest-numbered* failing item is rethrown in the
+//     caller (deterministic regardless of worker interleaving).
+//   * A batch of zero items returns immediately without touching the workers.
+//   * for_each may be called from multiple threads; batches are serialized.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace prose {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 picks the hardware concurrency. The pool
+  /// always has at least one worker.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_workers();
+
+  using ItemFn = std::function<void(std::size_t item, std::size_t worker)>;
+
+  /// Runs fn(0..n-1) across the workers and blocks until the batch drains.
+  /// Rethrows the lowest-index item's exception, if any.
+  void for_each(std::size_t n, const ItemFn& fn);
+
+ private:
+  void worker_loop(std::stop_token stop, std::size_t worker);
+
+  std::mutex batch_mu_;  // serializes concurrent for_each callers
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable_any work_cv_;
+  std::condition_variable done_cv_;
+  const ItemFn* fn_ = nullptr;  // non-null while a batch is active
+  std::size_t batch_n_ = 0;
+  std::size_t next_item_ = 0;
+  std::size_t done_ = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+
+  std::vector<std::jthread> threads_;  // last member: joins before the rest die
+};
+
+}  // namespace prose

@@ -285,6 +285,7 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
   }
   ev += '}';
 
+  std::lock_guard lock(mu_);
   if (jsonl_.is_open()) {
     jsonl_ << ev << '\n';
     if (!jsonl_ && error_.is_ok()) {
@@ -297,6 +298,7 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
 
 void Tracer::set_process_name(int pid, std::string_view name) {
   if (!enabled_ || options_.chrome_path.empty()) return;
+  std::lock_guard lock(mu_);
   chrome_events_.push_back("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
                            std::to_string(pid) + ",\"args\":{\"name\":\"" +
                            json_escape(name) + "\"}}");
@@ -304,6 +306,7 @@ void Tracer::set_process_name(int pid, std::string_view name) {
 
 void Tracer::set_thread_name(int pid, int tid, std::string_view name) {
   if (!enabled_ || options_.chrome_path.empty()) return;
+  std::lock_guard lock(mu_);
   chrome_events_.push_back("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
                            std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
                            ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
@@ -335,6 +338,7 @@ void Tracer::counter(std::string_view name, Track track, double ts_us,
 }
 
 Status Tracer::flush() {
+  std::lock_guard lock(mu_);
   if (!enabled_ || flushed_) return error_;
   flushed_ = true;
   if (jsonl_.is_open()) jsonl_.flush();

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -95,15 +96,24 @@ struct Track {
   static constexpr int kEvaluatorTid = 0;
   static constexpr int kSearchTid = 1;
   static constexpr int kCampaignTid = 2;
+  /// Work-pool workers occupy tids kWorkerTidBase + w so a parallel batch
+  /// renders as one span track per worker under the pipeline process.
+  static constexpr int kWorkerTidBase = 8;
 
   static Track evaluator() { return {kPipelinePid, kEvaluatorTid}; }
   static Track search() { return {kPipelinePid, kSearchTid}; }
   static Track campaign() { return {kPipelinePid, kCampaignTid}; }
   static Track node(int n) { return {kClusterPid, n}; }
+  static Track worker(int w) { return {kPipelinePid, kWorkerTidBase + w}; }
 };
 
 /// The flight recorder. Construct with TraceOptions to enable; default
 /// construction yields a disabled tracer whose emit methods are no-ops.
+///
+/// Thread safety: every emit method (and flush) may be called concurrently —
+/// the sinks are guarded by an internal mutex, so events from work-pool
+/// workers interleave whole, never torn. Spans must still nest *per track*;
+/// parallel workers therefore emit on their own Track::worker(w).
 class Tracer {
  public:
   Tracer() = default;
@@ -152,6 +162,7 @@ class Tracer {
   bool flushed_ = false;
   Status error_;
   TraceOptions options_;
+  std::mutex mu_;  // guards the sinks (jsonl_, chrome_events_, error_, flushed_)
   std::ofstream jsonl_;
   std::vector<std::string> chrome_events_;
   std::chrono::steady_clock::time_point epoch_;

@@ -74,11 +74,26 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     return tracer.error();
   }
   trace::Tracer* tr = tracer.enabled() ? &tracer : nullptr;
+
+  // The work pool for batch-parallel variant evaluation (jobs == 1 → serial
+  // path, no threads spawned). Results are bit-identical either way.
+  const std::size_t jobs =
+      options.jobs == 0 ? ThreadPool::hardware_workers() : options.jobs;
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+
   if (tr != nullptr) {
     tr->set_process_name(trace::Track::kPipelinePid, "tuning-pipeline");
     tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kEvaluatorTid, "evaluator");
     tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kSearchTid, "search");
     tr->set_thread_name(trace::Track::kPipelinePid, trace::Track::kCampaignTid, "campaign");
+    if (pool != nullptr) {
+      for (std::size_t w = 0; w < pool->size(); ++w) {
+        tr->set_thread_name(trace::Track::kPipelinePid,
+                            trace::Track::kWorkerTidBase + static_cast<int>(w),
+                            "worker-" + std::to_string(w));
+      }
+    }
   }
 
   auto evaluator = Evaluator::create(spec, options.noise_seed, tr);
@@ -89,6 +104,7 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   cluster.set_tracer(tr);
   SearchOptions sopts;
   sopts.max_variants = options.max_variants;
+  sopts.pool = pool.get();
   sopts.tracer = tr;
   sopts.batch_hook = [&](const std::vector<const VariantRecord*>& batch) {
     if (tr != nullptr) {

@@ -19,6 +19,12 @@ struct CampaignOptions {
   ClusterOptions cluster;
   std::size_t max_variants = 0;  // safety cap on top of the wall budget
   std::uint64_t noise_seed = 2024;
+  /// Host worker threads for batch-parallel variant evaluation (the --jobs N
+  /// knob). 1 = serial; 0 = one per hardware thread. The CampaignResult is
+  /// bit-identical for every value — jobs only changes host wall-clock time,
+  /// never the simulated campaign (ClusterSim node-seconds are computed per
+  /// variant, not from host time).
+  std::size_t jobs = 1;
   /// Flight-recorder sinks (both empty = tracing off; zero cost). When set,
   /// the campaign traces every variant lifecycle, the delta-debug decisions,
   /// and per-node cluster occupancy into a Perfetto-loadable timeline.

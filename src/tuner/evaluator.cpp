@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <functional>
 #include <set>
+#include <vector>
 
 #include "ftn/parser.h"
 #include "ftn/transform.h"
@@ -13,20 +13,20 @@
 namespace prose::tuner {
 namespace {
 
-/// Short stable identifier for a configuration (hex of the key's hash) —
-/// compact enough for trace attributes on 300+-atom spaces.
+/// Short stable identifier for a configuration (hex of the key's FNV-1a
+/// hash) — compact enough for trace attributes on 300+-atom spaces, and
+/// reproducible across platforms and runs (std::hash is neither).
 std::string config_hash(const Config& config) {
-  const auto h = static_cast<unsigned long long>(
-      std::hash<std::string>{}(config.key()));
+  const auto h = static_cast<unsigned long long>(fnv1a64(config.key()));
   char buf[20];
   std::snprintf(buf, sizeof buf, "%016llx", h);
   return buf;
 }
 
 /// Emits the per-run VM counters (op mix, cast count, vectorized-vs-scalar
-/// loop entries) as Chrome counter events on the evaluator track.
-void emit_run_counters(trace::Tracer& tr, const sim::RunResult& run) {
-  const trace::Track track = trace::Track::evaluator();
+/// loop entries) as Chrome counter events on the given track.
+void emit_run_counters(trace::Tracer& tr, trace::Track track,
+                       const sim::RunResult& run) {
   const double ts = tr.now_us();
   const sim::OpMix& m = run.op_mix;
   tr.counter("vm/instructions", track, ts, static_cast<double>(run.instructions));
@@ -94,7 +94,8 @@ Status Evaluator::init() {
   }
 
   // Baseline: the untouched program (original declared kinds).
-  Evaluation base = run_variant(space_.uniform(8), /*is_baseline=*/true);
+  Evaluation base = run_variant(space_.uniform(8), /*is_baseline=*/true,
+                                /*stream_id=*/0, trace::Track::evaluator());
   if (base.outcome != Outcome::kPass) {
     return Status(StatusCode::kInvalidArgument,
                   "baseline evaluation failed (" + std::string(to_string(base.outcome)) +
@@ -112,39 +113,201 @@ Status Evaluator::init() {
   return Status::ok();
 }
 
-const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
-  const std::string key = config.key();
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->instant("variant/cache-hit", trace::Track::evaluator(),
-                       tracer_->now_us(),
-                       {{"config", config_hash(config)},
-                        {"outcome", to_string(it->second.outcome)},
-                        {"speedup", it->second.speedup},
-                        {"cache_hit", true}});
-    }
-    return it->second;
+void Evaluator::note_lookup_locked(bool hit) {
+  ++cache_lookups_;
+  if (hit) ++cache_hits_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const trace::Track track = trace::Track::evaluator();
+    const double ts = tracer_->now_us();
+    tracer_->counter("cache/lookups", track, ts,
+                     static_cast<double>(cache_lookups_));
+    tracer_->counter("cache/hits", track, ts, static_cast<double>(cache_hits_));
+    tracer_->counter("cache/hit-rate", track, ts,
+                     static_cast<double>(cache_hits_) /
+                         static_cast<double>(cache_lookups_));
   }
-  if (cache_hit != nullptr) *cache_hit = false;
-  Evaluation eval = run_variant(config, /*is_baseline=*/false);
-  return cache_.emplace(key, std::move(eval)).first->second;
 }
 
-Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
+void Evaluator::emit_cache_hit_instant(const Config& config, const Evaluation& eval) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->instant("variant/cache-hit", trace::Track::evaluator(),
+                   tracer_->now_us(),
+                   {{"config", config_hash(config)},
+                    {"outcome", to_string(eval.outcome)},
+                    {"speedup", eval.speedup},
+                    {"cache_hit", true}});
+}
+
+const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
+  const std::string key = config.key();
+  CacheEntry* entry = nullptr;
+  std::uint64_t stream = 0;
+  {
+    std::unique_lock lock(cache_mu_);
+    auto [it, inserted] = cache_.try_emplace(key);
+    entry = &it->second;
+    note_lookup_locked(/*hit=*/!inserted);
+    if (!inserted) {
+      // Single-flight: if another thread is computing this key, wait for it
+      // rather than evaluating twice.
+      cache_cv_.wait(lock, [entry] { return entry->ready; });
+      if (cache_hit != nullptr) *cache_hit = true;
+      lock.unlock();
+      emit_cache_hit_instant(config, entry->eval);
+      return entry->eval;
+    }
+    stream = next_stream_++;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  Evaluation eval =
+      run_variant(config, /*is_baseline=*/false, stream, trace::Track::evaluator());
+  {
+    std::lock_guard lock(cache_mu_);
+    entry->eval = std::move(eval);
+    entry->ready = true;
+  }
+  cache_cv_.notify_all();
+  return entry->eval;
+}
+
+std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
+    std::span<const Config> configs, ThreadPool* pool) {
+  std::vector<BatchItem> out(configs.size());
+  if (pool == nullptr || pool->size() <= 1) {
+    // Serial fallback — the reference semantics the parallel path must match.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      bool hit = false;
+      out[i].eval = &evaluate(configs[i], &hit);
+      out[i].cache_hit = hit;
+    }
+    return out;
+  }
+
+  struct Job {
+    Config config;
+    std::uint64_t stream = 0;
+    CacheEntry* entry = nullptr;
+    Evaluation result;
+  };
+  std::vector<Job> jobs;
+  // Proposal → the job computing its key (misses and in-batch duplicates).
+  std::vector<std::ptrdiff_t> job_of(configs.size(), -1);
+  // Proposal → an entry some *other* thread is computing (single-flight wait).
+  std::vector<CacheEntry*> in_flight(configs.size(), nullptr);
+
+  // Plan the batch under the cache lock, walking proposals in order: this
+  // assigns noise streams to first occurrences of uncached keys in exactly
+  // the order the serial path would have, and claims their cache entries so
+  // concurrent callers single-flight against this batch.
+  {
+    std::unique_lock lock(cache_mu_);
+    std::unordered_map<std::string, std::size_t, KeyHash> claimed;  // key → job
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      std::string key = configs[i].key();
+      if (const auto c = claimed.find(key); c != claimed.end()) {
+        // Duplicate within the batch: the serial walk would hit the cache
+        // here (the first occurrence evaluated it).
+        out[i].cache_hit = true;
+        job_of[i] = static_cast<std::ptrdiff_t>(c->second);
+        note_lookup_locked(/*hit=*/true);
+        continue;
+      }
+      auto [it, inserted] = cache_.try_emplace(key);
+      if (!inserted) {
+        out[i].cache_hit = true;
+        note_lookup_locked(/*hit=*/true);
+        if (it->second.ready) {
+          out[i].eval = &it->second.eval;
+        } else {
+          in_flight[i] = &it->second;
+        }
+        continue;
+      }
+      note_lookup_locked(/*hit=*/false);
+      Job job;
+      job.config = configs[i];
+      job.stream = next_stream_++;
+      job.entry = &it->second;
+      job_of[i] = static_cast<std::ptrdiff_t>(jobs.size());
+      claimed.emplace(std::move(key), jobs.size());
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Fan the misses out to the pool. Each worker traces on its own track so
+  // the parallel pipeline renders as per-worker span rows in Perfetto.
+  pool->for_each(jobs.size(), [this, &jobs](std::size_t j, std::size_t worker) {
+    Job& job = jobs[j];
+    job.result = run_variant(job.config, /*is_baseline=*/false, job.stream,
+                             trace::Track::worker(static_cast<int>(worker)));
+  });
+
+  // Publish results; waiters blocked in evaluate() wake here.
+  {
+    std::lock_guard lock(cache_mu_);
+    for (Job& job : jobs) {
+      job.entry->eval = std::move(job.result);
+      job.entry->ready = true;
+    }
+  }
+  cache_cv_.notify_all();
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (out[i].eval != nullptr) continue;
+    if (job_of[i] >= 0) {
+      out[i].eval = &jobs[static_cast<std::size_t>(job_of[i])].entry->eval;
+    } else if (in_flight[i] != nullptr) {
+      CacheEntry* entry = in_flight[i];
+      std::unique_lock lock(cache_mu_);
+      cache_cv_.wait(lock, [entry] { return entry->ready; });
+      out[i].eval = &entry->eval;
+    }
+  }
+
+  // Cache-hit instants mirror the serial path's per-hit trace events.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (out[i].cache_hit) emit_cache_hit_instant(configs[i], *out[i].eval);
+    }
+  }
+  return out;
+}
+
+bool Evaluator::is_cached(const Config& config) const {
+  std::lock_guard lock(cache_mu_);
+  return cache_.find(config.key()) != cache_.end();
+}
+
+std::size_t Evaluator::unique_evaluations() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_.size();
+}
+
+std::uint64_t Evaluator::cache_lookups() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_lookups_;
+}
+
+std::uint64_t Evaluator::cache_hit_count() const {
+  std::lock_guard lock(cache_mu_);
+  return cache_hits_;
+}
+
+Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
+                                  std::uint64_t stream_id, trace::Track track) {
   // Zero-cost path: no tracer (or sinks disabled) means no attribute
   // formatting, no clock reads — run_variant_impl is called bare.
   trace::Tracer* tr =
       (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
-  if (tr == nullptr) return run_variant_impl(config, is_baseline, nullptr);
+  if (tr == nullptr) {
+    return run_variant_impl(config, is_baseline, stream_id, track, nullptr);
+  }
 
-  const trace::Track track = trace::Track::evaluator();
   tr->begin(is_baseline ? "variant/baseline" : "variant", track, tr->now_us(),
             {{"config", config_hash(config)},
              {"fraction32", config.fraction32()},
              {"atoms32", config.count32()}});
-  Evaluation out = run_variant_impl(config, is_baseline, tr);
+  Evaluation out = run_variant_impl(config, is_baseline, stream_id, track, tr);
   tr->end(is_baseline ? "variant/baseline" : "variant", track, tr->now_us(),
           {{"outcome", to_string(out.outcome)},
            {"cycles", out.whole_cycles},
@@ -158,8 +321,8 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline) {
 }
 
 Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
+                                       std::uint64_t stream_id, trace::Track track,
                                        trace::Tracer* tr) {
-  const trace::Track track = trace::Track::evaluator();
   Evaluation out;
   out.fraction32 = config.fraction32();
 
@@ -221,7 +384,7 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
     }
   }
   if (tr != nullptr) {
-    emit_run_counters(*tr, run);
+    emit_run_counters(*tr, track, run);
     // GPTL → trace bridge: hotspot region stats as counter tracks.
     gptl::export_region_counters(*tr, vm.timers(), track, tr->now_us());
   }
@@ -294,9 +457,12 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
                   : output_relative_error(baseline_.metric, out.metric);
   out.outcome = out.error <= spec_.error_threshold ? Outcome::kPass : Outcome::kFail;
 
-  // Eq. (1) speedup with injected run-to-run noise (§III-E).
+  // Eq. (1) speedup with injected run-to-run noise (§III-E). The stream was
+  // preassigned in proposal order (serial: at the cache miss; batch: during
+  // planning), so the draw is independent of evaluation order and worker
+  // interleaving.
   const auto samples = sample_noisy_times(out.measured_cycles, spec_.noise_rsd,
-                                          eq1_n_, noise_seed_, next_stream_++);
+                                          eq1_n_, noise_seed_, stream_id);
   out.speedup = eq1_speedup(baseline_samples_, samples);
   out.node_seconds =
       build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;

@@ -1,15 +1,36 @@
 // Dynamic variant evaluation (paper Fig. 1: transform → compile → execute →
 // measure), with memoization — the delta-debugging search revisits
 // configurations, and the paper's tool caches them too.
+//
+// Evaluation is batch-parallel: the searches propose whole rounds of
+// independent variants, and evaluate_batch() fans them out to a ThreadPool
+// the way the paper fanned variants out one-per-node across 20 Derecho nodes
+// (§IV-A). Parallel evaluation is bit-identical to the serial path:
+//
+//   * the memo cache is thread-safe with single-flight per config key — a
+//     key is computed exactly once no matter how many callers race on it;
+//   * noise streams are preassigned in proposal order during batch planning
+//     (first occurrence of each uncached key claims the next stream), which
+//     is exactly the order the serial path would have assigned them;
+//   * simulated quantities (cycles, node-seconds) are computed per variant
+//     from the VM run, never from host wall time, so ClusterSim accounting
+//     is unaffected by the worker count.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "ftn/reduce.h"
 #include "ftn/sema.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
 #include "support/trace.h"
 #include "tuner/metrics.h"
 #include "tuner/search_space.h"
@@ -79,10 +100,40 @@ class Evaluator {
   [[nodiscard]] double seconds_per_cycle() const { return seconds_per_cycle_; }
 
   /// Evaluates a configuration (memoized). `cache_hit` reports reuse.
+  /// Thread-safe: concurrent calls on the same key single-flight — one
+  /// caller computes, the others block until the entry is ready. Returned
+  /// references stay valid for the evaluator's lifetime.
   const Evaluation& evaluate(const Config& config, bool* cache_hit = nullptr);
 
+  /// One proposal's result within a batch.
+  struct BatchItem {
+    const Evaluation* eval = nullptr;
+    /// True iff a serial walk of the batch would have hit the cache at this
+    /// position: the key was cached before the batch, or appeared earlier in
+    /// the batch.
+    bool cache_hit = false;
+  };
+
+  /// Evaluates a whole proposal batch, fanning cache misses out to `pool`
+  /// (null or single-worker pool → serial evaluation, same code path as
+  /// evaluate()). Results — outcomes, speedups, noise streams, cache-hit
+  /// flags — are bit-identical to calling evaluate() on each config in
+  /// order. Duplicate keys inside the batch are evaluated once.
+  std::vector<BatchItem> evaluate_batch(std::span<const Config> configs,
+                                        ThreadPool* pool = nullptr);
+
+  /// True when the configuration's key is already memoized (a completed
+  /// entry; in-flight entries count too). Used by the searches to replicate
+  /// serial bookkeeping without forcing an evaluation.
+  [[nodiscard]] bool is_cached(const Config& config) const;
+
   /// Number of distinct variants evaluated so far (excluding the baseline).
-  [[nodiscard]] std::size_t unique_evaluations() const { return cache_.size(); }
+  [[nodiscard]] std::size_t unique_evaluations() const;
+
+  /// Memo-cache hit statistics (lookups = hits + misses), also exported as
+  /// cache/* trace counters when a tracer is attached.
+  [[nodiscard]] std::uint64_t cache_lookups() const;
+  [[nodiscard]] std::uint64_t cache_hit_count() const;
 
   /// Statistics of the T0 reduction preprocessing; nullopt unless the spec
   /// enabled run_reduction_preprocessing.
@@ -91,12 +142,33 @@ class Evaluator {
   }
 
  private:
+  /// Memo entry. `ready` flips exactly once, under cache_mu_; waiters on the
+  /// single-flight condition variable watch it. Node-based unordered_map
+  /// keeps entry addresses stable across rehashes, so &entry.eval may be
+  /// handed out while the map keeps growing.
+  struct CacheEntry {
+    bool ready = false;
+    Evaluation eval;
+  };
+  /// Hash the config key with FNV-1a (fixed across platforms) — the same
+  /// hash that names configs in traces, computed once per lookup.
+  struct KeyHash {
+    std::size_t operator()(const std::string& key) const {
+      return static_cast<std::size_t>(fnv1a64(key));
+    }
+  };
+
   Evaluator(const TargetSpec& spec, std::uint64_t noise_seed);
   Status init();
-  Evaluation run_variant(const Config& config, bool is_baseline);
+  Evaluation run_variant(const Config& config, bool is_baseline,
+                         std::uint64_t stream_id, trace::Track track);
   /// run_variant body; `tr` is null when tracing is disabled (zero-cost path).
   Evaluation run_variant_impl(const Config& config, bool is_baseline,
+                              std::uint64_t stream_id, trace::Track track,
                               trace::Tracer* tr);
+  /// Counts a lookup and emits the cache/* counters (call with cache_mu_ held).
+  void note_lookup_locked(bool hit);
+  void emit_cache_hit_instant(const Config& config, const Evaluation& eval);
 
   TargetSpec spec_;
   std::uint64_t noise_seed_;
@@ -108,9 +180,15 @@ class Evaluator {
   int eq1_n_ = 1;
   double seconds_per_cycle_ = 0.0;
   double cycle_budget_ = 0.0;
-  std::map<std::string, Evaluation> cache_;
+
+  mutable std::mutex cache_mu_;
+  std::condition_variable cache_cv_;  // single-flight: signals entries turning ready
+  std::unordered_map<std::string, CacheEntry, KeyHash> cache_;
+  std::uint64_t next_stream_ = 1;  // proposal-order noise streams; guarded by cache_mu_
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
   std::optional<ftn::ReductionStats> reduction_stats_;
-  std::uint64_t next_stream_ = 1;
   trace::Tracer* tracer_ = nullptr;  // non-owning flight recorder; may be null
 };
 

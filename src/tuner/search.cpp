@@ -14,49 +14,92 @@ class Recorder {
   Recorder(Evaluator& evaluator, const SearchOptions& options)
       : evaluator_(evaluator), options_(options) {}
 
-  /// Evaluates and records a configuration; returns null when the search
-  /// must stop (variant cap or batch hook said so).
-  const VariantRecord* probe(const Config& config) {
-    if (stopped_) return nullptr;
-    if (options_.prefilter && !options_.prefilter(config)) {
-      // Statically rejected (§V): no dynamic evaluation, treated as an
-      // unacceptable candidate by the caller (probe returns null).
-      ++result_.statically_skipped;
-      if (options_.tracer != nullptr && options_.tracer->enabled()) {
-        options_.tracer->instant("search/static-skip", trace::Track::search(),
-                                 options_.tracer->now_us(),
-                                 {{"skipped_so_far", result_.statically_skipped}});
-      }
-      return nullptr;
-    }
-    bool cache_hit = false;
-    const Evaluation& eval = evaluator_.evaluate(config, &cache_hit);
-    if (cache_hit) {
-      ++result_.cache_hits;
-      // Cached configurations were already recorded; find them. (A deque
-      // keeps references stable across push_back.)
-      for (const auto& r : records_) {
-        if (r.config == config) return &r;
-      }
-    }
-    VariantRecord rec;
-    rec.id = static_cast<int>(records_.size()) + 1;
-    rec.config = config;
-    rec.eval = eval;
-    records_.push_back(std::move(rec));
-    const VariantRecord* stored = &records_.back();
-    pending_batch_.push_back(stored);
+  /// Evaluates and records one proposal round. The round's cache misses fan
+  /// out to options_.pool (serial when null), but every piece of bookkeeping
+  /// replicates a sequential probe walk bit-for-bit: prefilter rejections
+  /// are dropped before evaluation, cache hits count in proposal order, and
+  /// with a variant cap the round is truncated at the proposal that trips it
+  /// *before* anything runs — so cache contents and noise-stream assignment
+  /// match the serial path exactly, for any worker count.
+  ///
+  /// Returns the records a serial probe loop would have received non-null,
+  /// in proposal order; when the cap fired (stopped() turns true), the
+  /// record that tripped it is last.
+  std::vector<const VariantRecord*> probe_batch(const std::vector<Config>& proposals) {
+    std::vector<const VariantRecord*> out;
+    if (stopped_) return out;
 
-    if (eval.outcome == Outcome::kPass &&
-        (!result_.best.has_value() || eval.speedup > result_.best_speedup)) {
-      result_.best = config;
-      result_.best_speedup = eval.speedup;
+    // Plan: which proposals would a serial walk process before stopping?
+    std::vector<Config> processed;
+    processed.reserve(proposals.size());
+    std::size_t planned_new = 0;
+    for (const Config& proposal : proposals) {
+      if (options_.prefilter && !options_.prefilter(proposal)) {
+        // Statically rejected (§V): no dynamic evaluation, treated as an
+        // unacceptable candidate by the caller (no record returned).
+        ++result_.statically_skipped;
+        if (options_.tracer != nullptr && options_.tracer->enabled()) {
+          options_.tracer->instant("search/static-skip", trace::Track::search(),
+                                   options_.tracer->now_us(),
+                                   {{"skipped_so_far", result_.statically_skipped}});
+        }
+        continue;
+      }
+      // A record for this config will exist by the time the serial walk
+      // reaches it iff it was recorded before, or appeared earlier in this
+      // round (first occurrence records it, later ones are cache hits).
+      bool have_record = find_record(proposal) != nullptr;
+      for (std::size_t e = 0; !have_record && e < processed.size(); ++e) {
+        have_record = processed[e] == proposal;
+      }
+      processed.push_back(proposal);
+      if (!have_record) {
+        ++planned_new;
+        if (options_.max_variants > 0 &&
+            records_.size() + planned_new >= options_.max_variants) {
+          break;  // this proposal trips the cap; the rest are never evaluated
+        }
+      }
     }
-    if (options_.max_variants > 0 && records_.size() >= options_.max_variants) {
-      stopped_ = true;
-      result_.budget_exhausted = true;
+
+    const auto items = evaluator_.evaluate_batch(
+        std::span<const Config>(processed.data(), processed.size()),
+        options_.pool);
+
+    for (std::size_t i = 0; i < processed.size(); ++i) {
+      const Config& config = processed[i];
+      const Evaluation& eval = *items[i].eval;
+      if (items[i].cache_hit) {
+        ++result_.cache_hits;
+        // Cached configurations were already recorded; find them. (A deque
+        // keeps references stable across push_back.)
+        if (const VariantRecord* existing = find_record(config);
+            existing != nullptr) {
+          out.push_back(existing);
+          continue;
+        }
+      }
+      VariantRecord rec;
+      rec.id = static_cast<int>(records_.size()) + 1;
+      rec.config = config;
+      rec.eval = eval;
+      records_.push_back(std::move(rec));
+      const VariantRecord* stored = &records_.back();
+      pending_batch_.push_back(stored);
+      out.push_back(stored);
+
+      if (eval.outcome == Outcome::kPass &&
+          (!result_.best.has_value() || eval.speedup > result_.best_speedup)) {
+        result_.best = config;
+        result_.best_speedup = eval.speedup;
+      }
+      if (options_.max_variants > 0 && records_.size() >= options_.max_variants) {
+        stopped_ = true;
+        result_.budget_exhausted = true;
+        break;
+      }
     }
-    return stored;
+    return out;
   }
 
   /// Flushes the pending proposals through the batch hook (campaign timing).
@@ -79,6 +122,13 @@ class Recorder {
   }
 
  private:
+  [[nodiscard]] const VariantRecord* find_record(const Config& config) const {
+    for (const auto& r : records_) {
+      if (r.config == config) return &r;
+    }
+    return nullptr;
+  }
+
   Evaluator& evaluator_;
   const SearchOptions& options_;
   SearchResult result_;
@@ -141,9 +191,10 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
 
   // First proposal: the uniform 32-bit configuration (the paper's searches
   // always measure it — it anchors Figures 2/5).
-  if (const auto* r = rec.probe(lower_atoms(accepted, candidates)); r != nullptr) {
-    if (r->eval.acceptable()) {
-      accepted = r->config;
+  {
+    const auto first = rec.probe_batch({lower_atoms(accepted, candidates)});
+    if (!first.empty() && first.front()->eval.acceptable()) {
+      accepted = first.front()->config;
       candidates.clear();
       reached_minimal = true;  // nothing left in 64-bit
       if (tr != nullptr) {
@@ -169,15 +220,18 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
                   static_cast<double>(candidates.size()));
     }
 
-    // Try lowering each subset (one batch: the paper evaluates these in
-    // parallel across nodes). A null probe is either a statically-rejected
-    // candidate (skip it) or a stopped search (break).
-    std::vector<const VariantRecord*> batch;
+    // Try lowering each subset as one proposal round — the paper evaluates
+    // these in parallel across nodes, and probe_batch fans them out to the
+    // work pool the same way. Statically-rejected candidates are skipped;
+    // when the variant cap stopped the search mid-round, the capping record
+    // is recorded but (like the serial walk) not scanned for acceptance.
+    std::vector<Config> subset_round;
+    subset_round.reserve(subsets.size());
     for (const auto& subset : subsets) {
-      const auto* r = rec.probe(lower_atoms(accepted, subset));
-      if (rec.stopped()) break;
-      if (r != nullptr) batch.push_back(r);
+      subset_round.push_back(lower_atoms(accepted, subset));
     }
+    std::vector<const VariantRecord*> batch = rec.probe_batch(subset_round);
+    if (rec.stopped() && !batch.empty()) batch.pop_back();
     rec.end_batch();
     if (rec.stopped()) break;
 
@@ -200,9 +254,10 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
     if (progressed) continue;
 
     // Try the complements (skip when div == 2: complements equal the other
-    // subset).
+    // subset) — also one proposal round.
     if (div > 2) {
-      std::vector<const VariantRecord*> cbatch;
+      std::vector<Config> cround;
+      cround.reserve(subsets.size());
       for (const auto& subset : subsets) {
         std::vector<std::size_t> complement;
         for (const std::size_t c : candidates) {
@@ -211,10 +266,10 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
           }
         }
         if (complement.empty()) continue;
-        const auto* r = rec.probe(lower_atoms(accepted, complement));
-        if (rec.stopped()) break;
-        if (r != nullptr) cbatch.push_back(r);
+        cround.push_back(lower_atoms(accepted, complement));
       }
+      std::vector<const VariantRecord*> cbatch = rec.probe_batch(cround);
+      if (rec.stopped() && !cbatch.empty()) cbatch.pop_back();
       rec.end_batch();
       if (rec.stopped()) break;
       for (const auto* r : cbatch) {
@@ -276,13 +331,22 @@ SearchResult brute_force_search(Evaluator& evaluator, const SearchOptions& optio
   const std::size_t n = evaluator.space().size();
   PROSE_CHECK_MSG(n <= 24, "brute force is limited to 2^24 variants");
   const std::size_t total = std::size_t{1} << n;
-  for (std::size_t mask = 0; mask < total && !rec.stopped(); ++mask) {
-    Config config = evaluator.space().uniform(8);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (mask & (std::size_t{1} << i)) config.kinds[i] = 4;
+  // Enumerate in rounds of 64 masks — one proposal batch each, fanned out to
+  // the pool by probe_batch.
+  constexpr std::size_t kRound = 64;
+  for (std::size_t base = 0; base < total && !rec.stopped(); base += kRound) {
+    const std::size_t end = std::min(total, base + kRound);
+    std::vector<Config> round;
+    round.reserve(end - base);
+    for (std::size_t mask = base; mask < end; ++mask) {
+      Config config = evaluator.space().uniform(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::size_t{1} << i)) config.kinds[i] = 4;
+      }
+      round.push_back(std::move(config));
     }
-    rec.probe(config);
-    if ((mask & 0x3f) == 0x3f) rec.end_batch();
+    rec.probe_batch(round);
+    if (end - base == kRound) rec.end_batch();
   }
   SearchResult result = rec.take();
   if (result.best.has_value()) result.accepted = *result.best;
@@ -294,12 +358,21 @@ SearchResult random_search(Evaluator& evaluator, std::size_t samples,
   Recorder rec(evaluator, options);
   Rng rng(seed);
   const std::size_t n = evaluator.space().size();
-  for (std::size_t s = 0; s < samples && !rec.stopped(); ++s) {
-    Config config = evaluator.space().uniform(8);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (rng.chance(0.5)) config.kinds[i] = 4;
+  // Samples are independent, so propose them in rounds — the cluster-batch
+  // analogue of the paper's one-variant-per-node fan-out.
+  constexpr std::size_t kRound = 16;
+  for (std::size_t s = 0; s < samples && !rec.stopped(); s += kRound) {
+    const std::size_t count = std::min(kRound, samples - s);
+    std::vector<Config> round;
+    round.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      Config config = evaluator.space().uniform(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.chance(0.5)) config.kinds[i] = 4;
+      }
+      round.push_back(std::move(config));
     }
-    rec.probe(config);
+    rec.probe_batch(round);
     rec.end_batch();
   }
   SearchResult result = rec.take();
@@ -310,12 +383,14 @@ SearchResult random_search(Evaluator& evaluator, std::size_t samples,
 SearchResult one_at_a_time_search(Evaluator& evaluator, const SearchOptions& options) {
   Recorder rec(evaluator, options);
   Config accepted = evaluator.space().uniform(8);
+  // Inherently sequential — each step's candidate depends on the previous
+  // acceptance — so every round is a single proposal.
   for (std::size_t i = 0; i < evaluator.space().size() && !rec.stopped(); ++i) {
     Config candidate = accepted;
     candidate.kinds[i] = 4;
-    const auto* r = rec.probe(candidate);
+    const auto batch = rec.probe_batch({candidate});
     rec.end_batch();
-    if (r != nullptr && r->eval.acceptable()) accepted = candidate;
+    if (!batch.empty() && batch.front()->eval.acceptable()) accepted = candidate;
   }
   SearchResult result = rec.take();
   result.accepted = accepted;

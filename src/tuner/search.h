@@ -54,6 +54,13 @@ using BatchHook = std::function<bool(const std::vector<const VariantRecord*>&)>;
 struct SearchOptions {
   /// Hard cap on evaluated variants (0 = unlimited).
   std::size_t max_variants = 0;
+  /// Optional work pool (non-owning) for batch-parallel variant evaluation —
+  /// the single-host analogue of the paper's one-variant-per-node fan-out.
+  /// Every search proposes whole rounds/partitions as batches; with a pool
+  /// the round's cache misses evaluate concurrently, and the SearchResult
+  /// (records, accepted config, speedups, cache_hits) is bit-identical to
+  /// the serial result for any worker count. Null = serial evaluation.
+  ThreadPool* pool = nullptr;
   /// Called once per proposal batch; see BatchHook.
   BatchHook batch_hook;
   /// Optional §V static pre-filter: return false to reject a candidate

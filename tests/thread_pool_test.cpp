@@ -1,0 +1,85 @@
+// ThreadPool unit tests: full batch coverage, deterministic exception
+// propagation, zero-task batches, and pool reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace prose {
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kItems = 257;  // not a multiple of the worker count
+  std::vector<std::atomic<int>> counts(kItems);
+  pool.for_each(kItems, [&](std::size_t item, std::size_t worker) {
+    ASSERT_LT(item, kItems);
+    ASSERT_LT(worker, pool.size());
+    counts[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroTaskBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_each(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ZeroWorkersPicksHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_workers());
+}
+
+TEST(ThreadPool, RethrowsLowestIndexExceptionAfterDrainingBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.for_each(64, [&](std::size_t item, std::size_t) {
+      if (item == 41 || item == 7) {
+        throw std::runtime_error("item " + std::to_string(item));
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected for_each to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Two items throw; the rethrown one is the lowest-numbered regardless of
+    // which worker hit it first.
+    EXPECT_STREQ(e.what(), "item 7");
+  }
+  // The batch drains fully before rethrowing: every non-throwing item ran.
+  EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPool, StaysUsableAcrossBatchesAndAfterExceptions) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.for_each(100, [&](std::size_t item, std::size_t) {
+      sum.fetch_add(static_cast<long>(item), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 10L * (99 * 100 / 2));
+
+  EXPECT_THROW(
+      pool.for_each(8, [](std::size_t, std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+
+  std::atomic<int> after{0};
+  pool.for_each(16, [&](std::size_t, std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 16);
+}
+
+}  // namespace
+}  // namespace prose
