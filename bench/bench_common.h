@@ -32,6 +32,14 @@ struct BenchIo {
   /// per campaign via trace_options(tag).
   std::string trace_out;
   std::string trace_jsonl;
+  /// Fault-injection spec + seed (--faults=SPEC, --fault-seed=N); empty =
+  /// faults off. Forwarded into campaign_options() like the trace knobs.
+  std::string faults;
+  std::uint64_t fault_seed = 2025;
+  /// Write-ahead journal (--journal=<file>, --resume); benches tag the path
+  /// per campaign via tagged_path, like the trace sinks.
+  std::string journal;
+  bool resume = false;
 
   static BenchIo from_args(int argc, char** argv) {
     BenchIo io;
@@ -42,6 +50,10 @@ struct BenchIo {
       io.jobs = static_cast<std::size_t>(flags->get_int("jobs", 1));
       io.trace_out = flags->get_string("trace-out", "");
       io.trace_jsonl = flags->get_string("trace-jsonl", "");
+      io.faults = flags->get_string("faults", "");
+      io.fault_seed = static_cast<std::uint64_t>(flags->get_int("fault-seed", 2025));
+      io.journal = flags->get_string("journal", "");
+      io.resume = flags->get_bool("resume", false);
     }
     std::error_code ec;
     std::filesystem::create_directories(io.outdir, ec);  // best effort
@@ -72,12 +84,17 @@ struct BenchIo {
     return t;
   }
 
-  /// CampaignOptions carrying the shared bench knobs (--jobs, --trace-*).
+  /// CampaignOptions carrying the shared bench knobs (--jobs, --trace-*,
+  /// --faults, --journal/--resume).
   [[nodiscard]] tuner::CampaignOptions campaign_options(
       const std::string& tag = "") const {
     tuner::CampaignOptions options;
     options.jobs = jobs;
     options.trace = trace_options(tag);
+    options.fault_spec = faults;
+    options.fault_seed = fault_seed;
+    options.journal_path = tagged_path(journal, tag);
+    options.resume = resume;
     return options;
   }
 

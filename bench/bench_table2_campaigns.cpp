@@ -7,13 +7,22 @@
 // parallel speedup land in BENCH_parallel_eval.json. The Table II numbers
 // come from the serial run; the parallel run must (and is checked to)
 // reproduce them bit-identically.
+// A chaos leg re-runs the MPAS-A campaign with the write-ahead journal and
+// deterministic fault injection on, emulates a mid-campaign crash by
+// truncating the journal at half its variant records, resumes from the
+// truncated journal, and verifies the resumed search is bit-identical. The
+// measured overheads and the recovery ratio land in
+// BENCH_chaos_campaigns.json.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.h"
 #include "models/models.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "tuner/journal.h"
 
 using namespace prose;
 using namespace prose::tuner;
@@ -76,6 +85,25 @@ std::string parallel_eval_json(const std::vector<ParallelEvalRow>& rows,
   }
   out += "  ]\n}\n";
   return out;
+}
+
+/// Copies the journal at `path` to `out`, keeping the header and only the
+/// first `keep_variants` variant records — the byte pattern a SIGKILL
+/// mid-campaign leaves behind (modulo the batch markers, which resume
+/// ignores).
+std::size_t truncate_journal(const std::string& path, const std::string& out,
+                             std::size_t keep_variants) {
+  std::ifstream in(path);
+  std::ofstream trimmed(out, std::ios::out | std::ios::trunc);
+  std::string line;
+  std::size_t kept = 0;
+  while (std::getline(in, line)) {
+    const bool is_variant = line.find("\"type\":\"variant\"") != std::string::npos;
+    if (is_variant && kept >= keep_variants) break;
+    trimmed << line << '\n';
+    if (is_variant) ++kept;
+  }
+  return kept;
 }
 
 }  // namespace
@@ -180,6 +208,83 @@ int main(int argc, char** argv) {
               << parallel_jobs << " " << format_double(r.parallel_seconds, 2)
               << " s (" << format_double(speedup, 2) << "x, results "
               << (r.identical ? "identical" : "DIVERGED") << ")\n";
+  }
+
+  // --- Chaos leg: journaling + fault-injection overhead and crash recovery.
+  // The MPAS-A campaign is run (a) bare, (b) with the write-ahead journal,
+  // (c) with journal + injected faults; then the journal from (c) is
+  // truncated at half its variant records — the state a SIGKILL would have
+  // left — and the campaign resumed from it. The resumed search must be
+  // bit-identical to (c)'s.
+  {
+    bench::header("Chaos — journaling / fault-injection overhead and recovery");
+    const TargetSpec spec = models::mpas_target();
+    const std::string journal_path = io.outdir + "/chaos_mpas.journal.jsonl";
+    const std::string cut_path = io.outdir + "/chaos_mpas.journal.cut.jsonl";
+    const char* kFaults =
+        "compile:p=0.02;transient:p=0.05;straggler:p=0.03,slow=4x;"
+        "node_crash:node=7,at=3600s";
+
+    std::cout << "running MPAS-A bare / journaled / faulted / resumed...\n";
+    const auto base = timed_run(spec, CampaignOptions{}, 1);
+
+    CampaignOptions journaled;
+    journaled.journal_path = journal_path;
+    const auto with_journal = timed_run(spec, journaled, 1);
+
+    CampaignOptions faulted = journaled;
+    faulted.fault_spec = kFaults;
+    const auto with_faults = timed_run(spec, faulted, 1);
+
+    const auto loaded = tuner::Journal::load(journal_path);
+    const std::size_t total_variants =
+        loaded.is_ok() ? loaded.value().variants.size() : 0;
+    // Crash emulation: keep half of the faulted run's journal, then resume
+    // from the cut copy with identical options.
+    truncate_journal(journal_path, cut_path, total_variants / 2);
+    CampaignOptions resumed_opts = faulted;
+    resumed_opts.journal_path = cut_path;
+    resumed_opts.resume = true;
+    const auto resumed = timed_run(spec, resumed_opts, 1);
+
+    const bool identical =
+        same_search(with_faults.result.search, resumed.result.search) &&
+        with_faults.result.final_kinds == resumed.result.final_kinds;
+    const double journal_overhead =
+        base.seconds > 0.0 ? with_journal.seconds / base.seconds : 0.0;
+    const double faults_overhead =
+        base.seconds > 0.0 ? with_faults.seconds / base.seconds : 0.0;
+    const double recovery_ratio =
+        with_faults.result.search.records.size() > 0
+            ? static_cast<double>(resumed.result.replayed_from_journal) /
+                  static_cast<double>(with_faults.result.search.records.size())
+            : 0.0;
+
+    std::string json = "{\n";
+    json += "  \"model\": \"" + spec.name + "\",\n";
+    json += "  \"fault_spec\": \"" + std::string(kFaults) + "\",\n";
+    json += "  \"base_seconds\": " + format_double(base.seconds, 4) + ",\n";
+    json += "  \"journal_seconds\": " + format_double(with_journal.seconds, 4) + ",\n";
+    json += "  \"journal_overhead\": " + format_double(journal_overhead, 3) + ",\n";
+    json += "  \"faults_seconds\": " + format_double(with_faults.seconds, 4) + ",\n";
+    json += "  \"faults_overhead\": " + format_double(faults_overhead, 3) + ",\n";
+    json += "  \"journaled_variants\": " + std::to_string(total_variants) + ",\n";
+    json += "  \"lost_pct\": " +
+            format_double(with_faults.result.summary.lost_pct, 2) + ",\n";
+    json += "  \"resume_seconds\": " + format_double(resumed.seconds, 4) + ",\n";
+    json += "  \"replayed_from_journal\": " +
+            std::to_string(resumed.result.replayed_from_journal) + ",\n";
+    json += "  \"recovery_ratio\": " + format_double(recovery_ratio, 3) + ",\n";
+    json += std::string("  \"identical_after_resume\": ") +
+            (identical ? "true" : "false") + "\n";
+    json += "}\n";
+    io.write_file("json", "BENCH_chaos_campaigns.json", json);
+
+    std::cout << "  journal overhead " << format_double(journal_overhead, 2)
+              << "x, faults overhead " << format_double(faults_overhead, 2)
+              << "x, recovery " << format_double(100.0 * recovery_ratio, 1)
+              << "% replayed, resume "
+              << (identical ? "bit-identical" : "DIVERGED") << "\n";
   }
 
   bench::header("Table II recap (shape checks)");

@@ -8,6 +8,16 @@
 //                  0 = hardware concurrency; results are bit-identical)
 //        --trace-out FILE (Perfetto/chrome://tracing timeline)
 //        --trace-jsonl FILE (structured event log, one JSON object per line)
+//        --faults SPEC (deterministic fault injection, e.g.
+//                  "compile:p=0.02;transient:p=0.05;straggler:p=0.03,slow=4x;
+//                   node_crash:node=7,at=3600s")
+//        --fault-seed N  --retries N  --backoff SECONDS
+//        --journal FILE (write-ahead journal: every evaluation fsync'd
+//                  before the search sees it, enabling --resume)
+//        --resume (replay FILE's evaluations; the resumed campaign is
+//                  bit-identical to the uninterrupted one)
+//        --kill-after N (chaos testing: SIGKILL self after the Nth journaled
+//                  variant)
 #include <iostream>
 
 #include "models/mpas.h"
@@ -28,6 +38,15 @@ int main(int argc, char** argv) {
     options.jobs = static_cast<std::size_t>(flags->get_int("jobs", 1));
     options.trace.chrome_path = flags->get_string("trace-out", "");
     options.trace.jsonl_path = flags->get_string("trace-jsonl", "");
+    options.fault_spec = flags->get_string("faults", "");
+    options.fault_seed =
+        static_cast<std::uint64_t>(flags->get_int("fault-seed", 2025));
+    options.retry.max_attempts = flags->get_int("retries", 3);
+    options.retry.backoff_seconds = flags->get_double("backoff", 30.0);
+    options.journal_path = flags->get_string("journal", "");
+    options.resume = flags->get_bool("resume", false);
+    options.journal_kill_after =
+        static_cast<std::size_t>(flags->get_int("kill-after", 0));
   }
 
   const tuner::TargetSpec spec = models::mpas_target();
@@ -47,10 +66,16 @@ int main(int argc, char** argv) {
   const tuner::CampaignSummary& s = result->summary;
   std::cout << "\nvariants: " << s.total << "  pass " << s.pass_pct << "%  fail "
             << s.fail_pct << "%  timeout " << s.timeout_pct << "%  error "
-            << s.error_pct << "%\n"
+            << s.error_pct << "%  lost " << s.lost_pct << "%\n"
             << "best hotspot speedup: " << s.best_speedup << "x\n"
             << "simulated wall time: " << s.wall_hours << " h ("
             << (s.finished ? "finished — 1-minimal" : "budget exhausted") << ")\n\n";
+  if (!s.trace_error.empty()) {
+    std::cerr << "trace sink degraded: " << s.trace_error << "\n";
+  }
+  if (!s.journal_error.empty()) {
+    std::cerr << "journal degraded: " << s.journal_error << "\n";
+  }
 
   std::cout << tuner::variants_scatter("MPAS-A hotspot variants", result->search,
                                        spec.error_threshold);
@@ -63,6 +88,13 @@ int main(int argc, char** argv) {
   }
   if (!options.trace.jsonl_path.empty()) {
     std::cout << "wrote trace event log: " << options.trace.jsonl_path << "\n";
+  }
+  // "journal"-prefixed lines so crash/resume harnesses can diff the rest of
+  // the output against an uninterrupted reference run.
+  if (!options.journal_path.empty()) {
+    std::cout << "journal: " << options.journal_path
+              << (options.resume ? " (resumed, " : " (fresh, ")
+              << result->replayed_from_journal << " evaluations replayed)\n";
   }
   return 0;
 }

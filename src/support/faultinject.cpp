@@ -1,0 +1,251 @@
+#include "support/faultinject.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <initializer_list>
+#include <utility>
+
+#include "support/strings.h"
+
+namespace prose {
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche mix so nearby inputs (attempt 1 vs
+/// attempt 2) draw independent uniforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Uniform in [0, 1) from the top 53 bits — the standard bit-exact mapping,
+/// identical on every platform.
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// One independent uniform per (seed, config, attempt, fault-kind salt).
+double draw(std::uint64_t seed, std::uint64_t config_hash, int attempt,
+            std::uint64_t salt) {
+  std::uint64_t x = seed;
+  x = mix64(x ^ config_hash);
+  x = mix64(x ^ (static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL));
+  x = mix64(x ^ salt);
+  return u01(x);
+}
+
+constexpr std::uint64_t kCompileSalt = 0xc0817a11ULL;
+constexpr std::uint64_t kTransientSalt = 0x7a2a51e47ULL;
+constexpr std::uint64_t kStragglerSalt = 0x57a661e4ULL;
+constexpr std::uint64_t kAbortSalt = 0xab047ULL;
+
+/// Parses "0.05" (probability) or fails with a message naming the clause.
+Status parse_probability(std::string_view clause, std::string_view text,
+                         double* out) {
+  char* end = nullptr;
+  const std::string s(text);
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status(StatusCode::kInvalidArgument,
+                  "fault spec '" + std::string(clause) + "': '" + s +
+                      "' is not a number");
+  }
+  if (v < 0.0 || v > 1.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "fault spec '" + std::string(clause) + "': probability " + s +
+                      " outside [0, 1]");
+  }
+  *out = v;
+  return Status::ok();
+}
+
+/// Parses "4" / "4x" (multiplier) or "3600" / "3600s" / "60m" / "1.5h"
+/// (duration in seconds).
+Status parse_scaled(std::string_view clause, std::string_view text,
+                    double* out, bool duration) {
+  std::string s(text);
+  double scale = 1.0;
+  if (!s.empty()) {
+    const char suffix = s.back();
+    if (duration && suffix == 's') { s.pop_back(); }
+    else if (duration && suffix == 'm') { scale = 60.0; s.pop_back(); }
+    else if (duration && suffix == 'h') { scale = 3600.0; s.pop_back(); }
+    else if (!duration && suffix == 'x') { s.pop_back(); }
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end == s.c_str() || *end != '\0') {
+    return Status(StatusCode::kInvalidArgument,
+                  "fault spec '" + std::string(clause) + "': '" +
+                      std::string(text) + "' is not a " +
+                      (duration ? "duration" : "multiplier"));
+  }
+  *out = v * scale;
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.spec_ = std::string(trim(spec));
+  bool saw_compile = false, saw_transient = false, saw_straggler = false,
+       saw_abort = false;
+  for (const std::string& raw : split(plan.spec_, ';')) {
+    const std::string clause(trim(raw));
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    "fault spec clause '" + clause +
+                        "' is missing ':' (expected kind:key=value,...)");
+    }
+    const std::string kind(trim(clause.substr(0, colon)));
+
+    // key=value parameter list.
+    std::vector<std::pair<std::string, std::string>> params;
+    for (const std::string& piece : split(clause.substr(colon + 1), ',')) {
+      const std::string p(trim(piece));
+      if (p.empty()) continue;
+      const std::size_t eq = p.find('=');
+      if (eq == std::string::npos) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec '" + clause + "': parameter '" + p +
+                          "' is missing '='");
+      }
+      params.emplace_back(std::string(trim(p.substr(0, eq))),
+                          std::string(trim(p.substr(eq + 1))));
+    }
+    const auto param = [&](const std::string& key) -> const std::string* {
+      for (const auto& [k, v] : params) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    const auto reject_unknown =
+        [&](std::initializer_list<std::string_view> known) -> Status {
+      for (const auto& [k, v] : params) {
+        bool ok = false;
+        for (const auto& name : known) ok = ok || k == name;
+        if (!ok) {
+          return Status(StatusCode::kInvalidArgument,
+                        "fault spec '" + clause + "': unknown parameter '" + k + "'");
+        }
+      }
+      return Status::ok();
+    };
+    const auto require_p = [&](double* out, bool* seen) -> Status {
+      if (*seen) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec: duplicate '" + kind + "' clause");
+      }
+      *seen = true;
+      const std::string* p = param("p");
+      if (p == nullptr) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec '" + clause + "': missing p=<probability>");
+      }
+      return parse_probability(clause, *p, out);
+    };
+
+    if (kind == "compile") {
+      if (Status s = reject_unknown({"p"}); !s.is_ok()) return s;
+      if (Status s = require_p(&plan.compile_p_, &saw_compile); !s.is_ok()) return s;
+    } else if (kind == "transient") {
+      if (Status s = reject_unknown({"p"}); !s.is_ok()) return s;
+      if (Status s = require_p(&plan.transient_p_, &saw_transient); !s.is_ok()) return s;
+    } else if (kind == "abort") {
+      if (Status s = reject_unknown({"p"}); !s.is_ok()) return s;
+      if (Status s = require_p(&plan.abort_p_, &saw_abort); !s.is_ok()) return s;
+    } else if (kind == "straggler") {
+      if (Status s = reject_unknown({"p", "slow"}); !s.is_ok()) return s;
+      if (Status s = require_p(&plan.straggler_p_, &saw_straggler); !s.is_ok()) return s;
+      if (const std::string* slow = param("slow"); slow != nullptr) {
+        if (Status s = parse_scaled(clause, *slow, &plan.slow_factor_,
+                                    /*duration=*/false);
+            !s.is_ok()) {
+          return s;
+        }
+        if (plan.slow_factor_ < 1.0) {
+          return Status(StatusCode::kInvalidArgument,
+                        "fault spec '" + clause + "': slow factor must be >= 1");
+        }
+      }
+    } else if (kind == "node_crash") {
+      if (Status s = reject_unknown({"node", "at"}); !s.is_ok()) return s;
+      const std::string* node = param("node");
+      const std::string* at = param("at");
+      if (node == nullptr || at == nullptr) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec '" + clause +
+                          "': node_crash needs node=<id>,at=<time>");
+      }
+      char* end = nullptr;
+      const long long id = std::strtoll(node->c_str(), &end, 10);
+      if (end == node->c_str() || *end != '\0' || id < 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec '" + clause + "': '" + *node +
+                          "' is not a node id");
+      }
+      NodeCrash crash;
+      crash.node = static_cast<std::size_t>(id);
+      if (Status s = parse_scaled(clause, *at, &crash.at_seconds,
+                                  /*duration=*/true);
+          !s.is_ok()) {
+        return s;
+      }
+      if (crash.at_seconds < 0.0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault spec '" + clause + "': crash time must be >= 0");
+      }
+      plan.crashes_.push_back(crash);
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    "fault spec: unknown fault kind '" + kind +
+                        "' (expected compile, transient, straggler, "
+                        "node_crash, or abort)");
+    }
+  }
+  std::sort(plan.crashes_.begin(), plan.crashes_.end(),
+            [](const NodeCrash& a, const NodeCrash& b) {
+              if (a.at_seconds != b.at_seconds) return a.at_seconds < b.at_seconds;
+              return a.node < b.node;
+            });
+  for (std::size_t i = 1; i < plan.crashes_.size(); ++i) {
+    if (plan.crashes_[i].node == plan.crashes_[i - 1].node) {
+      return Status(StatusCode::kInvalidArgument,
+                    "fault spec: node " + std::to_string(plan.crashes_[i].node) +
+                        " crashes twice");
+    }
+  }
+  return plan;
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t config_hash, int attempt) const {
+  FaultDecision d;
+  if (abort_p_ > 0.0 &&
+      draw(seed_, config_hash, attempt, kAbortSalt) < abort_p_) {
+    d.abort = true;
+    return d;
+  }
+  if (compile_p_ > 0.0 &&
+      draw(seed_, config_hash, attempt, kCompileSalt) < compile_p_) {
+    d.compile_fail = true;
+    return d;
+  }
+  if (transient_p_ > 0.0 &&
+      draw(seed_, config_hash, attempt, kTransientSalt) < transient_p_) {
+    d.transient_fail = true;
+  }
+  if (straggler_p_ > 0.0 &&
+      draw(seed_, config_hash, attempt, kStragglerSalt) < straggler_p_) {
+    d.slow_factor = slow_factor_;
+  }
+  return d;
+}
+
+}  // namespace prose

@@ -1,0 +1,100 @@
+// Deterministic fault injection for tuning campaigns.
+//
+// Real HPC campaigns lose nodes, hit flaky compiles, and produce transient
+// non-finite runs; the paper's 12-hour / 20-node experiments (§IV-A) simply
+// rode those out with scheduler restarts. A FaultPlan reproduces that
+// environment *deterministically*: each fault decision is a pure function of
+// (plan seed, FNV-1a config hash, attempt number, fault kind), so every run
+// with the same seed — at any worker count — sees the identical fault
+// sequence, and a resumed campaign replays the exact faults the interrupted
+// one saw.
+//
+// Plans are parsed from a compact spec string of ';'-separated clauses:
+//
+//   compile:p=0.02                 transform/compile fails (deterministic —
+//                                  never retried, the paper's "Error" class)
+//   transient:p=0.05               run crashes this *attempt* only; retried
+//                                  under the campaign RetryPolicy
+//   straggler:p=0.03,slow=4x       the attempt's node-seconds are multiplied
+//                                  (slow node / contended filesystem)
+//   node_crash:node=7,at=3600s     node 7 dies at simulated t=3600 s; its
+//                                  in-flight task is rescheduled and cluster
+//                                  capacity shrinks permanently (repeatable)
+//   abort:p=0.01                   the evaluator *throws* (host-level crash);
+//                                  exercises exception-safety of the memo
+//                                  cache — test-only in practice
+//
+// Durations accept s/m/h suffixes ("at=1.5h"). Probabilities are in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace prose {
+
+/// Campaign-level retry semantics for injected *transient* faults.
+/// Deterministic failures (compile errors, correctness failures, timeouts)
+/// are never retried — rerunning a deterministic simulation cannot change
+/// the answer. A variant that exhausts its attempts is quarantined as
+/// Outcome::kLost ("no information").
+struct RetryPolicy {
+  int max_attempts = 3;           // total attempts per variant; 1 = no retry
+  double backoff_seconds = 30.0;  // simulated node-seconds charged per retry
+};
+
+/// One scheduled, permanent node failure.
+struct NodeCrash {
+  std::size_t node = 0;
+  double at_seconds = 0.0;  // simulated campaign clock
+};
+
+/// The fault draw for one (config, attempt) pair.
+struct FaultDecision {
+  bool compile_fail = false;   // deterministic: variant is an Error, final
+  bool transient_fail = false; // this attempt crashes; retryable
+  bool abort = false;          // host-level: the evaluator throws
+  double slow_factor = 1.0;    // straggler multiplier on node-seconds
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses a spec string (grammar above). An empty spec yields an empty
+  /// plan. Errors name the offending clause.
+  static StatusOr<FaultPlan> parse(std::string_view spec, std::uint64_t seed);
+
+  /// True when no fault clause is active (decide() always returns the
+  /// no-fault decision and node_crashes() is empty).
+  [[nodiscard]] bool empty() const {
+    return compile_p_ == 0.0 && transient_p_ == 0.0 && straggler_p_ == 0.0 &&
+           abort_p_ == 0.0 && crashes_.empty();
+  }
+
+  /// The deterministic fault draw for one evaluation attempt. `config_hash`
+  /// is the FNV-1a hash of the configuration key; `attempt` is 1-based.
+  [[nodiscard]] FaultDecision decide(std::uint64_t config_hash, int attempt) const;
+
+  /// Scheduled node failures, sorted by time.
+  [[nodiscard]] const std::vector<NodeCrash>& node_crashes() const { return crashes_; }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// The spec string the plan was parsed from (for journal headers).
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+ private:
+  double compile_p_ = 0.0;
+  double transient_p_ = 0.0;
+  double straggler_p_ = 0.0;
+  double abort_p_ = 0.0;
+  double slow_factor_ = 4.0;
+  std::vector<NodeCrash> crashes_;
+  std::uint64_t seed_ = 0;
+  std::string spec_;
+};
+
+}  // namespace prose

@@ -1,0 +1,200 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace prose::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Appends a Unicode codepoint as UTF-8 (journal strings are ASCII in
+/// practice; this keeps \uXXXX escapes lossless anyway).
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xc0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    out += static_cast<char>(0xe0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+}
+
+}  // namespace
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  StatusOr<Value> run() {
+    Value v;
+    if (Status s = value(&v, 0); !s.is_ok()) return s;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status(StatusCode::kParseError, "json: " + what);
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  Status literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size() ||
+        std::string_view(p_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    p_ += word.size();
+    return Status::ok();
+  }
+
+  Status string(std::string* out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      const char c = *p_;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return fail("truncated escape");
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p_;
+              if (p_ == end_ || std::isxdigit(static_cast<unsigned char>(*p_)) == 0) {
+                return fail("bad \\u escape");
+              }
+              const char h = *p_;
+              cp = cp * 16 +
+                   static_cast<unsigned>(h <= '9' ? h - '0'
+                                                  : (h | 0x20) - 'a' + 10);
+            }
+            append_utf8(*out, cp);
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+        ++p_;
+        continue;
+      }
+      *out += c;
+      ++p_;
+    }
+    if (p_ == end_) return fail("unterminated string");
+    ++p_;  // closing quote
+    return Status::ok();
+  }
+
+  Status number(double* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) != 0 || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      ++p_;
+    }
+    const std::string text(start, static_cast<std::size_t>(p_ - start));
+    char* parsed_end = nullptr;
+    *out = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end != text.c_str() + text.size() || text.empty()) {
+      return fail("malformed number '" + text + "'");
+    }
+    return Status::ok();
+  }
+
+  Status value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        out->kind_ = Value::Kind::kObject;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') { ++p_; return Status::ok(); }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (Status s = string(&key); !s.is_ok()) return s;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          ++p_;
+          Value member;
+          if (Status s = value(&member, depth + 1); !s.is_ok()) return s;
+          out->members_.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') { ++p_; continue; }
+          if (p_ != end_ && *p_ == '}') { ++p_; return Status::ok(); }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p_;
+        out->kind_ = Value::Kind::kArray;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') { ++p_; return Status::ok(); }
+        while (true) {
+          Value item;
+          if (Status s = value(&item, depth + 1); !s.is_ok()) return s;
+          out->items_.push_back(std::move(item));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') { ++p_; continue; }
+          if (p_ != end_ && *p_ == ']') { ++p_; return Status::ok(); }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->kind_ = Value::Kind::kString;
+        return string(&out->str_);
+      case 't':
+        out->kind_ = Value::Kind::kBool;
+        out->bool_ = true;
+        return literal("true");
+      case 'f':
+        out->kind_ = Value::Kind::kBool;
+        out->bool_ = false;
+        return literal("false");
+      case 'n':
+        out->kind_ = Value::Kind::kNull;
+        return literal("null");
+      default:
+        out->kind_ = Value::Kind::kNumber;
+        return number(&out->num_);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+StatusOr<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace prose::json

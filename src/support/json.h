@@ -1,0 +1,68 @@
+// Minimal JSON parser for reading the pipeline's own JSON artifacts back
+// (the write-ahead campaign journal, trace JSONL lines in tests).
+//
+// This is the read-side counterpart of trace.h's json_escape/validate_json:
+// a small recursive-descent parser producing an owned Value tree. It accepts
+// exactly the JSON the pipeline writes — objects, arrays, strings (with
+// escapes), IEEE doubles printed with %.17g (which strtod round-trips
+// bit-exactly), booleans, and null. It is not a general-purpose library
+// parser; numbers outside double range and duplicate keys are the caller's
+// problem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace prose::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Typed accessors with fallbacks (for optional journal fields).
+  [[nodiscard]] double num_or(double fallback) const {
+    return kind_ == Kind::kNumber ? num_ : fallback;
+  }
+  [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const {
+    return kind_ == Kind::kNumber ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  [[nodiscard]] bool bool_or(bool fallback) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] const std::string& str_or(const std::string& fallback) const {
+    return kind_ == Kind::kString ? str_ : fallback;
+  }
+
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;                          // array elements
+  std::vector<std::pair<std::string, Value>> members_;  // object members, in order
+};
+
+/// Parses one JSON document (the full text must be consumed).
+StatusOr<Value> parse(std::string_view text);
+
+}  // namespace prose::json

@@ -288,9 +288,20 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
   std::lock_guard lock(mu_);
   if (jsonl_.is_open()) {
     jsonl_ << ev << '\n';
-    if (!jsonl_ && error_.is_ok()) {
-      error_ = Status(StatusCode::kInvalidArgument,
-                      "write failed on trace JSONL file '" + options_.jsonl_path + "'");
+    if (!jsonl_) {
+      // Degrade, don't fail: a campaign is worth more than its timeline.
+      // Warn once, record the error for the summary, and stop writing so
+      // every later emit isn't a failing syscall. (Open failures, by
+      // contrast, still fail the campaign up front — see the constructor.)
+      const Status failure(StatusCode::kInvalidArgument,
+                           "write failed on trace JSONL file '" +
+                               options_.jsonl_path + "'");
+      if (error_.is_ok()) error_ = failure;
+      std::fprintf(stderr,
+                   "warning: %s — campaign continues; timeline will be "
+                   "incomplete\n",
+                   failure.to_string().c_str());
+      jsonl_.close();
     }
   }
   if (!options_.chrome_path.empty()) chrome_events_.push_back(std::move(ev));

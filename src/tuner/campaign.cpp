@@ -1,6 +1,9 @@
 #include "tuner/campaign.h"
 
+#include <optional>
 #include <set>
+
+#include "tuner/journal.h"
 
 namespace prose::tuner {
 
@@ -9,7 +12,7 @@ CampaignSummary summarize(const std::string& model, const SearchResult& search,
   CampaignSummary s;
   s.model = model;
   s.total = search.records.size();
-  std::size_t pass = 0, fail = 0, timeout = 0, error = 0;
+  std::size_t pass = 0, fail = 0, timeout = 0, error = 0, lost = 0;
   for (const auto& r : search.records) {
     switch (r.eval.outcome) {
       case Outcome::kPass: ++pass; break;
@@ -17,6 +20,7 @@ CampaignSummary summarize(const std::string& model, const SearchResult& search,
       case Outcome::kTimeout: ++timeout; break;
       case Outcome::kRuntimeError:
       case Outcome::kCompileError: ++error; break;
+      case Outcome::kLost: ++lost; break;  // quarantined: no information
     }
   }
   if (s.total > 0) {
@@ -27,6 +31,7 @@ CampaignSummary summarize(const std::string& model, const SearchResult& search,
     s.fail_pct = pct(fail);
     s.timeout_pct = pct(timeout);
     s.error_pct = pct(error);
+    s.lost_pct = pct(lost);
   }
   s.best_speedup = search.best_speedup;
   s.finished = search.one_minimal;
@@ -75,6 +80,53 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   }
   trace::Tracer* tr = tracer.enabled() ? &tracer : nullptr;
 
+  // Fault plan: parsed up front so a bad spec fails the campaign before any
+  // work, like a bad flag would.
+  FaultPlan plan;
+  if (!options.fault_spec.empty()) {
+    auto parsed = FaultPlan::parse(options.fault_spec, options.fault_seed);
+    if (!parsed.is_ok()) return parsed.status();
+    plan = std::move(parsed.value());
+    for (const NodeCrash& c : plan.node_crashes()) {
+      if (c.node >= options.cluster.nodes) {
+        return Status(StatusCode::kInvalidArgument,
+                      "fault plan crashes node " + std::to_string(c.node) +
+                          " but the cluster has only " +
+                          std::to_string(options.cluster.nodes) + " nodes");
+      }
+    }
+  }
+
+  // Campaign identity for the journal: a resume refuses a journal recorded
+  // under different seeds/faults/cluster shape.
+  JournalHeader header;
+  header.model = spec.name;
+  header.noise_seed = options.noise_seed;
+  header.fault_spec = options.fault_spec;
+  header.fault_seed = options.fault_seed;
+  header.retry_max_attempts = options.retry.max_attempts;
+  header.retry_backoff_seconds = options.retry.backoff_seconds;
+  header.nodes = options.cluster.nodes;
+  header.wall_budget_seconds = options.cluster.wall_budget_seconds;
+
+  JournalData recovered;
+  if (options.resume) {
+    if (options.journal_path.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "resume requested but no journal path given");
+    }
+    auto loaded = Journal::load(options.journal_path);
+    if (!loaded.is_ok()) return loaded.status();
+    recovered = std::move(loaded.value());
+    if (recovered.has_header) {
+      if (const std::string why = recovered.header.mismatch(header); !why.empty()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "journal " + options.journal_path +
+                          " is from a different campaign: " + why);
+      }
+    }
+  }
+
   // The work pool for batch-parallel variant evaluation (jobs == 1 → serial
   // path, no threads spawned). Results are bit-identical either way.
   const std::size_t jobs =
@@ -100,26 +152,63 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   if (!evaluator.is_ok()) return evaluator.status();
   Evaluator& ev = *evaluator.value();
 
+  if (!plan.empty()) {
+    ev.set_fault_plan(&plan);
+    ev.set_retry_policy(options.retry);
+  }
+  if (options.resume && !recovered.variants.empty()) {
+    ev.set_journal_replay(recovered.variants);
+  }
+
+  // Open the journal after the baseline run (the baseline is deterministic
+  // setup, not campaign progress — it is always recomputed on resume).
+  std::unique_ptr<Journal> journal;
+  if (!options.journal_path.empty()) {
+    auto opened = Journal::open(options.journal_path, header,
+                                options.resume
+                                    ? std::optional<std::size_t>(recovered.valid_bytes)
+                                    : std::nullopt);
+    if (!opened.is_ok()) return opened.status();
+    journal = std::move(opened.value());
+    if (options.journal_kill_after > 0) {
+      journal->set_kill_after_variants(options.journal_kill_after);
+    }
+    ev.set_journal(journal.get());
+  }
+
   ClusterSim cluster(options.cluster);
   cluster.set_tracer(tr);
+  if (!plan.node_crashes().empty()) cluster.set_crashes(plan.node_crashes());
   SearchOptions sopts;
   sopts.max_variants = options.max_variants;
   sopts.pool = pool.get();
   sopts.tracer = tr;
   sopts.batch_hook = [&](const std::vector<const VariantRecord*>& batch) {
+    bool ok;
     if (tr != nullptr) {
       std::vector<ClusterTask> tasks(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
         tasks[i].seconds = batch[i]->eval.node_seconds;
-        tasks[i].label = "v" + std::to_string(batch[i]->id) + " " +
-                         to_string(batch[i]->eval.outcome);
+        std::string label = "v";
+        label += std::to_string(batch[i]->id);
+        label += ' ';
+        label += to_string(batch[i]->eval.outcome);
+        tasks[i].label = std::move(label);
       }
-      return cluster.run_labeled_batch(tasks);
+      ok = cluster.run_labeled_batch(tasks);
+    } else {
+      std::vector<double> tasks;
+      tasks.reserve(batch.size());
+      for (const auto* r : batch) tasks.push_back(r->eval.node_seconds);
+      ok = cluster.run_batch(tasks);
     }
-    std::vector<double> tasks;
-    tasks.reserve(batch.size());
-    for (const auto* r : batch) tasks.push_back(r->eval.node_seconds);
-    return cluster.run_batch(tasks);
+    if (journal != nullptr) {
+      // Informational marker: search round + simulated cluster clock, so a
+      // journal reader can line evaluations up with campaign progress.
+      journal->append_batch(cluster.batches(), cluster.elapsed_seconds(),
+                            batch.size());
+    }
+    return ok;
   };
 
   CampaignResult result;
@@ -153,11 +242,18 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   for (std::size_t i = 0; i < ev.space().size(); ++i) {
     result.final_kinds[ev.space().atoms()[i].qualified] = final_config.kinds[i];
   }
+  result.replayed_from_journal = ev.replayed_from_journal();
+  if (journal != nullptr && !journal->error().is_ok()) {
+    result.summary.journal_error = journal->error().to_string();
+  }
   if (tr != nullptr) {
-    // Flush explicitly so a sink that failed mid-run surfaces as a campaign
-    // error instead of being swallowed by the destructor.
+    // Flush explicitly so a sink that failed mid-run surfaces in the
+    // summary. A campaign that spent 12 simulated hours searching is worth
+    // more than its timeline — losing the trace degrades the run, it does
+    // not void it. (Failing to *open* a sink still fails the campaign up
+    // front, before any work.)
     const Status flushed = tracer.flush();
-    if (!flushed.is_ok()) return flushed;
+    if (!flushed.is_ok()) result.summary.trace_error = flushed.to_string();
   }
   return result;
 }

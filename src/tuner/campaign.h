@@ -29,6 +29,27 @@ struct CampaignOptions {
   /// the campaign traces every variant lifecycle, the delta-debug decisions,
   /// and per-node cluster occupancy into a Perfetto-loadable timeline.
   trace::TraceOptions trace;
+
+  /// Deterministic fault-injection spec (empty = no faults), e.g.
+  /// "compile:p=0.02;transient:p=0.05;straggler:p=0.03,slow=4x;
+  /// node_crash:node=7,at=3600s" — see FaultPlan::parse. The injected
+  /// sequence depends only on (fault_seed, config, attempt), so it is
+  /// identical across runs and worker counts.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 2025;
+  /// Retry/quarantine policy for injected transient faults.
+  RetryPolicy retry;
+
+  /// Write-ahead journal path (empty = no journal). Every evaluated variant
+  /// is appended and fsync'd before the search sees it, so a killed campaign
+  /// can resume. With `resume`, the journal at journal_path is loaded first
+  /// and its evaluations replayed instead of re-simulated; the resumed
+  /// CampaignResult is bit-identical to the uninterrupted run's.
+  std::string journal_path;
+  bool resume = false;
+  /// Chaos knob: SIGKILL the process after this many variant records have
+  /// been made durable (0 = off). For crash/resume testing only.
+  std::size_t journal_kill_after = 0;
 };
 
 /// Table II row.
@@ -39,9 +60,16 @@ struct CampaignSummary {
   double fail_pct = 0.0;
   double timeout_pct = 0.0;
   double error_pct = 0.0;  // runtime errors (the paper's "Error" column)
+  /// Variants quarantined after exhausting the transient-fault retry budget
+  /// ("no information" — excluded from pass/fail reasoning).
+  double lost_pct = 0.0;
   double best_speedup = 0.0;
   bool finished = false;       // search reached 1-minimality within budget
   double wall_hours = 0.0;
+  /// Non-fatal sink failures (empty = healthy): the campaign completed, but
+  /// the flight recorder / journal lost writes along the way.
+  std::string trace_error;
+  std::string journal_error;
 };
 
 /// Figure 6 series: per procedure, the unique per-procedure precision
@@ -60,6 +88,10 @@ struct CampaignResult {
   /// The 1-minimal (or best-so-far) configuration's per-atom kinds, by
   /// qualified name — the paper's human-readable variant description.
   std::map<std::string, int> final_kinds;
+  /// Evaluations satisfied from the journal instead of re-simulated (resume
+  /// accounting; 0 on a fresh run). Deliberately outside CampaignSummary so
+  /// summaries compare bit-identical between original and resumed runs.
+  std::size_t replayed_from_journal = 0;
 };
 
 /// Runs one campaign on a target spec.

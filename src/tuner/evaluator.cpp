@@ -3,12 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "ftn/parser.h"
 #include "ftn/transform.h"
 #include "gptl/gptl_trace.h"
 #include "sim/compile.h"
+#include "tuner/journal.h"
 
 namespace prose::tuner {
 namespace {
@@ -52,8 +54,21 @@ const char* to_string(Outcome o) {
     case Outcome::kTimeout: return "timeout";
     case Outcome::kRuntimeError: return "error";
     case Outcome::kCompileError: return "compile-error";
+    case Outcome::kLost: return "lost";
   }
   return "?";
+}
+
+bool outcome_from_string(std::string_view s, Outcome* out) {
+  for (const Outcome o :
+       {Outcome::kPass, Outcome::kFail, Outcome::kTimeout, Outcome::kRuntimeError,
+        Outcome::kCompileError, Outcome::kLost}) {
+    if (s == to_string(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
 }
 
 Evaluator::Evaluator(const TargetSpec& spec, std::uint64_t noise_seed)
@@ -140,34 +155,67 @@ void Evaluator::emit_cache_hit_instant(const Config& config, const Evaluation& e
 
 const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
   const std::string key = config.key();
-  CacheEntry* entry = nullptr;
-  std::uint64_t stream = 0;
-  {
-    std::unique_lock lock(cache_mu_);
-    auto [it, inserted] = cache_.try_emplace(key);
-    entry = &it->second;
-    note_lookup_locked(/*hit=*/!inserted);
-    if (!inserted) {
-      // Single-flight: if another thread is computing this key, wait for it
-      // rather than evaluating twice.
-      cache_cv_.wait(lock, [entry] { return entry->ready; });
-      if (cache_hit != nullptr) *cache_hit = true;
-      lock.unlock();
-      emit_cache_hit_instant(config, entry->eval);
-      return entry->eval;
+  while (true) {
+    CacheEntry* entry = nullptr;
+    std::uint64_t stream = 0;
+    {
+      std::unique_lock lock(cache_mu_);
+      auto [it, inserted] = cache_.try_emplace(key);
+      entry = &it->second;
+      note_lookup_locked(/*hit=*/!inserted);
+      if (!inserted) {
+        // Single-flight: if another thread is computing this key, wait for it
+        // rather than evaluating twice. The computing thread may *throw* (an
+        // injected abort, say) and erase the entry — so the predicate
+        // re-finds the key, and a vanished entry means "retry from scratch"
+        // instead of wedging on a condition that will never come true.
+        cache_cv_.wait(lock, [this, &key] {
+          const auto f = cache_.find(key);
+          return f == cache_.end() || f->second.ready;
+        });
+        const auto f = cache_.find(key);
+        if (f == cache_.end()) continue;  // computing thread aborted; recompute
+        if (cache_hit != nullptr) *cache_hit = true;
+        entry = &f->second;
+        lock.unlock();
+        emit_cache_hit_instant(config, entry->eval);
+        return entry->eval;
+      }
+      stream = next_stream_++;
+      if (try_replay_locked(key, stream, entry)) {
+        // Resume: the journal already has this evaluation. It counts as a
+        // cache miss (exactly as in the original run) but costs nothing.
+        if (cache_hit != nullptr) *cache_hit = false;
+        lock.unlock();
+        cache_cv_.notify_all();
+        return entry->eval;
+      }
     }
-    stream = next_stream_++;
+    if (cache_hit != nullptr) *cache_hit = false;
+    Evaluation eval;
+    try {
+      eval = run_variant(config, /*is_baseline=*/false, stream,
+                         trace::Track::evaluator());
+    } catch (...) {
+      // Exception safety: drop the in-flight entry so waiters recompute
+      // instead of blocking forever on `ready`.
+      {
+        std::lock_guard lock(cache_mu_);
+        cache_.erase(key);
+      }
+      cache_cv_.notify_all();
+      throw;
+    }
+    // Write-ahead: the evaluation is durable before the search sees it.
+    if (journal_ != nullptr) journal_->append_variant(key, stream, eval);
+    {
+      std::lock_guard lock(cache_mu_);
+      entry->eval = std::move(eval);
+      entry->ready = true;
+    }
+    cache_cv_.notify_all();
+    return entry->eval;
   }
-  if (cache_hit != nullptr) *cache_hit = false;
-  Evaluation eval =
-      run_variant(config, /*is_baseline=*/false, stream, trace::Track::evaluator());
-  {
-    std::lock_guard lock(cache_mu_);
-    entry->eval = std::move(eval);
-    entry->ready = true;
-  }
-  cache_cv_.notify_all();
-  return entry->eval;
 }
 
 std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
@@ -185,15 +233,18 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
 
   struct Job {
     Config config;
+    std::string key;
     std::uint64_t stream = 0;
     CacheEntry* entry = nullptr;
     Evaluation result;
+    bool done = false;  // lambda ran to completion (vs. threw)
   };
   std::vector<Job> jobs;
   // Proposal → the job computing its key (misses and in-batch duplicates).
   std::vector<std::ptrdiff_t> job_of(configs.size(), -1);
   // Proposal → an entry some *other* thread is computing (single-flight wait).
-  std::vector<CacheEntry*> in_flight(configs.size(), nullptr);
+  std::vector<std::uint8_t> in_flight(configs.size(), 0);
+  bool replayed_any = false;
 
   // Plan the batch under the cache lock, walking proposals in order: this
   // assigns noise streams to first occurrences of uncached keys in exactly
@@ -219,28 +270,73 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
         if (it->second.ready) {
           out[i].eval = &it->second.eval;
         } else {
-          in_flight[i] = &it->second;
+          in_flight[i] = 1;
         }
         continue;
       }
       note_lookup_locked(/*hit=*/false);
+      const std::uint64_t stream = next_stream_++;
+      if (try_replay_locked(key, stream, &it->second)) {
+        // Resume: journaled result; a miss in the books, but no work to fan
+        // out (and no re-journaling). Later in-batch duplicates hit the
+        // ready entry through the !inserted path above.
+        out[i].eval = &it->second.eval;
+        replayed_any = true;
+        continue;
+      }
       Job job;
       job.config = configs[i];
-      job.stream = next_stream_++;
+      job.key = key;
+      job.stream = stream;
       job.entry = &it->second;
       job_of[i] = static_cast<std::ptrdiff_t>(jobs.size());
       claimed.emplace(std::move(key), jobs.size());
       jobs.push_back(std::move(job));
     }
   }
+  if (replayed_any) cache_cv_.notify_all();
 
   // Fan the misses out to the pool. Each worker traces on its own track so
-  // the parallel pipeline renders as per-worker span rows in Perfetto.
-  pool->for_each(jobs.size(), [this, &jobs](std::size_t j, std::size_t worker) {
-    Job& job = jobs[j];
-    job.result = run_variant(job.config, /*is_baseline=*/false, job.stream,
-                             trace::Track::worker(static_cast<int>(worker)));
-  });
+  // the parallel pipeline renders as per-worker span rows in Perfetto. If
+  // any job throws (injected abort), the pool still drains the batch; we
+  // then publish the completed jobs, drop the in-flight entries of the rest
+  // so waiters recompute, and rethrow.
+  try {
+    pool->for_each(jobs.size(), [this, &jobs](std::size_t j, std::size_t worker) {
+      Job& job = jobs[j];
+      job.result = run_variant(job.config, /*is_baseline=*/false, job.stream,
+                               trace::Track::worker(static_cast<int>(worker)));
+      job.done = true;
+    });
+  } catch (...) {
+    if (journal_ != nullptr) {
+      for (const Job& job : jobs) {
+        if (job.done) journal_->append_variant(job.key, job.stream, job.result);
+      }
+    }
+    {
+      std::lock_guard lock(cache_mu_);
+      for (Job& job : jobs) {
+        if (job.done) {
+          job.entry->eval = std::move(job.result);
+          job.entry->ready = true;
+        } else {
+          cache_.erase(job.key);
+        }
+      }
+    }
+    cache_cv_.notify_all();
+    throw;
+  }
+
+  // Write-ahead in proposal order — the same order the serial path journals
+  // in, and independent of worker interleaving, so the journal file is
+  // byte-identical across worker counts.
+  if (journal_ != nullptr) {
+    for (const Job& job : jobs) {
+      journal_->append_variant(job.key, job.stream, job.result);
+    }
+  }
 
   // Publish results; waiters blocked in evaluate() wake here.
   {
@@ -256,11 +352,23 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
     if (out[i].eval != nullptr) continue;
     if (job_of[i] >= 0) {
       out[i].eval = &jobs[static_cast<std::size_t>(job_of[i])].entry->eval;
-    } else if (in_flight[i] != nullptr) {
-      CacheEntry* entry = in_flight[i];
+    } else if (in_flight[i] != 0) {
+      // Another caller claimed this key before the batch. Wait by *key*, not
+      // by entry pointer: if that caller threw and erased the entry, fall
+      // back to evaluate(), which recomputes.
+      const std::string key = configs[i].key();
       std::unique_lock lock(cache_mu_);
-      cache_cv_.wait(lock, [entry] { return entry->ready; });
-      out[i].eval = &entry->eval;
+      cache_cv_.wait(lock, [this, &key] {
+        const auto f = cache_.find(key);
+        return f == cache_.end() || f->second.ready;
+      });
+      const auto f = cache_.find(key);
+      if (f != cache_.end()) {
+        out[i].eval = &f->second.eval;
+      } else {
+        lock.unlock();
+        out[i].eval = &evaluate(configs[i]);
+      }
     }
   }
 
@@ -293,7 +401,126 @@ std::uint64_t Evaluator::cache_hit_count() const {
   return cache_hits_;
 }
 
+void Evaluator::set_journal_replay(const std::vector<JournalVariant>& variants) {
+  std::lock_guard lock(cache_mu_);
+  replay_.clear();
+  for (const JournalVariant& v : variants) {
+    replay_[v.key] = ReplayEntry{v.stream, v.eval};
+  }
+}
+
+std::size_t Evaluator::replayed_from_journal() const {
+  std::lock_guard lock(cache_mu_);
+  return replayed_;
+}
+
+bool Evaluator::try_replay_locked(const std::string& key, std::uint64_t stream,
+                                  CacheEntry* entry) {
+  const auto it = replay_.find(key);
+  if (it == replay_.end()) return false;
+  if (it->second.stream != stream) {
+    // The journaled stream differs from the one this run just assigned — the
+    // search diverged from the journaled campaign (different options, edited
+    // journal, ...). Using the entry would break the determinism contract,
+    // so drop it and recompute: resume self-heals at the cost of redoing
+    // work.
+    replay_.erase(it);
+    return false;
+  }
+  entry->eval = std::move(it->second.eval);
+  entry->ready = true;
+  replay_.erase(it);
+  ++replayed_;
+  return true;
+}
+
 Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
+                                  std::uint64_t stream_id, trace::Track track) {
+  // No fault plan (the overwhelmingly common case), or the baseline run —
+  // which is never faulted, since a campaign that cannot evaluate its
+  // baseline has nothing to resume — is exactly one attempt.
+  if (is_baseline || fault_plan_ == nullptr || fault_plan_->empty()) {
+    return run_attempt(config, is_baseline, stream_id, track);
+  }
+
+  trace::Tracer* tr =
+      (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+  const std::uint64_t hash = fnv1a64(config.key());
+  const int max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  double charged = 0.0;  // node-seconds wasted on faulted attempts + backoff
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const FaultDecision fault = fault_plan_->decide(hash, attempt);
+    if (fault.abort) {
+      // Host-level crash simulation: the evaluator process dies. Thrown out
+      // of the single-flight cache — evaluate()/evaluate_batch() must erase
+      // the in-flight entry on the way out (regression-tested).
+      if (tr != nullptr) {
+        tr->instant("fault/abort", track, tr->now_us(),
+                    {{"config", config_hash(config)}, {"attempt", attempt}});
+      }
+      throw std::runtime_error("injected evaluator abort (config " +
+                               config_hash(config) + ", attempt " +
+                               std::to_string(attempt) + ")");
+    }
+    if (fault.compile_fail) {
+      // Deterministic fault: the same source fails the same way every time,
+      // so retrying is pointless — report it and move on (§IV: compile
+      // failures are real outcomes, not noise).
+      if (tr != nullptr) {
+        tr->instant("fault/compile", track, tr->now_us(),
+                    {{"config", config_hash(config)}, {"attempt", attempt}});
+      }
+      Evaluation out;
+      out.outcome = Outcome::kCompileError;
+      out.detail = "injected compile fault";
+      out.fraction32 = config.fraction32();
+      out.attempts = attempt;
+      out.node_seconds = charged + spec_.variant_build_seconds;
+      return out;
+    }
+    Evaluation eval = run_attempt(config, is_baseline, stream_id, track);
+    eval.attempts = attempt;
+    if (fault.slow_factor > 1.0) {
+      // Straggler: the node ran slow; the result is fine but the cluster
+      // paid for a longer occupation.
+      if (tr != nullptr) {
+        tr->instant("fault/straggler", track, tr->now_us(),
+                    {{"config", config_hash(config)},
+                     {"attempt", attempt},
+                     {"slow_factor", fault.slow_factor}});
+      }
+      eval.node_seconds *= fault.slow_factor;
+    }
+    if (!fault.transient_fail) {
+      eval.node_seconds += charged;
+      return eval;
+    }
+    // Transient fault (flaky node, cosmic ray): the result cannot be
+    // trusted. Charge the wasted attempt, back off, retry.
+    if (tr != nullptr) {
+      tr->instant("fault/transient", track, tr->now_us(),
+                  {{"config", config_hash(config)},
+                   {"attempt", attempt},
+                   {"of", max_attempts}});
+    }
+    charged += eval.node_seconds;
+    if (attempt < max_attempts) charged += retry_.backoff_seconds;
+  }
+
+  // Retry budget exhausted → quarantine. kLost carries *no information*:
+  // metrics are cleared so nothing downstream can mistake it for a
+  // measurement; only the cluster time it burned is kept.
+  Evaluation out;
+  out.outcome = Outcome::kLost;
+  out.detail = "injected transient faults exhausted the retry budget (" +
+               std::to_string(max_attempts) + " attempts)";
+  out.fraction32 = config.fraction32();
+  out.attempts = max_attempts;
+  out.node_seconds = charged;
+  return out;
+}
+
+Evaluation Evaluator::run_attempt(const Config& config, bool is_baseline,
                                   std::uint64_t stream_id, trace::Track track) {
   // Zero-cost path: no tracer (or sinks disabled) means no attribute
   // formatting, no clock reads — run_variant_impl is called bare.

@@ -29,6 +29,7 @@
 
 #include "ftn/reduce.h"
 #include "ftn/sema.h"
+#include "support/faultinject.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -38,15 +39,23 @@
 
 namespace prose::tuner {
 
+class Journal;
+struct JournalVariant;
+
 enum class Outcome : std::uint8_t {
   kPass,           // ran to completion, correctness within threshold
   kFail,           // ran to completion, correctness over threshold
   kTimeout,        // exceeded 3× the baseline budget
   kRuntimeError,   // trapped (non-finite, OOB, ...)
   kCompileError,   // transformation or compilation failed
+  kLost,           // quarantined: injected transient faults exhausted the
+                   // retry budget — "no information", not pass/fail
 };
 
 const char* to_string(Outcome o);
+/// Inverse of to_string (journal deserialization). Returns false on an
+/// unknown outcome name.
+bool outcome_from_string(std::string_view s, Outcome* out);
 
 /// Everything measured about one variant.
 struct Evaluation {
@@ -63,6 +72,10 @@ struct Evaluation {
   double fraction32 = 0.0;
 
   int wrappers = 0;
+  /// Evaluation attempts consumed (1 without fault injection; >1 when
+  /// injected transient faults were retried). Backoff and straggler costs of
+  /// every attempt are already folded into node_seconds.
+  int attempts = 1;
   /// Per-procedure mean cycles per call (Fig. 6), for the spec's
   /// figure6_procs that executed.
   std::map<std::string, double> proc_mean_cycles;
@@ -90,6 +103,30 @@ class Evaluator {
 
   /// Attach or detach the flight recorder after construction.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a deterministic fault plan (non-owning; must outlive the
+  /// evaluator; null detaches). Faults are keyed off the FNV-1a config hash
+  /// and attempt number, so the injected sequence is identical across runs
+  /// and worker counts. The baseline evaluation is never faulted.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Retry semantics for injected transient faults (see RetryPolicy).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Attach a write-ahead journal (non-owning; null detaches): every freshly
+  /// computed evaluation is appended — and fsync'd — before it is returned
+  /// to the search.
+  void set_journal(Journal* journal) { journal_ = journal; }
+
+  /// Primes the resume path with journaled evaluations: a cache miss whose
+  /// key is found here (with the matching proposal-order noise stream) is
+  /// satisfied from the journal instead of re-simulated, making a resumed
+  /// campaign bit-identical to — and much cheaper than — the original.
+  /// Replayed variants are not re-journaled.
+  void set_journal_replay(const std::vector<JournalVariant>& variants);
+
+  /// Variants satisfied from the journal so far (resume accounting).
+  [[nodiscard]] std::size_t replayed_from_journal() const;
 
   [[nodiscard]] const SearchSpace& space() const { return space_; }
   [[nodiscard]] const TargetSpec& spec() const { return spec_; }
@@ -158,14 +195,31 @@ class Evaluator {
     }
   };
 
+  /// A journaled evaluation staged for replay on resume.
+  struct ReplayEntry {
+    std::uint64_t stream = 0;
+    Evaluation eval;
+  };
+
   Evaluator(const TargetSpec& spec, std::uint64_t noise_seed);
   Status init();
+  /// Full evaluation of one variant: the fault-injection / retry loop around
+  /// run_attempt. Without a fault plan this is exactly one attempt. May
+  /// throw on an injected `abort` fault (host-level crash simulation).
   Evaluation run_variant(const Config& config, bool is_baseline,
                          std::uint64_t stream_id, trace::Track track);
-  /// run_variant body; `tr` is null when tracing is disabled (zero-cost path).
+  /// One traced attempt (transform → compile → execute → measure).
+  Evaluation run_attempt(const Config& config, bool is_baseline,
+                         std::uint64_t stream_id, trace::Track track);
+  /// run_attempt body; `tr` is null when tracing is disabled (zero-cost path).
   Evaluation run_variant_impl(const Config& config, bool is_baseline,
                               std::uint64_t stream_id, trace::Track track,
                               trace::Tracer* tr);
+  /// If the key was journaled, installs the replayed evaluation into `entry`
+  /// (consuming the proposal-order stream) and returns true. Call with
+  /// cache_mu_ held.
+  bool try_replay_locked(const std::string& key, std::uint64_t stream,
+                         CacheEntry* entry);
   /// Counts a lookup and emits the cache/* counters (call with cache_mu_ held).
   void note_lookup_locked(bool hit);
   void emit_cache_hit_instant(const Config& config, const Evaluation& eval);
@@ -190,6 +244,14 @@ class Evaluator {
 
   std::optional<ftn::ReductionStats> reduction_stats_;
   trace::Tracer* tracer_ = nullptr;  // non-owning flight recorder; may be null
+
+  const FaultPlan* fault_plan_ = nullptr;  // non-owning; may be null
+  RetryPolicy retry_;
+  Journal* journal_ = nullptr;  // non-owning write-ahead journal; may be null
+  /// Journaled evaluations staged for resume; entries are consumed (moved
+  /// into the cache) as the search re-proposes them. Guarded by cache_mu_.
+  std::unordered_map<std::string, ReplayEntry, KeyHash> replay_;
+  std::size_t replayed_ = 0;  // guarded by cache_mu_
 };
 
 }  // namespace prose::tuner

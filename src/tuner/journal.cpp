@@ -1,0 +1,390 @@
+#include "tuner/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.h"
+#include "support/trace.h"
+
+namespace prose::tuner {
+namespace {
+
+/// Shortest round-tripping representation of an IEEE double: parsing the
+/// text with strtod recovers the exact bits, which is what makes a resumed
+/// campaign bit-identical.
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(std::string_view s) {
+  return '"' + trace::json_escape(s) + '"';
+}
+
+void append_map(std::string& out, const char* name,
+                const std::map<std::string, double>& m) {
+  out += quoted(name);
+  out += ":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += quoted(k);
+    out += ':';
+    out += fmt_double(v);
+  }
+  out += '}';
+}
+
+void append_map(std::string& out, const char* name,
+                const std::map<std::string, std::uint64_t>& m) {
+  out += quoted(name);
+  out += ":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += quoted(k);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += '}';
+}
+
+std::string header_line(const JournalHeader& h) {
+  std::string line = "{\"type\":\"campaign\",\"format\":1";
+  line += ",\"model\":" + quoted(h.model);
+  line += ",\"noise_seed\":" + std::to_string(h.noise_seed);
+  line += ",\"fault_spec\":" + quoted(h.fault_spec);
+  line += ",\"fault_seed\":" + std::to_string(h.fault_seed);
+  line += ",\"retry_max_attempts\":" + std::to_string(h.retry_max_attempts);
+  line += ",\"retry_backoff_seconds\":" + fmt_double(h.retry_backoff_seconds);
+  line += ",\"nodes\":" + std::to_string(h.nodes);
+  line += ",\"wall_budget_seconds\":" + fmt_double(h.wall_budget_seconds);
+  line += "}";
+  return line;
+}
+
+StatusOr<JournalHeader> parse_header(const json::Value& v) {
+  JournalHeader h;
+  const json::Value* model = v.find("model");
+  if (model == nullptr || !model->is_string()) {
+    return Status(StatusCode::kParseError, "journal header has no model");
+  }
+  h.model = model->str_or("");
+  h.noise_seed = static_cast<std::uint64_t>(
+      v.find("noise_seed") != nullptr ? v.find("noise_seed")->int_or(0) : 0);
+  if (const json::Value* f = v.find("fault_spec"); f != nullptr) {
+    h.fault_spec = f->str_or("");
+  }
+  h.fault_seed = static_cast<std::uint64_t>(
+      v.find("fault_seed") != nullptr ? v.find("fault_seed")->int_or(0) : 0);
+  if (const json::Value* f = v.find("retry_max_attempts"); f != nullptr) {
+    h.retry_max_attempts = static_cast<int>(f->int_or(1));
+  }
+  if (const json::Value* f = v.find("retry_backoff_seconds"); f != nullptr) {
+    h.retry_backoff_seconds = f->num_or(0.0);
+  }
+  if (const json::Value* f = v.find("nodes"); f != nullptr) {
+    h.nodes = static_cast<std::size_t>(f->int_or(0));
+  }
+  if (const json::Value* f = v.find("wall_budget_seconds"); f != nullptr) {
+    h.wall_budget_seconds = f->num_or(0.0);
+  }
+  return h;
+}
+
+StatusOr<JournalVariant> parse_variant(const json::Value& v) {
+  JournalVariant out;
+  const json::Value* key = v.find("key");
+  if (key == nullptr || !key->is_string()) {
+    return Status(StatusCode::kParseError, "variant record has no key");
+  }
+  out.key = key->str_or("");
+  out.stream = static_cast<std::uint64_t>(
+      v.find("stream") != nullptr ? v.find("stream")->int_or(0) : 0);
+  Evaluation& e = out.eval;
+  const json::Value* outcome = v.find("outcome");
+  if (outcome == nullptr ||
+      !outcome_from_string(outcome->str_or(""), &e.outcome)) {
+    return Status(StatusCode::kParseError,
+                  "variant record has no valid outcome");
+  }
+  const auto num = [&](const char* name, double* slot) {
+    if (const json::Value* f = v.find(name); f != nullptr) *slot = f->num_or(0.0);
+  };
+  if (const json::Value* f = v.find("detail"); f != nullptr) {
+    e.detail = f->str_or("");
+  }
+  num("metric", &e.metric);
+  num("error", &e.error);
+  num("hotspot_cycles", &e.hotspot_cycles);
+  num("whole_cycles", &e.whole_cycles);
+  num("cast_cycles", &e.cast_cycles);
+  num("measured_cycles", &e.measured_cycles);
+  num("speedup", &e.speedup);
+  num("fraction32", &e.fraction32);
+  num("node_seconds", &e.node_seconds);
+  if (const json::Value* f = v.find("wrappers"); f != nullptr) {
+    e.wrappers = static_cast<int>(f->int_or(0));
+  }
+  if (const json::Value* f = v.find("attempts"); f != nullptr) {
+    e.attempts = static_cast<int>(f->int_or(1));
+  }
+  if (const json::Value* f = v.find("proc_mean_cycles"); f != nullptr && f->is_object()) {
+    for (const auto& [k, val] : f->members()) {
+      e.proc_mean_cycles[k] = val.num_or(0.0);
+    }
+  }
+  if (const json::Value* f = v.find("proc_calls"); f != nullptr && f->is_object()) {
+    for (const auto& [k, val] : f->members()) {
+      e.proc_calls[k] = static_cast<std::uint64_t>(val.int_or(0));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JournalHeader::mismatch(const JournalHeader& other) const {
+  const auto differs = [](const std::string& what, const std::string& a,
+                          const std::string& b) {
+    return what + " ('" + a + "' vs '" + b + "')";
+  };
+  if (model != other.model) return differs("model", model, other.model);
+  if (noise_seed != other.noise_seed) {
+    return differs("noise seed", std::to_string(noise_seed),
+                   std::to_string(other.noise_seed));
+  }
+  if (fault_spec != other.fault_spec) {
+    return differs("fault spec", fault_spec, other.fault_spec);
+  }
+  if (fault_seed != other.fault_seed) {
+    return differs("fault seed", std::to_string(fault_seed),
+                   std::to_string(other.fault_seed));
+  }
+  if (retry_max_attempts != other.retry_max_attempts) {
+    return differs("retry max attempts", std::to_string(retry_max_attempts),
+                   std::to_string(other.retry_max_attempts));
+  }
+  if (retry_backoff_seconds != other.retry_backoff_seconds) {
+    return differs("retry backoff", fmt_double(retry_backoff_seconds),
+                   fmt_double(other.retry_backoff_seconds));
+  }
+  if (nodes != other.nodes) {
+    return differs("cluster nodes", std::to_string(nodes),
+                   std::to_string(other.nodes));
+  }
+  if (wall_budget_seconds != other.wall_budget_seconds) {
+    return differs("wall budget", fmt_double(wall_budget_seconds),
+                   fmt_double(other.wall_budget_seconds));
+  }
+  return "";
+}
+
+StatusOr<JournalData> Journal::load(const std::string& path) {
+  JournalData data;
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in) return data;  // missing file: fresh start
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) return data;
+
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // partial trailing record: stop
+    const std::string_view line(text.data() + pos, nl - pos);
+    if (!line.empty()) {
+      auto parsed = json::parse(line);
+      if (!parsed.is_ok()) {
+        if (first) {
+          // A journal's first line is one fsync'd header record; a torn
+          // header never gains a newline. A *complete* first line that is
+          // not JSON means this is somebody else's file — refuse before
+          // open() would truncate it.
+          return Status(StatusCode::kInvalidArgument,
+                        "'" + path +
+                            "' does not start with a campaign header — "
+                            "refusing to treat it as a journal");
+        }
+        break;  // corrupt record: keep the prefix before it
+      }
+      const json::Value& v = parsed.value();
+      const std::string type =
+          v.find("type") != nullptr ? v.find("type")->str_or("") : "";
+      if (first) {
+        if (type != "campaign") {
+          return Status(StatusCode::kInvalidArgument,
+                        "'" + path +
+                            "' does not start with a campaign header — "
+                            "refusing to treat it as a journal");
+        }
+        auto header = parse_header(v);
+        if (!header.is_ok()) return header.status();
+        data.header = std::move(header.value());
+        data.has_header = true;
+        first = false;
+      } else if (type == "variant") {
+        auto variant = parse_variant(v);
+        if (!variant.is_ok()) break;  // corrupt record: stop at the prefix
+        data.variants.push_back(std::move(variant.value()));
+      }
+      // "batch" markers (and unknown record types) are informational.
+    }
+    pos = nl + 1;
+    data.valid_bytes = pos;
+  }
+  if (!data.has_header && data.valid_bytes > 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "'" + path + "' has records but no campaign header");
+  }
+  return data;
+}
+
+Journal::Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+Journal::~Journal() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::open(
+    const std::string& path, const JournalHeader& header,
+    std::optional<std::size_t> keep_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot open journal '" + path + "': " + std::strerror(errno));
+  }
+  const off_t keep =
+      keep_bytes.has_value() ? static_cast<off_t>(*keep_bytes) : 0;
+  if (::ftruncate(fd, keep) != 0 || ::lseek(fd, keep, SEEK_SET) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot truncate journal '" + path + "': " + err);
+  }
+  std::unique_ptr<Journal> journal(new Journal(fd, path));
+  if (keep == 0) {
+    journal->append_line(header_line(header), /*count_variant=*/false);
+    if (Status s = journal->error(); !s.is_ok()) return s;
+  }
+  return journal;
+}
+
+void Journal::append_line(const std::string& line, bool count_variant) {
+  std::size_t killer = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (fd_ < 0 || !error_.is_ok()) return;
+    const std::string record = line + "\n";
+    const char* p = record.data();
+    std::size_t left = record.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        error_ = Status(StatusCode::kInvalidArgument,
+                        "journal write failed on '" + path_ +
+                            "': " + std::strerror(errno));
+        std::fprintf(stderr,
+                     "warning: %s — campaign continues without journaling\n",
+                     error_.message().c_str());
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    // Make the record durable before the campaign acts on the evaluation:
+    // that is what makes the journal a write-ahead log.
+    if (::fsync(fd_) != 0) {
+      error_ = Status(StatusCode::kInvalidArgument,
+                      "journal fsync failed on '" + path_ +
+                          "': " + std::strerror(errno));
+      std::fprintf(stderr,
+                   "warning: %s — campaign continues without journaling\n",
+                   error_.message().c_str());
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    if (count_variant) {
+      ++appended_;
+      if (kill_after_ > 0 && appended_ >= kill_after_) killer = appended_;
+    }
+  }
+  if (killer > 0) {
+    // Chaos knob: die *after* the record is durable, exactly like a node
+    // loss between two evaluations. Raised outside the lock so the signal
+    // handler (none, for SIGKILL) cannot deadlock.
+    std::fprintf(stderr, "journal: chaos kill after %zu variants\n", killer);
+    std::raise(SIGKILL);
+  }
+}
+
+void Journal::append_variant(const std::string& key, std::uint64_t stream,
+                             const Evaluation& e) {
+  std::string line = "{\"type\":\"variant\"";
+  line += ",\"key\":" + quoted(key);
+  line += ",\"stream\":" + std::to_string(stream);
+  line += ",\"outcome\":" + quoted(to_string(e.outcome));
+  if (!e.detail.empty()) line += ",\"detail\":" + quoted(e.detail);
+  line += ",\"attempts\":" + std::to_string(e.attempts);
+  line += ",\"metric\":" + fmt_double(e.metric);
+  line += ",\"error\":" + fmt_double(e.error);
+  line += ",\"hotspot_cycles\":" + fmt_double(e.hotspot_cycles);
+  line += ",\"whole_cycles\":" + fmt_double(e.whole_cycles);
+  line += ",\"cast_cycles\":" + fmt_double(e.cast_cycles);
+  line += ",\"measured_cycles\":" + fmt_double(e.measured_cycles);
+  line += ",\"speedup\":" + fmt_double(e.speedup);
+  line += ",\"fraction32\":" + fmt_double(e.fraction32);
+  line += ",\"wrappers\":" + std::to_string(e.wrappers);
+  line += ",\"node_seconds\":" + fmt_double(e.node_seconds);
+  line += ',';
+  append_map(line, "proc_mean_cycles", e.proc_mean_cycles);
+  line += ',';
+  append_map(line, "proc_calls", e.proc_calls);
+  line += '}';
+  append_line(line, /*count_variant=*/true);
+}
+
+void Journal::append_batch(std::size_t round, double cluster_seconds,
+                           std::size_t variants) {
+  std::string line = "{\"type\":\"batch\"";
+  line += ",\"round\":" + std::to_string(round);
+  line += ",\"cluster_seconds\":" + fmt_double(cluster_seconds);
+  line += ",\"variants\":" + std::to_string(variants);
+  line += '}';
+  append_line(line, /*count_variant=*/false);
+}
+
+Status Journal::error() const {
+  std::lock_guard lock(mu_);
+  return error_;
+}
+
+std::size_t Journal::appended_variants() const {
+  std::lock_guard lock(mu_);
+  return appended_;
+}
+
+void Journal::set_kill_after_variants(std::size_t n) {
+  std::lock_guard lock(mu_);
+  kill_after_ = n;
+}
+
+}  // namespace prose::tuner

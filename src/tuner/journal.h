@@ -1,0 +1,129 @@
+// Write-ahead campaign journal: crash-safe persistence of every evaluated
+// variant, enabling bit-identical resume after a kill.
+//
+// The journal is an append-only JSONL file. The first record is a campaign
+// header (model, seeds, fault spec, retry policy, cluster shape); every
+// subsequent record is either one evaluated variant (config key, noise
+// stream id, and the complete Evaluation) or a batch marker (search round +
+// simulated cluster clock, informational). Each record is written with a
+// single write() and fsync'd before append_variant returns, so a campaign
+// killed at any instant leaves a journal whose complete-line prefix is a
+// consistent write-ahead log; at most the in-flight record is lost.
+//
+// Resume never replays "campaign state" — it replays *evaluations*. The
+// searches are deterministic given the evaluator, so a resumed campaign
+// reruns the search from the start while the evaluator satisfies journaled
+// configurations from the log instead of re-simulating them (see
+// Evaluator::set_journal_replay). All derived state — memo cache, noise
+// stream assignment, ClusterSim clock, delta-debug decisions — is recomputed
+// on the identical inputs, which makes the final CampaignResult bit-identical
+// to the uninterrupted run, for any worker count.
+//
+// Write failures (full disk, yanked volume) degrade gracefully: the journal
+// warns once on stderr, stops writing, and records the error for
+// CampaignSummary; the campaign itself keeps running.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuner/evaluator.h"
+
+namespace prose::tuner {
+
+/// Campaign identity, written as the journal's first record. A resume
+/// refuses a journal whose header does not match the resuming campaign —
+/// evaluations from a different model, seed, fault plan, or retry policy
+/// would silently poison the memo cache.
+struct JournalHeader {
+  std::string model;
+  std::uint64_t noise_seed = 0;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0;
+  int retry_max_attempts = 1;
+  double retry_backoff_seconds = 0.0;
+  std::size_t nodes = 0;
+  double wall_budget_seconds = 0.0;
+
+  /// Empty string when compatible; otherwise names the first mismatch.
+  [[nodiscard]] std::string mismatch(const JournalHeader& other) const;
+};
+
+/// One journaled evaluation.
+struct JournalVariant {
+  std::string key;            // Config::key()
+  std::uint64_t stream = 0;   // proposal-order noise stream id
+  Evaluation eval;
+};
+
+/// Everything recovered from a journal file.
+struct JournalData {
+  bool has_header = false;
+  JournalHeader header;
+  std::vector<JournalVariant> variants;
+  /// Byte offset after the last complete, parseable record — the
+  /// crash-consistent prefix. Appending resumes from here (any partial
+  /// trailing record from a mid-write kill is truncated away).
+  std::size_t valid_bytes = 0;
+};
+
+class Journal {
+ public:
+  /// Reads a journal back for resume. A missing or empty file yields an
+  /// empty JournalData (fresh start), and so does a torn first line with no
+  /// newline (a kill mid-header-write). A non-empty file whose first
+  /// *complete* line is not a campaign header record is rejected — refuse to
+  /// treat a foreign file as a journal, since open() would truncate it.
+  /// Parsing stops at the first incomplete or corrupt record — the
+  /// write-ahead prefix up to that point is returned.
+  static StatusOr<JournalData> load(const std::string& path);
+
+  /// Opens the journal for crash-safe appending. `keep_bytes == nullopt`
+  /// starts fresh: the file is truncated and the header record written.
+  /// Otherwise the file is truncated to `keep_bytes` (discarding a partial
+  /// trailing record) and appending continues; when keep_bytes == 0 the
+  /// header is written as for a fresh file.
+  static StatusOr<std::unique_ptr<Journal>> open(
+      const std::string& path, const JournalHeader& header,
+      std::optional<std::size_t> keep_bytes = std::nullopt);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends + fsyncs one variant record. Thread-safe. On write failure the
+  /// journal degrades: one stderr warning, no further writes, error() set.
+  void append_variant(const std::string& key, std::uint64_t stream,
+                      const Evaluation& eval);
+
+  /// Appends a batch marker (search round, simulated cluster clock).
+  void append_batch(std::size_t round, double cluster_seconds,
+                    std::size_t variants);
+
+  /// First write failure, sticky; OK while the journal is healthy.
+  [[nodiscard]] Status error() const;
+
+  /// Variant records appended by this process (excludes replayed history).
+  [[nodiscard]] std::size_t appended_variants() const;
+
+  /// Chaos-testing knob: raise SIGKILL immediately after the Nth variant
+  /// record of this process is made durable — a deterministic mid-campaign
+  /// crash for the resume tests and the CI chaos job. 0 disables.
+  void set_kill_after_variants(std::size_t n);
+
+ private:
+  explicit Journal(int fd, std::string path);
+  void append_line(const std::string& line, bool count_variant);
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  Status error_;
+  std::size_t appended_ = 0;
+  std::size_t kill_after_ = 0;
+};
+
+}  // namespace prose::tuner

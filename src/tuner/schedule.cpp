@@ -8,6 +8,41 @@ namespace prose::tuner {
 
 ClusterSim::ClusterSim(ClusterOptions options) : options_(options) {
   PROSE_CHECK(options_.nodes > 0);
+  alive_.assign(options_.nodes, 1);
+  death_at_.assign(options_.nodes, 0.0);
+}
+
+void ClusterSim::set_crashes(std::vector<NodeCrash> crashes) {
+  for (const NodeCrash& c : crashes) PROSE_CHECK(c.node < options_.nodes);
+  crashes_ = std::move(crashes);
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const NodeCrash& a, const NodeCrash& b) {
+              if (a.at_seconds != b.at_seconds) return a.at_seconds < b.at_seconds;
+              return a.node < b.node;
+            });
+  crash_fired_.assign(crashes_.size(), 0);
+}
+
+std::size_t ClusterSim::alive_nodes() const {
+  std::size_t n = 0;
+  for (const std::uint8_t a : alive_) n += a;
+  return n;
+}
+
+void ClusterSim::fire_crash(std::size_t crash_index) {
+  crash_fired_[crash_index] = 1;
+  const NodeCrash& c = crashes_[crash_index];
+  if (alive_[c.node] == 0) return;
+  alive_[c.node] = 0;
+  death_at_[c.node] = c.at_seconds;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant("cluster/node-crash",
+                     trace::Track::node(static_cast<int>(c.node)),
+                     c.at_seconds * 1e6,
+                     {{"node", c.node},
+                      {"at_seconds", c.at_seconds},
+                      {"alive_nodes", alive_nodes()}});
+  }
 }
 
 void ClusterSim::set_tracer(trace::Tracer* tracer) {
@@ -35,9 +70,24 @@ bool ClusterSim::run_batch(const std::vector<double>& task_seconds) {
 
 bool ClusterSim::run_labeled_batch(const std::vector<ClusterTask>& tasks) {
   if (exhausted_) return false;
-  ++batches_;
   trace::Tracer* tr =
       (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+  // Fire crashes that happened while the cluster sat idle between batches —
+  // those nodes died with nothing in flight.
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    if (crash_fired_[i] == 0 && crashes_[i].at_seconds <= elapsed_) {
+      fire_crash(i);
+    }
+  }
+  if (alive_nodes() == 0) {
+    exhausted_ = true;
+    if (tr != nullptr) {
+      tr->instant("cluster/all-nodes-dead", trace::Track::node(0),
+                  elapsed_ * 1e6, {{"elapsed_seconds", elapsed_}});
+    }
+    return false;
+  }
+  ++batches_;
   // Longest-processing-time list scheduling onto the least-loaded node. A
   // stable sort keeps equal-length tasks in proposal order so traced slices
   // are deterministic; node loads (and therefore elapsed/busy) are identical
@@ -49,26 +99,90 @@ bool ClusterSim::run_labeled_batch(const std::vector<ClusterTask>& tasks) {
                    [](const ClusterTask* a, const ClusterTask* b) {
                      return a->seconds > b->seconds;
                    });
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<double> node_load(options_.nodes, 0.0);
+  double latest_crash = 0.0;  // latest crash fired during this batch
   for (const ClusterTask* t : sorted) {
     PROSE_CHECK(t->seconds >= 0.0);
-    auto least = std::min_element(node_load.begin(), node_load.end());
-    if (tr != nullptr) {
-      const int node = static_cast<int>(least - node_load.begin());
-      tr->complete(t->label.empty() ? "task" : t->label,
-                   trace::Track::node(node), (elapsed_ + *least) * 1e6,
-                   t->seconds * 1e6,
-                   {{"seconds", t->seconds}, {"batch", batches_}});
+    // Placement loop: a chosen node may crash before (or while) running the
+    // task, in which case the task is rescheduled on the survivors.
+    while (true) {
+      std::size_t best = kNone;
+      for (std::size_t n = 0; n < options_.nodes; ++n) {
+        if (alive_[n] != 0 && (best == kNone || node_load[n] < node_load[best])) {
+          best = n;
+        }
+      }
+      if (best == kNone) {
+        // Every node is gone; the rest of the batch is unrunnable.
+        exhausted_ = true;
+        elapsed_ = std::max(elapsed_, latest_crash);
+        if (tr != nullptr) {
+          tr->instant("cluster/all-nodes-dead", trace::Track::node(0),
+                      elapsed_ * 1e6, {{"elapsed_seconds", elapsed_}});
+        }
+        return false;
+      }
+      const double start = elapsed_ + node_load[best];
+      const double end = start + t->seconds;
+      // Earliest unfired crash for this node; if it lands before the task
+      // would finish, the node dies here.
+      std::size_t ci = kNone;
+      for (std::size_t i = 0; i < crashes_.size(); ++i) {
+        if (crash_fired_[i] == 0 && crashes_[i].node == best) {
+          ci = i;
+          break;
+        }
+      }
+      if (ci != kNone && crashes_[ci].at_seconds < end) {
+        const double at = crashes_[ci].at_seconds;
+        if (at > start) {
+          // The task was mid-flight: its partial slice is wasted work.
+          if (tr != nullptr) {
+            tr->complete((t->label.empty() ? "task" : t->label) + " (lost)",
+                         trace::Track::node(static_cast<int>(best)),
+                         start * 1e6, (at - start) * 1e6,
+                         {{"seconds", t->seconds},
+                          {"lost", true},
+                          {"batch", batches_}});
+          }
+          busy_ += at - start;
+        }
+        latest_crash = std::max(latest_crash, at);
+        fire_crash(ci);
+        continue;  // reschedule the task from scratch on a survivor
+      }
+      if (tr != nullptr) {
+        tr->complete(t->label.empty() ? "task" : t->label,
+                     trace::Track::node(static_cast<int>(best)), start * 1e6,
+                     t->seconds * 1e6,
+                     {{"seconds", t->seconds}, {"batch", batches_}});
+      }
+      node_load[best] += t->seconds;
+      busy_ += t->seconds;
+      break;
     }
-    *least += t->seconds;
-    busy_ += t->seconds;
   }
-  const double makespan = *std::max_element(node_load.begin(), node_load.end());
+  double makespan = 0.0;
+  for (std::size_t n = 0; n < options_.nodes; ++n) {
+    if (alive_[n] != 0) makespan = std::max(makespan, node_load[n]);
+  }
   elapsed_ += makespan;
+  elapsed_ = std::max(elapsed_, latest_crash);
   if (tr != nullptr) {
     const double ts = elapsed_ * 1e6;
     tr->counter("cluster/busy-node-seconds", trace::Track::node(0), ts, busy_);
-    const double capacity = elapsed_ * static_cast<double>(options_.nodes);
+    // Capacity honours node deaths: a dead node contributed only until its
+    // crash. The all-alive formula is kept verbatim so traces without
+    // crashes stay bit-identical to earlier builds.
+    double capacity = 0.0;
+    if (alive_nodes() == options_.nodes) {
+      capacity = elapsed_ * static_cast<double>(options_.nodes);
+    } else {
+      for (std::size_t n = 0; n < options_.nodes; ++n) {
+        capacity += alive_[n] != 0 ? elapsed_ : std::min(elapsed_, death_at_[n]);
+      }
+    }
     tr->counter("cluster/utilization", trace::Track::node(0), ts,
                 capacity > 0.0 ? busy_ / capacity : 0.0);
   }

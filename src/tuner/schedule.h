@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "support/faultinject.h"
 #include "support/trace.h"
 
 namespace prose::tuner {
@@ -48,20 +50,42 @@ class ClusterSim {
   /// Labeled variant of run_batch for traced campaigns; identical scheduling.
   bool run_labeled_batch(const std::vector<ClusterTask>& tasks);
 
+  /// Injects node failures (from the fault plan). A crash fires when the
+  /// simulated clock reaches its time: whatever the node was running is lost
+  /// (the wasted partial slice is charged to busy time and the task is
+  /// rescheduled onto a surviving node, rerun from scratch) and the node is
+  /// permanently removed from the pool — the campaign continues on reduced
+  /// capacity, exactly like losing a Derecho node mid-job. The dead node's
+  /// Perfetto track shows the crash instant and stays silent afterwards.
+  /// All nodes dead ⇒ the cluster is exhausted and the campaign stops.
+  void set_crashes(std::vector<NodeCrash> crashes);
+
   [[nodiscard]] double elapsed_seconds() const { return elapsed_; }
   [[nodiscard]] double remaining_seconds() const;
   [[nodiscard]] bool exhausted() const { return exhausted_; }
   [[nodiscard]] std::size_t batches() const { return batches_; }
-  /// Node-seconds actually consumed (for utilization reporting).
+  /// Node-seconds actually consumed (for utilization reporting); includes
+  /// partial work wasted on crashed nodes.
   [[nodiscard]] double busy_node_seconds() const { return busy_; }
+  /// Nodes still accepting work.
+  [[nodiscard]] std::size_t alive_nodes() const;
+  [[nodiscard]] std::size_t nodes() const { return options_.nodes; }
 
  private:
+  /// Marks the node dead and emits the crash instant on its track.
+  void fire_crash(std::size_t crash_index);
+
   ClusterOptions options_;
   double elapsed_ = 0.0;
   double busy_ = 0.0;
   std::size_t batches_ = 0;
   bool exhausted_ = false;
   trace::Tracer* tracer_ = nullptr;  // non-owning; may be null
+
+  std::vector<NodeCrash> crashes_;        // sorted by (time, node)
+  std::vector<std::uint8_t> crash_fired_;
+  std::vector<std::uint8_t> alive_;       // per-node liveness
+  std::vector<double> death_at_;          // sim seconds; valid when !alive_[n]
 };
 
 }  // namespace prose::tuner

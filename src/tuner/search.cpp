@@ -88,6 +88,9 @@ class Recorder {
       pending_batch_.push_back(stored);
       out.push_back(stored);
 
+      // Quarantined variants carry no information; count them so reports can
+      // show how much of the budget faults consumed.
+      if (eval.outcome == Outcome::kLost) ++result_.lost;
       if (eval.outcome == Outcome::kPass &&
           (!result_.best.has_value() || eval.speedup > result_.best_speedup)) {
         result_.best = config;
@@ -321,6 +324,7 @@ SearchResult delta_debug_search(Evaluator& evaluator, const SearchOptions& optio
              {"one_minimal", result.one_minimal},
              {"cache_hits", result.cache_hits},
              {"statically_skipped", result.statically_skipped},
+             {"lost", result.lost},
              {"best_speedup", result.best_speedup}});
   }
   return result;

@@ -44,6 +44,11 @@ struct SearchResult {
   std::size_t cache_hits = 0;
   /// Candidates rejected by the static prefilter before dynamic evaluation.
   std::size_t statically_skipped = 0;
+  /// Variants quarantined as Outcome::kLost (injected transient faults
+  /// exhausted the retry budget). They stay in `records` — they consumed
+  /// cluster time — but carry no pass/fail information; the search simply
+  /// treats them as unacceptable.
+  std::size_t lost = 0;
 };
 
 /// Hook letting a campaign driver account simulated wall time per proposed

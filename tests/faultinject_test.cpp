@@ -1,0 +1,228 @@
+// FaultPlan: spec-string parser (valid grammar, exact diagnostics for every
+// rejection) and the determinism contract of decide() — the fault draw is a
+// pure function of (seed, config hash, attempt), so a fixed seed yields the
+// identical fault sequence on every run at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/faultinject.h"
+
+namespace prose {
+namespace {
+
+::testing::AssertionResult HasSubstr(const std::string& text,
+                                     const std::string& needle) {
+  if (text.find(needle) != std::string::npos) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "expected \"" << text << "\" to contain \"" << needle << "\"";
+}
+
+FaultPlan parse_ok(std::string_view spec, std::uint64_t seed = 7) {
+  auto plan = FaultPlan::parse(spec, seed);
+  EXPECT_TRUE(plan.is_ok()) << spec << ": " << plan.status().to_string();
+  return plan.is_ok() ? std::move(plan.value()) : FaultPlan{};
+}
+
+std::string parse_error(std::string_view spec) {
+  auto plan = FaultPlan::parse(spec, 7);
+  EXPECT_FALSE(plan.is_ok()) << "spec unexpectedly accepted: " << spec;
+  return plan.is_ok() ? std::string() : plan.status().to_string();
+}
+
+TEST(FaultPlanParse, EmptySpecYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_ok("").empty());
+  EXPECT_TRUE(parse_ok("   ").empty());
+  EXPECT_TRUE(parse_ok(";;").empty());
+}
+
+TEST(FaultPlanParse, FullExampleSpec) {
+  const FaultPlan plan = parse_ok(
+      "compile:p=0.02;transient:p=0.05;straggler:p=0.03,slow=4x;"
+      "node_crash:node=7,at=3600s");
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.node_crashes().size(), 1u);
+  EXPECT_EQ(plan.node_crashes()[0].node, 7u);
+  EXPECT_DOUBLE_EQ(plan.node_crashes()[0].at_seconds, 3600.0);
+  EXPECT_EQ(plan.seed(), 7u);
+  EXPECT_EQ(plan.spec(),
+            "compile:p=0.02;transient:p=0.05;straggler:p=0.03,slow=4x;"
+            "node_crash:node=7,at=3600s");
+}
+
+TEST(FaultPlanParse, DurationSuffixesAndCrashSorting) {
+  // Durations accept s/m/h; crashes come back sorted by (time, node) no
+  // matter the spec order.
+  const FaultPlan plan = parse_ok(
+      "node_crash:node=3,at=1.5h;node_crash:node=1,at=90m;"
+      "node_crash:node=9,at=10");
+  ASSERT_EQ(plan.node_crashes().size(), 3u);
+  EXPECT_EQ(plan.node_crashes()[0].node, 9u);
+  EXPECT_DOUBLE_EQ(plan.node_crashes()[0].at_seconds, 10.0);
+  // 90m and 1.5h tie at 5400 s — ordered by node id.
+  EXPECT_EQ(plan.node_crashes()[1].node, 1u);
+  EXPECT_DOUBLE_EQ(plan.node_crashes()[1].at_seconds, 5400.0);
+  EXPECT_EQ(plan.node_crashes()[2].node, 3u);
+  EXPECT_DOUBLE_EQ(plan.node_crashes()[2].at_seconds, 5400.0);
+}
+
+TEST(FaultPlanParse, WhitespaceTolerant) {
+  const FaultPlan plan =
+      parse_ok("  transient : p = 0.5 ;  straggler: p=0.25 , slow = 2x  ");
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParse, BareMultiplierAndBareDuration) {
+  // "slow=4" (no x) and "at=3600" (no s) are accepted.
+  const FaultPlan plan =
+      parse_ok("straggler:p=1,slow=4;node_crash:node=0,at=3600");
+  ASSERT_EQ(plan.node_crashes().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.node_crashes()[0].at_seconds, 3600.0);
+  const FaultDecision d = plan.decide(123, 1);
+  EXPECT_DOUBLE_EQ(d.slow_factor, 4.0);
+}
+
+TEST(FaultPlanParse, Rejections) {
+  EXPECT_TRUE(HasSubstr(parse_error("compile"),
+      "missing ':' (expected kind:key=value,...)"));
+  EXPECT_TRUE(HasSubstr(parse_error("compile:p"),
+      "parameter 'p' is missing '='"));
+  EXPECT_TRUE(HasSubstr(parse_error("compile:q=0.5"),
+      "unknown parameter 'q'"));
+  EXPECT_TRUE(HasSubstr(parse_error("compile:p=0.1;compile:p=0.2"),
+      "fault spec: duplicate 'compile' clause"));
+  EXPECT_TRUE(HasSubstr(parse_error("transient:"),
+      "missing p=<probability>"));
+  EXPECT_TRUE(HasSubstr(parse_error("transient:p=abc"),
+      "'abc' is not a number"));
+  EXPECT_TRUE(HasSubstr(parse_error("transient:p=1.5"),
+      "probability 1.5 outside [0, 1]"));
+  EXPECT_TRUE(HasSubstr(parse_error("straggler:p=0.5,slow=0.5x"),
+      "slow factor must be >= 1"));
+  EXPECT_TRUE(HasSubstr(parse_error("node_crash:node=banana,at=1h"),
+      "'banana' is not a node id"));
+  EXPECT_TRUE(HasSubstr(parse_error("node_crash:node=1"),
+      "node_crash needs node=<id>,at=<time>"));
+  EXPECT_TRUE(HasSubstr(parse_error("node_crash:node=1,at=-5s"),
+      "crash time must be >= 0"));
+  EXPECT_TRUE(HasSubstr(parse_error("node_crash:node=2,at=1h;node_crash:node=2,at=2h"),
+      "fault spec: node 2 crashes twice"));
+  EXPECT_TRUE(HasSubstr(parse_error("gremlin:p=0.5"),
+      "unknown fault kind 'gremlin' (expected compile, transient, "
+                "straggler, node_crash, or abort)"));
+}
+
+TEST(FaultPlanDecide, EmptyPlanNeverFaults) {
+  const FaultPlan plan;
+  for (std::uint64_t h = 0; h < 200; ++h) {
+    const FaultDecision d = plan.decide(h * 0x9e3779b97f4a7c15ULL, 1);
+    EXPECT_FALSE(d.compile_fail);
+    EXPECT_FALSE(d.transient_fail);
+    EXPECT_FALSE(d.abort);
+    EXPECT_DOUBLE_EQ(d.slow_factor, 1.0);
+  }
+}
+
+TEST(FaultPlanDecide, DeterministicAcrossPlanInstances) {
+  // Two plans parsed from the same (spec, seed) make identical decisions for
+  // every (config hash, attempt) — this is what makes the injected fault
+  // sequence reproducible across runs and worker counts.
+  const std::string spec =
+      "compile:p=0.1;transient:p=0.3;straggler:p=0.2,slow=4x;abort:p=0.05";
+  const FaultPlan a = parse_ok(spec, 42);
+  const FaultPlan b = parse_ok(spec, 42);
+  for (std::uint64_t h = 1; h <= 500; ++h) {
+    const std::uint64_t hash = h * 0x100000001b3ULL;
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      const FaultDecision da = a.decide(hash, attempt);
+      const FaultDecision db = b.decide(hash, attempt);
+      EXPECT_EQ(da.compile_fail, db.compile_fail);
+      EXPECT_EQ(da.transient_fail, db.transient_fail);
+      EXPECT_EQ(da.abort, db.abort);
+      EXPECT_EQ(da.slow_factor, db.slow_factor);
+    }
+  }
+}
+
+TEST(FaultPlanDecide, DifferentSeedsDiverge) {
+  const std::string spec = "transient:p=0.5";
+  const FaultPlan a = parse_ok(spec, 1);
+  const FaultPlan b = parse_ok(spec, 2);
+  bool diverged = false;
+  for (std::uint64_t h = 1; h <= 200 && !diverged; ++h) {
+    diverged = a.decide(h, 1).transient_fail != b.decide(h, 1).transient_fail;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlanDecide, AttemptsDrawIndependently) {
+  // A transient fault on attempt 1 must not imply one on attempt 2 — retries
+  // are fresh draws, or the retry loop could never succeed.
+  const FaultPlan plan = parse_ok("transient:p=0.5", 11);
+  bool recovered = false;
+  for (std::uint64_t h = 1; h <= 200 && !recovered; ++h) {
+    recovered = plan.decide(h, 1).transient_fail && !plan.decide(h, 2).transient_fail;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FaultPlanDecide, CertainAndImpossibleProbabilities) {
+  const FaultPlan always = parse_ok("compile:p=1", 3);
+  const FaultPlan never = parse_ok("compile:p=0;transient:p=0", 3);
+  for (std::uint64_t h = 1; h <= 100; ++h) {
+    EXPECT_TRUE(always.decide(h, 1).compile_fail);
+    const FaultDecision d = never.decide(h, 1);
+    EXPECT_FALSE(d.compile_fail);
+    EXPECT_FALSE(d.transient_fail);
+  }
+  // p=0 means the clause is inert, so the plan counts as empty.
+  EXPECT_TRUE(never.empty());
+}
+
+TEST(FaultPlanDecide, AbortPreemptsEverything) {
+  // decide() checks abort first and returns early: with abort:p=1 no other
+  // fault can co-fire (the host "crashed" before the compile even ran).
+  const FaultPlan plan =
+      parse_ok("abort:p=1;compile:p=1;transient:p=1;straggler:p=1,slow=8x", 5);
+  for (std::uint64_t h = 1; h <= 50; ++h) {
+    const FaultDecision d = plan.decide(h, 1);
+    EXPECT_TRUE(d.abort);
+    EXPECT_FALSE(d.compile_fail);
+    EXPECT_FALSE(d.transient_fail);
+    EXPECT_DOUBLE_EQ(d.slow_factor, 1.0);
+  }
+}
+
+TEST(FaultPlanDecide, CompilePreemptsTransientAndStraggler) {
+  const FaultPlan plan =
+      parse_ok("compile:p=1;transient:p=1;straggler:p=1,slow=8x", 5);
+  for (std::uint64_t h = 1; h <= 50; ++h) {
+    const FaultDecision d = plan.decide(h, 1);
+    EXPECT_TRUE(d.compile_fail);
+    EXPECT_FALSE(d.transient_fail);
+    EXPECT_DOUBLE_EQ(d.slow_factor, 1.0);
+  }
+}
+
+TEST(FaultPlanDecide, EmpiricalRateTracksProbability) {
+  // Loose statistical sanity: over 4000 draws, a p=0.25 clause should fire
+  // somewhere near a quarter of the time (±0.05 is ~7 sigma).
+  const FaultPlan plan = parse_ok("transient:p=0.25", 99);
+  int fired = 0;
+  const int n = 4000;
+  for (int i = 1; i <= n; ++i) {
+    if (plan.decide(static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL, 1)
+            .transient_fail) {
+      ++fired;
+    }
+  }
+  const double rate = static_cast<double>(fired) / n;
+  EXPECT_GT(rate, 0.20);
+  EXPECT_LT(rate, 0.30);
+}
+
+}  // namespace
+}  // namespace prose

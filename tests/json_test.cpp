@@ -1,0 +1,125 @@
+// The read-side JSON parser: it must round-trip exactly what the pipeline
+// writes (journal records, trace JSONL lines) — %.17g doubles, escaped
+// strings, nested objects — and reject everything that is not one complete
+// JSON document, since journal recovery depends on "parse failure" meaning
+// "torn record".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/json.h"
+
+namespace prose::json {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  auto v = parse(text);
+  EXPECT_TRUE(v.is_ok()) << text << ": " << v.status().to_string();
+  return v.is_ok() ? std::move(v.value()) : Value{};
+}
+
+void expect_rejects(const std::string& text) {
+  EXPECT_FALSE(parse(text).is_ok()) << "unexpectedly parsed: " << text;
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(parse_ok("null").kind(), Value::Kind::kNull);
+  EXPECT_TRUE(parse_ok("true").bool_or(false));
+  EXPECT_FALSE(parse_ok("false").bool_or(true));
+  EXPECT_DOUBLE_EQ(parse_ok("42").num_or(0), 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.5e2").num_or(0), -350.0);
+  EXPECT_EQ(parse_ok("7").int_or(0), 7);
+  EXPECT_EQ(parse_ok("\"hi\"").str_or(""), "hi");
+  EXPECT_EQ(parse_ok("  \"padded\"  ").str_or(""), "padded");
+}
+
+TEST(Json, SeventeenDigitDoublesRoundTripBitExactly) {
+  // The journal prints doubles with %.17g; strtod must give the same bits
+  // back or resumed campaigns would diverge in the last ulp.
+  for (const double x : {0.1, 1.0 / 3.0, 2.5000000000000004, 1e-300,
+                         123456789.123456789, 6.02214076e23}) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", x);
+    EXPECT_EQ(parse_ok(buf).num_or(0), x) << buf;
+  }
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d")").str_or(""), "a\"b\\c/d");
+  EXPECT_EQ(parse_ok(R"("tab\there\nnl\rcr\bbs\fff")").str_or(""),
+            "tab\there\nnl\rcr\bbs\fff");
+  // \uXXXX decodes to UTF-8: A (1 byte), é (2 bytes), ✓ (3 bytes); raw
+  // UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parse_ok(R"("\u0041")").str_or(""), "A");
+  EXPECT_EQ(parse_ok(R"("\u00e9")").str_or(""), "\xc3\xa9");
+  EXPECT_EQ(parse_ok(R"("\u2713")").str_or(""), "\xe2\x9c\x93");
+  EXPECT_EQ(parse_ok("\"\xc3\xa9\"").str_or(""), "\xc3\xa9");
+}
+
+TEST(Json, ObjectsKeepMemberOrderAndSupportLookup) {
+  const Value v = parse_ok(
+      R"({"type":"variant","stream":3,"ok":true,"nested":{"x":[1,2,3]}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 4u);
+  EXPECT_EQ(v.members()[0].first, "type");
+  EXPECT_EQ(v.members()[3].first, "nested");
+  ASSERT_NE(v.find("type"), nullptr);
+  EXPECT_EQ(v.find("type")->str_or(""), "variant");
+  EXPECT_EQ(v.find("stream")->int_or(-1), 3);
+  EXPECT_TRUE(v.find("ok")->bool_or(false));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  const Value* nested = v.find("nested");
+  ASSERT_NE(nested, nullptr);
+  const Value* arr = nested->find("x");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->items().size(), 3u);
+  EXPECT_EQ(arr->items()[2].int_or(0), 3);
+  // find() on a non-object is a safe nullptr, not UB.
+  EXPECT_EQ(arr->find("x"), nullptr);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse_ok("{}").members().empty());
+  EXPECT_TRUE(parse_ok("[]").items().empty());
+  EXPECT_TRUE(parse_ok("[{},{}]").items()[1].is_object());
+}
+
+TEST(Json, RejectsTornAndMalformedDocuments) {
+  // Exactly the shapes a mid-write kill leaves in the journal.
+  expect_rejects("");
+  expect_rejects(R"({"type":"vari)");        // torn mid-string
+  expect_rejects(R"({"key":12)");            // torn mid-number-context
+  expect_rejects(R"({"key":})");             // missing value
+  expect_rejects(R"({"key" 1})");            // missing colon
+  expect_rejects(R"({"a":1,})");             // trailing comma
+  expect_rejects("[1,2");                    // unclosed array
+  expect_rejects(R"("\q")");                 // bad escape
+  expect_rejects(R"("\u12")");               // truncated \u
+  expect_rejects("\"raw\ncontrol\"");        // unescaped control char
+  expect_rejects("tru");                     // truncated keyword
+  expect_rejects("1.2.3");                   // not a number
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  // One complete document per journal line — a second value on the same
+  // line means the record is corrupt.
+  expect_rejects("{} {}");
+  expect_rejects("123 456");
+  expect_rejects(R"({"a":1}x)");
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  expect_rejects(deep);  // recursion depth capped
+  // Sane nesting well under the cap parses fine.
+  std::string ok = "1";
+  for (int i = 0; i < 30; ++i) ok = "[" + ok + "]";
+  EXPECT_TRUE(parse(ok).is_ok());
+}
+
+}  // namespace
+}  // namespace prose::json
