@@ -40,6 +40,10 @@ struct BenchIo {
   /// per campaign via tagged_path, like the trace sinks.
   std::string journal;
   bool resume = false;
+  /// Numerical flight recorder (--diagnose): shadow re-run each campaign's
+  /// rejected variants and report the root-cause blame ranking. Pure
+  /// observer — the campaign numbers are bit-identical either way.
+  bool diagnose = false;
 
   static BenchIo from_args(int argc, char** argv) {
     BenchIo io;
@@ -54,6 +58,7 @@ struct BenchIo {
       io.fault_seed = static_cast<std::uint64_t>(flags->get_int("fault-seed", 2025));
       io.journal = flags->get_string("journal", "");
       io.resume = flags->get_bool("resume", false);
+      io.diagnose = flags->get_bool("diagnose", false);
     }
     std::error_code ec;
     std::filesystem::create_directories(io.outdir, ec);  // best effort
@@ -95,6 +100,7 @@ struct BenchIo {
     options.fault_seed = fault_seed;
     options.journal_path = tagged_path(journal, tag);
     options.resume = resume;
+    options.diagnose = diagnose;
     return options;
   }
 

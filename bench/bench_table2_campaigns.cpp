@@ -22,6 +22,7 @@
 #include "models/models.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "tuner/html_report.h"
 #include "tuner/journal.h"
 
 using namespace prose;
@@ -145,6 +146,7 @@ int main(int argc, char** argv) {
               << parallel_jobs << ")...\n";
     CampaignOptions options;
     options.trace = io.trace_options(specs[i].name);
+    options.diagnose = io.diagnose;
     const auto serial = timed_run(specs[i], options, 1);
     // Time the parallel leg without tracing so it measures evaluation alone.
     const auto parallel = timed_run(specs[i], CampaignOptions{}, parallel_jobs);
@@ -162,6 +164,13 @@ int main(int argc, char** argv) {
                  format_double(s.error_pct, 1), format_double(s.best_speedup, 3),
                  s.finished ? "yes" : "no", format_double(s.wall_hours, 2)});
     std::cout << final_variant_report(result);
+    if (io.diagnose) {
+      std::cout << diagnosis_report(result);
+      io.write_file("json", "diagnosis_" + s.model + ".json",
+                    diagnosis_json(s.model, result.diagnosis));
+      io.write_html("diagnosis_" + s.model + ".html",
+                    diagnosis_html(s.model + " diagnosis", result.diagnosis));
+    }
     std::cout << "  simulated wall time: " << format_double(s.wall_hours, 1)
               << " h (12 h budget); search "
               << (s.finished ? "reached 1-minimality" : "was cut off") << "\n\n";

@@ -18,11 +18,19 @@
 //                  bit-identical to the uninterrupted one)
 //        --kill-after N (chaos testing: SIGKILL self after the Nth journaled
 //                  variant)
+//        --diagnose (numerical flight recorder: shadow re-run the rejected
+//                  variants and print the root-cause blame ranking; the
+//                  campaign itself stays bit-identical)
+//        --diagnosis-out FILE (write the diagnosis as JSON; FILE.html gets
+//                  the standalone HTML page alongside)
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "models/mpas.h"
 #include "support/cli.h"
 #include "tuner/campaign.h"
+#include "tuner/html_report.h"
 #include "tuner/report.h"
 
 using namespace prose;
@@ -47,7 +55,11 @@ int main(int argc, char** argv) {
     options.resume = flags->get_bool("resume", false);
     options.journal_kill_after =
         static_cast<std::size_t>(flags->get_int("kill-after", 0));
+    options.diagnose = flags->get_bool("diagnose", false) ||
+                       flags->has("diagnosis-out");
   }
+  const std::string diagnosis_out =
+      flags.is_ok() ? flags->get_string("diagnosis-out", "") : "";
 
   const tuner::TargetSpec spec = models::mpas_target();
   std::cout << "tuning " << spec.name << " on " << options.cluster.nodes
@@ -95,6 +107,23 @@ int main(int argc, char** argv) {
     std::cout << "journal: " << options.journal_path
               << (options.resume ? " (resumed, " : " (fresh, ")
               << result->replayed_from_journal << " evaluations replayed)\n";
+  }
+  // "diag|"-prefixed lines so the CI neutrality check can diff a diagnosed
+  // run against an undiagnosed reference with the diagnosis stripped.
+  if (options.diagnose) {
+    std::istringstream lines(tuner::diagnosis_report(*result));
+    for (std::string line; std::getline(lines, line);) {
+      std::cout << "diag| " << line << "\n";
+    }
+    if (!diagnosis_out.empty()) {
+      std::ofstream json(diagnosis_out);
+      json << tuner::diagnosis_json(spec.name, result->diagnosis) << "\n";
+      std::ofstream html(diagnosis_out + ".html");
+      html << tuner::diagnosis_html(spec.name + " diagnosis",
+                                    result->diagnosis);
+      std::cout << "diag| wrote " << diagnosis_out << " and " << diagnosis_out
+                << ".html\n";
+    }
   }
   return 0;
 }

@@ -135,6 +135,10 @@ struct ProcMeta {
   std::int32_t num_slots = 0;               // scalar frame size
   std::vector<ArraySlotMeta> arrays;        // frame array slots
   std::vector<std::int32_t> scalar_param_slots;  // dummy order (scalars)
+  /// Qualified source name per scalar slot (real-typed declared variables
+  /// only; empty for temps and non-real slots). Debug metadata for the
+  /// shadow-execution blame reports — never consulted by normal execution.
+  std::vector<std::string> slot_names;
   std::int32_t result_slot = -1;
   bool instrument = false;                  // open a GPTL region per call
   bool inlinable = false;

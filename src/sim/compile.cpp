@@ -301,6 +301,16 @@ class Compiler {
     }
     emit({.op = Op::kRet, .cost = 0.0});
     ctx_.meta->num_slots = ctx_.max_slots;
+    // Slot→name debug metadata for the shadow-execution blame reports: real
+    // declared scalars keep their qualified names; temps stay anonymous.
+    ctx_.meta->slot_names.assign(static_cast<std::size_t>(ctx_.max_slots),
+                                 std::string());
+    for (const auto& [symbol, slot] : ctx_.scalar_slot) {
+      const Symbol& sym = rp_.symbols.get(symbol);
+      if (sym.type.is_real()) {
+        ctx_.meta->slot_names[static_cast<std::size_t>(slot)] = sym.qualified();
+      }
+    }
     return Status::ok();
   }
 

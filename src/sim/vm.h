@@ -34,6 +34,12 @@ struct VmOptions {
   /// Hard instruction-count backstop against runaway loops.
   std::uint64_t max_instructions = 4'000'000'000ull;
   std::size_t max_frames = 4096;
+  /// Shadow-precision execution: carry a binary64 shadow value for every
+  /// scalar slot, module scalar, and array element alongside the
+  /// mixed-precision primary values, and record divergence provenance
+  /// (see ShadowReport). Hard invariant: shadow bookkeeping never perturbs
+  /// simulated cycles, outcomes, or the OpMix — it is pure observability.
+  bool shadow = false;
 };
 
 /// Per-procedure execution statistics (collected without instrumentation
@@ -77,6 +83,47 @@ struct RunResult {
   OpMix op_mix;
 };
 
+/// Divergence record of one named variable under shadow execution. Relative
+/// divergence of a value is |primary - shadow| / max(|primary|, |shadow|)
+/// (0 when equal, +inf when either side is non-finite), so finite
+/// divergences are bounded by 2 and a value flushed to zero scores 1.
+struct ShadowVarStats {
+  double max_rel_div = 0.0;   // max divergence observed at writes
+  std::uint64_t writes = 0;   // writes recorded against this variable
+};
+
+/// Per-procedure shadow statistics. "Introduced" divergence is per-op
+/// max(0, result_div - max operand_div): error born in this procedure, as
+/// opposed to contamination propagated from upstream — the root-cause
+/// ranking signal.
+struct ShadowProcStats {
+  double introduced_sum = 0.0;
+  double introduced_max = 0.0;
+  double max_rel_div = 0.0;              // max divergence of values written here
+  std::uint64_t cancellations = 0;       // catastrophic-cancellation events
+  std::uint64_t control_divergences = 0; // branches the shadow run would take differently
+  double cast_cycles = 0.0;              // simulated cast cycles spent in this proc
+  bool faulted = false;                  // the run faulted/timed out here
+};
+
+/// Everything the shadow execution learned about one call().
+struct ShadowReport {
+  bool enabled = false;
+  double max_rel_div = 0.0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t control_divergences = 0;
+  /// First site where a written value's divergence exceeded 1e-6 (well above
+  /// a single binary32 rounding at ~6e-8 — the onset of accumulation, not
+  /// one benign rounding). Instruction index is relative to the procedure.
+  bool has_first_divergence = false;
+  std::string first_divergence_proc;
+  std::int32_t first_divergence_instr = -1;
+  /// Procedure in which the run faulted or timed out; empty if it finished.
+  std::string fault_proc;
+  std::map<std::string, ShadowVarStats> vars;    // qualified variable name
+  std::map<std::string, ShadowProcStats> procs;  // qualified procedure name
+};
+
 /// Dense multi-dimensional array storage (column-major, 1-based like Fortran).
 class ArrayStorage {
  public:
@@ -94,6 +141,17 @@ class ArrayStorage {
   [[nodiscard]] double get(std::int64_t linear) const;
   void set(std::int64_t linear, double value);
 
+  /// Shadow-execution support: an optional binary64 mirror of the payload,
+  /// initialized from the current primary values. Never consulted by get/set.
+  void enable_shadow();
+  [[nodiscard]] bool has_shadow() const { return !shadow_.empty(); }
+  [[nodiscard]] double shadow_get(std::int64_t linear) const {
+    return shadow_[static_cast<std::size_t>(linear)];
+  }
+  void shadow_set(std::int64_t linear, double value) {
+    shadow_[static_cast<std::size_t>(linear)] = value;
+  }
+
  private:
   int kind_;
   int rank_;
@@ -101,6 +159,7 @@ class ArrayStorage {
   std::int64_t total_ = 0;
   std::vector<float> f32_;
   std::vector<double> f64_;
+  std::vector<double> shadow_;
 };
 
 class Vm {
@@ -130,6 +189,10 @@ class Vm {
   [[nodiscard]] const std::string& print_log() const { return print_log_; }
   [[nodiscard]] const CompiledProgram& program() const { return *program_; }
 
+  /// Divergence provenance accumulated since reset() (empty/disabled unless
+  /// VmOptions::shadow was set).
+  [[nodiscard]] ShadowReport shadow_report() const;
+
  private:
   struct Frame {
     std::int32_t proc = -1;
@@ -152,6 +215,16 @@ class Vm {
   [[nodiscard]] Status fault(const std::string& message) const;
   Status run_loop();
 
+  // --- shadow execution (all no-ops unless options_.shadow) ---
+  void init_shadow_tables();
+  std::int32_t shadow_var_index(const std::string& name);
+  void shadow_step(const Instr& in, const Frame& frame, std::int32_t pc);
+  void shadow_branch(const Instr& in, const Frame& frame);
+  void note_shadow_div(double div, std::int32_t proc, std::int32_t pc);
+  void note_shadow_write(std::int32_t dst, const Frame& frame, std::int32_t pc);
+  void note_shadow_var(std::int32_t var, double div);
+  void note_shadow_fault(const Status& status);
+
   double slot(std::size_t index) const { return slots_[index]; }
 
   const CompiledProgram* program_;
@@ -169,6 +242,24 @@ class Vm {
   std::uint64_t instructions_ = 0;
   OpMix op_mix_;
   std::int32_t fault_pc_ = -1;
+
+  // --- shadow execution state (allocated only when options_.shadow) ---
+  bool shadow_ = false;
+  std::vector<double> shadow_slots_;    // parallel to slots_
+  std::vector<double> shadow_globals_;  // parallel to globals_
+  std::vector<ShadowProcStats> shadow_procs_;       // per proc index
+  std::vector<ShadowVarStats> shadow_vars_;         // per tracked variable
+  std::vector<std::string> shadow_var_names_;       // parallel to shadow_vars_
+  std::map<std::string, std::int32_t> shadow_var_index_;
+  std::vector<std::vector<std::int32_t>> slot_var_;   // proc → slot → var (-1)
+  std::vector<std::vector<std::int32_t>> array_var_;  // proc → array slot → var
+  std::vector<std::int32_t> global_var_;              // global scalar → var
+  double shadow_max_div_ = 0.0;
+  std::uint64_t shadow_cancellations_ = 0;
+  std::uint64_t shadow_control_divs_ = 0;
+  std::int32_t first_div_proc_ = -1;
+  std::int32_t first_div_instr_ = -1;   // absolute instruction index
+  std::int32_t shadow_fault_proc_ = -1;
 };
 
 }  // namespace prose::sim

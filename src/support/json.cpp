@@ -1,7 +1,8 @@
 #include "support/json.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <limits>
 
 namespace prose::json {
 
@@ -115,17 +116,41 @@ class Parser {
 
   Status number(double* out) {
     const char* start = p_;
-    if (p_ != end_ && *p_ == '-') ++p_;
+    const bool negative = p_ != end_ && *p_ == '-';
+    if (negative) ++p_;
+    // Non-finite tokens, as the journal writes them for shadow divergences
+    // (%.17g's "inf"/"nan" are not parseable JSON; "Infinity"/"NaN" are the
+    // de-facto extension Python's json module reads and writes).
+    if (p_ != end_ && *p_ == 'I') {
+      if (Status s = literal("Infinity"); !s.is_ok()) return s;
+      *out = negative ? -std::numeric_limits<double>::infinity()
+                      : std::numeric_limits<double>::infinity();
+      return Status::ok();
+    }
     while (p_ != end_ &&
            (std::isdigit(static_cast<unsigned char>(*p_)) != 0 || *p_ == '.' ||
             *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
       ++p_;
     }
-    const std::string text(start, static_cast<std::size_t>(p_ - start));
-    char* parsed_end = nullptr;
-    *out = std::strtod(text.c_str(), &parsed_end);
-    if (parsed_end != text.c_str() + text.size() || text.empty()) {
-      return fail("malformed number '" + text + "'");
+    // std::from_chars is locale-independent by definition — a journal written
+    // under the "C" locale parses identically under e.g. de_DE (where strtod
+    // would expect a ',' decimal separator and truncate at the '.').
+    const auto [ptr, ec] = std::from_chars(start, p_, *out);
+    if (ec == std::errc::result_out_of_range) {
+      // Out of double range: saturate like strtod did — underflow ("1e-999",
+      // spotted by the negative exponent) to zero, overflow to infinity.
+      const std::string_view text(start, static_cast<std::size_t>(p_ - start));
+      const bool underflow = text.find("e-") != std::string_view::npos ||
+                             text.find("E-") != std::string_view::npos;
+      const double magnitude =
+          underflow ? 0.0 : std::numeric_limits<double>::infinity();
+      *out = negative ? -magnitude : magnitude;
+      return Status::ok();
+    }
+    if (ec != std::errc() || ptr != p_ || start == p_) {
+      return fail("malformed number '" +
+                  std::string(start, static_cast<std::size_t>(p_ - start)) +
+                  "'");
     }
     return Status::ok();
   }
@@ -185,6 +210,10 @@ class Parser {
       case 'n':
         out->kind_ = Value::Kind::kNull;
         return literal("null");
+      case 'N':
+        out->kind_ = Value::Kind::kNumber;
+        out->num_ = std::numeric_limits<double>::quiet_NaN();
+        return literal("NaN");
       default:
         out->kind_ = Value::Kind::kNumber;
         return number(&out->num_);

@@ -4,10 +4,12 @@
 // This is the read-side counterpart of trace.h's json_escape/validate_json:
 // a small recursive-descent parser producing an owned Value tree. It accepts
 // exactly the JSON the pipeline writes — objects, arrays, strings (with
-// escapes), IEEE doubles printed with %.17g (which strtod round-trips
-// bit-exactly), booleans, and null. It is not a general-purpose library
-// parser; numbers outside double range and duplicate keys are the caller's
-// problem.
+// escapes), IEEE doubles printed with %.17g (round-tripped bit-exactly via
+// locale-independent std::from_chars), booleans, and null. Non-finite doubles
+// use the Infinity/-Infinity/NaN extension tokens, matching both the journal
+// writer and Python's json module — %.17g's "inf"/"nan" spellings are NOT
+// valid. It is not a general-purpose library parser; duplicate keys are the
+// caller's problem, and out-of-range magnitudes saturate to ±0/±inf.
 #pragma once
 
 #include <cstdint>

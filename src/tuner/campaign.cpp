@@ -1,11 +1,35 @@
 #include "tuner/campaign.h"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <set>
 
 #include "tuner/journal.h"
 
 namespace prose::tuner {
+
+namespace {
+
+/// A variant the campaign would not ship: wrong, slow, or broken. Lost
+/// variants carry no information and compile errors never ran, so neither
+/// can be shadow-diagnosed.
+bool rejected_variant(const Evaluation& e) {
+  switch (e.outcome) {
+    case Outcome::kFail:
+    case Outcome::kTimeout:
+    case Outcome::kRuntimeError:
+      return true;
+    case Outcome::kPass:
+      return e.speedup < 1.0;
+    case Outcome::kCompileError:
+    case Outcome::kLost:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
 
 CampaignSummary summarize(const std::string& model, const SearchResult& search,
                           const ClusterSim& cluster) {
@@ -70,6 +94,125 @@ std::vector<ProcedureVariantPoint> figure6_series(const Evaluator& evaluator,
     }
   }
   return out;
+}
+
+CampaignDiagnosis diagnose_campaign(Evaluator& evaluator,
+                                    const SearchResult& search,
+                                    const Config& final_config,
+                                    std::size_t max_diagnosed) {
+  CampaignDiagnosis diag;
+  diag.enabled = true;
+  const SearchSpace& space = evaluator.space();
+
+  // Distinct completed variants in search order: the association evidence.
+  std::set<std::string> seen;
+  std::vector<const VariantRecord*> completed;
+  for (const auto& r : search.records) {
+    if (r.eval.outcome == Outcome::kLost ||
+        r.eval.outcome == Outcome::kCompileError) {
+      continue;
+    }
+    if (!seen.insert(r.config.key()).second) continue;
+    completed.push_back(&r);
+  }
+
+  // Shadow re-runs of the rejected variants (capped — each re-run costs one
+  // real execution of the model).
+  for (const VariantRecord* r : completed) {
+    if (!rejected_variant(r->eval)) continue;
+    ++diag.rejected;
+    if (diag.diagnosed >= max_diagnosed) continue;
+    auto report = evaluator.diagnose(r->config);
+    if (!report.is_ok()) continue;  // transform/compile broke: nothing to blame
+    diag.reports.push_back(std::move(report.value()));
+    ++diag.diagnosed;
+  }
+
+  // Atom criticality: demotion↔rejection association over every completed
+  // variant, plus the shadow divergence seen while demoted.
+  std::vector<AtomCriticality> atoms(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    atoms[i].qualified = space.atoms()[i].qualified;
+    atoms[i].final64 = final_config.kinds[i] == 8;
+  }
+  std::map<std::string, bool> rejected_by_key;  // key → rejected?
+  for (const VariantRecord* r : completed) {
+    rejected_by_key[r->config.key()] = rejected_variant(r->eval);
+  }
+  for (const VariantRecord* r : completed) {
+    const bool rej = rejected_variant(r->eval);
+    std::string flipped = r->config.key();
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      if (r->config.kinds[i] != 4) continue;
+      ++atoms[i].demoted_total;
+      if (rej) {
+        ++atoms[i].demoted_rejected;
+        // Pivotal pair: the same variant with only this atom promoted back
+        // to 64-bit was evaluated and NOT rejected — this one demotion alone
+        // flipped the outcome.
+        flipped[i] = '8';
+        const auto it = rejected_by_key.find(flipped);
+        if (it != rejected_by_key.end() && !it->second) ++atoms[i].pivotal;
+        flipped[i] = '4';
+      }
+    }
+  }
+  for (const BlameReport& rep : diag.reports) {
+    for (const VariableBlame& vb : rep.variables) {
+      if (!vb.demoted) continue;
+      const std::ptrdiff_t idx = space.index_of(vb.qualified);
+      if (idx < 0) continue;
+      AtomCriticality& a = atoms[static_cast<std::size_t>(idx)];
+      a.max_rel_div = std::max(a.max_rel_div, vb.max_rel_div);
+    }
+  }
+  for (AtomCriticality& a : atoms) {
+    if (a.demoted_total == 0) continue;  // never demoted: no evidence
+    a.fail_association = static_cast<double>(a.demoted_rejected) /
+                         static_cast<double>(a.demoted_total);
+    a.score = 0.45 * a.fail_association + 0.25 * std::min(1.0, a.max_rel_div) +
+              (a.pivotal > 0 ? 0.20 : 0.0) + (a.final64 ? 0.10 : 0.0);
+    diag.atoms.push_back(std::move(a));
+  }
+  std::sort(diag.atoms.begin(), diag.atoms.end(),
+            [](const AtomCriticality& x, const AtomCriticality& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.qualified < y.qualified;
+            });
+
+  // Procedure criticality: each diagnosed variant distributes one unit of
+  // blame across its procedures, so blame_share sums to the number of
+  // variants whose rejection a procedure fully explains.
+  std::map<std::string, ProcCriticality> procs;
+  for (const BlameReport& rep : diag.reports) {
+    double total = 0.0;
+    for (const ProcedureBlame& pb : rep.procedures) total += pb.blame;
+    for (const ProcedureBlame& pb : rep.procedures) {
+      ProcCriticality& p = procs[pb.qualified];
+      p.qualified = pb.qualified;
+      if (total > 0.0) p.blame_share += pb.blame / total;
+      p.max_rel_div = std::max(p.max_rel_div, pb.max_rel_div);
+      p.cancellations += pb.cancellations;
+      p.control_divergences += pb.control_divergences;
+      if (pb.faulted) ++p.faults;
+      p.cast_cycles = std::max(p.cast_cycles, pb.cast_cycles);
+    }
+  }
+  diag.procedures.reserve(procs.size());
+  for (auto& [name, p] : procs) diag.procedures.push_back(std::move(p));
+  std::sort(diag.procedures.begin(), diag.procedures.end(),
+            [](const ProcCriticality& x, const ProcCriticality& y) {
+              if (x.blame_share != y.blame_share) {
+                return x.blame_share > y.blame_share;
+              }
+              // Blame ties (e.g. all-slow-pass campaigns) rank by the cost of
+              // demotion instead: the cast-dominated procedures first.
+              if (x.cast_cycles != y.cast_cycles) {
+                return x.cast_cycles > y.cast_cycles;
+              }
+              return x.qualified < y.qualified;
+            });
+  return diag;
 }
 
 StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
@@ -243,6 +386,38 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     result.final_kinds[ev.space().atoms()[i].qualified] = final_config.kinds[i];
   }
   result.replayed_from_journal = ev.replayed_from_journal();
+
+  if (options.diagnose) {
+    // The diagnosis runs strictly after the campaign proper: by the time the
+    // first shadow re-run starts, every variant/batch record is already
+    // journaled and every summary number is final, so an undiagnosed run's
+    // journal is a byte-identical prefix of the diagnosed run's.
+    trace::Span diag_span(tr, trace::Track::campaign(),
+                          "diagnosis " + spec.name);
+    result.diagnosis = diagnose_campaign(ev, result.search, final_config,
+                                         options.max_diagnosed);
+    if (journal != nullptr) {
+      for (const BlameReport& rep : result.diagnosis.reports) {
+        journal->append_diag(rep);
+      }
+    }
+    if (tr != nullptr) {
+      diag_span.annotate({{"rejected", result.diagnosis.rejected},
+                          {"diagnosed", result.diagnosis.diagnosed}});
+      tr->instant(
+          "campaign/diagnosis", trace::Track::campaign(), tr->now_us(),
+          {{"model", spec.name},
+           {"rejected", result.diagnosis.rejected},
+           {"diagnosed", result.diagnosis.diagnosed},
+           {"top_atom", result.diagnosis.atoms.empty()
+                            ? std::string()
+                            : result.diagnosis.atoms.front().qualified},
+           {"top_proc", result.diagnosis.procedures.empty()
+                            ? std::string()
+                            : result.diagnosis.procedures.front().qualified}});
+    }
+  }
+
   if (journal != nullptr && !journal->error().is_ok()) {
     result.summary.journal_error = journal->error().to_string();
   }

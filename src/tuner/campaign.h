@@ -50,6 +50,17 @@ struct CampaignOptions {
   /// Chaos knob: SIGKILL the process after this many variant records have
   /// been made durable (0 = off). For crash/resume testing only.
   std::size_t journal_kill_after = 0;
+
+  /// Numerical flight recorder: after the search finishes, re-run the
+  /// rejected variants under binary64 shadow execution and aggregate their
+  /// blame reports into a root-cause criticality ranking (paper §V, done by
+  /// hand there). Diagnosis is a pure observer: the diagnosed campaign's
+  /// outcomes, simulated cycles, frontier, and journal variant records are
+  /// bit-identical to the undiagnosed run's — "diag" journal records are
+  /// appended only after every campaign record.
+  bool diagnose = false;
+  /// Cap on distinct rejected variants re-run under shadow execution.
+  std::size_t max_diagnosed = 64;
 };
 
 /// Table II row.
@@ -81,6 +92,58 @@ struct ProcedureVariantPoint {
   double fraction32 = 0.0;   // fraction of the procedure's atoms at 32-bit
 };
 
+/// Campaign-level criticality of one search-space atom: how strongly its
+/// demotion associates with rejected variants, combined with the shadow
+/// divergence observed when it was demoted. The ranking the paper's §V
+/// derives by hand ("which variable cannot be 32-bit, and why").
+struct AtomCriticality {
+  std::string qualified;
+  /// Ranking score in [0, 1]:
+  ///   0.45 · fail_association + 0.25 · min(1, max_rel_div)
+  ///   + 0.20 · (pivotal > 0) + 0.10 · final64.
+  double score = 0.0;
+  /// Of the distinct variants that demoted this atom, the fraction that were
+  /// rejected (failed, timed out, errored, or passed slower than 1×).
+  double fail_association = 0.0;
+  /// Max shadow divergence recorded against this atom while demoted (+inf
+  /// when a demoted write went non-finite).
+  double max_rel_div = 0.0;
+  std::size_t demoted_rejected = 0;
+  std::size_t demoted_total = 0;
+  /// Direct causal evidence: rejected variants that differ from an evaluated
+  /// non-rejected variant in this atom's demotion ALONE. Divergence ranking
+  /// cannot separate the root cause from the variables it contaminates
+  /// downstream; a pivotal pair can (it is the delta-debug 1-minimality
+  /// probe, recycled as provenance).
+  std::size_t pivotal = 0;
+  /// The atom survived at 64-bit in the final (1-minimal) configuration —
+  /// the search itself refused to demote it.
+  bool final64 = false;
+};
+
+/// Campaign-level criticality of one procedure: its summed share of the
+/// per-variant blame across all diagnosed variants (1.0 = it owned all the
+/// blame of one entire diagnosed variant).
+struct ProcCriticality {
+  std::string qualified;
+  double blame_share = 0.0;      // Σ over diagnosed variants of blame_p / Σblame
+  double max_rel_div = 0.0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t control_divergences = 0;
+  std::uint64_t faults = 0;      // diagnosed re-runs that faulted/stalled here
+  double cast_cycles = 0.0;      // max simulated cast cycles across re-runs
+};
+
+/// Aggregated root-cause diagnosis of one campaign (CampaignOptions::diagnose).
+struct CampaignDiagnosis {
+  bool enabled = false;
+  std::size_t rejected = 0;    // distinct rejected variants seen by the search
+  std::size_t diagnosed = 0;   // of those, re-run under shadow execution
+  std::vector<AtomCriticality> atoms;       // score desc — root cause first
+  std::vector<ProcCriticality> procedures;  // blame share desc
+  std::vector<BlameReport> reports;         // per diagnosed variant, search order
+};
+
 struct CampaignResult {
   CampaignSummary summary;
   SearchResult search;
@@ -92,6 +155,10 @@ struct CampaignResult {
   /// accounting; 0 on a fresh run). Deliberately outside CampaignSummary so
   /// summaries compare bit-identical between original and resumed runs.
   std::size_t replayed_from_journal = 0;
+  /// Root-cause diagnosis (empty/disabled unless CampaignOptions::diagnose).
+  /// Deliberately outside CampaignSummary so diagnosed and undiagnosed runs
+  /// compare bit-identical on everything the campaign measured.
+  CampaignDiagnosis diagnosis;
 };
 
 /// Runs one campaign on a target spec.
@@ -105,5 +172,16 @@ std::vector<ProcedureVariantPoint> figure6_series(const Evaluator& evaluator,
 /// Summarizes a search trace into the Table II row shape.
 CampaignSummary summarize(const std::string& model, const SearchResult& search,
                           const ClusterSim& cluster);
+
+/// Shadow-diagnoses the rejected variants of a finished search and aggregates
+/// the blame into the criticality rankings. `final_config` is the accepted
+/// (best-or-accepted) configuration, used for the final64 signal. Re-runs at
+/// most `max_diagnosed` distinct rejected configurations. Pure observer: uses
+/// Evaluator::diagnose, which bypasses the memo cache, noise streams, and
+/// journal.
+CampaignDiagnosis diagnose_campaign(Evaluator& evaluator,
+                                    const SearchResult& search,
+                                    const Config& final_config,
+                                    std::size_t max_diagnosed = 64);
 
 }  // namespace prose::tuner

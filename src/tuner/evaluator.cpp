@@ -1,5 +1,6 @@
 #include "tuner/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -694,6 +695,103 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   out.node_seconds =
       build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;
   return out;
+}
+
+StatusOr<BlameReport> Evaluator::diagnose(const Config& config) {
+  BlameReport report;
+  report.key = config.key();
+
+  // Same transform → compile pipeline as run_variant_impl, but the execution
+  // carries binary64 shadow values. Nothing here touches the memo cache, the
+  // proposal-order noise streams, or the journal: diagnosis is a pure
+  // observer and cannot perturb the campaign it explains.
+  ftn::WrapperReport wreport;
+  auto variant =
+      ftn::make_variant(pristine_.program, space_.to_assignment(config), &wreport);
+  if (!variant.is_ok()) return variant.status();
+
+  sim::CompileOptions copts;
+  for (const auto& proc : spec_.hotspot_procs) copts.instrument.insert(proc);
+  auto compiled = sim::compile(variant.value(), spec_.machine, copts);
+  if (!compiled.is_ok()) return compiled.status();
+
+  sim::VmOptions vopts;
+  vopts.shadow = true;
+  if (cycle_budget_ > 0.0) vopts.cycle_budget = cycle_budget_;
+  sim::Vm vm(&compiled.value(), vopts);
+  if (spec_.setup) {
+    if (Status s = spec_.setup(vm); !s.is_ok()) return s;
+  }
+  const sim::RunResult run = vm.call(spec_.entry);
+  report.outcome = run.status.is_ok()
+                       ? Outcome::kPass
+                       : (run.status.code() == StatusCode::kTimeout
+                              ? Outcome::kTimeout
+                              : Outcome::kRuntimeError);
+
+  const sim::ShadowReport shadow = vm.shadow_report();
+  report.max_rel_div = shadow.max_rel_div;
+  report.cancellations = shadow.cancellations;
+  report.control_divergences = shadow.control_divergences;
+  report.has_first_divergence = shadow.has_first_divergence;
+  report.first_divergence_proc = shadow.first_divergence_proc;
+  report.first_divergence_instr = shadow.first_divergence_instr;
+  report.fault_proc = shadow.fault_proc;
+
+  // Variables: every demoted atom that was written, plus any other variable
+  // that diverged. Demoted variables lead — they are the candidate causes.
+  for (const auto& [name, stats] : shadow.vars) {
+    const std::ptrdiff_t idx = space_.index_of(name);
+    const bool demoted =
+        idx >= 0 && config.kinds[static_cast<std::size_t>(idx)] == 4;
+    if (!demoted && stats.max_rel_div <= 0.0) continue;
+    report.variables.push_back(
+        VariableBlame{name, demoted, stats.max_rel_div, stats.writes});
+  }
+  std::sort(report.variables.begin(), report.variables.end(),
+            [](const VariableBlame& a, const VariableBlame& b) {
+              if (a.demoted != b.demoted) return a.demoted;
+              if (a.max_rel_div != b.max_rel_div) return a.max_rel_div > b.max_rel_div;
+              return a.qualified < b.qualified;
+            });
+  if (report.variables.size() > 64) report.variables.resize(64);
+
+  for (const auto& [name, ps] : shadow.procs) {
+    ProcedureBlame pb;
+    pb.qualified = name;
+    pb.introduced_sum = ps.introduced_sum;
+    pb.introduced_max = ps.introduced_max;
+    pb.max_rel_div = ps.max_rel_div;
+    pb.cancellations = ps.cancellations;
+    pb.control_divergences = ps.control_divergences;
+    pb.cast_cycles = ps.cast_cycles;
+    pb.faulted = ps.faulted;
+    pb.blame = ps.introduced_sum +
+               0.01 * static_cast<double>(ps.cancellations + ps.control_divergences) +
+               (ps.faulted ? 1e6 : 0.0);
+    report.procedures.push_back(std::move(pb));
+  }
+  std::sort(report.procedures.begin(), report.procedures.end(),
+            [](const ProcedureBlame& a, const ProcedureBlame& b) {
+              if (a.blame != b.blame) return a.blame > b.blame;
+              return a.qualified < b.qualified;
+            });
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const trace::Track track = trace::Track::evaluator();
+    const double ts = tracer_->now_us();
+    // Counter values must stay finite for the Chrome export; an infinite
+    // divergence (overflow/non-finite fault) is clamped to 1e300.
+    const auto finite = [](double v) { return std::isfinite(v) ? v : 1e300; };
+    tracer_->counter("diag/max-rel-div", track, ts, finite(report.max_rel_div));
+    tracer_->counter("diag/cancellations", track, ts,
+                     static_cast<double>(report.cancellations));
+    tracer_->counter("diag/control-divergences", track, ts,
+                     static_cast<double>(report.control_divergences));
+    tracer_->counter("diag/blamed-variables", track, ts,
+                     static_cast<double>(report.variables.size()));
+  }
+  return report;
 }
 
 }  // namespace prose::tuner

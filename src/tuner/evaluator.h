@@ -90,6 +90,49 @@ struct Evaluation {
   }
 };
 
+/// One blamed variable in one diagnosed variant (shadow re-run). Relative
+/// divergence is |primary − binary64 shadow| / max(|primary|, |shadow|);
+/// a variable whose demotion overflowed or produced a non-finite value
+/// records +inf.
+struct VariableBlame {
+  std::string qualified;
+  bool demoted = false;        // at binary32 in this variant's config
+  double max_rel_div = 0.0;
+  std::uint64_t writes = 0;
+};
+
+/// One procedure's divergence contribution in one diagnosed variant.
+/// `blame` is the ranking score: introduced divergence (error born in this
+/// procedure, not inherited) plus 0.01 per cancellation / control
+/// divergence, plus a 1e6 bump for the procedure the run faulted in.
+struct ProcedureBlame {
+  std::string qualified;
+  double blame = 0.0;
+  double introduced_sum = 0.0;
+  double introduced_max = 0.0;
+  double max_rel_div = 0.0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t control_divergences = 0;
+  double cast_cycles = 0.0;
+  bool faulted = false;
+};
+
+/// Shadow-execution diagnosis of one rejected variant: why it was rejected,
+/// stated as ranked variable and procedure blame (Evaluator::diagnose).
+struct BlameReport {
+  std::string key;                            // Config::key()
+  Outcome outcome = Outcome::kCompileError;   // outcome of the shadow re-run
+  double max_rel_div = 0.0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t control_divergences = 0;
+  bool has_first_divergence = false;
+  std::string first_divergence_proc;
+  std::int32_t first_divergence_instr = -1;   // proc-relative instruction
+  std::string fault_proc;                     // empty if the re-run finished
+  std::vector<VariableBlame> variables;       // demoted-first, divergence desc
+  std::vector<ProcedureBlame> procedures;     // blame desc — root cause first
+};
+
 class Evaluator {
  public:
   /// Parses and resolves the spec's source, builds the search space, and
@@ -177,6 +220,14 @@ class Evaluator {
   [[nodiscard]] const std::optional<ftn::ReductionStats>& reduction_stats() const {
     return reduction_stats_;
   }
+
+  /// Diagnosis pass: re-runs one (typically rejected) configuration under
+  /// VM shadow-precision execution and distills the divergence provenance
+  /// into a BlameReport. Completely outside the memo cache, the noise
+  /// streams, and the journal — a diagnosed campaign stays bit-identical to
+  /// an undiagnosed one. Emits diag/* trace counters when a tracer is
+  /// attached. Fails only if the variant cannot be transformed or compiled.
+  StatusOr<BlameReport> diagnose(const Config& config);
 
  private:
   /// Memo entry. `ready` flips exactly once, under cache_mu_; waiters on the

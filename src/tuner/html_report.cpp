@@ -39,6 +39,10 @@ std::string html_escape(const std::string& s) {
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
       case '&': out += "&amp;"; break;
+      // Also neutral inside attribute values (SVG <title> text and table
+      // cells are built from model-supplied identifiers).
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
       default: out += c;
     }
   }
@@ -238,7 +242,8 @@ std::string figure6_html(const std::string& title,
       const double s = std::max(p->speedup, 1e-4);
       os << "<circle cx=\"" << x.to_pixel(col + jitter) << "\" cy=\""
          << y.to_pixel(s) << "\" r=\"4\" fill=\"#37b\" fill-opacity=\"0.7\">"
-         << "<title>" << html_escape(proc) << "\npattern " << p->scope_key
+         << "<title>" << html_escape(proc) << "\npattern "
+         << html_escape(p->scope_key)
          << "\nper-call speedup " << format_double(p->speedup, 3) << "x\n32-bit "
          << format_percent(p->fraction32) << "</title></circle>\n";
       jitter += 0.36 / std::max<std::size_t>(1, pts.size());
@@ -249,6 +254,88 @@ std::string figure6_html(const std::string& title,
   os << "<p class=\"note\">One dot per unique per-procedure precision "
         "assignment; per-call speedup on a log axis (blue dashes: 1x). Hover "
         "a dot for its pattern.</p>\n";
+  os << "</body></html>\n";
+  return os.str();
+}
+
+std::string diagnosis_html(const std::string& title,
+                           const CampaignDiagnosis& diag) {
+  std::ostringstream os;
+  page_head(os, title);
+  os << "<style>table { border-collapse: collapse; margin-bottom: 18px; }\n"
+     << "th, td { border: 1px solid #ccc; padding: 3px 9px; font-size: 13px; "
+        "text-align: left; }\nth { background: #f3f3f3; }\n"
+     << "td.num { text-align: right; font-variant-numeric: tabular-nums; }\n"
+     << "</style>\n";
+  os << "<p class=\"note\">" << diag.rejected << " distinct rejected variants, "
+     << diag.diagnosed << " shadow-diagnosed (binary64 shadow re-run).</p>\n";
+
+  const auto num = [](double v, int digits) {
+    return std::isfinite(v) ? format_double(v, digits) : std::string("&infin;");
+  };
+
+  os << "<h3>Variable criticality</h3>\n<table>\n<tr><th>#</th>"
+     << "<th>variable</th><th>score</th><th>fail assoc.</th>"
+     << "<th>max divergence</th><th>demoted→rejected</th><th>pivotal</th>"
+     << "<th>final</th></tr>\n";
+  std::size_t rank = 0;
+  for (const AtomCriticality& a : diag.atoms) {
+    if (++rank > 20) break;
+    os << "<tr><td class=\"num\">" << rank << "</td><td>"
+       << html_escape(a.qualified) << "</td><td class=\"num\">"
+       << num(a.score, 3) << "</td><td class=\"num\">"
+       << num(a.fail_association, 3) << "</td><td class=\"num\">"
+       << (std::isfinite(a.max_rel_div) ? format_sci(a.max_rel_div, 2)
+                                        : std::string("&infin;"))
+       << "</td><td class=\"num\">" << a.demoted_rejected << "/"
+       << a.demoted_total << "</td><td class=\"num\">" << a.pivotal
+       << "</td><td>" << (a.final64 ? "64-bit" : "32-bit") << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  os << "<h3>Procedure blame</h3>\n<table>\n<tr><th>#</th><th>procedure</th>"
+     << "<th>blame share</th><th>cancellations</th><th>control div.</th>"
+     << "<th>faults</th><th>cast cycles</th></tr>\n";
+  rank = 0;
+  for (const ProcCriticality& p : diag.procedures) {
+    if (++rank > 20) break;
+    os << "<tr><td class=\"num\">" << rank << "</td><td>"
+       << html_escape(p.qualified) << "</td><td class=\"num\">"
+       << num(p.blame_share, 3) << "</td><td class=\"num\">" << p.cancellations
+       << "</td><td class=\"num\">" << p.control_divergences
+       << "</td><td class=\"num\">" << p.faults << "</td><td class=\"num\">"
+       << format_double(p.cast_cycles, 0) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  os << "<h3>Diagnosed variants</h3>\n<table>\n<tr><th>variant</th>"
+     << "<th>outcome</th><th>max divergence</th><th>first divergence</th>"
+     << "<th>fault site</th></tr>\n";
+  for (const BlameReport& r : diag.reports) {
+    os << "<tr><td><code>" << html_escape(r.key) << "</code></td><td>"
+       << to_string(r.outcome) << "</td><td class=\"num\">"
+       << (std::isfinite(r.max_rel_div) ? format_sci(r.max_rel_div, 2)
+                                        : std::string("&infin;"))
+       << "</td><td>";
+    if (r.has_first_divergence) {
+      os << html_escape(r.first_divergence_proc) << " +"
+         << r.first_divergence_instr;
+    } else {
+      os << "&mdash;";
+    }
+    os << "</td><td>"
+       << (r.fault_proc.empty() ? std::string("&mdash;")
+                                : html_escape(r.fault_proc))
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  os << "<p class=\"note\">Score = 0.45·fail-association + "
+        "0.25·min(1, max divergence) + 0.20·pivotal + 0.10·kept-64-bit. "
+        "Pivotal: a rejected variant differs from an evaluated non-rejected "
+        "one in this atom's demotion alone. Blame share: each "
+        "diagnosed variant distributes one unit of blame over its procedures "
+        "(introduced divergence, cancellations, control divergences, fault "
+        "site).</p>\n";
   os << "</body></html>\n";
   return os.str();
 }

@@ -22,4 +22,10 @@ std::string variants_html(const std::string& title, const SearchResult& search,
 std::string figure6_html(const std::string& title,
                          const std::vector<ProcedureVariantPoint>& points);
 
+/// Root-cause diagnosis page (CampaignOptions::diagnose): the variable and
+/// procedure criticality rankings plus per-variant first-divergence sites —
+/// the automated counterpart of the paper's §V hand analysis.
+std::string diagnosis_html(const std::string& title,
+                           const CampaignDiagnosis& diagnosis);
+
 }  // namespace prose::tuner

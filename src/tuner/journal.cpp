@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -16,10 +17,14 @@
 namespace prose::tuner {
 namespace {
 
-/// Shortest round-tripping representation of an IEEE double: parsing the
-/// text with strtod recovers the exact bits, which is what makes a resumed
-/// campaign bit-identical.
+/// Round-tripping representation of an IEEE double: parsing the text back
+/// recovers the exact bits, which is what makes a resumed campaign
+/// bit-identical. Non-finite values (a diag record's divergence after an
+/// overflow) use the Infinity/-Infinity/NaN tokens — %.17g would print
+/// "inf"/"nan", which neither json::parse nor Python's json.loads accepts.
 std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "Infinity" : "-Infinity";
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
@@ -360,6 +365,41 @@ void Journal::append_variant(const std::string& key, std::uint64_t stream,
   append_map(line, "proc_calls", e.proc_calls);
   line += '}';
   append_line(line, /*count_variant=*/true);
+}
+
+void Journal::append_diag(const BlameReport& r) {
+  std::string line = "{\"type\":\"diag\"";
+  line += ",\"key\":" + quoted(r.key);
+  line += ",\"outcome\":" + quoted(to_string(r.outcome));
+  line += ",\"max_rel_div\":" + fmt_double(r.max_rel_div);
+  line += ",\"cancellations\":" + std::to_string(r.cancellations);
+  line += ",\"control_divergences\":" + std::to_string(r.control_divergences);
+  if (r.has_first_divergence) {
+    line += ",\"first_divergence_proc\":" + quoted(r.first_divergence_proc);
+    line += ",\"first_divergence_instr\":" +
+            std::to_string(r.first_divergence_instr);
+  }
+  if (!r.fault_proc.empty()) {
+    line += ",\"fault_proc\":" + quoted(r.fault_proc);
+  }
+  // Top of each ranking only — the journal is provenance, not the report.
+  std::map<std::string, double> vars;
+  for (const VariableBlame& v : r.variables) {
+    if (!v.demoted) continue;
+    vars[v.qualified] = v.max_rel_div;
+    if (vars.size() >= 8) break;
+  }
+  line += ',';
+  append_map(line, "variables", vars);
+  std::map<std::string, double> procs;
+  for (const ProcedureBlame& p : r.procedures) {
+    procs[p.qualified] = p.blame;
+    if (procs.size() >= 8) break;
+  }
+  line += ',';
+  append_map(line, "procedures", procs);
+  line += '}';
+  append_line(line, /*count_variant=*/false);
 }
 
 void Journal::append_batch(std::size_t round, double cluster_seconds,

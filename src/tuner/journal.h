@@ -103,6 +103,15 @@ class Journal {
   void append_batch(std::size_t round, double cluster_seconds,
                     std::size_t variants);
 
+  /// Appends one shadow-diagnosis record (CampaignOptions::diagnose). Only
+  /// ever written after the final variant/batch record, so an undiagnosed
+  /// campaign's journal is a byte-identical prefix of the diagnosed one's;
+  /// load() treats "diag" records as informational, keeping resume exact.
+  /// Divergences can be non-finite: doubles are serialized with the
+  /// Infinity/-Infinity/NaN tokens (accepted by json::parse and Python's
+  /// json.loads).
+  void append_diag(const BlameReport& report);
+
   /// First write failure, sticky; OK while the journal is healthy.
   [[nodiscard]] Status error() const;
 

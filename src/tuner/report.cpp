@@ -1,12 +1,14 @@
 #include "tuner/report.h"
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <sstream>
 
 #include "support/ascii_plot.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/trace.h"
 
 namespace prose::tuner {
 
@@ -119,6 +121,170 @@ std::string final_variant_report(const CampaignResult& result) {
   if (high > high_names.size()) {
     os << "  ... and " << (high - high_names.size()) << " more\n";
   }
+  return os.str();
+}
+
+std::string diagnosis_report(const CampaignResult& result) {
+  const CampaignDiagnosis& d = result.diagnosis;
+  std::ostringstream os;
+  if (!d.enabled) return "diagnosis: not requested\n";
+  os << "root-cause diagnosis (" << result.summary.model << "): " << d.rejected
+     << " distinct rejected variants, " << d.diagnosed
+     << " shadow-diagnosed\n";
+
+  const auto div_str = [](double v) {
+    return std::isfinite(v) ? format_sci(v, 2) : std::string("inf");
+  };
+
+  os << "\nvariable criticality (score = 0.45*fail-assoc + 0.25*min(1,div) + "
+        "0.20*pivotal + 0.10*kept-64):\n";
+  std::size_t rank = 0;
+  for (const auto& a : d.atoms) {
+    if (++rank > 10) {
+      os << "  ... and " << (d.atoms.size() - 10) << " more\n";
+      break;
+    }
+    char line[160];
+    std::snprintf(line, sizeof line, "  %5.3f  assoc %5.3f  div %-8s  %zu/%zu",
+                  a.score, a.fail_association, div_str(a.max_rel_div).c_str(),
+                  a.demoted_rejected, a.demoted_total);
+    os << line;
+    if (a.pivotal > 0) os << "  [pivotal x" << a.pivotal << ']';
+    os << (a.final64 ? "  [kept 64-bit]  " : "  ") << a.qualified << '\n';
+  }
+
+  os << "\nprocedure blame (share of per-variant blame):\n";
+  rank = 0;
+  for (const auto& p : d.procedures) {
+    if (++rank > 10) {
+      os << "  ... and " << (d.procedures.size() - 10) << " more\n";
+      break;
+    }
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %6.3f  cancel %llu  ctrl-div %llu  faults %llu",
+                  p.blame_share,
+                  static_cast<unsigned long long>(p.cancellations),
+                  static_cast<unsigned long long>(p.control_divergences),
+                  static_cast<unsigned long long>(p.faults));
+    os << line << "  " << p.qualified << '\n';
+  }
+
+  std::size_t shown = 0;
+  for (const auto& r : d.reports) {
+    if (!r.has_first_divergence && r.fault_proc.empty()) continue;
+    if (++shown == 1) os << "\nfirst divergence / fault sites:\n";
+    if (shown > 8) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  variant " << r.key << ": ";
+    if (r.has_first_divergence) {
+      os << "diverges in " << r.first_divergence_proc << " at +"
+         << r.first_divergence_instr << " (max " << div_str(r.max_rel_div)
+         << ")";
+    }
+    if (!r.fault_proc.empty()) {
+      os << (r.has_first_divergence ? "; " : "") << "faults in "
+         << r.fault_proc;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// JSON double with the journal's non-finite policy (Infinity/-Infinity/NaN).
+std::string json_num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "Infinity" : "-Infinity";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  return '"' + trace::json_escape(s) + '"';
+}
+
+}  // namespace
+
+std::string diagnosis_json(const std::string& model,
+                           const CampaignDiagnosis& d) {
+  std::ostringstream os;
+  os << "{\"model\":" << json_str(model) << ",\"rejected\":" << d.rejected
+     << ",\"diagnosed\":" << d.diagnosed << ",\"atoms\":[";
+  bool first = true;
+  for (const auto& a : d.atoms) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"qualified\":" << json_str(a.qualified)
+       << ",\"score\":" << json_num(a.score)
+       << ",\"fail_association\":" << json_num(a.fail_association)
+       << ",\"max_rel_div\":" << json_num(a.max_rel_div)
+       << ",\"demoted_rejected\":" << a.demoted_rejected
+       << ",\"demoted_total\":" << a.demoted_total
+       << ",\"pivotal\":" << a.pivotal
+       << ",\"final64\":" << (a.final64 ? "true" : "false") << '}';
+  }
+  os << "],\"procedures\":[";
+  first = true;
+  for (const auto& p : d.procedures) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"qualified\":" << json_str(p.qualified)
+       << ",\"blame_share\":" << json_num(p.blame_share)
+       << ",\"max_rel_div\":" << json_num(p.max_rel_div)
+       << ",\"cancellations\":" << p.cancellations
+       << ",\"control_divergences\":" << p.control_divergences
+       << ",\"faults\":" << p.faults
+       << ",\"cast_cycles\":" << json_num(p.cast_cycles) << '}';
+  }
+  os << "],\"variants\":[";
+  first = true;
+  for (const auto& r : d.reports) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"key\":" << json_str(r.key)
+       << ",\"outcome\":" << json_str(to_string(r.outcome))
+       << ",\"max_rel_div\":" << json_num(r.max_rel_div)
+       << ",\"cancellations\":" << r.cancellations
+       << ",\"control_divergences\":" << r.control_divergences;
+    if (r.has_first_divergence) {
+      os << ",\"first_divergence_proc\":" << json_str(r.first_divergence_proc)
+         << ",\"first_divergence_instr\":" << r.first_divergence_instr;
+    }
+    if (!r.fault_proc.empty()) {
+      os << ",\"fault_proc\":" << json_str(r.fault_proc);
+    }
+    os << ",\"variables\":[";
+    bool vfirst = true;
+    for (const auto& v : r.variables) {
+      if (!vfirst) os << ',';
+      vfirst = false;
+      os << "{\"qualified\":" << json_str(v.qualified)
+         << ",\"demoted\":" << (v.demoted ? "true" : "false")
+         << ",\"max_rel_div\":" << json_num(v.max_rel_div)
+         << ",\"writes\":" << v.writes << '}';
+    }
+    os << "],\"procedures\":[";
+    vfirst = true;
+    for (const auto& p : r.procedures) {
+      if (!vfirst) os << ',';
+      vfirst = false;
+      os << "{\"qualified\":" << json_str(p.qualified)
+         << ",\"blame\":" << json_num(p.blame)
+         << ",\"introduced_sum\":" << json_num(p.introduced_sum)
+         << ",\"max_rel_div\":" << json_num(p.max_rel_div)
+         << ",\"cancellations\":" << p.cancellations
+         << ",\"control_divergences\":" << p.control_divergences
+         << ",\"cast_cycles\":" << json_num(p.cast_cycles)
+         << ",\"faulted\":" << (p.faulted ? "true" : "false") << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -34,4 +34,15 @@ std::vector<std::string> table2_row(const CampaignSummary& summary);
 /// 64-bit (the paper reports these counts, e.g. ADCIRC's single variable).
 std::string final_variant_report(const CampaignResult& result);
 
+/// Human-readable root-cause diagnosis (CampaignOptions::diagnose): the
+/// variable/procedure criticality rankings and per-variant divergence sites —
+/// the automated counterpart of the paper's §V hand analysis.
+std::string diagnosis_report(const CampaignResult& result);
+
+/// Machine-readable diagnosis export (one JSON document). Non-finite
+/// divergences are serialized with the Infinity/-Infinity/NaN tokens, which
+/// both json::parse and Python's json.loads accept.
+std::string diagnosis_json(const std::string& model,
+                           const CampaignDiagnosis& diagnosis);
+
 }  // namespace prose::tuner

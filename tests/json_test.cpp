@@ -5,6 +5,8 @@
 // "torn record".
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -119,6 +121,54 @@ TEST(Json, RejectsPathologicalNesting) {
   std::string ok = "1";
   for (int i = 0; i < 30; ++i) ok = "[" + ok + "]";
   EXPECT_TRUE(parse(ok).is_ok());
+}
+
+TEST(Json, NonFiniteExtensionTokens) {
+  // Shadow-diagnosis records carry divergences that are legitimately ±inf or
+  // NaN; the journal writes them as the bare tokens Python's json module
+  // emits and accepts. The parser must round-trip all three.
+  EXPECT_TRUE(std::isinf(parse_ok("Infinity").num_or(0)));
+  EXPECT_GT(parse_ok("Infinity").num_or(0), 0.0);
+  EXPECT_LT(parse_ok("-Infinity").num_or(0), 0.0);
+  EXPECT_TRUE(std::isnan(parse_ok("NaN").num_or(0)));
+  const auto arr = parse_ok("[Infinity,-Infinity,NaN,1.5]");
+  ASSERT_EQ(arr.items().size(), 4u);
+  EXPECT_TRUE(std::isinf(arr.items()[0].num_or(0)));
+  EXPECT_TRUE(std::isnan(arr.items()[2].num_or(0)));
+  const auto obj = parse_ok(R"({"max_rel_div":Infinity})");
+  EXPECT_TRUE(std::isinf(obj.find("max_rel_div")->num_or(0)));
+  // Truncations of the tokens are still rejected.
+  expect_rejects("Inf");
+  expect_rejects("-Infin");
+  expect_rejects("Na");
+  expect_rejects("nan");
+}
+
+TEST(Json, OutOfRangeNumbersSaturateByDirection) {
+  // strtod semantics without strtod: overflow saturates to ±inf, underflow
+  // to ±0 — never a parse error, because a journal written on one machine
+  // must load on another.
+  EXPECT_TRUE(std::isinf(parse_ok("1e999").num_or(0)));
+  EXPECT_GT(parse_ok("1e999").num_or(0), 0.0);
+  EXPECT_TRUE(std::isinf(parse_ok("-1e999").num_or(0)));
+  EXPECT_LT(parse_ok("-1e999").num_or(0), 0.0);
+  EXPECT_EQ(parse_ok("1e-999").num_or(1), 0.0);
+  EXPECT_EQ(parse_ok("-1e-999").num_or(1), 0.0);
+}
+
+TEST(Json, NumberParsingIgnoresGlobalLocale) {
+  // The parser uses std::from_chars, which is locale-independent by
+  // definition. Pin that: under a comma-decimal locale (when the container
+  // has one), "1.5" still parses as 1.5 and "1,5" is still trailing
+  // garbage.
+  const char* previous = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (previous == nullptr) {
+    previous = std::setlocale(LC_NUMERIC, "de_DE");
+  }
+  EXPECT_DOUBLE_EQ(parse_ok("1.5").num_or(0), 1.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-2.25e1").num_or(0), -22.5);
+  expect_rejects("1,5");
+  std::setlocale(LC_NUMERIC, "C");
 }
 
 }  // namespace

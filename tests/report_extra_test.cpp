@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "support/json.h"
 #include "tuner/html_report.h"
 #include "tuner/report.h"
 #include "tuner/search.h"
@@ -108,6 +111,95 @@ TEST(Report, VariantsCsvHasOneRowPerVariant) {
   const auto rows = static_cast<std::size_t>(
       std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(rows, trace.records.size() + 1);  // + header
+}
+
+/// A hand-built diagnosis with hostile names and non-finite numbers — the
+/// worst case for both the HTML escaper and the JSON emitter.
+CampaignDiagnosis hostile_diagnosis() {
+  CampaignDiagnosis d;
+  d.enabled = true;
+  d.rejected = 3;
+  d.diagnosed = 1;
+  AtomCriticality a;
+  a.qualified = "m::<p>::\"x\" & y";
+  a.score = 0.8;
+  a.fail_association = 1.0;
+  a.max_rel_div = std::numeric_limits<double>::infinity();
+  a.demoted_rejected = 2;
+  a.demoted_total = 2;
+  a.pivotal = 1;
+  a.final64 = true;
+  d.atoms.push_back(a);
+  ProcCriticality p;
+  p.qualified = "m::<script>alert(1)</script>";
+  p.blame_share = 1.0;
+  p.max_rel_div = std::numeric_limits<double>::quiet_NaN();
+  p.cancellations = 4;
+  d.procedures.push_back(p);
+  BlameReport r;
+  r.key = "48\"&<>";
+  r.outcome = Outcome::kFail;
+  r.max_rel_div = 1.5;
+  r.has_first_divergence = true;
+  r.first_divergence_proc = "m::<p>";
+  r.first_divergence_instr = 7;
+  r.fault_proc = "m::\"f\"";
+  d.reports.push_back(r);
+  return d;
+}
+
+TEST(HtmlReport, DiagnosisPageEscapesHostileNames) {
+  const std::string html = diagnosis_html("diag <&\" title", hostile_diagnosis());
+  // Raw injections must not survive: every `<`, `&`, and `"` from variant
+  // keys, procedure names, and the title comes out entity-escaped.
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_EQ(html.find("m::<p>"), std::string::npos);
+  EXPECT_EQ(html.find("48\"&<>"), std::string::npos);
+  EXPECT_NE(html.find("diag &lt;&amp;&quot; title"), std::string::npos);
+  EXPECT_NE(html.find("m::&lt;script&gt;alert(1)&lt;/script&gt;"),
+            std::string::npos);
+  EXPECT_NE(html.find("m::&lt;p&gt;::&quot;x&quot; &amp; y"),
+            std::string::npos);
+  EXPECT_NE(html.find("48&quot;&amp;&lt;&gt;"), std::string::npos);
+  // Well-formedness basics.
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Report, DiagnosisJsonRoundTripsThroughOwnParser) {
+  const std::string doc = diagnosis_json("toy", hostile_diagnosis());
+  auto parsed = json::parse(doc);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n" << doc;
+  const auto& v = parsed.value();
+  EXPECT_EQ(v.find("model")->str_or(""), "toy");
+  EXPECT_EQ(v.find("rejected")->int_or(0), 3);
+  ASSERT_EQ(v.find("atoms")->items().size(), 1u);
+  const auto& atom = v.find("atoms")->items()[0];
+  EXPECT_EQ(atom.find("qualified")->str_or(""), "m::<p>::\"x\" & y");
+  // Non-finite policy: +inf and NaN survive the emit→parse round trip.
+  EXPECT_TRUE(std::isinf(atom.find("max_rel_div")->num_or(0)));
+  const auto& proc = v.find("procedures")->items()[0];
+  EXPECT_TRUE(std::isnan(proc.find("max_rel_div")->num_or(0)));
+  const auto& variant = v.find("variants")->items()[0];
+  EXPECT_EQ(variant.find("key")->str_or(""), "48\"&<>");
+  EXPECT_EQ(variant.find("first_divergence_instr")->int_or(0), 7);
+}
+
+TEST(Report, DiagnosisReportListsRankingsAndSites) {
+  CampaignResult result;
+  result.summary.model = "toy";
+  result.diagnosis = hostile_diagnosis();
+  const std::string text = diagnosis_report(result);
+  EXPECT_NE(text.find("3 distinct rejected variants"), std::string::npos);
+  EXPECT_NE(text.find("variable criticality"), std::string::npos);
+  EXPECT_NE(text.find("[pivotal x1]"), std::string::npos);
+  EXPECT_NE(text.find("[kept 64-bit]"), std::string::npos);
+  EXPECT_NE(text.find("procedure blame"), std::string::npos);
+  EXPECT_NE(text.find("first divergence / fault sites"), std::string::npos);
+  EXPECT_NE(text.find("div inf"), std::string::npos);
+
+  CampaignResult off;
+  EXPECT_NE(diagnosis_report(off).find("not requested"), std::string::npos);
 }
 
 }  // namespace
