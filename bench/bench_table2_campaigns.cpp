@@ -13,13 +13,22 @@
 // truncated journal, and verifies the resumed search is bit-identical. The
 // measured overheads and the recovery ratio land in
 // BENCH_chaos_campaigns.json.
+// A served leg runs the MPAS-A campaign against an in-process evaluation
+// daemon (serve/server.h) twice — once against a cold result store, once
+// against the warm store a restarted daemon reloads — and verifies both are
+// bit-identical to the local run while the warm pass executes (nearly) no
+// evaluations. Evals executed, store-served counts, and wall times land in
+// BENCH_served_cache.json.
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "bench_common.h"
 #include "models/models.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 #include "tuner/html_report.h"
@@ -294,6 +303,117 @@ int main(int argc, char** argv) {
               << "x, recovery " << format_double(100.0 * recovery_ratio, 1)
               << "% replayed, resume "
               << (identical ? "bit-identical" : "DIVERGED") << "\n";
+  }
+
+  // --- Served leg: tuning-as-a-service, cold store vs warm store.
+  // The same MPAS-A campaign offloaded to an in-process daemon: the cold
+  // pass executes every variant and persists it; a *restarted* daemon over
+  // the same store then serves the warm pass from disk. Both passes must be
+  // bit-identical to the local run.
+  {
+    bench::header("Served — evaluation daemon, cold vs warm result store");
+    const TargetSpec spec = models::mpas_target();
+    // Unix socket paths are length-limited (~107 bytes), so the socket goes
+    // under /tmp rather than the (possibly deep) outdir.
+    const std::string sock =
+        "/tmp/prose_bench_served_" + std::to_string(::getpid()) + ".sock";
+    const std::string store = io.outdir + "/bench_served.store.jsonl";
+    std::remove(store.c_str());
+
+    const auto resolver =
+        [](const std::string& model) -> StatusOr<TargetSpec> {
+      if (model == "MPAS-A") return models::mpas_target();
+      return Status(StatusCode::kNotFound, "unknown model '" + model + "'");
+    };
+
+    std::cout << "running MPAS-A local / served-cold / served-warm...\n";
+    const auto local = timed_run(spec, CampaignOptions{}, 1);
+
+    struct ServedLeg {
+      TimedRun run;
+      serve::ServerStats stats;
+    };
+    const auto served_leg = [&]() -> ServedLeg {
+      serve::ServerOptions sopts;
+      sopts.endpoint = sock;
+      sopts.store_path = store;
+      sopts.jobs = 4;
+      serve::Server server(sopts, resolver);
+      if (Status s = server.start(); !s.is_ok()) {
+        std::cerr << "serve: " << s.to_string() << "\n";
+        std::exit(1);
+      }
+      serve::ServeClient::Options copts;
+      copts.endpoint = sock;
+      copts.model = spec.name;
+      copts.target_digest = serve::target_digest(spec);
+      auto client = serve::ServeClient::connect(copts);
+      if (!client.is_ok()) {
+        std::cerr << "serve: " << client.status().to_string() << "\n";
+        std::exit(1);
+      }
+      CampaignOptions options;
+      options.backend = client.value().get();
+      options.jobs = 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      ServedLeg leg;
+      leg.run.result = bench::run_or_die(spec, options);
+      leg.run.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      leg.stats = server.stats();
+      server.shutdown();
+      server.wait();
+      return leg;
+    };
+    const ServedLeg cold = served_leg();
+    const ServedLeg warm = served_leg();  // fresh daemon, same store file
+
+    const bool cold_identical =
+        same_search(local.result.search, cold.run.result.search);
+    const bool warm_identical =
+        same_search(local.result.search, warm.run.result.search);
+    const double warm_served_fraction =
+        warm.stats.requests > 0
+            ? static_cast<double>(warm.stats.store_hits) /
+                  static_cast<double>(warm.stats.requests)
+            : 0.0;
+
+    std::string json = "{\n";
+    json += "  \"model\": \"" + spec.name + "\",\n";
+    json += "  \"local_seconds\": " + format_double(local.seconds, 4) + ",\n";
+    json += "  \"cold\": {\"wall_seconds\": " +
+            format_double(cold.run.seconds, 4) +
+            ", \"requests\": " + std::to_string(cold.stats.requests) +
+            ", \"evals_executed\": " +
+            std::to_string(cold.stats.evals_executed) +
+            ", \"store_served\": " + std::to_string(cold.stats.store_hits) +
+            ", \"identical_to_local\": " +
+            (cold_identical ? "true" : "false") + "},\n";
+    json += "  \"warm\": {\"wall_seconds\": " +
+            format_double(warm.run.seconds, 4) +
+            ", \"requests\": " + std::to_string(warm.stats.requests) +
+            ", \"evals_executed\": " +
+            std::to_string(warm.stats.evals_executed) +
+            ", \"store_served\": " + std::to_string(warm.stats.store_hits) +
+            ", \"identical_to_local\": " +
+            (warm_identical ? "true" : "false") + "},\n";
+    json += "  \"warm_served_fraction\": " +
+            format_double(warm_served_fraction, 4) + ",\n";
+    json += "  \"store_records\": " + std::to_string(warm.stats.store_records) +
+            "\n";
+    json += "}\n";
+    io.write_file("json", "BENCH_served_cache.json", json);
+
+    std::cout << "  cold: " << cold.stats.evals_executed << " evals executed, "
+              << format_double(cold.run.seconds, 2) << " s ("
+              << (cold_identical ? "identical" : "DIVERGED") << ")\n"
+              << "  warm: " << warm.stats.evals_executed
+              << " evals executed, " << warm.stats.store_hits
+              << " store-served, " << format_double(warm.run.seconds, 2)
+              << " s (" << (warm_identical ? "identical" : "DIVERGED")
+              << ", " << format_double(100.0 * warm_served_fraction, 1)
+              << "% served)\n";
   }
 
   bench::header("Table II recap (shape checks)");

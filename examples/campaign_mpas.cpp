@@ -23,11 +23,18 @@
 //                  campaign itself stays bit-identical)
 //        --diagnosis-out FILE (write the diagnosis as JSON; FILE.html gets
 //                  the standalone HTML page alongside)
+//        --server ENDPOINT (offload evaluations to a prose_served daemon at
+//                  "unix:/path", "tcp:host:port", or a bare socket path;
+//                  results are bit-identical to a local run)
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "models/mpas.h"
+#include "serve/client.h"
+#include "serve/wire.h"
 #include "support/cli.h"
 #include "tuner/campaign.h"
 #include "tuner/html_report.h"
@@ -35,7 +42,22 @@
 
 using namespace prose;
 
+namespace {
+
+// SIGINT/SIGTERM request a graceful stop: the campaign finishes the batch in
+// flight, journals it, flushes the tracer, and tears down normally — so an
+// interrupted run is resumable instead of leaving torn sinks behind.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   auto flags = CliFlags::parse(argc, argv);
   tuner::CampaignOptions options;
   if (flags.is_ok()) {
@@ -60,8 +82,34 @@ int main(int argc, char** argv) {
   }
   const std::string diagnosis_out =
       flags.is_ok() ? flags->get_string("diagnosis-out", "") : "";
+  const std::string server_endpoint =
+      flags.is_ok() ? flags->get_string("server", "") : "";
 
   const tuner::TargetSpec spec = models::mpas_target();
+  options.stop = &g_stop;
+
+  std::unique_ptr<serve::ServeClient> server_client;
+  if (!server_endpoint.empty()) {
+    serve::ServeClient::Options copts;
+    copts.endpoint = server_endpoint;
+    copts.model = spec.name;
+    copts.noise_seed = options.noise_seed;
+    copts.fault_spec = options.fault_spec;
+    copts.fault_seed = options.fault_seed;
+    copts.retry_max_attempts = options.retry.max_attempts;
+    copts.retry_backoff_seconds = options.retry.backoff_seconds;
+    copts.target_digest = serve::target_digest(spec);
+    auto client = serve::ServeClient::connect(copts);
+    if (!client.is_ok()) {
+      std::cerr << "cannot reach evaluation server at " << server_endpoint
+                << ": " << client.status().to_string() << "\n";
+      return 2;
+    }
+    server_client = std::move(client.value());
+    options.backend = server_client.get();
+    std::cout << "server: " << server_endpoint << " namespace "
+              << server_client->namespace_hex() << "\n";
+  }
   std::cout << "tuning " << spec.name << " on " << options.cluster.nodes
             << " simulated nodes, "
             << options.cluster.wall_budget_seconds / 3600.0 << " h budget ("
@@ -100,6 +148,21 @@ int main(int argc, char** argv) {
   }
   if (!options.trace.jsonl_path.empty()) {
     std::cout << "wrote trace event log: " << options.trace.jsonl_path << "\n";
+  }
+  // "server-stats|"-prefixed line so CI can assert warm-store hit rates
+  // without parsing the human-readable report.
+  if (server_client != nullptr) {
+    auto stats = server_client->stats_json();
+    if (stats.is_ok()) {
+      std::cout << "server-stats| " << stats.value() << "\n";
+    } else {
+      std::cerr << "server stats unavailable: " << stats.status().to_string()
+                << "\n";
+    }
+  }
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::cerr << "campaign interrupted by signal — sinks flushed; "
+              << "rerun with --resume to continue\n";
   }
   // "journal"-prefixed lines so crash/resume harnesses can diff the rest of
   // the output against an uninterrupted reference run.

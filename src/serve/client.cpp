@@ -1,0 +1,238 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+#include "support/json.h"
+#include "tuner/eval_codec.h"
+
+namespace prose::serve {
+namespace {
+
+std::string eval_payload(std::uint64_t id, const std::string& key,
+                         std::uint64_t stream) {
+  std::string out = "{\"type\":\"eval\",\"id\":" + std::to_string(id);
+  out += ",\"key\":" + tuner::json_quoted(key);
+  out += ",\"stream\":" + std::to_string(stream);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::connect(
+    const Options& options) {
+  auto fd = connect_endpoint(options.endpoint);
+  if (!fd.is_ok()) return fd.status();
+  std::unique_ptr<ServeClient> client(new ServeClient());
+  client->options_ = options;
+  client->fd_ = fd.value();
+
+  std::string hello = "{\"type\":\"hello\",\"id\":0,\"proto\":" +
+                      std::to_string(kProtoVersion);
+  hello += ",\"model\":" + tuner::json_quoted(options.model);
+  hello += ",\"noise_seed\":" + std::to_string(options.noise_seed);
+  hello += ",\"fault_spec\":" + tuner::json_quoted(options.fault_spec);
+  hello += ",\"fault_seed\":" + std::to_string(options.fault_seed);
+  hello += ",\"retry_max_attempts\":" +
+           std::to_string(options.retry_max_attempts);
+  hello += ",\"retry_backoff_seconds\":" +
+           tuner::json_double(options.retry_backoff_seconds);
+  if (options.target_digest != 0) {
+    hello +=
+        ",\"target_digest\":" + tuner::json_quoted(digest_hex(options.target_digest));
+  }
+  hello += '}';
+  if (Status s = send_frame(client->fd_, hello); !s.is_ok()) return s;
+
+  std::string payload;
+  if (Status s = read_frame(client->fd_, client->dec_, &payload); !s.is_ok()) {
+    return s;
+  }
+  auto parsed = json::parse(payload);
+  if (!parsed.is_ok()) return parsed.status();
+  const json::Value& v = parsed.value();
+  const std::string type =
+      v.find("type") != nullptr ? v.find("type")->str_or("") : "";
+  if (type != "hello_ok") {
+    const std::string code =
+        v.find("code") != nullptr ? v.find("code")->str_or("") : type;
+    const std::string msg =
+        v.find("message") != nullptr ? v.find("message")->str_or("") : payload;
+    return Status(StatusCode::kInvalidArgument,
+                  "server rejected hello (" + code + "): " + msg);
+  }
+  if (const json::Value* ns = v.find("namespace"); ns != nullptr) {
+    client->ns_hex_ = ns->str_or("");
+  }
+  return client;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many(
+    std::span<const tuner::Config> configs,
+    std::span<const std::uint64_t> streams) {
+  std::vector<RemoteItem> items(configs.size());
+  if (configs.size() != streams.size()) return items;
+  std::lock_guard lock(mu_);
+
+  const auto fail_unresolved = [&](const std::string& why,
+                                   const std::vector<bool>& resolved) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!resolved[i]) {
+        items[i].ok = false;
+        items[i].aborted = false;
+        items[i].error = why;
+      }
+    }
+  };
+  std::vector<bool> resolved(items.size(), false);
+  if (dead_ || fd_ < 0) {
+    fail_unresolved("connection dead", resolved);
+    return items;
+  }
+
+  // Pipeline the whole batch: all requests go out before any response is
+  // read, so the server can admit and coalesce them together and the socket
+  // round trip is paid once, not per variant.
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  std::vector<std::uint64_t> ids(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ids[i] = next_id_++;
+    by_id.emplace(ids[i], i);
+    if (Status s = send_frame(fd_, eval_payload(ids[i], configs[i].key(),
+                                                streams[i]));
+        !s.is_ok()) {
+      dead_ = true;
+      fail_unresolved(s.message(), resolved);
+      return items;
+    }
+  }
+
+  std::vector<int> busy_rounds(items.size(), 0);
+  std::size_t unresolved = items.size();
+  std::string payload;
+  while (unresolved > 0) {
+    if (Status s = read_frame(fd_, dec_, &payload); !s.is_ok()) {
+      dead_ = true;
+      fail_unresolved(s.message(), resolved);
+      return items;
+    }
+    auto parsed = json::parse(payload);
+    if (!parsed.is_ok()) {
+      // The server never sends malformed JSON; if we see it, framing or
+      // peer is broken — stop trusting the connection.
+      dead_ = true;
+      fail_unresolved("malformed server payload: " + parsed.status().message(),
+                      resolved);
+      return items;
+    }
+    const json::Value& v = parsed.value();
+    const json::Value* idv = v.find("id");
+    const auto it =
+        idv != nullptr
+            ? by_id.find(static_cast<std::uint64_t>(idv->int_or(0)))
+            : by_id.end();
+    if (it == by_id.end()) continue;  // not ours (stale/unsolicited)
+    const std::size_t i = it->second;
+    if (resolved[i]) continue;
+    const std::string type =
+        v.find("type") != nullptr ? v.find("type")->str_or("") : "";
+    if (type == "eval_ok") {
+      auto eval = tuner::evaluation_from_json(v);
+      if (eval.is_ok()) {
+        items[i].ok = true;
+        items[i].eval = std::move(eval.value());
+      } else {
+        items[i].error = "bad eval_ok: " + eval.status().message();
+      }
+      resolved[i] = true;
+      --unresolved;
+      continue;
+    }
+    if (type == "error") {
+      const std::string code =
+          v.find("code") != nullptr ? v.find("code")->str_or("") : "";
+      const std::string msg =
+          v.find("message") != nullptr ? v.find("message")->str_or("") : "";
+      if (code == "busy") {
+        // Backpressure: wait the server's hint, then resend this request
+        // (same id — the server treats every eval frame independently).
+        if (++busy_rounds[i] > options_.max_busy_retries) {
+          items[i].error = "server busy (retries exhausted)";
+          resolved[i] = true;
+          --unresolved;
+          continue;
+        }
+        double after = 0.05;
+        if (const json::Value* ra = v.find("retry_after"); ra != nullptr) {
+          after = ra->num_or(after);
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(after));
+        if (Status s = send_frame(fd_, eval_payload(ids[i], configs[i].key(),
+                                                    streams[i]));
+            !s.is_ok()) {
+          dead_ = true;
+          fail_unresolved(s.message(), resolved);
+          return items;
+        }
+        continue;
+      }
+      if (code == "abort") {
+        items[i].aborted = true;
+        items[i].error = msg;
+      } else {
+        items[i].error = code + ": " + msg;
+      }
+      resolved[i] = true;
+      --unresolved;
+      continue;
+    }
+    // Unknown frame type addressed to us: treat as a per-item failure.
+    items[i].error = "unexpected frame type '" + type + "'";
+    resolved[i] = true;
+    --unresolved;
+  }
+  return items;
+}
+
+StatusOr<std::string> ServeClient::stats_json() {
+  std::lock_guard lock(mu_);
+  if (dead_ || fd_ < 0) {
+    return Status(StatusCode::kRuntimeFault, "connection dead");
+  }
+  if (Status s = send_frame(fd_, "{\"type\":\"stats\"}"); !s.is_ok()) return s;
+  std::string payload;
+  while (true) {
+    if (Status s = read_frame(fd_, dec_, &payload); !s.is_ok()) return s;
+    auto parsed = json::parse(payload);
+    if (!parsed.is_ok()) return parsed.status();
+    const json::Value* type = parsed->find("type");
+    if (type != nullptr && type->str_or("") == "stats_ok") return payload;
+    // Anything else on the wire here is unexpected but harmless — skip it.
+  }
+}
+
+StatusOr<std::string> query_stats(const std::string& endpoint) {
+  auto fd = connect_endpoint(endpoint);
+  if (!fd.is_ok()) return fd.status();
+  Status sent = send_frame(fd.value(), "{\"type\":\"stats\"}");
+  if (!sent.is_ok()) {
+    ::close(fd.value());
+    return sent;
+  }
+  FrameDecoder dec;
+  std::string payload;
+  const Status got = read_frame(fd.value(), dec, &payload);
+  ::close(fd.value());
+  if (!got.is_ok()) return got;
+  return payload;
+}
+
+}  // namespace prose::serve

@@ -1,0 +1,85 @@
+// Campaign-side client of the evaluation service.
+//
+// Implements tuner::EvalBackend, so a campaign plugs it in with
+// CampaignOptions::backend and every cache miss is shipped to the daemon as
+// a pipelined batch of eval frames. The client never chooses noise streams —
+// it forwards the ones the campaign's evaluator assigned in proposal order,
+// which is the whole determinism story: results depend only on
+// (namespace, config, stream), never on which client asked first.
+//
+// Failure policy mirrors the journal/tracer sinks: a dead or misbehaving
+// server degrades the campaign to local computation (bit-identical results,
+// just slower), never fails it. `busy` frames are retried after the server's
+// retry_after hint; a transport error marks the connection dead and every
+// subsequent batch reports failure immediately so the evaluator stops
+// trying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/wire.h"
+#include "support/status.h"
+#include "tuner/evaluator.h"
+
+namespace prose::serve {
+
+class ServeClient : public tuner::EvalBackend {
+ public:
+  struct Options {
+    std::string endpoint;
+    /// Model name the server resolves (TargetSpec::name, e.g. "MPAS-A").
+    std::string model;
+    std::uint64_t noise_seed = 2024;
+    std::string fault_spec;
+    std::uint64_t fault_seed = 2025;
+    int retry_max_attempts = 3;
+    double retry_backoff_seconds = 30.0;
+    /// Client-side target digest (wire.h target_digest); 0 skips the check.
+    /// When set, the hello fails unless the server's model is bit-identical.
+    std::uint64_t target_digest = 0;
+    /// Bound on busy→retry rounds per request before giving up (and falling
+    /// back to local computation).
+    int max_busy_retries = 200;
+  };
+
+  /// Connects and completes the hello handshake (which pins the result
+  /// namespace server-side). Fails on transport errors, protocol mismatch,
+  /// unknown model, or digest mismatch.
+  static StatusOr<std::unique_ptr<ServeClient>> connect(const Options& options);
+  ~ServeClient() override;
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// EvalBackend: evaluates configs[i] on streams[i], pipelining the whole
+  /// batch over one socket. Per-item failures degrade per item.
+  std::vector<RemoteItem> evaluate_many(
+      std::span<const tuner::Config> configs,
+      std::span<const std::uint64_t> streams) override;
+
+  /// The server's stats_ok payload (raw JSON) — CI and bench introspection.
+  StatusOr<std::string> stats_json();
+
+  /// Namespace digest the server assigned at hello (16-char hex).
+  [[nodiscard]] const std::string& namespace_hex() const { return ns_hex_; }
+
+ private:
+  ServeClient() = default;
+
+  Options options_;
+  int fd_ = -1;
+  FrameDecoder dec_;
+  std::uint64_t next_id_ = 1;
+  std::string ns_hex_;
+  bool dead_ = false;  // transport failed: stop trying, fall back locally
+  std::mutex mu_;      // one request/response conversation at a time
+};
+
+/// One-shot stats query over a fresh connection (no hello needed) — lets CI
+/// scripts and operators poll a daemon without standing up a campaign.
+StatusOr<std::string> query_stats(const std::string& endpoint);
+
+}  // namespace prose::serve

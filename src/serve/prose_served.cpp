@@ -1,0 +1,115 @@
+// prose_served: the tuning-as-a-service daemon.
+//
+// Owns one shared Evaluator per (target, noise, fault) namespace and a
+// persistent content-addressed result store, and serves evaluation requests
+// to any number of `campaign_* --server` clients over the PF01 protocol.
+//
+// Flags: --socket PATH | --endpoint EP ("unix:/path" or "tcp:host:port")
+//        --store FILE (persistent result store; a directory gets
+//                  "/store.jsonl" appended; empty = memory-only)
+//        --jobs N (evaluation worker threads; 0 = hardware concurrency)
+//        --queue N (admission-queue bound before `busy` rejections)
+//        --retry-after SECONDS (hint carried in `busy` frames)
+//        --trace-out FILE / --trace-jsonl FILE (flight recorder)
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight work,
+// deliver responses, flush store and tracer, print stats, exit 0.
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <iostream>
+#include <string>
+
+#include "models/models.h"
+#include "serve/server.h"
+#include "support/cli.h"
+
+using namespace prose;
+
+namespace {
+
+StatusOr<tuner::TargetSpec> resolve_model(const std::string& model) {
+  if (model == "funarc") return models::funarc_target();
+  if (model == "MPAS-A") return models::mpas_target();
+  if (model == "ADCIRC") return models::adcirc_target();
+  if (model == "MOM6") return models::mom6_target();
+  return Status(StatusCode::kNotFound,
+                "unknown model '" + model +
+                    "' (have: funarc, MPAS-A, ADCIRC, MOM6)");
+}
+
+/// --store DIR appends /store.jsonl (created if missing) so the quickstart
+/// `--store cache/` works without knowing the file name.
+std::string resolve_store_path(const std::string& arg) {
+  if (arg.empty()) return arg;
+  struct stat st {};
+  const bool is_dir =
+      (::stat(arg.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) ||
+      arg.back() == '/';
+  if (!is_dir) return arg;
+  std::string dir = arg;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  ::mkdir(dir.c_str(), 0755);  // best effort; open() reports real failures
+  return dir + "/store.jsonl";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = CliFlags::parse(argc, argv);
+  if (!flags.is_ok()) {
+    std::cerr << flags.status().to_string() << "\n";
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.endpoint = flags->get_string("endpoint", "");
+  if (options.endpoint.empty()) {
+    options.endpoint = flags->get_string("socket", "/tmp/prose.sock");
+  }
+  options.store_path = resolve_store_path(flags->get_string("store", ""));
+  options.jobs = static_cast<std::size_t>(flags->get_int("jobs", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags->get_int("queue", 256));
+  options.retry_after_seconds = flags->get_double("retry-after", 0.05);
+  options.trace.chrome_path = flags->get_string("trace-out", "");
+  options.trace.jsonl_path = flags->get_string("trace-jsonl", "");
+
+  // Block the shutdown signals before any thread exists so every thread
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  serve::Server server(options, resolve_model);
+  if (Status s = server.start(); !s.is_ok()) {
+    std::cerr << "prose_served: " << s.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "prose_served listening on " << options.endpoint
+            << (options.store_path.empty()
+                    ? std::string(" (memory-only store)")
+                    : " store=" + options.store_path)
+            << "\n"
+            << std::flush;
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::cout << "prose_served: caught "
+            << (sig == SIGTERM ? "SIGTERM" : "SIGINT") << ", draining...\n"
+            << std::flush;
+  server.shutdown();
+  server.wait();
+
+  const serve::ServerStats st = server.stats();
+  std::cout << "prose_served: drained. connections=" << st.connections
+            << " requests=" << st.requests
+            << " evals_executed=" << st.evals_executed
+            << " store_hits=" << st.store_hits << " coalesced=" << st.coalesced
+            << " busy=" << st.busy_rejections << " aborts=" << st.aborts
+            << " namespaces=" << st.namespaces
+            << " store_records=" << st.store_records << "\n";
+  return 0;
+}

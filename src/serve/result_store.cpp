@@ -1,0 +1,220 @@
+#include "serve/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "serve/wire.h"
+#include "support/json.h"
+#include "support/strings.h"
+#include "tuner/eval_codec.h"
+
+namespace prose::serve {
+namespace {
+
+constexpr const char* kHeaderLine = "{\"type\":\"prose-store\",\"format\":1}\n";
+
+/// Parses a 16-char lowercase hex digest; false on anything else.
+bool parse_hex64(std::string_view s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+ResultStore::~ResultStore() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t ResultStore::content_key(std::uint64_t ns, const std::string& key,
+                                       std::uint64_t stream) {
+  std::string c = digest_hex(ns);
+  c += '\0';
+  c += key;
+  c += '\0';
+  c += std::to_string(stream);
+  return fnv1a64(c);
+}
+
+StatusOr<std::unique_ptr<ResultStore>> ResultStore::open(
+    const std::string& path) {
+  auto store = std::make_unique<ResultStore>();
+  store->path_ = path;
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+
+  // Recover the longest valid line-prefix, exactly like journal recovery: a
+  // line without '\n' is torn (the crash interrupted the write), a complete
+  // line that does not parse marks the end of trustworthy data.
+  std::size_t valid_bytes = 0;
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn trailing record
+    const std::string_view line(text.data() + pos, nl - pos);
+    if (!line.empty()) {
+      auto parsed = json::parse(line);
+      if (!parsed.is_ok()) {
+        if (first) {
+          return Status(StatusCode::kInvalidArgument,
+                        "'" + path +
+                            "' does not start with a prose-store header — "
+                            "refusing to treat it as a result store");
+        }
+        break;  // corrupt record: keep the prefix before it
+      }
+      const json::Value& v = parsed.value();
+      const std::string type =
+          v.find("type") != nullptr ? v.find("type")->str_or("") : "";
+      if (first) {
+        if (type != "prose-store") {
+          return Status(StatusCode::kInvalidArgument,
+                        "'" + path +
+                            "' does not start with a prose-store header — "
+                            "refusing to treat it as a result store");
+        }
+        first = false;
+      } else if (type == "result") {
+        Record rec;
+        const json::Value* ns = v.find("ns");
+        const json::Value* key = v.find("key");
+        if (ns == nullptr || key == nullptr ||
+            !parse_hex64(ns->str_or(""), &rec.ns) || !key->is_string()) {
+          break;
+        }
+        rec.key = key->str_or("");
+        rec.stream = static_cast<std::uint64_t>(
+            v.find("stream") != nullptr ? v.find("stream")->int_or(0) : 0);
+        auto eval = tuner::evaluation_from_json(v);
+        if (!eval.is_ok()) break;
+        rec.eval = std::move(eval.value());
+        const std::uint64_t digest = content_key(rec.ns, rec.key, rec.stream);
+        store->by_digest_[digest].push_back(std::move(rec));
+        ++store->count_;
+      }
+      // Unknown record types are informational — skipped, prefix stays valid.
+    }
+    pos = nl + 1;
+    valid_bytes = pos;
+  }
+  store->recovered_ = store->count_;
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kInvalidArgument, "cannot open store '" + path +
+                                                    "': " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    const Status s = Status(StatusCode::kRuntimeFault,
+                            "cannot truncate store '" + path +
+                                "': " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  store->fd_ = fd;
+  if (valid_bytes == 0) {
+    const std::size_t n = std::strlen(kHeaderLine);
+    if (::write(fd, kHeaderLine, n) != static_cast<ssize_t>(n) ||
+        ::fsync(fd) != 0) {
+      const Status s = Status(StatusCode::kRuntimeFault,
+                              "cannot write store header '" + path +
+                                  "': " + std::strerror(errno));
+      ::close(fd);
+      store->fd_ = -1;
+      return s;
+    }
+  }
+  return store;
+}
+
+bool ResultStore::lookup(std::uint64_t ns, const std::string& key,
+                         std::uint64_t stream, tuner::Evaluation* out) const {
+  const std::uint64_t digest = content_key(ns, key, stream);
+  std::lock_guard lock(mu_);
+  const auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return false;
+  for (const Record& rec : it->second) {
+    if (rec.ns == ns && rec.stream == stream && rec.key == key) {
+      *out = rec.eval;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResultStore::insert(std::uint64_t ns, const std::string& key,
+                         std::uint64_t stream, const tuner::Evaluation& eval) {
+  const std::uint64_t digest = content_key(ns, key, stream);
+  std::lock_guard lock(mu_);
+  auto& bucket = by_digest_[digest];
+  for (const Record& rec : bucket) {
+    if (rec.ns == ns && rec.stream == stream && rec.key == key) return;
+  }
+
+  if (fd_ >= 0) {
+    std::string line = "{\"type\":\"result\"";
+    line += ",\"id\":" + tuner::json_quoted(digest_hex(digest));
+    line += ",\"ns\":" + tuner::json_quoted(digest_hex(ns));
+    line += ",\"key\":" + tuner::json_quoted(key);
+    line += ",\"stream\":" + std::to_string(stream);
+    tuner::append_evaluation_fields(line, eval);
+    line += "}\n";
+    // One write() per record: a crash leaves at most one torn line, which
+    // recovery drops. fsync before the record becomes visible — a result a
+    // client was told is stored must survive kill -9.
+    if (::write(fd_, line.data(), line.size()) !=
+            static_cast<ssize_t>(line.size()) ||
+        ::fsync(fd_) != 0) {
+      error_ = Status(StatusCode::kRuntimeFault,
+                      "store write failed ('" + path_ +
+                          "'): " + std::strerror(errno) +
+                          " — continuing memory-only");
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bucket.push_back(Record{ns, key, stream, eval});
+  ++count_;
+}
+
+std::size_t ResultStore::records() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+Status ResultStore::error() const {
+  std::lock_guard lock(mu_);
+  return error_;
+}
+
+}  // namespace prose::serve

@@ -1,0 +1,86 @@
+// Persistent, content-addressed store of evaluation results.
+//
+// An append-only record log, one fsync'd JSON line per result, keyed by the
+// FNV-1a digest of (result namespace ‖ config key ‖ noise stream). The
+// encoding is the journal's (tuner/eval_codec): %.17g doubles with
+// Infinity/-Infinity/NaN tokens, so a stored result round-trips bit-exact —
+// a campaign served from the store journals the same bytes a local run
+// would have computed.
+//
+// Crash consistency follows the write-ahead journal's discipline: each
+// record is one line, written with a single write() and fsync'd before
+// insert() returns; on open the longest valid line-prefix is kept and
+// anything after the first torn or corrupt line is truncated. A file whose
+// first complete line is not a prose-store header is refused — open() never
+// truncates somebody else's file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/status.h"
+#include "tuner/evaluator.h"
+
+namespace prose::serve {
+
+class ResultStore {
+ public:
+  /// In-memory only store (no persistence) — the server's mode when started
+  /// without --store.
+  ResultStore() = default;
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Opens (creating if absent) the store at `path`, recovering the valid
+  /// record prefix. Fails on a foreign file or an unwritable path.
+  static StatusOr<std::unique_ptr<ResultStore>> open(const std::string& path);
+
+  /// Exact lookup. Returns true and fills *out on a hit. Thread-safe.
+  bool lookup(std::uint64_t ns, const std::string& key, std::uint64_t stream,
+              tuner::Evaluation* out) const;
+
+  /// Inserts (and, when backed by a file, appends + fsyncs) one result.
+  /// A duplicate (ns, key, stream) is ignored — results are deterministic,
+  /// the first record is as good as any. Thread-safe. A write failure
+  /// degrades the store to memory-only and is reported via error().
+  void insert(std::uint64_t ns, const std::string& key, std::uint64_t stream,
+              const tuner::Evaluation& eval);
+
+  /// Results currently resident (recovered + inserted).
+  [[nodiscard]] std::size_t records() const;
+  /// Results recovered from disk at open (0 for in-memory stores).
+  [[nodiscard]] std::size_t recovered() const { return recovered_; }
+  /// First write failure, if the store degraded (ok = healthy).
+  [[nodiscard]] Status error() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The content address of one result.
+  static std::uint64_t content_key(std::uint64_t ns, const std::string& key,
+                                   std::uint64_t stream);
+
+ private:
+  struct Record {
+    std::uint64_t ns = 0;
+    std::string key;
+    std::uint64_t stream = 0;
+    tuner::Evaluation eval;
+  };
+
+  /// Full-record equality check guards against content_key collisions: a
+  /// lookup matches only on (ns, key, stream), never on the digest alone.
+  std::unordered_map<std::uint64_t, std::vector<Record>> by_digest_;
+  std::size_t count_ = 0;
+  std::size_t recovered_ = 0;
+  int fd_ = -1;  // -1 = memory-only (never opened, or degraded)
+  std::string path_;
+  Status error_ = Status::ok();
+  mutable std::mutex mu_;
+};
+
+}  // namespace prose::serve

@@ -1,0 +1,597 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/json.h"
+#include "tuner/eval_codec.h"
+
+namespace prose::serve {
+
+// --- private structs ------------------------------------------------------
+
+/// One result namespace: a shared Evaluator (with its fault plan) serving
+/// every client that said hello with the same (target, noise seed, fault
+/// spec/seed, retry policy). Lives for the server's lifetime.
+struct Server::Namespace {
+  std::uint64_t digest = 0;
+  std::uint64_t target = 0;
+  FaultPlan plan;  // must outlive the evaluator it is attached to
+  std::unique_ptr<tuner::Evaluator> evaluator;
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;  // frames are written whole, never interleaved
+  Namespace* ns = nullptr;  // set by a successful hello
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One admitted evaluation: a distinct (namespace, config key, stream)
+/// triple and every client waiting on it (single-flight).
+struct Server::Unit {
+  std::string ukey;
+  std::uint64_t ns_digest = 0;
+  std::string key;
+  std::uint64_t stream = 0;
+  tuner::Config config;
+  tuner::Evaluator* evaluator = nullptr;
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::int64_t id = 0;
+  };
+  std::vector<Waiter> waiters;
+};
+
+namespace {
+
+std::string unit_key(std::uint64_t ns, const std::string& key,
+                     std::uint64_t stream) {
+  std::string u = digest_hex(ns);
+  u += '|';
+  u += key;
+  u += '|';
+  u += std::to_string(stream);
+  return u;
+}
+
+std::int64_t frame_id(const json::Value& v) {
+  const json::Value* id = v.find("id");
+  return id != nullptr ? id->int_or(-1) : -1;
+}
+
+}  // namespace
+
+// --- lifecycle ------------------------------------------------------------
+
+Server::Server(ServerOptions options, TargetResolver resolver)
+    : options_(std::move(options)),
+      resolver_(std::move(resolver)),
+      tracer_(options_.trace) {}
+
+Server::~Server() {
+  shutdown();
+  wait();
+}
+
+Status Server::start() {
+  if (started_.exchange(true)) {
+    return Status(StatusCode::kInvalidArgument, "server already started");
+  }
+  if (options_.trace.enabled() && !tracer_.error().is_ok()) {
+    return tracer_.error();
+  }
+  if (!options_.store_path.empty()) {
+    auto store = ResultStore::open(options_.store_path);
+    if (!store.is_ok()) return store.status();
+    store_ = std::move(store.value());
+  } else {
+    store_ = std::make_unique<ResultStore>();
+  }
+  const std::size_t jobs = options_.jobs == 0 ? ThreadPool::hardware_workers()
+                                              : options_.jobs;
+  if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+
+  auto fd = listen_endpoint(options_.endpoint);
+  if (!fd.is_ok()) return fd.status();
+  listen_fd_ = fd.value();
+
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void Server::shutdown() {
+  if (!started_.load() || shut_down_.exchange(true)) return;
+
+  // Stop admitting: new eval requests get `shutting_down`, the accept loop
+  // exits on its next poll tick, and readers are woken out of recv() with a
+  // half-close — their sockets stay writable for in-flight responses.
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) ::close(fd);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // The dispatcher drains the queue (delivering every admitted evaluation's
+  // response) before it exits; connection readers exit on the half-close.
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+    conns_.clear();
+  }
+  unlink_endpoint(options_.endpoint);
+  (void)tracer_.flush();  // store fsyncs per insert; only the tracer buffers
+  {
+    std::lock_guard lock(done_mu_);
+    drained_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (!started_.load()) return;
+  std::unique_lock lock(done_mu_);
+  done_cv_.wait(lock, [this] { return drained_; });
+}
+
+// --- accept / read --------------------------------------------------------
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = listen_fd_.load();
+    if (fd < 0) return;
+    pollfd p{fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, 200);
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+    }
+    if (rc <= 0) continue;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client;
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard lock(conns_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { connection_loop(conn); });
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  FrameDecoder dec;
+  std::string payload;
+  bool corrupt = false;
+  while (!corrupt) {
+    char buf[8192];
+    // Drain whole frames already buffered before reading more.
+    while (true) {
+      auto got = dec.next(&payload);
+      if (!got.is_ok()) {
+        // Framing lost (bad magic / oversized length): one clean error
+        // frame, then close — there is no way to find the next frame
+        // boundary in an unsynchronized stream.
+        {
+          std::lock_guard slock(stats_mu_);
+          ++stats_.bad_frames;
+        }
+        send_error(conn, -1, "bad_frame", got.status().message());
+        corrupt = true;
+        break;
+      }
+      if (!got.value()) break;
+      if (!handle_payload(conn, payload)) {
+        corrupt = true;
+        break;
+      }
+    }
+    if (corrupt) break;
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n == 0) break;  // orderly EOF (or drain half-close)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    dec.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (corrupt) {
+    // Framing is lost: nothing further from this peer can be trusted. Hang
+    // up now (the error frame above already went out) — the Connection
+    // object itself lives until shutdown, so only the socket is torn down.
+    // On orderly EOF the socket stays open instead: in-flight responses for
+    // pipelined requests still need the write side during a drain.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+// --- request handling -----------------------------------------------------
+
+bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload) {
+  auto parsed = json::parse(payload);
+  if (!parsed.is_ok()) {
+    // Garbage *inside* an intact frame: framing is still synchronized, so
+    // the connection survives — reject just this request.
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.bad_frames;
+    }
+    send_error(conn, -1, "bad_frame", parsed.status().message());
+    return true;
+  }
+  const json::Value& v = parsed.value();
+  const std::string type =
+      v.find("type") != nullptr ? v.find("type")->str_or("") : "";
+  if (type == "eval") return handle_eval(conn, v);
+  if (type == "hello") return handle_hello(conn, v);
+  if (type == "stats") {
+    send_to(conn, stats_payload());
+    return true;
+  }
+  send_error(conn, frame_id(v), "bad_request",
+             "unknown frame type '" + type + "'");
+  return true;
+}
+
+bool Server::handle_hello(const std::shared_ptr<Connection>& conn,
+                          const json::Value& v) {
+  const std::int64_t proto =
+      v.find("proto") != nullptr ? v.find("proto")->int_or(0) : 0;
+  if (proto != kProtoVersion) {
+    send_error(conn, frame_id(v), "bad_request",
+               "protocol version " + std::to_string(proto) +
+                   " unsupported (server speaks " +
+                   std::to_string(kProtoVersion) + ")");
+    return false;  // versions disagree: nothing else will parse either
+  }
+  const std::string model =
+      v.find("model") != nullptr ? v.find("model")->str_or("") : "";
+  auto spec = resolver_(model);
+  if (!spec.is_ok()) {
+    send_error(conn, frame_id(v), "unknown_model",
+               "model '" + model + "': " + spec.status().message());
+    return true;
+  }
+  const std::uint64_t digest = target_digest(spec.value());
+  if (const json::Value* want = v.find("target_digest");
+      want != nullptr && want->str_or("") != digest_hex(digest)) {
+    send_error(conn, frame_id(v), "digest_mismatch",
+               "client target digest " + want->str_or("") +
+                   " != server " + digest_hex(digest) +
+                   " — the server's model differs from yours");
+    return true;
+  }
+
+  const auto get_int = [&v](const char* name, std::int64_t fallback) {
+    const json::Value* f = v.find(name);
+    return f != nullptr ? f->int_or(fallback) : fallback;
+  };
+  const auto noise_seed =
+      static_cast<std::uint64_t>(get_int("noise_seed", 2024));
+  const std::string fault_spec =
+      v.find("fault_spec") != nullptr ? v.find("fault_spec")->str_or("") : "";
+  const auto fault_seed =
+      static_cast<std::uint64_t>(get_int("fault_seed", 2025));
+  const int retry_max = static_cast<int>(get_int("retry_max_attempts", 3));
+  const double retry_backoff =
+      v.find("retry_backoff_seconds") != nullptr
+          ? v.find("retry_backoff_seconds")->num_or(30.0)
+          : 30.0;
+  const std::uint64_t ns_digest = namespace_digest(
+      digest, noise_seed, fault_spec, fault_seed, retry_max, retry_backoff);
+
+  Namespace* ns = nullptr;
+  {
+    // Namespace creation runs the target's baseline — seconds of work — so
+    // concurrent hellos serialize here; repeat hellos are a map lookup.
+    std::lock_guard lock(ns_mu_);
+    auto it = namespaces_.find(ns_digest);
+    if (it == namespaces_.end()) {
+      auto fresh = std::make_unique<Namespace>();
+      fresh->digest = ns_digest;
+      fresh->target = digest;
+      if (!fault_spec.empty()) {
+        auto plan = FaultPlan::parse(fault_spec, fault_seed);
+        if (!plan.is_ok()) {
+          send_error(conn, frame_id(v), "bad_request",
+                     "fault spec: " + plan.status().message());
+          return true;
+        }
+        fresh->plan = std::move(plan.value());
+      }
+      auto ev = tuner::Evaluator::create(spec.value(), noise_seed,
+                                         tracer_.enabled() ? &tracer_ : nullptr);
+      if (!ev.is_ok()) {
+        send_error(conn, frame_id(v), "bad_request",
+                   "evaluator: " + ev.status().message());
+        return true;
+      }
+      fresh->evaluator = std::move(ev.value());
+      if (!fresh->plan.empty()) {
+        fresh->evaluator->set_fault_plan(&fresh->plan);
+        fresh->evaluator->set_retry_policy(
+            RetryPolicy{retry_max, retry_backoff});
+      }
+      it = namespaces_.emplace(ns_digest, std::move(fresh)).first;
+      std::lock_guard slock(stats_mu_);
+      stats_.namespaces = namespaces_.size();
+    }
+    ns = it->second.get();
+  }
+  conn->ns = ns;
+
+  std::string out = "{\"type\":\"hello_ok\",\"proto\":" +
+                    std::to_string(kProtoVersion);
+  out += ",\"id\":" + std::to_string(frame_id(v));
+  out += ",\"target_digest\":" + tuner::json_quoted(digest_hex(digest));
+  out += ",\"namespace\":" + tuner::json_quoted(digest_hex(ns_digest));
+  out += ",\"atoms\":" + std::to_string(ns->evaluator->space().size());
+  out += '}';
+  send_to(conn, out);
+  return true;
+}
+
+bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
+                         const json::Value& v) {
+  const std::int64_t id = frame_id(v);
+  if (conn->ns == nullptr) {
+    send_error(conn, id, "bad_request", "eval before hello");
+    return true;
+  }
+  const std::string key =
+      v.find("key") != nullptr ? v.find("key")->str_or("") : "";
+  const auto stream = static_cast<std::uint64_t>(
+      v.find("stream") != nullptr ? v.find("stream")->int_or(0) : 0);
+  const std::size_t atoms = conn->ns->evaluator->space().size();
+  if (key.size() != atoms ||
+      key.find_first_not_of("48") != std::string::npos) {
+    send_error(conn, id, "bad_request",
+               "config key must be " + std::to_string(atoms) +
+                   " chars of '4'/'8'");
+    return true;
+  }
+  {
+    std::lock_guard slock(stats_mu_);
+    ++stats_.requests;
+    bump_counter("serve/requests", stats_.requests);
+  }
+
+  // Fast path: the store already has it (this daemon's earlier work, or a
+  // previous daemon's — the store file outlives the process).
+  tuner::Evaluation eval;
+  if (store_->lookup(conn->ns->digest, key, stream, &eval)) {
+    {
+      std::lock_guard slock(stats_mu_);
+      ++stats_.store_hits;
+      bump_counter("serve/store-hits", stats_.store_hits);
+    }
+    std::string out = "{\"type\":\"eval_ok\",\"id\":" + std::to_string(id);
+    out += ",\"cached\":true";
+    tuner::append_evaluation_fields(out, eval);
+    out += '}';
+    send_to(conn, out);
+    return true;
+  }
+
+  const std::string ukey = unit_key(conn->ns->digest, key, stream);
+  {
+    std::unique_lock lock(mu_);
+    if (stopping_) {
+      // Coalescing onto an already-admitted unit is still fine during the
+      // drain — its response is owed anyway.
+      const auto it = inflight_.find(ukey);
+      if (it != inflight_.end()) {
+        it->second->waiters.push_back(Unit::Waiter{conn, id});
+        lock.unlock();
+        std::lock_guard slock(stats_mu_);
+        ++stats_.coalesced;
+        return true;
+      }
+      lock.unlock();
+      send_error(conn, id, "shutting_down", "server is draining");
+      return true;
+    }
+    if (const auto it = inflight_.find(ukey); it != inflight_.end()) {
+      // Single-flight: somebody (possibly another client) is computing this
+      // exact result — wait for theirs.
+      it->second->waiters.push_back(Unit::Waiter{conn, id});
+      lock.unlock();
+      {
+        std::lock_guard slock(stats_mu_);
+        ++stats_.coalesced;
+        bump_counter("serve/coalesced", stats_.coalesced);
+      }
+      return true;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      {
+        std::lock_guard slock(stats_mu_);
+        ++stats_.busy_rejections;
+        bump_counter("serve/busy", stats_.busy_rejections);
+      }
+      send_error(conn, id, "busy", "admission queue full",
+                 options_.retry_after_seconds);
+      return true;
+    }
+    auto unit = std::make_unique<Unit>();
+    unit->ukey = ukey;
+    unit->ns_digest = conn->ns->digest;
+    unit->key = key;
+    unit->stream = stream;
+    unit->config.kinds.reserve(key.size());
+    for (const char c : key) {
+      unit->config.kinds.push_back(c == '4' ? 4 : 8);
+    }
+    unit->evaluator = conn->ns->evaluator.get();
+    unit->waiters.push_back(Unit::Waiter{conn, id});
+    queue_.push_back(unit.get());
+    inflight_.emplace(ukey, std::move(unit));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+// --- dispatch -------------------------------------------------------------
+
+void Server::dispatch_loop() {
+  while (true) {
+    std::vector<Unit*> batch;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      batch.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+    }
+
+    struct Result {
+      bool ok = false;
+      std::string error;
+      tuner::Evaluation eval;
+    };
+    std::vector<Result> results(batch.size());
+    const auto eval_one = [&](std::size_t i, std::size_t worker) {
+      // Injected aborts are per-unit results, not batch failures: the whole
+      // batch always drains, and each abort is forwarded to exactly the
+      // clients waiting on that unit.
+      try {
+        results[i].eval = batch[i]->evaluator->evaluate_remote(
+            batch[i]->config, batch[i]->stream, static_cast<int>(worker));
+        results[i].ok = true;
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      } catch (...) {
+        results[i].error = "evaluator abort";
+      }
+    };
+    if (pool_ != nullptr && pool_->size() > 1) {
+      pool_->for_each(batch.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) eval_one(i, 0);
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Unit* unit = batch[i];
+      const Result& r = results[i];
+      if (r.ok) {
+        // Durable before visible: the store insert fsyncs, then waiters are
+        // answered. A kill -9 after a client saw eval_ok cannot lose the
+        // record.
+        store_->insert(unit->ns_digest, unit->key, unit->stream, r.eval);
+        std::lock_guard slock(stats_mu_);
+        ++stats_.evals_executed;
+        stats_.store_records = store_->records();
+        bump_counter("serve/evals", stats_.evals_executed);
+      } else {
+        std::lock_guard slock(stats_mu_);
+        ++stats_.aborts;
+        bump_counter("serve/aborts", stats_.aborts);
+      }
+
+      std::unique_ptr<Unit> owned;
+      {
+        std::lock_guard lock(mu_);
+        auto node = inflight_.extract(unit->ukey);
+        if (!node.empty()) owned = std::move(node.mapped());
+      }
+      if (owned == nullptr) continue;
+      if (r.ok) {
+        std::string fields;
+        tuner::append_evaluation_fields(fields, r.eval);
+        for (const Unit::Waiter& w : owned->waiters) {
+          std::string out =
+              "{\"type\":\"eval_ok\",\"id\":" + std::to_string(w.id);
+          out += ",\"cached\":false";
+          out += fields;
+          out += '}';
+          send_to(w.conn, out);
+        }
+      } else {
+        for (const Unit::Waiter& w : owned->waiters) {
+          send_error(w.conn, w.id, "abort", r.error);
+        }
+      }
+    }
+  }
+}
+
+// --- responses / stats ----------------------------------------------------
+
+void Server::send_to(const std::shared_ptr<Connection>& conn,
+                     const std::string& payload) {
+  std::lock_guard lock(conn->write_mu);
+  // A vanished client is not a server problem: the result is in the store,
+  // and the next campaign will fetch it from there.
+  (void)send_frame(conn->fd, payload);
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn,
+                        std::int64_t id, const std::string& code,
+                        const std::string& message, double retry_after) {
+  std::string out = "{\"type\":\"error\"";
+  if (id >= 0) out += ",\"id\":" + std::to_string(id);
+  out += ",\"code\":" + tuner::json_quoted(code);
+  out += ",\"message\":" + tuner::json_quoted(message);
+  if (retry_after > 0.0) {
+    out += ",\"retry_after\":" + tuner::json_double(retry_after);
+  }
+  out += '}';
+  send_to(conn, out);
+}
+
+std::string Server::stats_payload() const {
+  const ServerStats s = stats();
+  std::string out = "{\"type\":\"stats_ok\"";
+  out += ",\"connections\":" + std::to_string(s.connections);
+  out += ",\"requests\":" + std::to_string(s.requests);
+  out += ",\"evals_executed\":" + std::to_string(s.evals_executed);
+  out += ",\"store_hits\":" + std::to_string(s.store_hits);
+  out += ",\"coalesced\":" + std::to_string(s.coalesced);
+  out += ",\"busy_rejections\":" + std::to_string(s.busy_rejections);
+  out += ",\"bad_frames\":" + std::to_string(s.bad_frames);
+  out += ",\"aborts\":" + std::to_string(s.aborts);
+  out += ",\"namespaces\":" + std::to_string(s.namespaces);
+  out += ",\"store_records\":" + std::to_string(s.store_records);
+  out += '}';
+  return out;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mu_);
+  ServerStats s = stats_;
+  if (store_ != nullptr) s.store_records = store_->records();
+  return s;
+}
+
+void Server::bump_counter(const char* name, std::uint64_t value) {
+  if (!tracer_.enabled()) return;
+  tracer_.counter(name, trace::Track::campaign(), tracer_.now_us(),
+                  static_cast<double>(value));
+}
+
+}  // namespace prose::serve

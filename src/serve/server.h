@@ -1,0 +1,168 @@
+// Tuning-as-a-service: the campaign evaluation server.
+//
+// One daemon owns the expensive substrate — parsed targets, baselines,
+// fault plans — and serves evaluation results to any number of campaign
+// clients over the PF01 wire protocol (serve/wire.h):
+//
+//   * one shared Evaluator per result namespace (target digest, noise seed,
+//     fault spec/seed, retry policy), created lazily on the first hello and
+//     reused by every client in that namespace;
+//   * evaluation requests fan out onto a ThreadPool via a dispatcher thread
+//     that drains a bounded admission queue; when the queue is full the
+//     client gets a `busy` error frame with a retry_after hint instead of
+//     unbounded buffering;
+//   * identical concurrent requests single-flight: the first one computes,
+//     the rest attach as waiters and share the result (cross-client);
+//   * every computed result lands in a persistent content-addressed
+//     ResultStore before any waiter sees it, so a warm store serves repeat
+//     campaigns without executing anything.
+//
+// Determinism contract: the server never assigns noise streams — each
+// request carries the stream its client's evaluator assigned in proposal
+// order. Arrival order, client count, and server jobs therefore cannot
+// change any result: a served campaign is bit-identical to a local one.
+//
+// Shutdown (SIGTERM → Server::shutdown) drains: stop accepting, finish
+// in-flight evaluations, deliver their responses, flush store and tracer,
+// then wait() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/result_store.h"
+#include "serve/wire.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+#include "support/trace.h"
+#include "tuner/evaluator.h"
+
+namespace prose::serve {
+
+/// Maps a hello's model name to its target spec. The serve library does not
+/// depend on the model registry — the prose_served binary (or a test)
+/// injects one.
+using TargetResolver =
+    std::function<StatusOr<tuner::TargetSpec>(const std::string& model)>;
+
+struct ServerOptions {
+  /// "unix:/path", "tcp:host:port", or a bare path (unix).
+  std::string endpoint;
+  /// Result-store file (empty = memory-only; results die with the daemon).
+  std::string store_path;
+  /// Evaluation worker threads (0 = one per hardware thread).
+  std::size_t jobs = 0;
+  /// Admission-queue bound: distinct evaluations queued-but-not-running
+  /// before new requests are rejected with `busy`.
+  std::size_t queue_capacity = 256;
+  /// retry_after hint (seconds) carried in `busy` error frames.
+  double retry_after_seconds = 0.05;
+  /// Flight-recorder sinks (serve/* and cache/* counters, per-request
+  /// instants). Both empty = tracing off.
+  trace::TraceOptions trace;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;        // eval requests admitted or answered
+  std::uint64_t evals_executed = 0;  // actually computed on the pool
+  std::uint64_t store_hits = 0;      // answered from the result store
+  std::uint64_t coalesced = 0;       // attached to an identical in-flight eval
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t aborts = 0;          // injected evaluator aborts forwarded
+  std::size_t namespaces = 0;
+  std::size_t store_records = 0;
+};
+
+class Server {
+ public:
+  Server(ServerOptions options, TargetResolver resolver);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens the store, binds the endpoint, and starts the accept and
+  /// dispatcher threads. Returns immediately.
+  Status start();
+
+  /// Graceful drain: stop accepting, finish and deliver in-flight work,
+  /// flush store and tracer. Idempotent; safe from a signal-watching thread.
+  void shutdown();
+
+  /// Blocks until shutdown() has completed the drain.
+  void wait();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const std::string& endpoint() const {
+    return options_.endpoint;
+  }
+
+ private:
+  struct Namespace;
+  struct Connection;
+  struct Unit;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void dispatch_loop();
+  /// Handles one decoded payload on `conn`; false = close the connection.
+  bool handle_payload(const std::shared_ptr<Connection>& conn,
+                      const std::string& payload);
+  bool handle_hello(const std::shared_ptr<Connection>& conn,
+                    const json::Value& v);
+  bool handle_eval(const std::shared_ptr<Connection>& conn,
+                   const json::Value& v);
+  void send_to(const std::shared_ptr<Connection>& conn,
+               const std::string& payload);
+  void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                  const std::string& code, const std::string& message,
+                  double retry_after = 0.0);
+  std::string stats_payload() const;
+  void bump_counter(const char* name, std::uint64_t value);
+
+  ServerOptions options_;
+  TargetResolver resolver_;
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<ThreadPool> pool_;
+  trace::Tracer tracer_;
+  std::atomic<int> listen_fd_{-1};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  /// Namespaces live for the server's lifetime; creation (which runs the
+  /// namespace's baseline) serializes on ns_mu_.
+  std::mutex ns_mu_;
+  std::map<std::uint64_t, std::unique_ptr<Namespace>> namespaces_;
+
+  /// Dispatch state: the admission queue and the single-flight table.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Unit*> queue_;
+  std::map<std::string, std::unique_ptr<Unit>> inflight_;  // by unit key
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shut_down_{false};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool drained_ = false;  // guarded by done_mu_
+};
+
+}  // namespace prose::serve

@@ -1,0 +1,332 @@
+#include "serve/wire.h"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/strings.h"
+#include "tuner/eval_codec.h"
+
+namespace prose::serve {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // 4 magic + 4 length
+
+Status sys_error(const std::string& what) {
+  return Status(StatusCode::kRuntimeFault, what + ": " + std::strerror(errno));
+}
+
+/// Splits "tcp:host:port" into host/port. The last ':' wins, so IPv6
+/// literals with bracket-free colons are not supported — spell those as a
+/// hostname instead.
+bool split_tcp(const std::string& rest, std::string* host, std::string* port) {
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    return false;
+  }
+  *host = rest.substr(0, colon);
+  *port = rest.substr(colon + 1);
+  return true;
+}
+
+StatusOr<int> tcp_socket(const std::string& rest, bool listen_side,
+                         int backlog) {
+  std::string host, port;
+  if (!split_tcp(rest, &host, &port)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad tcp endpoint 'tcp:" + rest + "' (want tcp:host:port)");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen_side) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+      rc != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot resolve '" + host + ":" + port +
+                      "': " + gai_strerror(rc));
+  }
+  Status last = Status(StatusCode::kRuntimeFault, "no addresses");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = sys_error("socket");
+      continue;
+    }
+    if (listen_side) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, backlog) == 0) {
+        ::freeaddrinfo(res);
+        return fd;
+      }
+      last = sys_error(listen_side ? "bind/listen" : "connect");
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return fd;
+    } else {
+      last = sys_error("connect");
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+/// Endpoint → (is_unix, unix path or tcp rest).
+bool parse_endpoint(const std::string& endpoint, bool* is_unix,
+                    std::string* rest) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *rest = endpoint.substr(5);
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    *is_unix = false;
+    *rest = endpoint.substr(4);
+  } else {
+    *is_unix = true;  // bare filesystem path
+    *rest = endpoint;
+  }
+  return !rest->empty();
+}
+
+StatusOr<int> unix_socket(const std::string& path, bool listen_side,
+                          int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unix socket path too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return sys_error("socket");
+  if (listen_side) {
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      const Status s = sys_error("bind/listen '" + path + "'");
+      ::close(fd);
+      return s;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+             0) {
+    const Status s = sys_error("connect '" + path + "'");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof kFrameMagic);
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out += static_cast<char>((n >> 24) & 0xff);
+  out += static_cast<char>((n >> 16) & 0xff);
+  out += static_cast<char>((n >> 8) & 0xff);
+  out += static_cast<char>(n & 0xff);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t n) {
+  // Compact the consumed prefix before growing — keeps the buffer bounded by
+  // one frame plus one read's worth of bytes.
+  if (off_ > 0 && off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ > (64u << 10)) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+StatusOr<bool> FrameDecoder::next(std::string* payload) {
+  if (buf_.size() - off_ < kHeaderBytes) return false;
+  const char* p = buf_.data() + off_;
+  if (std::memcmp(p, kFrameMagic, sizeof kFrameMagic) != 0) {
+    return Status(StatusCode::kParseError,
+                  "bad frame magic — stream is not PF01-framed");
+  }
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[4 + i]));
+  };
+  const std::uint32_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (len > kMaxFramePayload) {
+    return Status(StatusCode::kParseError,
+                  "oversized frame (" + std::to_string(len) +
+                      " bytes > " + std::to_string(kMaxFramePayload) + ")");
+  }
+  if (buf_.size() - off_ < kHeaderBytes + len) return false;
+  payload->assign(buf_, off_ + kHeaderBytes, len);
+  off_ += kHeaderBytes + len;
+  return true;
+}
+
+StatusOr<int> listen_endpoint(const std::string& endpoint, int backlog) {
+  bool is_unix = false;
+  std::string rest;
+  if (!parse_endpoint(endpoint, &is_unix, &rest)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty endpoint '" + endpoint + "'");
+  }
+  return is_unix ? unix_socket(rest, /*listen_side=*/true, backlog)
+                 : tcp_socket(rest, /*listen_side=*/true, backlog);
+}
+
+StatusOr<int> connect_endpoint(const std::string& endpoint) {
+  bool is_unix = false;
+  std::string rest;
+  if (!parse_endpoint(endpoint, &is_unix, &rest)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty endpoint '" + endpoint + "'");
+  }
+  return is_unix ? unix_socket(rest, /*listen_side=*/false, 0)
+                 : tcp_socket(rest, /*listen_side=*/false, 0);
+}
+
+void unlink_endpoint(const std::string& endpoint) {
+  bool is_unix = false;
+  std::string rest;
+  if (parse_endpoint(endpoint, &is_unix, &rest) && is_unix) {
+    ::unlink(rest.c_str());
+  }
+}
+
+Status send_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that vanished yields EPIPE, not process death.
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status read_frame(int fd, FrameDecoder& dec, std::string* payload) {
+  while (true) {
+    auto got = dec.next(payload);
+    if (!got.is_ok()) return got.status();
+    if (got.value()) return Status::ok();
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      return Status(StatusCode::kNotFound, "connection closed");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("recv");
+    }
+    dec.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::uint64_t target_digest(const tuner::TargetSpec& spec) {
+  // Canonical serialization: field name, ':', value, '\n' per field — the
+  // separators keep adjacent fields from aliasing ("ab"+"c" vs "a"+"bc").
+  std::string c;
+  c.reserve(spec.source.size() + 512);
+  const auto str = [&c](const char* name, std::string_view v) {
+    c += name;
+    c += ':';
+    c += v;
+    c += '\n';
+  };
+  const auto num = [&c](const char* name, double v) {
+    c += name;
+    c += ':';
+    c += tuner::json_double(v);
+    c += '\n';
+  };
+  str("name", spec.name);
+  str("source", spec.source);
+  str("entry", spec.entry);
+  for (const auto& s : spec.atom_scopes) str("scope", s);
+  for (const auto& s : spec.exclude_atoms) str("exclude", s);
+  for (const auto& s : spec.hotspot_procs) str("hotspot", s);
+  for (const auto& s : spec.figure6_procs) str("figure6", s);
+  num("series_group_size", static_cast<double>(spec.series_group_size));
+  num("error_threshold", spec.error_threshold);
+  num("noise_rsd", spec.noise_rsd);
+  num("measure_whole_model", spec.measure_whole_model ? 1.0 : 0.0);
+  num("baseline_wall_seconds", spec.baseline_wall_seconds);
+  num("variant_build_seconds", spec.variant_build_seconds);
+  num("reduction", spec.run_reduction_preprocessing ? 1.0 : 0.0);
+  const sim::MachineModel& m = spec.machine;
+  num("m.lanes32", m.vector_lanes_f32);
+  num("m.lanes64", m.vector_lanes_f64);
+  num("m.vloop", m.vector_loop_overhead);
+  num("m.add", m.cost_add);
+  num("m.mul", m.cost_mul);
+  num("m.div", m.cost_div);
+  num("m.pow", m.cost_pow);
+  num("m.cmp", m.cost_cmp);
+  num("m.logical", m.cost_logical);
+  num("m.icheap", m.cost_intrin_cheap);
+  num("m.isqrt", m.cost_intrin_sqrt);
+  num("m.itrans", m.cost_intrin_trans);
+  num("m.intop", m.cost_int_op);
+  num("m.f32disc", m.f32_scalar_math_discount);
+  num("m.cast", m.cost_cast);
+  num("m.castvec", m.cast_vector_penalty);
+  num("m.memover", m.mem_access_overhead);
+  num("m.membyte", m.mem_cost_per_byte);
+  num("m.scalacc", m.scalar_access_cost);
+  num("m.branch", m.cost_branch);
+  num("m.loop", m.cost_loop_iter);
+  num("m.call", m.call_overhead);
+  num("m.arg", m.cost_arg);
+  num("m.arrarg", m.cost_array_arg);
+  num("m.inline", m.inline_max_stmts);
+  num("m.ranks", m.mpi_ranks);
+  num("m.ar_a", m.allreduce_alpha);
+  num("m.ar_b", m.allreduce_beta);
+  num("m.gptl", m.gptl_overhead_cycles);
+  return fnv1a64(c);
+}
+
+std::uint64_t namespace_digest(std::uint64_t target, std::uint64_t noise_seed,
+                               const std::string& fault_spec,
+                               std::uint64_t fault_seed,
+                               int retry_max_attempts,
+                               double retry_backoff_seconds) {
+  std::string c = digest_hex(target);
+  c += '\n';
+  c += std::to_string(noise_seed);
+  c += '\n';
+  c += fault_spec;
+  c += '\n';
+  c += std::to_string(fault_seed);
+  c += '\n';
+  c += std::to_string(retry_max_attempts);
+  c += '\n';
+  c += tuner::json_double(retry_backoff_seconds);
+  return fnv1a64(c);
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace prose::serve

@@ -1,0 +1,106 @@
+// Wire protocol of the evaluation service: length-prefixed JSON frames.
+//
+// One frame = 4-byte magic "PF01" + 4-byte big-endian payload length +
+// payload (one JSON object). The magic makes torn/foreign streams fail fast
+// and unambiguously; the length prefix makes framing independent of the
+// payload encoding; JSON payloads reuse the journal's strict parser
+// (support/json) on the read side, so a malformed payload is rejected with
+// the same rigor a corrupt journal line is.
+//
+// Frames travel over Unix-domain sockets ("unix:/path" or a bare filesystem
+// path) or TCP ("tcp:host:port") behind the same interface. Partial reads,
+// torn frames, and interleaved frames are the decoder's problem — callers
+// feed() whatever recv() returned and take whole payloads out of next().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+#include "tuner/target.h"
+
+namespace prose::serve {
+
+/// Protocol version carried in hello/hello_ok; bumped on incompatible change.
+inline constexpr int kProtoVersion = 1;
+
+/// Frame magic: "PF01" (Prose Frame, version 01 of the *framing*, which is
+/// versioned independently of the JSON schema inside).
+inline constexpr char kFrameMagic[4] = {'P', 'F', '0', '1'};
+
+/// Hard cap on one frame's payload. An eval_ok for a 300-atom model is a few
+/// KiB; 16 MiB of headroom means an oversized length prefix is garbage, not
+/// a big request.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Encodes one frame: magic + u32 big-endian length + payload bytes.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame extractor. feed() whatever arrived; next() yields one
+/// payload at a time. A stream-level corruption (bad magic, oversized
+/// length) is unrecoverable — framing is lost, the connection must close.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the transport.
+  void feed(const void* data, std::size_t n);
+
+  /// Extracts the next complete payload into *payload.
+  ///   ok(true)   — one frame extracted;
+  ///   ok(false)  — no complete frame buffered yet (read more);
+  ///   kParseError — stream corrupt (bad magic / oversized length prefix);
+  ///                 the connection cannot be resynchronized.
+  StatusOr<bool> next(std::string* payload);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;  // consumed prefix, compacted lazily
+};
+
+// --- endpoints ------------------------------------------------------------
+
+/// Listens on "unix:/path", "tcp:host:port", or a bare path (unix). Unix
+/// endpoints unlink a stale socket file first. Returns the listening fd.
+StatusOr<int> listen_endpoint(const std::string& endpoint, int backlog = 64);
+
+/// Connects to the same endpoint syntax. Returns the connected fd.
+StatusOr<int> connect_endpoint(const std::string& endpoint);
+
+/// Removes the socket file of a unix endpoint (server teardown). No-op for
+/// TCP.
+void unlink_endpoint(const std::string& endpoint);
+
+/// Writes one whole frame, looping over partial writes (EINTR-safe,
+/// SIGPIPE-free).
+Status send_frame(int fd, std::string_view payload);
+
+/// Blocks until one whole frame is decoded from fd through `dec`.
+/// kNotFound = orderly EOF before a frame; kParseError = stream corrupt;
+/// kRuntimeFault = transport error.
+Status read_frame(int fd, FrameDecoder& dec, std::string* payload);
+
+// --- identity -------------------------------------------------------------
+
+/// FNV-1a digest over everything that determines a target's evaluation
+/// results: name, source text, entry point, atom scopes and exclusions,
+/// hotspot/figure6 procedure lists, metric shape and threshold, noise
+/// profile, timing calibration, and the full machine model. Two processes
+/// computing the same digest will produce bit-identical evaluations for the
+/// same (config, noise stream).
+std::uint64_t target_digest(const tuner::TargetSpec& spec);
+
+/// Result namespace: the target digest combined with the noise seed, fault
+/// plan, and retry policy. Two campaigns in the same namespace may share
+/// every result; campaigns in different namespaces share none.
+std::uint64_t namespace_digest(std::uint64_t target, std::uint64_t noise_seed,
+                               const std::string& fault_spec,
+                               std::uint64_t fault_seed,
+                               int retry_max_attempts,
+                               double retry_backoff_seconds);
+
+/// Fixed-width lowercase hex of a digest (16 chars).
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace prose::serve

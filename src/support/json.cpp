@@ -36,13 +36,31 @@ void append_utf8(std::string& out, unsigned cp) {
 class Parser {
  public:
   explicit Parser(std::string_view text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
+      : begin_(text.data()), p_(text.data()), end_(text.data() + text.size()) {}
 
   StatusOr<Value> run() {
     Value v;
     if (Status s = value(&v, 0); !s.is_ok()) return s;
     skip_ws();
     if (p_ != end_) return fail("trailing characters after JSON value");
+    return v;
+  }
+
+  /// parse_prefix body: one value from the front, `*consumed` = bytes past
+  /// it. A top-level bare number flush against the buffer end is reported
+  /// incomplete — "12" may be the front half of "123"; only a following
+  /// non-number byte proves the number ended.
+  StatusOr<Value> run_prefix(std::size_t* consumed) {
+    Value v;
+    if (Status s = value(&v, 0); !s.is_ok()) return s;
+    if (v.kind() == Value::Kind::kNumber && p_ == end_ && p_ != begin_) {
+      const char last = p_[-1];
+      if ((last >= '0' && last <= '9') || last == '.' || last == 'e' ||
+          last == 'E' || last == '+' || last == '-') {
+        return underrun("number may continue past the buffer");
+      }
+    }
+    *consumed = static_cast<std::size_t>(p_ - begin_);
     return v;
   }
 
@@ -53,21 +71,31 @@ class Parser {
     return Status(StatusCode::kParseError, "json: " + what);
   }
 
+  /// The input ran out mid-value: not malformed, just not all here yet.
+  [[nodiscard]] Status underrun(const std::string& what) const {
+    return Status(StatusCode::kIncomplete, "json: " + what);
+  }
+
   void skip_ws() {
     while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
   }
 
   Status literal(std::string_view word) {
-    if (static_cast<std::size_t>(end_ - p_) < word.size() ||
-        std::string_view(p_, word.size()) != word) {
-      return fail("invalid literal");
+    const std::size_t have = static_cast<std::size_t>(end_ - p_);
+    if (have < word.size()) {
+      // "tru" is an unfinished "true"; "trx" is garbage.
+      return std::string_view(p_, have) == word.substr(0, have)
+                 ? underrun("truncated literal")
+                 : fail("invalid literal");
     }
+    if (std::string_view(p_, word.size()) != word) return fail("invalid literal");
     p_ += word.size();
     return Status::ok();
   }
 
   Status string(std::string* out) {
-    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    if (p_ == end_) return underrun("input ends before string");
+    if (*p_ != '"') return fail("expected string");
     ++p_;
     while (p_ != end_ && *p_ != '"') {
       const char c = *p_;
@@ -76,7 +104,7 @@ class Parser {
       }
       if (c == '\\') {
         ++p_;
-        if (p_ == end_) return fail("truncated escape");
+        if (p_ == end_) return underrun("truncated escape");
         switch (*p_) {
           case '"': *out += '"'; break;
           case '\\': *out += '\\'; break;
@@ -90,7 +118,8 @@ class Parser {
             unsigned cp = 0;
             for (int i = 0; i < 4; ++i) {
               ++p_;
-              if (p_ == end_ || std::isxdigit(static_cast<unsigned char>(*p_)) == 0) {
+              if (p_ == end_) return underrun("truncated \\u escape");
+              if (std::isxdigit(static_cast<unsigned char>(*p_)) == 0) {
                 return fail("bad \\u escape");
               }
               const char h = *p_;
@@ -109,7 +138,7 @@ class Parser {
       *out += c;
       ++p_;
     }
-    if (p_ == end_) return fail("unterminated string");
+    if (p_ == end_) return underrun("unterminated string");
     ++p_;  // closing quote
     return Status::ok();
   }
@@ -148,6 +177,12 @@ class Parser {
       return Status::ok();
     }
     if (ec != std::errc() || ptr != p_ || start == p_) {
+      // "1e", "-", "1e+" at the end of a streaming buffer are unfinished,
+      // not malformed — some suffix completes them. "1.2.3" is junk no
+      // suffix can repair, wherever the buffer ends.
+      if (p_ == end_ && is_number_prefix(start, p_)) {
+        return underrun("truncated number");
+      }
       return fail("malformed number '" +
                   std::string(start, static_cast<std::size_t>(p_ - start)) +
                   "'");
@@ -155,10 +190,30 @@ class Parser {
     return Status::ok();
   }
 
+  /// True when [s, e) is a (possibly empty) proper prefix of the JSON number
+  /// grammar — i.e. appending more bytes could still yield a valid number.
+  static bool is_number_prefix(const char* s, const char* e) {
+    const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+    if (s != e && *s == '-') ++s;
+    if (s == e) return true;
+    if (!digit(*s)) return false;
+    while (s != e && digit(*s)) ++s;
+    if (s != e && *s == '.') {
+      ++s;
+      while (s != e && digit(*s)) ++s;
+    }
+    if (s != e && (*s == 'e' || *s == 'E')) {
+      ++s;
+      if (s != e && (*s == '+' || *s == '-')) ++s;
+      while (s != e && digit(*s)) ++s;
+    }
+    return s == e;
+  }
+
   Status value(Value* out, int depth) {
     if (depth > kMaxDepth) return fail("nesting too deep");
     skip_ws();
-    if (p_ == end_) return fail("unexpected end of input");
+    if (p_ == end_) return underrun("unexpected end of input");
     switch (*p_) {
       case '{': {
         ++p_;
@@ -170,14 +225,16 @@ class Parser {
           std::string key;
           if (Status s = string(&key); !s.is_ok()) return s;
           skip_ws();
-          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          if (p_ == end_) return underrun("input ends before ':'");
+          if (*p_ != ':') return fail("expected ':'");
           ++p_;
           Value member;
           if (Status s = value(&member, depth + 1); !s.is_ok()) return s;
           out->members_.emplace_back(std::move(key), std::move(member));
           skip_ws();
-          if (p_ != end_ && *p_ == ',') { ++p_; continue; }
-          if (p_ != end_ && *p_ == '}') { ++p_; return Status::ok(); }
+          if (p_ == end_) return underrun("input ends inside object");
+          if (*p_ == ',') { ++p_; continue; }
+          if (*p_ == '}') { ++p_; return Status::ok(); }
           return fail("expected ',' or '}'");
         }
       }
@@ -191,8 +248,9 @@ class Parser {
           if (Status s = value(&item, depth + 1); !s.is_ok()) return s;
           out->items_.push_back(std::move(item));
           skip_ws();
-          if (p_ != end_ && *p_ == ',') { ++p_; continue; }
-          if (p_ != end_ && *p_ == ']') { ++p_; return Status::ok(); }
+          if (p_ == end_) return underrun("input ends inside array");
+          if (*p_ == ',') { ++p_; continue; }
+          if (*p_ == ']') { ++p_; return Status::ok(); }
           return fail("expected ',' or ']'");
         }
       }
@@ -220,10 +278,24 @@ class Parser {
     }
   }
 
+  const char* begin_;
   const char* p_;
   const char* end_;
 };
 
-StatusOr<Value> parse(std::string_view text) { return Parser(text).run(); }
+StatusOr<Value> parse(std::string_view text) {
+  auto v = Parser(text).run();
+  if (!v.is_ok() && v.status().code() == StatusCode::kIncomplete) {
+    // Whole-document parsing has no "more bytes coming": truncated IS
+    // malformed here, and callers (journal recovery, tests) key off
+    // kParseError.
+    return Status(StatusCode::kParseError, v.status().message());
+  }
+  return v;
+}
+
+StatusOr<Value> parse_prefix(std::string_view text, std::size_t* consumed) {
+  return Parser(text).run_prefix(consumed);
+}
 
 }  // namespace prose::json

@@ -67,4 +67,16 @@ class Value {
 /// Parses one JSON document (the full text must be consumed).
 StatusOr<Value> parse(std::string_view text);
 
+/// Incremental frame-boundary parser: parses exactly ONE JSON value from the
+/// front of `text` (after leading whitespace) and reports how many bytes it
+/// consumed, leaving any trailing bytes untouched. This is what lets a wire
+/// receive buffer be scanned once per frame instead of re-parsed per byte.
+///
+/// Distinguishes "the prefix is not valid JSON" (kParseError) from "the
+/// buffer ends before the value does" (kIncomplete — the caller should read
+/// more bytes and retry). An empty / all-whitespace buffer is incomplete,
+/// not an error. On success `*consumed` is the offset one past the value
+/// (trailing whitespace is NOT consumed).
+StatusOr<Value> parse_prefix(std::string_view text, std::size_t* consumed);
+
 }  // namespace prose::json

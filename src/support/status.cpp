@@ -21,6 +21,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kTimeout: return "Timeout";
     case StatusCode::kNotFound: return "NotFound";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kIncomplete: return "Incomplete";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kTimeout,           // simulated wall clock exceeded the variant budget
   kNotFound,
   kUnimplemented,
+  kIncomplete,        // streaming input ends before the value does (read more)
 };
 
 /// Human-readable code name, e.g. "ParseError".

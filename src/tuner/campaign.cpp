@@ -299,6 +299,7 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     ev.set_fault_plan(&plan);
     ev.set_retry_policy(options.retry);
   }
+  if (options.backend != nullptr) ev.set_backend(options.backend);
   if (options.resume && !recovered.variants.empty()) {
     ev.set_journal_replay(recovered.variants);
   }
@@ -328,6 +329,17 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   sopts.tracer = tr;
   sopts.batch_hook = [&](const std::vector<const VariantRecord*>& batch) {
     bool ok;
+    // Cooperative cancellation (SIGINT/SIGTERM in the CLI drivers): stop
+    // proposing work but account for the batch already evaluated, so the
+    // journal stays a resumable prefix of the uninterrupted campaign.
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      if (journal != nullptr) {
+        journal->append_batch(cluster.batches(), cluster.elapsed_seconds(),
+                              batch.size());
+      }
+      return false;
+    }
     if (tr != nullptr) {
       std::vector<ClusterTask> tasks(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -5,6 +5,7 @@
 // Table II summary row and the Figure 5/6 series.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +51,20 @@ struct CampaignOptions {
   /// Chaos knob: SIGKILL the process after this many variant records have
   /// been made durable (0 = off). For crash/resume testing only.
   std::size_t journal_kill_after = 0;
+
+  /// Remote-evaluation backend (non-owning; null = evaluate in-process).
+  /// A serve client plugged in here offloads every cache miss to a
+  /// prose_served daemon; the CampaignResult — and the journal bytes — are
+  /// bit-identical to the local run's (the client carries the evaluator's
+  /// proposal-order noise streams with each request).
+  EvalBackend* backend = nullptr;
+
+  /// Cooperative cancellation (non-owning; null = never stop). Checked
+  /// between search batches: when set, the campaign stops proposing work,
+  /// marks the search budget-exhausted, and tears down normally — journal
+  /// fsync'd, tracer flushed — so a SIGINT'd campaign is resumable. Wired to
+  /// a signal handler by the CLI drivers.
+  const std::atomic<bool>* stop = nullptr;
 
   /// Numerical flight recorder: after the search finishes, re-run the
   /// rejected variants under binary64 shadow execution and aggregate their

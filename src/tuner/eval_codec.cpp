@@ -1,0 +1,115 @@
+#include "tuner/eval_codec.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/trace.h"
+
+namespace prose::tuner {
+
+std::string json_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "Infinity" : "-Infinity";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_quoted(std::string_view s) {
+  return '"' + trace::json_escape(s) + '"';
+}
+
+void append_json_map(std::string& out, const char* name,
+                     const std::map<std::string, double>& m) {
+  out += json_quoted(name);
+  out += ":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quoted(k);
+    out += ':';
+    out += json_double(v);
+  }
+  out += '}';
+}
+
+void append_json_map(std::string& out, const char* name,
+                     const std::map<std::string, std::uint64_t>& m) {
+  out += json_quoted(name);
+  out += ":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quoted(k);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += '}';
+}
+
+void append_evaluation_fields(std::string& out, const Evaluation& e) {
+  out += ",\"outcome\":" + json_quoted(to_string(e.outcome));
+  if (!e.detail.empty()) out += ",\"detail\":" + json_quoted(e.detail);
+  out += ",\"attempts\":" + std::to_string(e.attempts);
+  out += ",\"metric\":" + json_double(e.metric);
+  out += ",\"error\":" + json_double(e.error);
+  out += ",\"hotspot_cycles\":" + json_double(e.hotspot_cycles);
+  out += ",\"whole_cycles\":" + json_double(e.whole_cycles);
+  out += ",\"cast_cycles\":" + json_double(e.cast_cycles);
+  out += ",\"measured_cycles\":" + json_double(e.measured_cycles);
+  out += ",\"speedup\":" + json_double(e.speedup);
+  out += ",\"fraction32\":" + json_double(e.fraction32);
+  out += ",\"wrappers\":" + std::to_string(e.wrappers);
+  out += ",\"node_seconds\":" + json_double(e.node_seconds);
+  out += ',';
+  append_json_map(out, "proc_mean_cycles", e.proc_mean_cycles);
+  out += ',';
+  append_json_map(out, "proc_calls", e.proc_calls);
+}
+
+StatusOr<Evaluation> evaluation_from_json(const json::Value& v) {
+  Evaluation e;
+  const json::Value* outcome = v.find("outcome");
+  if (outcome == nullptr ||
+      !outcome_from_string(outcome->str_or(""), &e.outcome)) {
+    return Status(StatusCode::kParseError,
+                  "evaluation record has no valid outcome");
+  }
+  const auto num = [&](const char* name, double* slot) {
+    if (const json::Value* f = v.find(name); f != nullptr) *slot = f->num_or(0.0);
+  };
+  if (const json::Value* f = v.find("detail"); f != nullptr) {
+    e.detail = f->str_or("");
+  }
+  num("metric", &e.metric);
+  num("error", &e.error);
+  num("hotspot_cycles", &e.hotspot_cycles);
+  num("whole_cycles", &e.whole_cycles);
+  num("cast_cycles", &e.cast_cycles);
+  num("measured_cycles", &e.measured_cycles);
+  num("speedup", &e.speedup);
+  num("fraction32", &e.fraction32);
+  num("node_seconds", &e.node_seconds);
+  if (const json::Value* f = v.find("wrappers"); f != nullptr) {
+    e.wrappers = static_cast<int>(f->int_or(0));
+  }
+  if (const json::Value* f = v.find("attempts"); f != nullptr) {
+    e.attempts = static_cast<int>(f->int_or(1));
+  }
+  if (const json::Value* f = v.find("proc_mean_cycles");
+      f != nullptr && f->is_object()) {
+    for (const auto& [k, val] : f->members()) {
+      e.proc_mean_cycles[k] = val.num_or(0.0);
+    }
+  }
+  if (const json::Value* f = v.find("proc_calls"); f != nullptr && f->is_object()) {
+    for (const auto& [k, val] : f->members()) {
+      e.proc_calls[k] = static_cast<std::uint64_t>(val.int_or(0));
+    }
+  }
+  return e;
+}
+
+}  // namespace prose::tuner

@@ -1,0 +1,41 @@
+// Shared JSON encoding of Evaluation records.
+//
+// One encoding, three consumers: the write-ahead journal, the evaluation
+// service's wire protocol, and the persistent result store all serialize
+// evaluations through these helpers, so a result computed on a server and
+// shipped over a socket round-trips to the exact bytes a local journal
+// would have written. Doubles use %.17g (bit-exact round trip through
+// json::parse's from_chars path); non-finite values use the
+// Infinity/-Infinity/NaN tokens both json::parse and Python accept.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/json.h"
+#include "tuner/evaluator.h"
+
+namespace prose::tuner {
+
+/// %.17g, with Infinity/-Infinity/NaN for non-finite values.
+std::string json_double(double v);
+
+/// `"escaped"` — the string as a quoted JSON literal.
+std::string json_quoted(std::string_view s);
+
+/// Appends `"name":{"k":v,...}` (no leading comma).
+void append_json_map(std::string& out, const char* name,
+                     const std::map<std::string, double>& m);
+void append_json_map(std::string& out, const char* name,
+                     const std::map<std::string, std::uint64_t>& m);
+
+/// Appends every Evaluation field as `,"field":value` pairs (leading comma
+/// included), suitable for splicing into an open JSON object.
+void append_evaluation_fields(std::string& out, const Evaluation& e);
+
+/// Inverse of append_evaluation_fields: reads the fields back out of a
+/// parsed JSON object. Fails only on a missing/unknown outcome; every other
+/// field is optional with a zero default (journal compatibility).
+StatusOr<Evaluation> evaluation_from_json(const json::Value& v);
+
+}  // namespace prose::tuner

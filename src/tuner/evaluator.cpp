@@ -195,8 +195,7 @@ const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
     if (cache_hit != nullptr) *cache_hit = false;
     Evaluation eval;
     try {
-      eval = run_variant(config, /*is_baseline=*/false, stream,
-                         trace::Track::evaluator());
+      eval = compute_variant(config, stream, trace::Track::evaluator());
     } catch (...) {
       // Exception safety: drop the in-flight entry so waiters recompute
       // instead of blocking forever on `ready`.
@@ -219,11 +218,37 @@ const Evaluation& Evaluator::evaluate(const Config& config, bool* cache_hit) {
   }
 }
 
+Evaluation Evaluator::compute_variant(const Config& config, std::uint64_t stream,
+                                      trace::Track track) {
+  if (backend_ != nullptr) {
+    const Config cfgs[1] = {config};
+    const std::uint64_t streams[1] = {stream};
+    auto items = backend_->evaluate_many(cfgs, streams);
+    if (items.size() == 1) {
+      if (items[0].ok) return std::move(items[0].eval);
+      if (items[0].aborted) throw std::runtime_error(items[0].error);
+      warn_backend_fallback(items[0].error);
+    } else {
+      warn_backend_fallback("reply count mismatch");
+    }
+  }
+  return run_variant(config, /*is_baseline=*/false, stream, track);
+}
+
+void Evaluator::warn_backend_fallback(const std::string& why) {
+  if (backend_warned_.exchange(true)) return;
+  std::fprintf(stderr,
+               "prose: evaluation server unavailable (%s) — computing locally\n",
+               why.empty() ? "transport failure" : why.c_str());
+}
+
 std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
     std::span<const Config> configs, ThreadPool* pool) {
   std::vector<BatchItem> out(configs.size());
-  if (pool == nullptr || pool->size() <= 1) {
+  if (backend_ == nullptr && (pool == nullptr || pool->size() <= 1)) {
     // Serial fallback — the reference semantics the parallel path must match.
+    // (With a backend attached the planned path runs even without a pool:
+    // the *server* parallelizes, and the requests pipeline over one socket.)
     for (std::size_t i = 0; i < configs.size(); ++i) {
       bool hit = false;
       out[i].eval = &evaluate(configs[i], &hit);
@@ -238,7 +263,8 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
     std::uint64_t stream = 0;
     CacheEntry* entry = nullptr;
     Evaluation result;
-    bool done = false;  // lambda ran to completion (vs. threw)
+    bool done = false;   // evaluated (remotely or locally) to completion
+    bool aborted = false;  // server forwarded an injected evaluator abort
   };
   std::vector<Job> jobs;
   // Proposal → the job computing its key (misses and in-batch duplicates).
@@ -297,19 +323,10 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
   }
   if (replayed_any) cache_cv_.notify_all();
 
-  // Fan the misses out to the pool. Each worker traces on its own track so
-  // the parallel pipeline renders as per-worker span rows in Perfetto. If
-  // any job throws (injected abort), the pool still drains the batch; we
-  // then publish the completed jobs, drop the in-flight entries of the rest
-  // so waiters recompute, and rethrow.
-  try {
-    pool->for_each(jobs.size(), [this, &jobs](std::size_t j, std::size_t worker) {
-      Job& job = jobs[j];
-      job.result = run_variant(job.config, /*is_baseline=*/false, job.stream,
-                               trace::Track::worker(static_cast<int>(worker)));
-      job.done = true;
-    });
-  } catch (...) {
+  // Partial-failure publication, shared by the local-abort and remote-abort
+  // paths: journal and publish everything that completed, drop the in-flight
+  // entries of the rest so waiters recompute instead of wedging.
+  const auto publish_partial = [this, &jobs] {
     if (journal_ != nullptr) {
       for (const Job& job : jobs) {
         if (job.done) journal_->append_variant(job.key, job.stream, job.result);
@@ -327,7 +344,86 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
       }
     }
     cache_cv_.notify_all();
+  };
+
+  // Offload the planned misses through the backend first (one pipelined
+  // round trip for the whole batch). Per-item transport failures fall
+  // through to local computation below; per-item aborts are recorded and
+  // rethrown after the rest of the batch completes — exactly the drain
+  // semantics ThreadPool gives a locally thrown abort.
+  std::ptrdiff_t abort_index = -1;
+  std::string abort_message;
+  if (backend_ != nullptr && !jobs.empty()) {
+    std::vector<Config> cfgs;
+    std::vector<std::uint64_t> streams;
+    cfgs.reserve(jobs.size());
+    streams.reserve(jobs.size());
+    for (const Job& job : jobs) {
+      cfgs.push_back(job.config);
+      streams.push_back(job.stream);
+    }
+    auto items = backend_->evaluate_many(cfgs, streams);
+    if (items.size() != jobs.size()) {
+      warn_backend_fallback("reply count mismatch");
+    } else {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (items[j].ok) {
+          jobs[j].result = std::move(items[j].eval);
+          jobs[j].done = true;
+        } else if (items[j].aborted) {
+          jobs[j].aborted = true;
+          if (abort_index < 0) {
+            abort_index = static_cast<std::ptrdiff_t>(j);
+            abort_message = items[j].error;
+          }
+        } else {
+          warn_backend_fallback(items[j].error);
+        }
+      }
+    }
+  }
+
+  // Fan the remaining misses out to the pool. Each worker traces on its own
+  // track so the parallel pipeline renders as per-worker span rows in
+  // Perfetto. If any job throws (injected abort), the pool still drains the
+  // batch; we then publish the completed jobs, drop the in-flight entries of
+  // the rest so waiters recompute, and rethrow.
+  std::vector<std::size_t> pending;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].done && !jobs[j].aborted) pending.push_back(j);
+  }
+  try {
+    if (!pending.empty()) {
+      if (pool != nullptr && pool->size() > 1) {
+        pool->for_each(pending.size(),
+                       [this, &jobs, &pending](std::size_t i, std::size_t worker) {
+                         Job& job = jobs[pending[i]];
+                         job.result =
+                             run_variant(job.config, /*is_baseline=*/false,
+                                         job.stream,
+                                         trace::Track::worker(static_cast<int>(worker)));
+                         job.done = true;
+                       });
+      } else {
+        for (const std::size_t j : pending) {
+          jobs[j].result = run_variant(jobs[j].config, /*is_baseline=*/false,
+                                       jobs[j].stream, trace::Track::evaluator());
+          jobs[j].done = true;
+        }
+      }
+    }
+  } catch (...) {
+    publish_partial();
     throw;
+  }
+
+  if (abort_index >= 0) {
+    // A served variant hit an injected abort. The local path would have
+    // thrown out of run_variant with the ThreadPool rethrowing the
+    // lowest-index exception after draining the batch — mirror that exactly,
+    // with the server's exception text.
+    publish_partial();
+    throw std::runtime_error(abort_message);
   }
 
   // Write-ahead in proposal order — the same order the serial path journals
@@ -380,6 +476,12 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
     }
   }
   return out;
+}
+
+Evaluation Evaluator::evaluate_remote(const Config& config, std::uint64_t stream,
+                                      int worker) {
+  return run_variant(config, /*is_baseline=*/false, stream,
+                     trace::Track::worker(worker));
 }
 
 bool Evaluator::is_cached(const Config& config) const {

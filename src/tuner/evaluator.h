@@ -17,6 +17,7 @@
 //     is unaffected by the worker count.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -133,6 +134,35 @@ struct BlameReport {
   std::vector<ProcedureBlame> procedures;     // blame desc — root cause first
 };
 
+/// Pluggable remote-evaluation transport (the serve client implements this;
+/// the interface lives here so the tuner does not depend on the serve
+/// library). The evaluator hands over (config, noise-stream) pairs whose
+/// streams it already assigned in proposal order — the backend must evaluate
+/// each pair on exactly that stream, which is what makes a served campaign
+/// bit-identical to a local one regardless of client arrival order.
+class EvalBackend {
+ public:
+  /// One remote result. Exactly one of three shapes:
+  ///   ok          — `eval` holds the evaluation;
+  ///   aborted     — the server hit an injected evaluator abort; `error` is
+  ///                 the exception text the local path would have thrown;
+  ///   neither     — transport/protocol failure; the caller computes the
+  ///                 variant locally (bit-identical either way).
+  struct RemoteItem {
+    bool ok = false;
+    bool aborted = false;
+    std::string error;
+    Evaluation eval;
+  };
+  virtual ~EvalBackend() = default;
+  /// Evaluates configs[i] on streams[i] for every i. Must return one item
+  /// per input (a short or oversized reply is treated as transport failure
+  /// for every item). Called with the evaluator's cache lock *not* held.
+  virtual std::vector<RemoteItem> evaluate_many(
+      std::span<const Config> configs,
+      std::span<const std::uint64_t> streams) = 0;
+};
+
 class Evaluator {
  public:
   /// Parses and resolves the spec's source, builds the search space, and
@@ -160,6 +190,22 @@ class Evaluator {
   /// computed evaluation is appended — and fsync'd — before it is returned
   /// to the search.
   void set_journal(Journal* journal) { journal_ = journal; }
+
+  /// Attach a remote-evaluation backend (non-owning; null detaches). Cache
+  /// misses are offloaded through it instead of simulated in-process; any
+  /// transport failure falls back to local computation (once-per-evaluator
+  /// stderr warning), so attaching a backend never changes results — only
+  /// where they are computed. Journaling, memoization, and noise-stream
+  /// assignment are unaffected.
+  void set_backend(EvalBackend* backend) { backend_ = backend; }
+
+  /// Serve-side entry point: evaluates one variant on an explicit,
+  /// caller-assigned noise stream — no memo cache, no stream counter, no
+  /// journal. Thread-safe. May throw on an injected `abort` fault, exactly
+  /// like the local path (the server forwards the exception text in an
+  /// error frame). `worker` names the trace track.
+  Evaluation evaluate_remote(const Config& config, std::uint64_t stream,
+                             int worker);
 
   /// Primes the resume path with journaled evaluations: a cache miss whose
   /// key is found here (with the matching proposal-order noise stream) is
@@ -271,6 +317,13 @@ class Evaluator {
   /// cache_mu_ held.
   bool try_replay_locked(const std::string& key, std::uint64_t stream,
                          CacheEntry* entry);
+  /// One cache miss's computation: offloads through backend_ when attached
+  /// (transport failure → local fallback; remote abort → throws the
+  /// forwarded exception), run_variant otherwise.
+  Evaluation compute_variant(const Config& config, std::uint64_t stream,
+                             trace::Track track);
+  /// Once-per-evaluator stderr note that the backend degraded to local.
+  void warn_backend_fallback(const std::string& why);
   /// Counts a lookup and emits the cache/* counters (call with cache_mu_ held).
   void note_lookup_locked(bool hit);
   void emit_cache_hit_instant(const Config& config, const Evaluation& eval);
@@ -299,6 +352,8 @@ class Evaluator {
   const FaultPlan* fault_plan_ = nullptr;  // non-owning; may be null
   RetryPolicy retry_;
   Journal* journal_ = nullptr;  // non-owning write-ahead journal; may be null
+  EvalBackend* backend_ = nullptr;  // non-owning remote transport; may be null
+  std::atomic<bool> backend_warned_{false};  // fallback warning, once
   /// Journaled evaluations staged for resume; entries are consumed (moved
   /// into the cache) as the search re-proposes them. Guarded by cache_mu_.
   std::unordered_map<std::string, ReplayEntry, KeyHash> replay_;

@@ -13,56 +13,16 @@
 
 #include "support/json.h"
 #include "support/trace.h"
+#include "tuner/eval_codec.h"
 
 namespace prose::tuner {
 namespace {
 
-/// Round-tripping representation of an IEEE double: parsing the text back
-/// recovers the exact bits, which is what makes a resumed campaign
-/// bit-identical. Non-finite values (a diag record's divergence after an
-/// overflow) use the Infinity/-Infinity/NaN tokens — %.17g would print
-/// "inf"/"nan", which neither json::parse nor Python's json.loads accepts.
-std::string fmt_double(double v) {
-  if (std::isnan(v)) return "NaN";
-  if (std::isinf(v)) return v > 0.0 ? "Infinity" : "-Infinity";
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-std::string quoted(std::string_view s) {
-  return '"' + trace::json_escape(s) + '"';
-}
-
-void append_map(std::string& out, const char* name,
-                const std::map<std::string, double>& m) {
-  out += quoted(name);
-  out += ":{";
-  bool first = true;
-  for (const auto& [k, v] : m) {
-    if (!first) out += ',';
-    first = false;
-    out += quoted(k);
-    out += ':';
-    out += fmt_double(v);
-  }
-  out += '}';
-}
-
-void append_map(std::string& out, const char* name,
-                const std::map<std::string, std::uint64_t>& m) {
-  out += quoted(name);
-  out += ":{";
-  bool first = true;
-  for (const auto& [k, v] : m) {
-    if (!first) out += ',';
-    first = false;
-    out += quoted(k);
-    out += ':';
-    out += std::to_string(v);
-  }
-  out += '}';
-}
+// The %.17g / Infinity / NaN double encoding and the Evaluation field codec
+// live in eval_codec.h, shared with the evaluation service (wire frames,
+// result store) — a served result round-trips to the exact bytes a local
+// journal would have written.
+std::string quoted(std::string_view s) { return json_quoted(s); }
 
 std::string header_line(const JournalHeader& h) {
   std::string line = "{\"type\":\"campaign\",\"format\":1";
@@ -71,9 +31,9 @@ std::string header_line(const JournalHeader& h) {
   line += ",\"fault_spec\":" + quoted(h.fault_spec);
   line += ",\"fault_seed\":" + std::to_string(h.fault_seed);
   line += ",\"retry_max_attempts\":" + std::to_string(h.retry_max_attempts);
-  line += ",\"retry_backoff_seconds\":" + fmt_double(h.retry_backoff_seconds);
+  line += ",\"retry_backoff_seconds\":" + json_double(h.retry_backoff_seconds);
   line += ",\"nodes\":" + std::to_string(h.nodes);
-  line += ",\"wall_budget_seconds\":" + fmt_double(h.wall_budget_seconds);
+  line += ",\"wall_budget_seconds\":" + json_double(h.wall_budget_seconds);
   line += "}";
   return line;
 }
@@ -116,44 +76,9 @@ StatusOr<JournalVariant> parse_variant(const json::Value& v) {
   out.key = key->str_or("");
   out.stream = static_cast<std::uint64_t>(
       v.find("stream") != nullptr ? v.find("stream")->int_or(0) : 0);
-  Evaluation& e = out.eval;
-  const json::Value* outcome = v.find("outcome");
-  if (outcome == nullptr ||
-      !outcome_from_string(outcome->str_or(""), &e.outcome)) {
-    return Status(StatusCode::kParseError,
-                  "variant record has no valid outcome");
-  }
-  const auto num = [&](const char* name, double* slot) {
-    if (const json::Value* f = v.find(name); f != nullptr) *slot = f->num_or(0.0);
-  };
-  if (const json::Value* f = v.find("detail"); f != nullptr) {
-    e.detail = f->str_or("");
-  }
-  num("metric", &e.metric);
-  num("error", &e.error);
-  num("hotspot_cycles", &e.hotspot_cycles);
-  num("whole_cycles", &e.whole_cycles);
-  num("cast_cycles", &e.cast_cycles);
-  num("measured_cycles", &e.measured_cycles);
-  num("speedup", &e.speedup);
-  num("fraction32", &e.fraction32);
-  num("node_seconds", &e.node_seconds);
-  if (const json::Value* f = v.find("wrappers"); f != nullptr) {
-    e.wrappers = static_cast<int>(f->int_or(0));
-  }
-  if (const json::Value* f = v.find("attempts"); f != nullptr) {
-    e.attempts = static_cast<int>(f->int_or(1));
-  }
-  if (const json::Value* f = v.find("proc_mean_cycles"); f != nullptr && f->is_object()) {
-    for (const auto& [k, val] : f->members()) {
-      e.proc_mean_cycles[k] = val.num_or(0.0);
-    }
-  }
-  if (const json::Value* f = v.find("proc_calls"); f != nullptr && f->is_object()) {
-    for (const auto& [k, val] : f->members()) {
-      e.proc_calls[k] = static_cast<std::uint64_t>(val.int_or(0));
-    }
-  }
+  auto eval = evaluation_from_json(v);
+  if (!eval.is_ok()) return eval.status();
+  out.eval = std::move(eval.value());
   return out;
 }
 
@@ -181,16 +106,16 @@ std::string JournalHeader::mismatch(const JournalHeader& other) const {
                    std::to_string(other.retry_max_attempts));
   }
   if (retry_backoff_seconds != other.retry_backoff_seconds) {
-    return differs("retry backoff", fmt_double(retry_backoff_seconds),
-                   fmt_double(other.retry_backoff_seconds));
+    return differs("retry backoff", json_double(retry_backoff_seconds),
+                   json_double(other.retry_backoff_seconds));
   }
   if (nodes != other.nodes) {
     return differs("cluster nodes", std::to_string(nodes),
                    std::to_string(other.nodes));
   }
   if (wall_budget_seconds != other.wall_budget_seconds) {
-    return differs("wall budget", fmt_double(wall_budget_seconds),
-                   fmt_double(other.wall_budget_seconds));
+    return differs("wall budget", json_double(wall_budget_seconds),
+                   json_double(other.wall_budget_seconds));
   }
   return "";
 }
@@ -346,23 +271,7 @@ void Journal::append_variant(const std::string& key, std::uint64_t stream,
   std::string line = "{\"type\":\"variant\"";
   line += ",\"key\":" + quoted(key);
   line += ",\"stream\":" + std::to_string(stream);
-  line += ",\"outcome\":" + quoted(to_string(e.outcome));
-  if (!e.detail.empty()) line += ",\"detail\":" + quoted(e.detail);
-  line += ",\"attempts\":" + std::to_string(e.attempts);
-  line += ",\"metric\":" + fmt_double(e.metric);
-  line += ",\"error\":" + fmt_double(e.error);
-  line += ",\"hotspot_cycles\":" + fmt_double(e.hotspot_cycles);
-  line += ",\"whole_cycles\":" + fmt_double(e.whole_cycles);
-  line += ",\"cast_cycles\":" + fmt_double(e.cast_cycles);
-  line += ",\"measured_cycles\":" + fmt_double(e.measured_cycles);
-  line += ",\"speedup\":" + fmt_double(e.speedup);
-  line += ",\"fraction32\":" + fmt_double(e.fraction32);
-  line += ",\"wrappers\":" + std::to_string(e.wrappers);
-  line += ",\"node_seconds\":" + fmt_double(e.node_seconds);
-  line += ',';
-  append_map(line, "proc_mean_cycles", e.proc_mean_cycles);
-  line += ',';
-  append_map(line, "proc_calls", e.proc_calls);
+  append_evaluation_fields(line, e);
   line += '}';
   append_line(line, /*count_variant=*/true);
 }
@@ -371,7 +280,7 @@ void Journal::append_diag(const BlameReport& r) {
   std::string line = "{\"type\":\"diag\"";
   line += ",\"key\":" + quoted(r.key);
   line += ",\"outcome\":" + quoted(to_string(r.outcome));
-  line += ",\"max_rel_div\":" + fmt_double(r.max_rel_div);
+  line += ",\"max_rel_div\":" + json_double(r.max_rel_div);
   line += ",\"cancellations\":" + std::to_string(r.cancellations);
   line += ",\"control_divergences\":" + std::to_string(r.control_divergences);
   if (r.has_first_divergence) {
@@ -390,14 +299,14 @@ void Journal::append_diag(const BlameReport& r) {
     if (vars.size() >= 8) break;
   }
   line += ',';
-  append_map(line, "variables", vars);
+  append_json_map(line, "variables", vars);
   std::map<std::string, double> procs;
   for (const ProcedureBlame& p : r.procedures) {
     procs[p.qualified] = p.blame;
     if (procs.size() >= 8) break;
   }
   line += ',';
-  append_map(line, "procedures", procs);
+  append_json_map(line, "procedures", procs);
   line += '}';
   append_line(line, /*count_variant=*/false);
 }
@@ -406,7 +315,7 @@ void Journal::append_batch(std::size_t round, double cluster_seconds,
                            std::size_t variants) {
   std::string line = "{\"type\":\"batch\"";
   line += ",\"round\":" + std::to_string(round);
-  line += ",\"cluster_seconds\":" + fmt_double(cluster_seconds);
+  line += ",\"cluster_seconds\":" + json_double(cluster_seconds);
   line += ",\"variants\":" + std::to_string(variants);
   line += '}';
   append_line(line, /*count_variant=*/false);

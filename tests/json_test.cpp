@@ -5,6 +5,7 @@
 // "torn record".
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <clocale>
 #include <cmath>
 #include <cstdio>
@@ -154,6 +155,107 @@ TEST(Json, OutOfRangeNumbersSaturateByDirection) {
   EXPECT_LT(parse_ok("-1e999").num_or(0), 0.0);
   EXPECT_EQ(parse_ok("1e-999").num_or(1), 0.0);
   EXPECT_EQ(parse_ok("-1e-999").num_or(1), 0.0);
+}
+
+TEST(JsonPrefix, ParsesOneValueAndReportsConsumedBytes) {
+  std::size_t consumed = 0;
+  auto v = parse_prefix(R"({"a":1} {"b":2})", &consumed);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_EQ(consumed, 7u);  // trailing bytes untouched
+  EXPECT_EQ(v->find("a")->int_or(0), 1);
+
+  // Leading whitespace is consumed; trailing whitespace is not.
+  v = parse_prefix("  42  ", &consumed);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(consumed, 4u);
+  EXPECT_EQ(v->int_or(0), 42);
+}
+
+TEST(JsonPrefix, SplitAtEveryByteDistinguishesIncompleteFromMalformed) {
+  // Every proper prefix of a valid document must come back kIncomplete
+  // (never kParseError, never success with the wrong boundary) — this is the
+  // property wire framing depends on to wait for more bytes.
+  const std::string docs[] = {
+      R"({"type":"eval","id":3,"key":"4848","stream":7})",
+      R"([1,-2.5e3,true,null,"x\nA",Infinity,NaN,{"k":[]}])",
+      "-12345.678e-9",
+      R"("escaped \"quote\" and \\ backslash")",
+      "true",
+  };
+  for (const std::string& doc : docs) {
+    for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+      std::size_t consumed = 0;
+      auto v = parse_prefix(std::string_view(doc).substr(0, cut), &consumed);
+      if (v.is_ok()) {
+        // A numeric/literal prefix can be a complete value ("tr" cannot, but
+        // "-12345" is) — then it must consume exactly the bytes it was given.
+        EXPECT_EQ(consumed, cut) << doc << " cut at " << cut;
+        EXPECT_TRUE(doc[0] == '-' || std::isdigit(doc[0]))
+            << doc << " cut at " << cut;
+      } else {
+        EXPECT_EQ(v.status().code(), StatusCode::kIncomplete)
+            << doc << " cut at " << cut << ": " << v.status().to_string();
+      }
+    }
+    std::size_t consumed = 0;
+    auto full = parse_prefix(doc, &consumed);
+    if (doc[0] == '-' || std::isdigit(doc[0])) {
+      // A bare number at the end of the buffer is inherently ambiguous —
+      // more digits could still arrive — so the streaming parser must NOT
+      // claim it complete. A terminator resolves it.
+      ASSERT_FALSE(full.is_ok()) << doc;
+      EXPECT_EQ(full.status().code(), StatusCode::kIncomplete) << doc;
+      full = parse_prefix(doc + "\n", &consumed);
+      ASSERT_TRUE(full.is_ok()) << doc << ": " << full.status().to_string();
+      EXPECT_EQ(consumed, doc.size()) << doc;
+    } else {
+      ASSERT_TRUE(full.is_ok()) << doc << ": " << full.status().to_string();
+      EXPECT_EQ(consumed, doc.size()) << doc;
+    }
+  }
+}
+
+TEST(JsonPrefix, MalformedPrefixIsAParseErrorNotIncomplete) {
+  const std::string bad[] = {
+      "{\"a\" 1}", "[1,,2]", "{'a':1}", "tru(", "naan", "\x01\x02garbage",
+      "{\"a\":}",
+  };
+  for (const std::string& doc : bad) {
+    std::size_t consumed = 0;
+    auto v = parse_prefix(doc, &consumed);
+    EXPECT_FALSE(v.is_ok()) << "unexpectedly parsed: " << doc;
+    if (!v.is_ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kParseError)
+          << doc << ": " << v.status().to_string();
+    }
+  }
+}
+
+TEST(JsonPrefix, EmptyAndWhitespaceBuffersAreIncomplete) {
+  for (const std::string doc : {"", " ", "\n\t  "}) {
+    std::size_t consumed = 0;
+    auto v = parse_prefix(doc, &consumed);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kIncomplete) << '"' << doc << '"';
+  }
+}
+
+TEST(JsonPrefix, AgreesWithFullParserOnEveryDocument) {
+  // parse() is parse_prefix() + "nothing but whitespace may follow"; pin the
+  // equivalence on the document shapes the pipeline writes.
+  const std::string docs[] = {
+      R"({"type":"result","id":"00deadbeef00cafe","stream":3,"metric":1.7976931348623157e+308})",
+      R"([[[[1]]]])",
+      "null",
+  };
+  for (const std::string& doc : docs) {
+    std::size_t consumed = 0;
+    auto pre = parse_prefix(doc, &consumed);
+    auto full = parse(doc);
+    ASSERT_TRUE(pre.is_ok());
+    ASSERT_TRUE(full.is_ok());
+    EXPECT_EQ(consumed, doc.size());
+  }
 }
 
 TEST(Json, NumberParsingIgnoresGlobalLocale) {
