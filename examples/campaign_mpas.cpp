@@ -26,6 +26,14 @@
 //        --server ENDPOINT (offload evaluations to a prose_served daemon at
 //                  "unix:/path", "tcp:host:port", or a bare socket path;
 //                  results are bit-identical to a local run)
+//        --no-metrics (disable the observability registry; results are
+//                  bit-identical either way — this knob exists for the
+//                  overhead benchmark)
+//        --metrics-out FILE (dump the final registry snapshot as Prometheus
+//                  text exposition)
+//        --metrics-footer (append the opt-in {"type":"metrics"} journal
+//                  footer; off by default because it carries wall-clock
+//                  values)
 #include <atomic>
 #include <csignal>
 #include <fstream>
@@ -33,6 +41,7 @@
 #include <sstream>
 
 #include "models/mpas.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/wire.h"
 #include "support/cli.h"
@@ -79,7 +88,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags->get_int("kill-after", 0));
     options.diagnose = flags->get_bool("diagnose", false) ||
                        flags->has("diagnosis-out");
+    options.metrics = !flags->get_bool("no-metrics", false);
+    options.metrics_footer = flags->get_bool("metrics-footer", false);
   }
+  const std::string metrics_out =
+      flags.is_ok() ? flags->get_string("metrics-out", "") : "";
   const std::string diagnosis_out =
       flags.is_ok() ? flags->get_string("diagnosis-out", "") : "";
   const std::string server_endpoint =
@@ -159,6 +172,16 @@ int main(int argc, char** argv) {
       std::cerr << "server stats unavailable: " << stats.status().to_string()
                 << "\n";
     }
+    // "server"-prefixed (stripped by CI output diffs): degradation tallies
+    // are transport-dependent, not part of what the campaign measured.
+    std::cout << "server-degradation| fallbacks=" << s.fallbacks
+              << " busy_retries=" << s.busy_retries << "\n";
+  }
+  if (!metrics_out.empty() && options.metrics) {
+    std::ofstream out(metrics_out);
+    out << obs::to_prometheus(s.metrics);
+    std::cout << "metrics: wrote " << metrics_out << " ("
+              << s.metrics.series.size() << " series)\n";
   }
   if (g_stop.load(std::memory_order_relaxed)) {
     std::cerr << "campaign interrupted by signal — sinks flushed; "

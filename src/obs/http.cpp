@@ -1,0 +1,309 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace prose::obs {
+
+namespace {
+
+Status sys_error(const std::string& what) {
+  return Status(StatusCode::kRuntimeFault, what + ": " + std::strerror(errno));
+}
+
+/// Endpoint → (is_unix, unix path or "host:port"). Same syntax as the wire
+/// protocol's endpoints; a bare path is a unix socket.
+bool parse_endpoint(const std::string& endpoint, bool* is_unix,
+                    std::string* rest) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *rest = endpoint.substr(5);
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    *is_unix = false;
+    *rest = endpoint.substr(4);
+  } else {
+    *is_unix = true;
+    *rest = endpoint;
+  }
+  return !rest->empty();
+}
+
+bool split_host_port(const std::string& rest, std::string* host,
+                     std::string* port) {
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= rest.size()) return false;
+  *host = rest.substr(0, colon);
+  *port = rest.substr(colon + 1);
+  return !host->empty();
+}
+
+StatusOr<int> open_socket(const std::string& endpoint, bool listen_side,
+                          std::string* bound_endpoint) {
+  bool is_unix = false;
+  std::string rest;
+  if (!parse_endpoint(endpoint, &is_unix, &rest)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty endpoint '" + endpoint + "'");
+  }
+  if (is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (rest.size() >= sizeof addr.sun_path) {
+      return Status(StatusCode::kInvalidArgument,
+                    "unix socket path too long: '" + rest + "'");
+    }
+    std::memcpy(addr.sun_path, rest.c_str(), rest.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return sys_error("socket");
+    if (listen_side) {
+      ::unlink(rest.c_str());  // stale socket from a previous run
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+          ::listen(fd, 16) != 0) {
+        const Status s = sys_error("bind/listen '" + rest + "'");
+        ::close(fd);
+        return s;
+      }
+    } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr) != 0) {
+      const Status s = sys_error("connect '" + rest + "'");
+      ::close(fd);
+      return s;
+    }
+    if (bound_endpoint != nullptr) *bound_endpoint = "unix:" + rest;
+    return fd;
+  }
+  std::string host, port;
+  if (!split_host_port(rest, &host, &port)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad tcp endpoint 'tcp:" + rest + "' (want tcp:host:port)");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen_side) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+      rc != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot resolve '" + host + ":" + port +
+                      "': " + gai_strerror(rc));
+  }
+  Status last = Status(StatusCode::kRuntimeFault, "no addresses");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = sys_error("socket");
+      continue;
+    }
+    if (listen_side) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+          ::listen(fd, 16) == 0) {
+        if (bound_endpoint != nullptr) {
+          // Report the kernel-assigned port for "tcp:host:0".
+          sockaddr_storage ss{};
+          socklen_t len = sizeof ss;
+          std::uint16_t p = 0;
+          if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) == 0) {
+            if (ss.ss_family == AF_INET) {
+              p = ntohs(reinterpret_cast<sockaddr_in*>(&ss)->sin_port);
+            } else if (ss.ss_family == AF_INET6) {
+              p = ntohs(reinterpret_cast<sockaddr_in6*>(&ss)->sin6_port);
+            }
+          }
+          *bound_endpoint = "tcp:" + host + ":" + std::to_string(p);
+        }
+        ::freeaddrinfo(res);
+        return fd;
+      }
+      last = sys_error("bind/listen");
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      if (bound_endpoint != nullptr) *bound_endpoint = endpoint;
+      ::freeaddrinfo(res);
+      return fd;
+    } else {
+      last = sys_error("connect");
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+/// Reads from fd until `stop` bytes of terminator arrive, EOF, or a 5 s
+/// stall. Appends into *buf; true once `terminator` is present.
+bool read_until(int fd, const std::string& terminator, std::string* buf) {
+  constexpr std::size_t kMaxRequest = 64u << 10;
+  while (buf->size() < kMaxRequest) {
+    if (buf->find(terminator) != std::string::npos) return true;
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 5000);
+    if (pr <= 0) return false;  // stall or error
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return buf->find(terminator) != std::string::npos;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf->append(chunk, static_cast<std::size_t>(n));
+  }
+  return false;
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HttpServer>> HttpServer::start(
+    const std::string& endpoint, Handler handler) {
+  std::string bound;
+  auto fd = open_socket(endpoint, /*listen_side=*/true, &bound);
+  if (!fd.is_ok()) return fd.status();
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(fd.value(), std::move(bound), std::move(handler)));
+}
+
+HttpServer::HttpServer(int fd, std::string endpoint, Handler handler)
+    : listen_fd_(fd), endpoint_(std::move(endpoint)),
+      handler_(std::move(handler)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (endpoint_.rfind("unix:", 0) == 0) ::unlink(endpoint_.substr(5).c_str());
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string request;
+  if (!read_until(fd, "\r\n\r\n", &request)) return;
+  const std::size_t eol = request.find("\r\n");
+  const std::string line = request.substr(0, eol);
+  // "GET /path HTTP/1.x" — anything else is a 405.
+  HttpResponse resp;
+  if (line.rfind("GET ", 0) != 0) {
+    resp.status = 405;
+    resp.body = "method not allowed\n";
+  } else {
+    std::string path = line.substr(4);
+    const std::size_t sp = path.find(' ');
+    if (sp != std::string::npos) path.resize(sp);
+    const std::size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+    resp = handler_(path);
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    reason_phrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  write_all(fd, out);
+}
+
+StatusOr<std::string> http_get(const std::string& endpoint,
+                               const std::string& path, int* status_code) {
+  auto fd = open_socket(endpoint, /*listen_side=*/false, nullptr);
+  if (!fd.is_ok()) return fd.status();
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: prose\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd.value(), request)) {
+    const Status s = sys_error("send request");
+    ::close(fd.value());
+    return s;
+  }
+  std::string response;
+  // HTTP/1.0 + Connection: close — the body ends at EOF.
+  while (true) {
+    pollfd pfd{fd.value(), POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 10000);
+    if (pr <= 0) {
+      ::close(fd.value());
+      return Status(StatusCode::kRuntimeFault, "http_get: response stalled");
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(fd.value(), chunk, sizeof chunk, 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = sys_error("recv");
+      ::close(fd.value());
+      return s;
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd.value());
+  const std::size_t eol = response.find("\r\n");
+  if (eol == std::string::npos || response.rfind("HTTP/", 0) != 0) {
+    return Status(StatusCode::kParseError, "http_get: malformed response");
+  }
+  const std::size_t sp = response.find(' ');
+  if (status_code != nullptr) {
+    *status_code =
+        sp == std::string::npos ? 0 : std::atoi(response.c_str() + sp + 1);
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status(StatusCode::kParseError, "http_get: missing header end");
+  }
+  return response.substr(body + 4);
+}
+
+}  // namespace prose::obs

@@ -1,0 +1,610 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace prose::obs {
+
+namespace {
+
+/// Shortest round-trip decimal text for a sample value or an `le` bound,
+/// with the exposition format's non-finite tokens.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// Parses one exposition float (including +Inf/-Inf/NaN, case-insensitive
+/// per promtool), requiring the whole token to be consumed.
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string token(s);
+  std::string lower = token;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "+inf" || lower == "inf") { *out = HUGE_VAL; return true; }
+  if (lower == "-inf") { *out = -HUGE_VAL; return true; }
+  if (lower == "nan") { *out = NAN; return true; }
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty() || s.substr(0, 2) == "__") return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+const char* to_type_keyword(SeriesKind k) {
+  switch (k) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::vector<double> exponential_buckets(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> latency_buckets_seconds() {
+  return exponential_buckets(1e-4, 4.0, 12);
+}
+
+std::vector<double> size_buckets_bytes() {
+  return exponential_buckets(64.0, 8.0, 8);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  // First bound >= v: Prometheus le (inclusive upper bound) semantics.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // +Inf bucket: clamp to the highest finite bound (or the mean when
+      // there are no finite bounds at all).
+      return bounds.empty() ? sum / static_cast<double>(count) : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const std::uint64_t below = cumulative - counts[i];
+    if (counts[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (bounds.empty() && counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.bounds != bounds || other.counts.size() != counts.size()) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  count += other.count;
+}
+
+const SeriesSnapshot* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name) const {
+  const SeriesSnapshot* s = find(name);
+  if (s == nullptr) return 0.0;
+  if (s->kind == SeriesKind::kHistogram) {
+    return static_cast<double>(s->hist.count);
+  }
+  return s->value;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& theirs : other.series) {
+    SeriesSnapshot* mine = nullptr;
+    for (auto& s : series) {
+      if (s.name == theirs.name) { mine = &s; break; }
+    }
+    if (mine == nullptr) {
+      series.push_back(theirs);
+      continue;
+    }
+    if (mine->kind != theirs.kind) continue;
+    if (mine->kind == SeriesKind::kHistogram) {
+      mine->hist.merge(theirs.hist);
+    } else {
+      mine->value += theirs.value;
+    }
+  }
+}
+
+Registry::Series* Registry::find_or_add_locked(std::string_view name,
+                                               std::string_view help,
+                                               SeriesKind kind) {
+  for (auto& s : series_) {
+    if (s.name == name) return s.kind == kind ? &s : nullptr;
+  }
+  Series& s = series_.emplace_back();
+  s.name = std::string(name);
+  s.help = std::string(help);
+  s.kind = kind;
+  return &s;
+}
+
+Counter* Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mu_);
+  Series* s = find_or_add_locked(name, help, SeriesKind::kCounter);
+  return s == nullptr ? nullptr : &s->counter;
+}
+
+Gauge* Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mu_);
+  Series* s = find_or_add_locked(name, help, SeriesKind::kGauge);
+  return s == nullptr ? nullptr : &s->gauge;
+}
+
+Histogram* Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  Series* s = find_or_add_locked(name, help, SeriesKind::kHistogram);
+  if (s == nullptr) return nullptr;
+  if (s->hist == nullptr) s->hist = std::make_unique<Histogram>(std::move(bounds));
+  return s->hist.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.series.reserve(series_.size());
+  for (const auto& s : series_) {
+    SeriesSnapshot out;
+    out.name = s.name;
+    out.help = s.help;
+    out.kind = s.kind;
+    switch (s.kind) {
+      case SeriesKind::kCounter:
+        out.value = static_cast<double>(s.counter.value());
+        break;
+      case SeriesKind::kGauge:
+        out.value = s.gauge.value();
+        break;
+      case SeriesKind::kHistogram: {
+        const Histogram& h = *s.hist;
+        out.hist.bounds = h.bounds_;
+        out.hist.counts.reserve(h.counts_.size());
+        for (const auto& c : h.counts_) {
+          out.hist.counts.push_back(c.load(std::memory_order_relaxed));
+        }
+        out.hist.sum = h.sum_.load(std::memory_order_relaxed);
+        out.hist.count = h.count_.load(std::memory_order_relaxed);
+        break;
+      }
+    }
+    snap.series.push_back(std::move(out));
+  }
+  return snap;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& s : snapshot.series) {
+    out += "# HELP " + s.name + " " + s.help + "\n";
+    out += "# TYPE " + s.name + " ";
+    out += to_type_keyword(s.kind);
+    out += "\n";
+    if (s.kind != SeriesKind::kHistogram) {
+      out += s.name + " " + fmt_double(s.value) + "\n";
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+      cumulative += s.hist.counts[i];
+      const std::string le =
+          i < s.hist.bounds.size() ? fmt_double(s.hist.bounds[i]) : "+Inf";
+      out += s.name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += s.name + "_sum " + fmt_double(s.hist.sum) + "\n";
+    out += s.name + "_count " + std::to_string(s.hist.count) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct ExpoSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Tokenizes one non-comment exposition line. Returns false with *error set
+/// on malformed syntax.
+bool parse_sample_line(std::string_view line, ExpoSample* out,
+                       std::string* error) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  std::size_t start = i;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ' && line[i] != '\t') {
+    ++i;
+  }
+  out->name = std::string(line.substr(start, i - start));
+  if (!valid_metric_name(out->name)) {
+    *error = "invalid metric name '" + out->name + "'";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (true) {
+      skip_ws();
+      if (i < line.size() && line[i] == '}') { ++i; break; }
+      start = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i == line.size()) { *error = "unterminated label set"; return false; }
+      std::string lname(line.substr(start, i - start));
+      if (!valid_label_name(lname)) {
+        *error = "invalid label name '" + lname + "'";
+        return false;
+      }
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') {
+        *error = "label value must be quoted";
+        return false;
+      }
+      ++i;
+      std::string lvalue;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          ++i;
+          if (i >= line.size()) { *error = "bad escape"; return false; }
+          switch (line[i]) {
+            case 'n': lvalue += '\n'; break;
+            case '\\': lvalue += '\\'; break;
+            case '"': lvalue += '"'; break;
+            default: *error = "bad escape"; return false;
+          }
+        } else {
+          lvalue += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) { *error = "unterminated label value"; return false; }
+      ++i;  // closing quote
+      out->labels.emplace_back(std::move(lname), std::move(lvalue));
+      skip_ws();
+      if (i < line.size() && line[i] == ',') { ++i; continue; }
+      if (i < line.size() && line[i] == '}') { ++i; break; }
+      *error = "expected ',' or '}' in label set";
+      return false;
+    }
+  }
+  skip_ws();
+  start = i;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  if (start == i) { *error = "missing sample value"; return false; }
+  if (!parse_double(line.substr(start, i - start), &out->value)) {
+    *error = "bad sample value '" +
+             std::string(line.substr(start, i - start)) + "'";
+    return false;
+  }
+  skip_ws();
+  if (i < line.size()) {
+    // Optional timestamp: an integer (milliseconds).
+    start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    const std::string_view ts = line.substr(start, i - start);
+    std::int64_t ignored = 0;
+    const auto res = std::from_chars(ts.data(), ts.data() + ts.size(), ignored);
+    if (res.ec != std::errc() || res.ptr != ts.data() + ts.size()) {
+      *error = "bad timestamp '" + std::string(ts) + "'";
+      return false;
+    }
+    skip_ws();
+    if (i < line.size()) { *error = "trailing garbage after timestamp"; return false; }
+  }
+  return true;
+}
+
+/// Strips a histogram/summary sample suffix to its family name.
+std::string family_of(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string_view sv(suffix);
+    if (name.size() > sv.size() &&
+        std::string_view(name).substr(name.size() - sv.size()) == sv) {
+      return name.substr(0, name.size() - sv.size());
+    }
+  }
+  return name;
+}
+
+struct Family {
+  std::string help;
+  std::string type = "untyped";
+  bool saw_help = false;
+  bool saw_type = false;
+  bool saw_sample = false;
+  bool closed = false;  // a later family started; reappearing = interleaving
+  std::vector<ExpoSample> samples;
+};
+
+/// Shared scan for lint_prometheus and parse_prometheus: validates syntax
+/// and family structure, returning families in first-appearance order.
+bool scan_exposition(std::string_view text,
+                     std::vector<std::pair<std::string, Family>>* families,
+                     std::string* error) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const auto lookup = [&](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < families->size(); ++i) {
+      if ((*families)[i].first == name) return i;
+    }
+    return kNone;
+  };
+  const auto intern = [&](const std::string& name) -> std::size_t {
+    const std::size_t i = lookup(name);
+    if (i != kNone) return i;
+    families->emplace_back(name, Family{});
+    return families->size() - 1;
+  };
+  std::string current;
+  // Moves the "open family" cursor; once a family loses the cursor it is
+  // closed — reappearing later is the interleaving promtool rejects.
+  const auto enter = [&](const std::string& name, std::size_t idx) -> bool {
+    if (name == current) return true;
+    if (!current.empty()) {
+      const std::size_t prev = lookup(current);
+      if (prev != kNone) (*families)[prev].second.closed = true;
+    }
+    if ((*families)[idx].second.closed) return false;
+    current = name;
+    return true;
+  };
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    const auto fail = [&](const std::string& why) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": " + why;
+      }
+      return false;
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text", "# TYPE name kind", or a free comment.
+      std::string_view rest = line.substr(1);
+      while (!rest.empty() && rest[0] == ' ') rest.remove_prefix(1);
+      const bool is_help = rest.substr(0, 5) == "HELP ";
+      const bool is_type = rest.substr(0, 5) == "TYPE ";
+      if (!is_help && !is_type) continue;
+      rest.remove_prefix(5);
+      const std::size_t sp = rest.find(' ');
+      const std::string name(rest.substr(0, sp));
+      if (!valid_metric_name(name)) {
+        return fail("invalid metric name in # directive: '" + name + "'");
+      }
+      const std::size_t idx = intern(name);
+      if (!enter(name, idx)) return fail("family '" + name + "' is interleaved");
+      Family& f = (*families)[idx].second;
+      if (is_help) {
+        if (f.saw_help) return fail("duplicate HELP for '" + name + "'");
+        if (f.saw_sample) return fail("HELP after samples of '" + name + "'");
+        f.saw_help = true;
+        f.help = sp == std::string_view::npos ? "" : std::string(rest.substr(sp + 1));
+      } else {
+        if (f.saw_type) return fail("duplicate TYPE for '" + name + "'");
+        if (f.saw_sample) return fail("TYPE after samples of '" + name + "'");
+        const std::string type =
+            sp == std::string_view::npos ? "" : std::string(rest.substr(sp + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown TYPE '" + type + "' for '" + name + "'");
+        }
+        f.saw_type = true;
+        f.type = type;
+      }
+      continue;
+    }
+    ExpoSample sample;
+    std::string why;
+    if (!parse_sample_line(line, &sample, &why)) return fail(why);
+    // _bucket/_sum/_count collapse into a declared histogram/summary family;
+    // otherwise the sample names its own family.
+    std::string fname = family_of(sample.name);
+    std::size_t idx = lookup(fname);
+    if (fname == sample.name ||
+        idx == kNone ||
+        ((*families)[idx].second.type != "histogram" &&
+         (*families)[idx].second.type != "summary")) {
+      fname = sample.name;
+      idx = intern(fname);
+    }
+    if (!enter(fname, idx)) {
+      return fail("family of '" + sample.name + "' is interleaved");
+    }
+    Family& f = (*families)[idx].second;
+    f.saw_sample = true;
+    for (const auto& prev : f.samples) {
+      if (prev.name == sample.name && prev.labels == sample.labels) {
+        return fail("duplicate sample '" + sample.name + "'");
+      }
+    }
+    f.samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool lint_prometheus(std::string_view text, std::string* error) {
+  std::vector<std::pair<std::string, Family>> families;
+  if (!scan_exposition(text, &families, error)) return false;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  for (const auto& [name, f] : families) {
+    if (f.type != "histogram") continue;
+    double prev_le = -HUGE_VAL;
+    double prev_cum = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool saw_sum = false;
+    bool saw_count = false;
+    double count_value = 0.0;
+    for (const auto& s : f.samples) {
+      if (s.name == name + "_sum") { saw_sum = true; continue; }
+      if (s.name == name + "_count") {
+        saw_count = true;
+        count_value = s.value;
+        continue;
+      }
+      if (s.name != name + "_bucket") {
+        return fail("histogram '" + name + "' has stray sample '" + s.name + "'");
+      }
+      double le = 0.0;
+      bool has_le = false;
+      for (const auto& [k, v] : s.labels) {
+        if (k != "le") continue;
+        has_le = true;
+        if (!parse_double(v, &le)) {
+          return fail("histogram '" + name + "' has bad le '" + v + "'");
+        }
+      }
+      if (!has_le) return fail("histogram '" + name + "' bucket without le");
+      if (le <= prev_le) {
+        return fail("histogram '" + name + "' le not increasing");
+      }
+      if (s.value < prev_cum) {
+        return fail("histogram '" + name + "' bucket counts not cumulative");
+      }
+      prev_le = le;
+      prev_cum = s.value;
+      if (std::isinf(le) && le > 0) { saw_inf = true; inf_value = s.value; }
+    }
+    if (!saw_inf) return fail("histogram '" + name + "' missing +Inf bucket");
+    if (!saw_sum) return fail("histogram '" + name + "' missing _sum");
+    if (!saw_count) return fail("histogram '" + name + "' missing _count");
+    if (count_value != inf_value) {
+      return fail("histogram '" + name + "' _count != +Inf bucket");
+    }
+  }
+  return true;
+}
+
+bool parse_prometheus(std::string_view text, MetricsSnapshot* out,
+                      std::string* error) {
+  std::vector<std::pair<std::string, Family>> families;
+  if (!scan_exposition(text, &families, error)) return false;
+  out->series.clear();
+  for (const auto& [name, f] : families) {
+    SeriesSnapshot s;
+    s.name = name;
+    s.help = f.help;
+    if (f.type == "counter" || f.type == "gauge" || f.type == "untyped") {
+      s.kind = f.type == "gauge" ? SeriesKind::kGauge : SeriesKind::kCounter;
+      bool found = false;
+      for (const auto& sample : f.samples) {
+        if (sample.name == name && sample.labels.empty()) {
+          s.value = sample.value;
+          found = true;
+        }
+      }
+      if (!found && f.samples.empty()) continue;  // directives only
+      out->series.push_back(std::move(s));
+      continue;
+    }
+    if (f.type != "histogram") continue;  // summaries etc.: skipped
+    s.kind = SeriesKind::kHistogram;
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    for (const auto& sample : f.samples) {
+      if (sample.name == name + "_sum") s.hist.sum = sample.value;
+      if (sample.name == name + "_count") {
+        s.hist.count = static_cast<std::uint64_t>(sample.value);
+      }
+      if (sample.name != name + "_bucket") continue;
+      for (const auto& [k, v] : sample.labels) {
+        if (k != "le") continue;
+        double le = 0.0;
+        if (!parse_double(v, &le)) {
+          if (error != nullptr) *error = "bad le '" + v + "'";
+          return false;
+        }
+        buckets.emplace_back(le, sample.value);
+      }
+    }
+    std::sort(buckets.begin(), buckets.end());
+    double prev = 0.0;
+    for (const auto& [le, cum] : buckets) {
+      if (!std::isinf(le)) s.hist.bounds.push_back(le);
+      s.hist.counts.push_back(static_cast<std::uint64_t>(cum - prev));
+      prev = cum;
+    }
+    out->series.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace prose::obs

@@ -79,6 +79,20 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many(
     std::span<const tuner::Config> configs,
     std::span<const std::uint64_t> streams) {
   std::vector<RemoteItem> items(configs.size());
+  // Every item that leaves here unresolved (!ok, not a forwarded abort) is
+  // computed locally by the evaluator — tally those fallbacks on every exit
+  // path, so CampaignSummary can report served-mode degradation.
+  struct FallbackTally {
+    const std::vector<RemoteItem>& items;
+    std::atomic<std::uint64_t>& sink;
+    ~FallbackTally() {
+      std::uint64_t n = 0;
+      for (const RemoteItem& item : items) {
+        if (!item.ok && !item.aborted) ++n;
+      }
+      if (n > 0) sink.fetch_add(n, std::memory_order_relaxed);
+    }
+  } tally{items, fallback_items_};
   if (configs.size() != streams.size()) return items;
   std::lock_guard lock(mu_);
 
@@ -170,6 +184,7 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many(
           --unresolved;
           continue;
         }
+        busy_retries_.fetch_add(1, std::memory_order_relaxed);
         double after = 0.05;
         if (const json::Value* ra = v.find("retry_after"); ra != nullptr) {
           after = ra->num_or(after);

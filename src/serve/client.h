@@ -15,6 +15,7 @@
 // trying.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,17 @@ class ServeClient : public tuner::EvalBackend {
   /// Namespace digest the server assigned at hello (16-char hex).
   [[nodiscard]] const std::string& namespace_hex() const { return ns_hex_; }
 
+  /// EvalBackend: degradation tallies — items this client failed to resolve
+  /// (the campaign computed them locally) and busy rounds spent waiting out
+  /// admission rejections. Surfaced in CampaignSummary and the campaign
+  /// registry; safe to read concurrently with evaluate_many.
+  [[nodiscard]] Counters counters() const override {
+    Counters c;
+    c.fallback_items = fallback_items_.load(std::memory_order_relaxed);
+    c.busy_retries = busy_retries_.load(std::memory_order_relaxed);
+    return c;
+  }
+
  private:
   ServeClient() = default;
 
@@ -75,6 +87,8 @@ class ServeClient : public tuner::EvalBackend {
   std::uint64_t next_id_ = 1;
   std::string ns_hex_;
   bool dead_ = false;  // transport failed: stop trying, fall back locally
+  std::atomic<std::uint64_t> fallback_items_{0};
+  std::atomic<std::uint64_t> busy_retries_{0};
   std::mutex mu_;      // one request/response conversation at a time
 };
 

@@ -11,6 +11,10 @@
 //        --queue N (admission-queue bound before `busy` rejections)
 //        --retry-after SECONDS (hint carried in `busy` frames)
 //        --trace-out FILE / --trace-jsonl FILE (flight recorder)
+//        --http EP (metrics/health listener: GET /metrics Prometheus text,
+//                  GET /healthz 200 serving / 503 draining; empty = off)
+//        --drain-grace SECONDS (keep /healthz answering 503 this long
+//                  after the drain, for orchestrator health pollers)
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight work,
 // deliver responses, flush store and tracer, print stats, exit 0.
@@ -74,6 +78,8 @@ int main(int argc, char** argv) {
   options.retry_after_seconds = flags->get_double("retry-after", 0.05);
   options.trace.chrome_path = flags->get_string("trace-out", "");
   options.trace.jsonl_path = flags->get_string("trace-jsonl", "");
+  options.http_endpoint = flags->get_string("http", "");
+  options.drain_grace_seconds = flags->get_double("drain-grace", 0.0);
 
   // Block the shutdown signals before any thread exists so every thread
   // inherits the mask and sigwait below is the only consumer.
@@ -91,9 +97,11 @@ int main(int argc, char** argv) {
   std::cout << "prose_served listening on " << options.endpoint
             << (options.store_path.empty()
                     ? std::string(" (memory-only store)")
-                    : " store=" + options.store_path)
-            << "\n"
-            << std::flush;
+                    : " store=" + options.store_path);
+  if (!server.http_endpoint().empty()) {
+    std::cout << " http=" << server.http_endpoint();
+  }
+  std::cout << "\n" << std::flush;
 
   int sig = 0;
   sigwait(&sigs, &sig);

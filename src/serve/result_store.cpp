@@ -171,15 +171,17 @@ bool ResultStore::lookup(std::uint64_t ns, const std::string& key,
   return false;
 }
 
-void ResultStore::insert(std::uint64_t ns, const std::string& key,
-                         std::uint64_t stream, const tuner::Evaluation& eval) {
+std::size_t ResultStore::insert(std::uint64_t ns, const std::string& key,
+                                std::uint64_t stream,
+                                const tuner::Evaluation& eval) {
   const std::uint64_t digest = content_key(ns, key, stream);
   std::lock_guard lock(mu_);
   auto& bucket = by_digest_[digest];
   for (const Record& rec : bucket) {
-    if (rec.ns == ns && rec.stream == stream && rec.key == key) return;
+    if (rec.ns == ns && rec.stream == stream && rec.key == key) return 0;
   }
 
+  std::size_t appended = 0;
   if (fd_ >= 0) {
     std::string line = "{\"type\":\"result\"";
     line += ",\"id\":" + tuner::json_quoted(digest_hex(digest));
@@ -200,11 +202,14 @@ void ResultStore::insert(std::uint64_t ns, const std::string& key,
                           " — continuing memory-only");
       ::close(fd_);
       fd_ = -1;
+    } else {
+      appended = line.size();
     }
   }
 
   bucket.push_back(Record{ns, key, stream, eval});
   ++count_;
+  return appended;
 }
 
 std::size_t ResultStore::records() const {

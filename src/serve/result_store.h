@@ -49,8 +49,10 @@ class ResultStore {
   /// A duplicate (ns, key, stream) is ignored — results are deterministic,
   /// the first record is as good as any. Thread-safe. A write failure
   /// degrades the store to memory-only and is reported via error().
-  void insert(std::uint64_t ns, const std::string& key, std::uint64_t stream,
-              const tuner::Evaluation& eval);
+  /// Returns the bytes appended to disk (0 for duplicates, memory-only
+  /// stores, and failed writes) — telemetry, not a success flag.
+  std::size_t insert(std::uint64_t ns, const std::string& key,
+                     std::uint64_t stream, const tuner::Evaluation& eval);
 
   /// Results currently resident (recovered + inserted).
   [[nodiscard]] std::size_t records() const;

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
 #include "support/json.h"
@@ -65,6 +66,27 @@ std::int64_t frame_id(const json::Value& v) {
   return id != nullptr ? id->int_or(-1) : -1;
 }
 
+/// Observes the guarded scope's wall-clock duration into a histogram at
+/// destruction. Values only — nothing downstream reads the clock back.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(obs::Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopeTimer() {
+    if (hist_ == nullptr) return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start_;
+    hist_->observe(dt.count());
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 // --- lifecycle ------------------------------------------------------------
@@ -86,6 +108,7 @@ Status Server::start() {
   if (options_.trace.enabled() && !tracer_.error().is_ok()) {
     return tracer_.error();
   }
+  register_metrics();
   if (!options_.store_path.empty()) {
     auto store = ResultStore::open(options_.store_path);
     if (!store.is_ok()) return store.status();
@@ -95,19 +118,111 @@ Status Server::start() {
   }
   const std::size_t jobs = options_.jobs == 0 ? ThreadPool::hardware_workers()
                                               : options_.jobs;
-  if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+  if (jobs > 1) {
+    pool_ = std::make_unique<ThreadPool>(jobs);
+    PoolMetrics pm;
+    pm.batches = registry_.counter("prose_pool_batches_total",
+                                   "Thread-pool batches dispatched.");
+    pm.items = registry_.counter("prose_pool_items_total",
+                                 "Thread-pool work items completed.");
+    pm.queue_depth = registry_.gauge("prose_pool_queue_depth",
+                                     "Work items not yet claimed by a worker.");
+    pm.active_workers = registry_.gauge("prose_pool_active_workers",
+                                        "Workers currently running an item.");
+    pool_->set_metrics(pm);
+  }
 
   auto fd = listen_endpoint(options_.endpoint);
   if (!fd.is_ok()) return fd.status();
   listen_fd_ = fd.value();
+
+  if (!options_.http_endpoint.empty()) {
+    auto http = obs::HttpServer::start(
+        options_.http_endpoint, [this](const std::string& path) {
+          obs::HttpResponse resp;
+          if (path == "/metrics") {
+            resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            resp.body = obs::to_prometheus(registry_.snapshot());
+          } else if (path == "/healthz") {
+            if (draining_.load(std::memory_order_relaxed)) {
+              resp.status = 503;
+              resp.body = "draining\n";
+            } else {
+              resp.body = "ok\n";
+            }
+          } else {
+            resp.status = 404;
+            resp.body = "not found\n";
+          }
+          return resp;
+        });
+    if (!http.is_ok()) {
+      if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) ::close(lfd);
+      unlink_endpoint(options_.endpoint);
+      return http.status();
+    }
+    http_ = std::move(http.value());
+  }
 
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Status::ok();
 }
 
+void Server::register_metrics() {
+  m_.connections = registry_.counter("prose_serve_connections_total",
+                                     "Client connections accepted.");
+  m_.requests = registry_.counter("prose_serve_requests_total",
+                                  "Eval requests admitted or answered.");
+  m_.frames_in = registry_.counter("prose_serve_frames_in_total",
+                                   "Wire frames decoded from clients.");
+  m_.frames_out = registry_.counter("prose_serve_frames_out_total",
+                                    "Wire frames sent to clients.");
+  m_.evals = registry_.counter("prose_serve_evals_total",
+                               "Evaluations actually computed on the pool.");
+  m_.store_hits = registry_.counter("prose_serve_store_hits_total",
+                                    "Requests answered from the result store.");
+  m_.store_appends = registry_.counter(
+      "prose_serve_store_appends_total",
+      "Result records appended (and fsync'd) to the store file.");
+  m_.store_bytes = registry_.counter("prose_serve_store_bytes_total",
+                                     "Bytes appended to the store file.");
+  m_.coalesced = registry_.counter(
+      "prose_serve_coalesced_total",
+      "Requests attached to an identical in-flight evaluation.");
+  m_.busy = registry_.counter("prose_serve_busy_total",
+                              "Requests rejected busy (admission queue full).");
+  m_.bad_frames = registry_.counter("prose_serve_bad_frames_total",
+                                    "Undecodable or unparsable frames.");
+  m_.aborts = registry_.counter("prose_serve_aborts_total",
+                                "Injected evaluator aborts forwarded.");
+  m_.queue_depth = registry_.gauge(
+      "prose_serve_queue_depth",
+      "Admitted evaluations queued but not yet dispatched.");
+  m_.namespaces = registry_.gauge("prose_serve_namespaces",
+                                  "Result namespaces resident.");
+  m_.rpc_seconds = registry_.histogram(
+      "prose_serve_rpc_seconds", "Per-frame handling latency (seconds).",
+      obs::latency_buckets_seconds());
+  m_.eval_seconds = registry_.histogram(
+      "prose_serve_eval_seconds",
+      "Per-evaluation host execution latency (seconds).",
+      obs::latency_buckets_seconds());
+  trace::TraceMetrics tm;
+  tm.events = registry_.counter("prose_trace_events_total",
+                                "Flight-recorder events emitted.");
+  tm.write_errors = registry_.counter(
+      "prose_trace_write_errors_total",
+      "Sticky trace-sink write degradations.");
+  tracer_.set_metrics(tm);
+}
+
 void Server::shutdown() {
   if (!started_.load() || shut_down_.exchange(true)) return;
+
+  // Health flips first: /healthz answers 503 for the entire drain, so a
+  // poller that sees 200 is guaranteed the server was still admitting.
+  draining_.store(true, std::memory_order_relaxed);
 
   // Stop admitting: new eval requests get `shutting_down`, the accept loop
   // exits on its next poll tick, and readers are woken out of recv() with a
@@ -138,6 +253,17 @@ void Server::shutdown() {
   }
   unlink_endpoint(options_.endpoint);
   (void)tracer_.flush();  // store fsyncs per insert; only the tracer buffers
+  if (http_ != nullptr) {
+    // The metrics/health listener outlives the drain by the grace window:
+    // scrapers get a final post-drain scrape and orchestrators observe the
+    // 503 before the socket disappears.
+    if (options_.drain_grace_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.drain_grace_seconds));
+    }
+    http_->stop();
+    http_.reset();
+  }
   {
     std::lock_guard lock(done_mu_);
     drained_ = true;
@@ -172,6 +298,7 @@ void Server::accept_loop() {
       std::lock_guard slock(stats_mu_);
       ++stats_.connections;
     }
+    m_.connections->inc();
     std::lock_guard lock(conns_mu_);
     conns_.push_back(conn);
     conn_threads_.emplace_back(
@@ -196,11 +323,13 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
           std::lock_guard slock(stats_mu_);
           ++stats_.bad_frames;
         }
+        m_.bad_frames->inc();
         send_error(conn, -1, "bad_frame", got.status().message());
         corrupt = true;
         break;
       }
       if (!got.value()) break;
+      m_.frames_in->inc();
       if (!handle_payload(conn, payload)) {
         corrupt = true;
         break;
@@ -229,6 +358,7 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
 
 bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
                             const std::string& payload) {
+  const ScopeTimer rpc_timer(m_.rpc_seconds);
   auto parsed = json::parse(payload);
   if (!parsed.is_ok()) {
     // Garbage *inside* an intact frame: framing is still synchronized, so
@@ -237,6 +367,7 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
       std::lock_guard slock(stats_mu_);
       ++stats_.bad_frames;
     }
+    m_.bad_frames->inc();
     send_error(conn, -1, "bad_frame", parsed.status().message());
     return true;
   }
@@ -334,6 +465,7 @@ bool Server::handle_hello(const std::shared_ptr<Connection>& conn,
             RetryPolicy{retry_max, retry_backoff});
       }
       it = namespaces_.emplace(ns_digest, std::move(fresh)).first;
+      m_.namespaces->set(static_cast<double>(namespaces_.size()));
       std::lock_guard slock(stats_mu_);
       stats_.namespaces = namespaces_.size();
     }
@@ -376,6 +508,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
     ++stats_.requests;
     bump_counter("serve/requests", stats_.requests);
   }
+  m_.requests->inc();
 
   // Fast path: the store already has it (this daemon's earlier work, or a
   // previous daemon's — the store file outlives the process).
@@ -386,6 +519,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       ++stats_.store_hits;
       bump_counter("serve/store-hits", stats_.store_hits);
     }
+    m_.store_hits->inc();
     std::string out = "{\"type\":\"eval_ok\",\"id\":" + std::to_string(id);
     out += ",\"cached\":true";
     tuner::append_evaluation_fields(out, eval);
@@ -404,6 +538,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       if (it != inflight_.end()) {
         it->second->waiters.push_back(Unit::Waiter{conn, id});
         lock.unlock();
+        m_.coalesced->inc();
         std::lock_guard slock(stats_mu_);
         ++stats_.coalesced;
         return true;
@@ -417,6 +552,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       // exact result — wait for theirs.
       it->second->waiters.push_back(Unit::Waiter{conn, id});
       lock.unlock();
+      m_.coalesced->inc();
       {
         std::lock_guard slock(stats_mu_);
         ++stats_.coalesced;
@@ -426,6 +562,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
     }
     if (queue_.size() >= options_.queue_capacity) {
       lock.unlock();
+      m_.busy->inc();
       {
         std::lock_guard slock(stats_mu_);
         ++stats_.busy_rejections;
@@ -447,6 +584,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
     unit->evaluator = conn->ns->evaluator.get();
     unit->waiters.push_back(Unit::Waiter{conn, id});
     queue_.push_back(unit.get());
+    m_.queue_depth->set(static_cast<double>(queue_.size()));
     inflight_.emplace(ukey, std::move(unit));
   }
   work_cv_.notify_one();
@@ -467,6 +605,7 @@ void Server::dispatch_loop() {
       }
       batch.assign(queue_.begin(), queue_.end());
       queue_.clear();
+      m_.queue_depth->set(0.0);
     }
 
     struct Result {
@@ -479,6 +618,7 @@ void Server::dispatch_loop() {
       // Injected aborts are per-unit results, not batch failures: the whole
       // batch always drains, and each abort is forwarded to exactly the
       // clients waiting on that unit.
+      const ScopeTimer eval_timer(m_.eval_seconds);
       try {
         results[i].eval = batch[i]->evaluator->evaluate_remote(
             batch[i]->config, batch[i]->stream, static_cast<int>(worker));
@@ -502,12 +642,19 @@ void Server::dispatch_loop() {
         // Durable before visible: the store insert fsyncs, then waiters are
         // answered. A kill -9 after a client saw eval_ok cannot lose the
         // record.
-        store_->insert(unit->ns_digest, unit->key, unit->stream, r.eval);
+        const std::size_t appended =
+            store_->insert(unit->ns_digest, unit->key, unit->stream, r.eval);
+        m_.evals->inc();
+        if (appended > 0) {
+          m_.store_appends->inc();
+          m_.store_bytes->inc(appended);
+        }
         std::lock_guard slock(stats_mu_);
         ++stats_.evals_executed;
         stats_.store_records = store_->records();
         bump_counter("serve/evals", stats_.evals_executed);
       } else {
+        m_.aborts->inc();
         std::lock_guard slock(stats_mu_);
         ++stats_.aborts;
         bump_counter("serve/aborts", stats_.aborts);
@@ -544,6 +691,7 @@ void Server::dispatch_loop() {
 
 void Server::send_to(const std::shared_ptr<Connection>& conn,
                      const std::string& payload) {
+  m_.frames_out->inc();
   std::lock_guard lock(conn->write_mu);
   // A vanished client is not a server problem: the result is in the store,
   // and the next campaign will fetch it from there.

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/http.h"
+#include "obs/metrics.h"
 #include "serve/result_store.h"
 #include "serve/wire.h"
 #include "support/json.h"
@@ -69,6 +71,15 @@ struct ServerOptions {
   /// Flight-recorder sinks (serve/* and cache/* counters, per-request
   /// instants). Both empty = tracing off.
   trace::TraceOptions trace;
+  /// Observability endpoint ("unix:/path", "tcp:host:port", or a bare
+  /// path; empty = no HTTP listener). Serves GET /metrics (Prometheus
+  /// text exposition of the server registry) and GET /healthz (200 while
+  /// serving, 503 once a drain begins).
+  std::string http_endpoint;
+  /// Keep the HTTP listener up this long after the drain completes, so
+  /// orchestrators polling /healthz observe the 503 before the socket
+  /// disappears. 0 = stop the listener as soon as the drain is done.
+  double drain_grace_seconds = 0.0;
 };
 
 struct ServerStats {
@@ -107,6 +118,15 @@ class Server {
   [[nodiscard]] const std::string& endpoint() const {
     return options_.endpoint;
   }
+  /// Resolved HTTP endpoint ("tcp:host:0" reports the bound port), or ""
+  /// when no listener was configured.
+  [[nodiscard]] std::string http_endpoint() const {
+    return http_ != nullptr ? http_->endpoint() : std::string();
+  }
+  /// Live registry snapshot (empty before start()).
+  [[nodiscard]] obs::MetricsSnapshot metrics() const {
+    return registry_.snapshot();
+  }
 
  private:
   struct Namespace;
@@ -130,6 +150,7 @@ class Server {
                   double retry_after = 0.0);
   std::string stats_payload() const;
   void bump_counter(const char* name, std::uint64_t value);
+  void register_metrics();
 
   ServerOptions options_;
   TargetResolver resolver_;
@@ -137,6 +158,33 @@ class Server {
   std::unique_ptr<ThreadPool> pool_;
   trace::Tracer tracer_;
   std::atomic<int> listen_fd_{-1};
+
+  /// Server registry. Instruments are registered once in start(); the
+  /// pointers below are hot-path handles (never null after start()).
+  obs::Registry registry_;
+  struct ServeMetrics {
+    obs::Counter* connections = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* evals = nullptr;
+    obs::Counter* store_hits = nullptr;
+    obs::Counter* store_appends = nullptr;
+    obs::Counter* store_bytes = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* busy = nullptr;
+    obs::Counter* bad_frames = nullptr;
+    obs::Counter* aborts = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* namespaces = nullptr;
+    obs::Histogram* rpc_seconds = nullptr;
+    obs::Histogram* eval_seconds = nullptr;
+  };
+  ServeMetrics m_;
+  std::unique_ptr<obs::HttpServer> http_;
+  /// Flipped at shutdown() entry, before the drain starts — /healthz
+  /// reports 503 for the whole drain (and the drain_grace window after).
+  std::atomic<bool> draining_{false};
 
   std::thread accept_thread_;
   std::thread dispatch_thread_;

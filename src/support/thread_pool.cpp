@@ -32,13 +32,19 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t worker) {
     while (fn_ != nullptr && next_item_ < batch_n_) {
       const std::size_t item = next_item_++;
       const ItemFn* fn = fn_;
+      if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->set(static_cast<double>(batch_n_ - next_item_));
+      }
       lock.unlock();
+      if (metrics_.active_workers != nullptr) metrics_.active_workers->add(1.0);
       std::exception_ptr error;
       try {
         (*fn)(item, worker);
       } catch (...) {
         error = std::current_exception();
       }
+      if (metrics_.active_workers != nullptr) metrics_.active_workers->add(-1.0);
+      if (metrics_.items != nullptr) metrics_.items->inc();
       lock.lock();
       if (error) errors_.emplace_back(item, error);
       if (++done_ == batch_n_) done_cv_.notify_all();
@@ -49,6 +55,7 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t worker) {
 void ThreadPool::for_each(std::size_t n, const ItemFn& fn) {
   if (n == 0) return;
   std::lock_guard batch_lock(batch_mu_);
+  if (metrics_.batches != nullptr) metrics_.batches->inc();
   std::unique_lock lock(mu_);
   fn_ = &fn;
   batch_n_ = n;

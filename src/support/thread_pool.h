@@ -29,7 +29,19 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace prose {
+
+/// Observability handles for a pool, registered by the owner (the campaign
+/// or the server — they hold the registry; the pool just bumps the
+/// instruments). All pointers may be null; the bundle is inert by default.
+struct PoolMetrics {
+  obs::Counter* batches = nullptr;       // for_each calls
+  obs::Counter* items = nullptr;         // work items completed
+  obs::Gauge* queue_depth = nullptr;     // items of the active batch not yet taken
+  obs::Gauge* active_workers = nullptr;  // workers currently inside an item
+};
 
 class ThreadPool {
  public:
@@ -51,6 +63,11 @@ class ThreadPool {
   /// Rethrows the lowest-index item's exception, if any.
   void for_each(std::size_t n, const ItemFn& fn);
 
+  /// Attaches observability instruments (copied; null members stay inert).
+  /// Pure telemetry: attaching metrics never changes scheduling — workers
+  /// bump counters, nothing reads them back.
+  void set_metrics(const PoolMetrics& metrics) { metrics_ = metrics; }
+
  private:
   void worker_loop(std::stop_token stop, std::size_t worker);
 
@@ -64,6 +81,7 @@ class ThreadPool {
   std::size_t next_item_ = 0;
   std::size_t done_ = 0;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  PoolMetrics metrics_;  // set before the first batch; read by workers
 
   std::vector<std::jthread> threads_;  // last member: joins before the rest die
 };

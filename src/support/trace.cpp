@@ -285,6 +285,7 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
   }
   ev += '}';
 
+  if (metrics_.events != nullptr) metrics_.events->inc();
   std::lock_guard lock(mu_);
   if (jsonl_.is_open()) {
     jsonl_ << ev << '\n';
@@ -297,6 +298,7 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
                            "write failed on trace JSONL file '" +
                                options_.jsonl_path + "'");
       if (error_.is_ok()) error_ = failure;
+      if (metrics_.write_errors != nullptr) metrics_.write_errors->inc();
       std::fprintf(stderr,
                    "warning: %s — campaign continues; timeline will be "
                    "incomplete\n",

@@ -28,9 +28,18 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/status.h"
 
 namespace prose::trace {
+
+/// Observability handles for a tracer, registered by the owner (the campaign
+/// or the server hold the registry; the tracer just bumps the instruments).
+/// Null members stay inert. Metrics never feed back into traced results.
+struct TraceMetrics {
+  obs::Counter* events = nullptr;        // events emitted (all phases)
+  obs::Counter* write_errors = nullptr;  // sticky sink degradations
+};
 
 /// Escapes a string for inclusion inside a JSON string literal (quotes,
 /// backslashes, control characters as \uXXXX or the short forms).
@@ -130,6 +139,12 @@ class Tracer {
   /// Only meaningful on an enabled tracer; returns 0 when disabled.
   [[nodiscard]] double now_us() const;
 
+  /// Attaches observability instruments (copied; set before emitting from
+  /// multiple threads). A write failure that degrades a sink also increments
+  /// write_errors, so dashboards catch the degradation the sticky error()
+  /// only reports post-hoc.
+  void set_metrics(const TraceMetrics& metrics) { metrics_ = metrics; }
+
   // --- track naming (Chrome metadata events) ---
   void set_process_name(int pid, std::string_view name);
   void set_thread_name(int pid, int tid, std::string_view name);
@@ -162,6 +177,7 @@ class Tracer {
   bool flushed_ = false;
   Status error_;
   TraceOptions options_;
+  TraceMetrics metrics_;
   std::mutex mu_;  // guards the sinks (jsonl_, chrome_events_, error_, flushed_)
   std::ofstream jsonl_;
   std::vector<std::string> chrome_events_;

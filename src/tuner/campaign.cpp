@@ -270,12 +270,39 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     }
   }
 
+  // Observability registry for this campaign. Instruments are registered up
+  // front and threaded through every layer; the hot paths then only bump
+  // atomics (zero-allocation contract). Collection never influences results.
+  std::unique_ptr<obs::Registry> registry;
+  if (options.metrics) {
+    registry = std::make_unique<obs::Registry>();
+    trace::TraceMetrics tm;
+    tm.events = registry->counter("prose_trace_events_total",
+                                  "Flight-recorder events emitted");
+    tm.write_errors = registry->counter(
+        "prose_trace_write_errors_total",
+        "Flight-recorder sink degradations (sticky write failures)");
+    tracer.set_metrics(tm);
+  }
+
   // The work pool for batch-parallel variant evaluation (jobs == 1 → serial
   // path, no threads spawned). Results are bit-identical either way.
   const std::size_t jobs =
       options.jobs == 0 ? ThreadPool::hardware_workers() : options.jobs;
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+  if (pool != nullptr && registry != nullptr) {
+    PoolMetrics pm;
+    pm.batches = registry->counter("prose_pool_batches_total",
+                                   "Work-pool batches dispatched");
+    pm.items = registry->counter("prose_pool_items_total",
+                                 "Work-pool items completed");
+    pm.queue_depth = registry->gauge(
+        "prose_pool_queue_depth", "Items of the active batch not yet claimed");
+    pm.active_workers = registry->gauge(
+        "prose_pool_active_workers", "Workers currently evaluating a variant");
+    pool->set_metrics(pm);
+  }
 
   if (tr != nullptr) {
     tr->set_process_name(trace::Track::kPipelinePid, "tuning-pipeline");
@@ -295,6 +322,7 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
   if (!evaluator.is_ok()) return evaluator.status();
   Evaluator& ev = *evaluator.value();
 
+  if (registry != nullptr) ev.set_metrics(registry.get());
   if (!plan.empty()) {
     ev.set_fault_plan(&plan);
     ev.set_retry_policy(options.retry);
@@ -317,6 +345,7 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     if (options.journal_kill_after > 0) {
       journal->set_kill_after_variants(options.journal_kill_after);
     }
+    if (registry != nullptr) journal->set_metrics(registry.get());
     ev.set_journal(journal.get());
   }
 
@@ -430,6 +459,31 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     }
   }
 
+  if (options.backend != nullptr) {
+    // Served-mode degradation counters into the summary (and the registry,
+    // so a scraped campaign shows them too).
+    const EvalBackend::Counters counters = options.backend->counters();
+    result.summary.fallbacks = counters.fallback_items;
+    result.summary.busy_retries = counters.busy_retries;
+    if (registry != nullptr) {
+      registry
+          ->gauge("prose_client_busy_retries",
+                  "Busy rounds the serve client waited out (cumulative)")
+          ->set(static_cast<double>(counters.busy_retries));
+      registry
+          ->gauge("prose_client_fallback_items",
+                  "Items the serve client failed to resolve (cumulative)")
+          ->set(static_cast<double>(counters.fallback_items));
+    }
+  }
+  if (registry != nullptr) {
+    result.summary.metrics = registry->snapshot();
+    if (journal != nullptr && options.metrics_footer) {
+      // Strictly after every variant/batch/diag record, mirroring the diag
+      // discipline: a footer-less journal is a byte-identical prefix.
+      journal->append_metrics(result.summary.metrics);
+    }
+  }
   if (journal != nullptr && !journal->error().is_ok()) {
     result.summary.journal_error = journal->error().to_string();
   }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "tuner/evaluator.h"
 #include "tuner/schedule.h"
 #include "tuner/search.h"
@@ -66,6 +67,21 @@ struct CampaignOptions {
   /// a signal handler by the CLI drivers.
   const std::atomic<bool>* stop = nullptr;
 
+  /// Observability registry. On by default: collection is a handful of
+  /// relaxed atomics per variant, and — hard contract, same as tracing —
+  /// wall-clock time feeds metric *values* only, never scheduling or
+  /// simulated time, so a metrics-on campaign is bit-identical to a
+  /// metrics-off one, journal bytes included. Off exists for the overhead
+  /// benchmark and for paranoid A/B checks.
+  bool metrics = true;
+  /// Opt-in journal metrics footer: append one {"type":"metrics"} record
+  /// (counters, gauges, histogram count/sum/quantiles) after every campaign
+  /// record. Off by default because the footer carries wall-clock values —
+  /// appending it would break byte-identical journal comparisons across
+  /// runs and worker counts. Like diag records, load() treats the footer as
+  /// informational, so resume is exact either way.
+  bool metrics_footer = false;
+
   /// Numerical flight recorder: after the search finishes, re-run the
   /// rejected variants under binary64 shadow execution and aggregate their
   /// blame reports into a root-cause criticality ranking (paper §V, done by
@@ -96,6 +112,16 @@ struct CampaignSummary {
   /// the flight recorder / journal lost writes along the way.
   std::string trace_error;
   std::string journal_error;
+  /// Served-mode degradation (zeros for local campaigns): variants the
+  /// remote backend failed to resolve (computed locally instead — results
+  /// unchanged, locality changed) and busy rounds spent waiting out server
+  /// admission rejections. Transport-dependent, so excluded from bit-identity
+  /// comparisons, which cover everything the campaign *measured*.
+  std::uint64_t fallbacks = 0;
+  std::uint64_t busy_retries = 0;
+  /// Final registry snapshot (empty when CampaignOptions::metrics is off).
+  /// Wall-clock metric values — also excluded from bit-identity comparisons.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Figure 6 series: per procedure, the unique per-procedure precision

@@ -1,6 +1,7 @@
 #include "tuner/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -45,6 +46,29 @@ void emit_run_counters(trace::Tracer& tr, trace::Track track,
   tr.counter("vm/scalar-loop-entries", track, ts,
              static_cast<double>(m.scalar_loop_entries));
 }
+
+/// RAII wall-clock timer feeding one latency histogram. Like trace::Span it
+/// degrades to a no-op (no clock reads) when the instrument is null, and the
+/// observed time never flows into simulated results — only into the metric.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(obs::Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -129,9 +153,47 @@ Status Evaluator::init() {
   return Status::ok();
 }
 
+void Evaluator::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    m_ = EvalMetrics{};
+    return;
+  }
+  const auto lat = [&](const char* name, const char* help) {
+    return registry->histogram(name, help, obs::latency_buckets_seconds());
+  };
+  m_.transform_seconds = lat("prose_eval_transform_seconds",
+                             "Variant transform (clone+retype+wrap) latency");
+  m_.compile_seconds =
+      lat("prose_eval_compile_seconds", "Variant compile latency");
+  m_.execute_seconds =
+      lat("prose_eval_execute_seconds", "Variant VM execution latency");
+  m_.measure_seconds = lat("prose_eval_measure_seconds",
+                           "Variant measurement (metric+speedup) latency");
+  m_.variant_seconds = lat("prose_eval_variant_seconds",
+                           "Whole-variant latency (all attempts + backoff)");
+  m_.attempts = registry->counter("prose_eval_attempts_total",
+                                  "Evaluation attempts (retries included)");
+  m_.cache_lookups =
+      registry->counter("prose_eval_cache_lookups_total", "Memo-cache lookups");
+  m_.cache_hits =
+      registry->counter("prose_eval_cache_hits_total", "Memo-cache hits");
+  m_.retries = registry->counter(
+      "prose_eval_retries_total", "Attempts retried after injected transient faults");
+  m_.quarantined = registry->counter(
+      "prose_eval_quarantined_total",
+      "Variants quarantined (kLost: retry budget exhausted)");
+  m_.faults = registry->counter("prose_eval_faults_total",
+                                "Injected faults observed (all kinds)");
+  m_.backend_fallbacks = registry->counter(
+      "prose_eval_backend_fallback_items_total",
+      "Variants computed locally after a remote-backend transport failure");
+}
+
 void Evaluator::note_lookup_locked(bool hit) {
   ++cache_lookups_;
   if (hit) ++cache_hits_;
+  if (m_.cache_lookups != nullptr) m_.cache_lookups->inc();
+  if (hit && m_.cache_hits != nullptr) m_.cache_hits->inc();
   if (tracer_ != nullptr && tracer_->enabled()) {
     const trace::Track track = trace::Track::evaluator();
     const double ts = tracer_->now_us();
@@ -231,6 +293,7 @@ Evaluation Evaluator::compute_variant(const Config& config, std::uint64_t stream
     } else {
       warn_backend_fallback("reply count mismatch");
     }
+    if (m_.backend_fallbacks != nullptr) m_.backend_fallbacks->inc();
   }
   return run_variant(config, /*is_baseline=*/false, stream, track);
 }
@@ -365,6 +428,7 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
     auto items = backend_->evaluate_many(cfgs, streams);
     if (items.size() != jobs.size()) {
       warn_backend_fallback("reply count mismatch");
+      if (m_.backend_fallbacks != nullptr) m_.backend_fallbacks->inc(jobs.size());
     } else {
       for (std::size_t j = 0; j < jobs.size(); ++j) {
         if (items[j].ok) {
@@ -378,6 +442,7 @@ std::vector<Evaluator::BatchItem> Evaluator::evaluate_batch(
           }
         } else {
           warn_backend_fallback(items[j].error);
+          if (m_.backend_fallbacks != nullptr) m_.backend_fallbacks->inc();
         }
       }
     }
@@ -539,6 +604,7 @@ bool Evaluator::try_replay_locked(const std::string& key, std::uint64_t stream,
 
 Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
                                   std::uint64_t stream_id, trace::Track track) {
+  PhaseTimer variant_timer(m_.variant_seconds);
   // No fault plan (the overwhelmingly common case), or the baseline run —
   // which is never faulted, since a campaign that cannot evaluate its
   // baseline has nothing to resume — is exactly one attempt.
@@ -553,6 +619,11 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
   double charged = 0.0;  // node-seconds wasted on faulted attempts + backoff
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     const FaultDecision fault = fault_plan_->decide(hash, attempt);
+    if (m_.faults != nullptr &&
+        (fault.abort || fault.compile_fail || fault.transient_fail ||
+         fault.slow_factor > 1.0)) {
+      m_.faults->inc();
+    }
     if (fault.abort) {
       // Host-level crash simulation: the evaluator process dies. Thrown out
       // of the single-flight cache — evaluate()/evaluate_batch() must erase
@@ -607,12 +678,16 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
                    {"of", max_attempts}});
     }
     charged += eval.node_seconds;
-    if (attempt < max_attempts) charged += retry_.backoff_seconds;
+    if (attempt < max_attempts) {
+      charged += retry_.backoff_seconds;
+      if (m_.retries != nullptr) m_.retries->inc();
+    }
   }
 
   // Retry budget exhausted → quarantine. kLost carries *no information*:
   // metrics are cleared so nothing downstream can mistake it for a
   // measurement; only the cluster time it burned is kept.
+  if (m_.quarantined != nullptr) m_.quarantined->inc();
   Evaluation out;
   out.outcome = Outcome::kLost;
   out.detail = "injected transient faults exhausted the retry budget (" +
@@ -625,6 +700,7 @@ Evaluation Evaluator::run_variant(const Config& config, bool is_baseline,
 
 Evaluation Evaluator::run_attempt(const Config& config, bool is_baseline,
                                   std::uint64_t stream_id, trace::Track track) {
+  if (m_.attempts != nullptr) m_.attempts->inc();
   // Zero-cost path: no tracer (or sinks disabled) means no attribute
   // formatting, no clock reads — run_variant_impl is called bare.
   trace::Tracer* tr =
@@ -661,6 +737,7 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   StatusOr<ftn::ResolvedProgram> variant = Status(StatusCode::kUnimplemented, "unset");
   {
     trace::Span stage(tr, track, "transform");
+    PhaseTimer timer(m_.transform_seconds);
     variant = ftn::make_variant(pristine_.program, space_.to_assignment(config),
                                 &wreport);
     if (tr != nullptr) {
@@ -682,6 +759,7 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   StatusOr<sim::CompiledProgram> compiled = Status(StatusCode::kUnimplemented, "unset");
   {
     trace::Span stage(tr, track, "compile");
+    PhaseTimer timer(m_.compile_seconds);
     compiled = sim::compile(variant.value(), spec_.machine, copts);
     if (tr != nullptr) stage.annotate({{"ok", compiled.is_ok()}});
   }
@@ -706,6 +784,7 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   sim::RunResult run;
   {
     trace::Span stage(tr, track, "execute");
+    PhaseTimer timer(m_.execute_seconds);
     run = vm.call(spec_.entry);
     if (tr != nullptr) {
       stage.annotate({{"ok", run.status.is_ok()},
@@ -733,6 +812,7 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
 
   // Measure: hotspot attribution, correctness metric, Eq. (1) speedup.
   trace::Span measure_stage(tr, track, "measure");
+  PhaseTimer measure_timer(m_.measure_seconds);
 
   // Hotspot CPU time from the instrumented regions.
   double hotspot = 0.0;

@@ -30,6 +30,7 @@
 
 #include "ftn/reduce.h"
 #include "ftn/sema.h"
+#include "obs/metrics.h"
 #include "support/faultinject.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
@@ -161,6 +162,16 @@ class EvalBackend {
   virtual std::vector<RemoteItem> evaluate_many(
       std::span<const Config> configs,
       std::span<const std::uint64_t> streams) = 0;
+
+  /// Cumulative degradation counters, surfaced in CampaignSummary so
+  /// served-mode trouble is visible in reports, not just stderr: items the
+  /// backend could not resolve (the caller computed them locally) and busy
+  /// rounds spent waiting out server admission rejections.
+  struct Counters {
+    std::uint64_t fallback_items = 0;
+    std::uint64_t busy_retries = 0;
+  };
+  [[nodiscard]] virtual Counters counters() const { return {}; }
 };
 
 class Evaluator {
@@ -190,6 +201,14 @@ class Evaluator {
   /// computed evaluation is appended — and fsync'd — before it is returned
   /// to the search.
   void set_journal(Journal* journal) { journal_ = journal; }
+
+  /// Attach an observability registry (non-owning; null detaches): registers
+  /// per-phase latency histograms, cache hit/miss, retry/quarantine/fault,
+  /// and backend-fallback counters, and bumps them on the evaluation paths.
+  /// Pure telemetry under the tracing contract: wall-clock feeds metric
+  /// *values* only, never scheduling or simulated time, so an instrumented
+  /// campaign is bit-identical to an uninstrumented one.
+  void set_metrics(obs::Registry* registry);
 
   /// Attach a remote-evaluation backend (non-owning; null detaches). Cache
   /// misses are offloaded through it instead of simulated in-process; any
@@ -349,7 +368,25 @@ class Evaluator {
   std::optional<ftn::ReductionStats> reduction_stats_;
   trace::Tracer* tracer_ = nullptr;  // non-owning flight recorder; may be null
 
+  /// Observability instruments (registered by set_metrics; null = off).
+  /// Grouped so the hot paths test one pointer per family.
+  struct EvalMetrics {
+    obs::Histogram* transform_seconds = nullptr;
+    obs::Histogram* compile_seconds = nullptr;
+    obs::Histogram* execute_seconds = nullptr;
+    obs::Histogram* measure_seconds = nullptr;
+    obs::Histogram* variant_seconds = nullptr;
+    obs::Counter* attempts = nullptr;
+    obs::Counter* cache_lookups = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* faults = nullptr;
+    obs::Counter* backend_fallbacks = nullptr;
+  };
+
   const FaultPlan* fault_plan_ = nullptr;  // non-owning; may be null
+  EvalMetrics m_;  // instruments; inert until set_metrics
   RetryPolicy retry_;
   Journal* journal_ = nullptr;  // non-owning write-ahead journal; may be null
   EvalBackend* backend_ = nullptr;  // non-owning remote transport; may be null

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -229,6 +230,7 @@ void Journal::append_line(const std::string& line, bool count_variant) {
         error_ = Status(StatusCode::kInvalidArgument,
                         "journal write failed on '" + path_ +
                             "': " + std::strerror(errno));
+        if (m_errors_ != nullptr) m_errors_->inc();
         std::fprintf(stderr,
                      "warning: %s — campaign continues without journaling\n",
                      error_.message().c_str());
@@ -241,10 +243,12 @@ void Journal::append_line(const std::string& line, bool count_variant) {
     }
     // Make the record durable before the campaign acts on the evaluation:
     // that is what makes the journal a write-ahead log.
+    const auto fsync_start = std::chrono::steady_clock::now();
     if (::fsync(fd_) != 0) {
       error_ = Status(StatusCode::kInvalidArgument,
                       "journal fsync failed on '" + path_ +
                           "': " + std::strerror(errno));
+      if (m_errors_ != nullptr) m_errors_->inc();
       std::fprintf(stderr,
                    "warning: %s — campaign continues without journaling\n",
                    error_.message().c_str());
@@ -252,6 +256,13 @@ void Journal::append_line(const std::string& line, bool count_variant) {
       fd_ = -1;
       return;
     }
+    if (m_fsync_seconds_ != nullptr) {
+      m_fsync_seconds_->observe(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    fsync_start)
+                                    .count());
+    }
+    if (m_records_ != nullptr) m_records_->inc();
     if (count_variant) {
       ++appended_;
       if (kill_after_ > 0 && appended_ >= kill_after_) killer = appended_;
@@ -319,6 +330,43 @@ void Journal::append_batch(std::size_t round, double cluster_seconds,
   line += ",\"variants\":" + std::to_string(variants);
   line += '}';
   append_line(line, /*count_variant=*/false);
+}
+
+void Journal::append_metrics(const obs::MetricsSnapshot& snapshot) {
+  std::string line = "{\"type\":\"metrics\"";
+  std::map<std::string, double> scalars;
+  for (const auto& s : snapshot.series) {
+    if (s.kind != obs::SeriesKind::kHistogram) {
+      scalars[s.name] = s.value;
+      continue;
+    }
+    scalars[s.name + "_count"] = static_cast<double>(s.hist.count);
+    scalars[s.name + "_sum"] = s.hist.sum;
+    scalars[s.name + "_p50"] = s.hist.quantile(0.5);
+    scalars[s.name + "_p99"] = s.hist.quantile(0.99);
+  }
+  line += ',';
+  append_json_map(line, "series", scalars);
+  line += '}';
+  append_line(line, /*count_variant=*/false);
+}
+
+void Journal::set_metrics(obs::Registry* registry) {
+  std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    m_records_ = nullptr;
+    m_fsync_seconds_ = nullptr;
+    m_errors_ = nullptr;
+    return;
+  }
+  m_records_ = registry->counter("prose_journal_records_total",
+                                 "Journal records made durable");
+  m_fsync_seconds_ = registry->histogram("prose_journal_fsync_seconds",
+                                         "Journal record fsync latency",
+                                         obs::latency_buckets_seconds());
+  m_errors_ = registry->counter(
+      "prose_journal_errors_total",
+      "Journal write/fsync failures (sticky degradation to no journaling)");
 }
 
 Status Journal::error() const {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tuner/evaluator.h"
 
 namespace prose::tuner {
@@ -112,6 +113,20 @@ class Journal {
   /// json.loads).
   void append_diag(const BlameReport& report);
 
+  /// Appends one metrics-footer record (a campaign's final MetricsSnapshot:
+  /// counters, gauges, histogram count/sum/quantiles). Opt-in — the footer
+  /// carries wall-clock values, so CampaignOptions::metrics_footer keeps it
+  /// off by default to preserve byte-identical journals across runs and
+  /// worker counts. Like diag records, it is only written after the final
+  /// variant/batch record and load() treats it as informational, so resume
+  /// stays exact either way.
+  void append_metrics(const obs::MetricsSnapshot& snapshot);
+
+  /// Attaches an observability registry (non-owning; null detaches):
+  /// registers journal_records/fsync-latency/error series and bumps them
+  /// from append_line. Call before concurrent appends begin.
+  void set_metrics(obs::Registry* registry);
+
   /// First write failure, sticky; OK while the journal is healthy.
   [[nodiscard]] Status error() const;
 
@@ -133,6 +148,9 @@ class Journal {
   Status error_;
   std::size_t appended_ = 0;
   std::size_t kill_after_ = 0;
+  obs::Counter* m_records_ = nullptr;        // instruments; null = no metrics
+  obs::Histogram* m_fsync_seconds_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
 };
 
 }  // namespace prose::tuner

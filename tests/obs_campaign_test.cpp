@@ -1,0 +1,213 @@
+// Campaign-level observability contract: a metrics-enabled campaign is
+// bit-identical to a metrics-off one — summary, search records, and journal
+// bytes — at any worker count; the registry actually counts what the
+// evaluator and the sinks did; sink write degradation (/dev/full) shows up
+// in the obs error counters, not only in the sticky post-hoc errors; and
+// the opt-in journal metrics footer appends without disturbing resume.
+#include <sys/resource.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "models/funarc.h"
+#include "obs/metrics.h"
+#include "tuner/campaign.h"
+#include "tuner/journal.h"
+
+namespace prose::tuner {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+CampaignOptions small_cluster() {
+  CampaignOptions options;
+  options.cluster.nodes = 4;
+  return options;
+}
+
+/// Everything the campaign *measured* must match; CampaignSummary::metrics
+/// and the served-mode degradation tallies are documented as excluded.
+void expect_same_summary(const CampaignSummary& a, const CampaignSummary& b) {
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.pass_pct, b.pass_pct);
+  EXPECT_EQ(a.fail_pct, b.fail_pct);
+  EXPECT_EQ(a.timeout_pct, b.timeout_pct);
+  EXPECT_EQ(a.error_pct, b.error_pct);
+  EXPECT_EQ(a.lost_pct, b.lost_pct);
+  EXPECT_EQ(a.best_speedup, b.best_speedup);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.wall_hours, b.wall_hours);
+}
+
+TEST(ObsCampaign, MetricsOnIsBitIdenticalToMetricsOffIncludingJournal) {
+  const std::string dir = ::testing::TempDir();
+  struct Run {
+    bool metrics;
+    std::size_t jobs;
+    std::string journal;
+  };
+  const Run runs[] = {
+      {true, 1, dir + "/obs_on_j1.jsonl"},
+      {false, 1, dir + "/obs_off_j1.jsonl"},
+      {true, 4, dir + "/obs_on_j4.jsonl"},
+      {false, 4, dir + "/obs_off_j4.jsonl"},
+  };
+  StatusOr<CampaignResult> results[4] = {
+      Status::ok(), Status::ok(), Status::ok(), Status::ok()};
+  for (int i = 0; i < 4; ++i) {
+    CampaignOptions options = small_cluster();
+    options.metrics = runs[i].metrics;
+    options.jobs = runs[i].jobs;
+    options.journal_path = runs[i].journal;
+    results[i] = run_campaign(models::funarc_target(), options);
+    ASSERT_TRUE(results[i].is_ok()) << results[i].status().to_string();
+  }
+  const std::string reference = slurp(runs[0].journal);
+  ASSERT_FALSE(reference.empty());
+  for (int i = 1; i < 4; ++i) {
+    expect_same_summary(results[0]->summary, results[i]->summary);
+    EXPECT_EQ(reference, slurp(runs[i].journal))
+        << "journal bytes differ for run " << i;
+  }
+  // The metrics-off runs really collected nothing; the metrics-on runs did.
+  EXPECT_TRUE(results[1]->summary.metrics.series.empty());
+  EXPECT_FALSE(results[0]->summary.metrics.series.empty());
+}
+
+TEST(ObsCampaign, RegistryCountsEvaluatorAndSinkActivity) {
+  CampaignOptions options = small_cluster();
+  options.journal_path = std::string(::testing::TempDir()) + "/obs_counts.jsonl";
+  options.trace.jsonl_path =
+      std::string(::testing::TempDir()) + "/obs_counts.trace.jsonl";
+  auto result = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const obs::MetricsSnapshot& m = result->summary.metrics;
+
+  // Evaluator: one attempt per evaluated variant (no faults injected), a
+  // lookup per proposal, and phase latencies observed per computed variant.
+  EXPECT_GE(m.value("prose_eval_attempts_total"),
+            static_cast<double>(result->summary.total));
+  EXPECT_GT(m.value("prose_eval_cache_lookups_total"), 0.0);
+  const obs::SeriesSnapshot* variant = m.find("prose_eval_variant_seconds");
+  ASSERT_NE(variant, nullptr);
+  EXPECT_EQ(variant->hist.count,
+            static_cast<std::uint64_t>(result->summary.total));
+  const obs::SeriesSnapshot* execute = m.find("prose_eval_execute_seconds");
+  ASSERT_NE(execute, nullptr);
+  EXPECT_GT(execute->hist.count, 0u);
+
+  // Journal: one record per evaluated variant, fsync latency histogram to
+  // match, no errors.
+  EXPECT_GE(m.value("prose_journal_records_total"),
+            static_cast<double>(result->summary.total));
+  const obs::SeriesSnapshot* fsync = m.find("prose_journal_fsync_seconds");
+  ASSERT_NE(fsync, nullptr);
+  EXPECT_EQ(static_cast<double>(fsync->hist.count),
+            m.value("prose_journal_records_total"));
+  EXPECT_EQ(m.value("prose_journal_errors_total"), 0.0);
+
+  // Tracer: events flowed, no degradation.
+  EXPECT_GT(m.value("prose_trace_events_total"), 0.0);
+  EXPECT_EQ(m.value("prose_trace_write_errors_total"), 0.0);
+
+  // The final snapshot renders to a lint-clean exposition page.
+  std::string err;
+  EXPECT_TRUE(obs::lint_prometheus(obs::to_prometheus(m), &err)) << err;
+}
+
+TEST(ObsCampaign, PoolMetricsAppearForParallelRuns) {
+  CampaignOptions options = small_cluster();
+  options.jobs = 4;
+  auto result = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const obs::MetricsSnapshot& m = result->summary.metrics;
+  EXPECT_GT(m.value("prose_pool_batches_total"), 0.0);
+  EXPECT_GE(m.value("prose_pool_items_total"),
+            m.value("prose_pool_batches_total"));
+}
+
+TEST(ObsCampaign, JournalWriteDegradationIncrementsErrorCounter) {
+  // /dev/full fails the journal's open-time truncate, before any metrics
+  // exist — to hit the mid-campaign degradation branch, cap the process
+  // file size instead: the header fits, the variant records don't, and the
+  // first oversized append degrades the journal exactly like ENOSPC would.
+  struct rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &saved), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);  // get EFBIG, not a kill
+  const struct rlimit capped{2048, saved.rlim_max};
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &capped), 0);
+
+  CampaignOptions options = small_cluster();
+  options.journal_path =
+      std::string(::testing::TempDir()) + "/obs_degraded.jsonl";
+  auto result = run_campaign(models::funarc_target(), options);
+
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &saved), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_FALSE(result->summary.journal_error.empty());
+  EXPECT_GT(result->summary.metrics.value("prose_journal_errors_total"), 0.0);
+}
+
+TEST(ObsCampaign, TraceWriteDegradationIncrementsErrorCounter) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  CampaignOptions options = small_cluster();
+  options.trace.jsonl_path = "/dev/full";
+  auto result = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_FALSE(result->summary.trace_error.empty());
+  EXPECT_GT(result->summary.metrics.value("prose_trace_write_errors_total"),
+            0.0);
+}
+
+TEST(ObsCampaign, MetricsFooterIsOptInAndPreservesResume) {
+  const std::string plain = std::string(::testing::TempDir()) + "/obs_plain.jsonl";
+  const std::string footed =
+      std::string(::testing::TempDir()) + "/obs_footed.jsonl";
+
+  CampaignOptions options = small_cluster();
+  options.journal_path = plain;
+  auto ref = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(ref.is_ok()) << ref.status().to_string();
+  EXPECT_EQ(slurp(plain).find("\"type\":\"metrics\""), std::string::npos);
+
+  options.journal_path = footed;
+  options.metrics_footer = true;
+  auto with = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(with.is_ok()) << with.status().to_string();
+  expect_same_summary(ref->summary, with->summary);
+
+  const std::string bytes = slurp(footed);
+  const std::size_t footer_at = bytes.find("\"type\":\"metrics\"");
+  ASSERT_NE(footer_at, std::string::npos);
+  // The footer is strictly the last record: the journal up to it is exactly
+  // the footer-less journal.
+  const std::size_t line_start = bytes.rfind('\n', footer_at) + 1;
+  EXPECT_EQ(bytes.substr(0, line_start), slurp(plain));
+
+  // load() treats the footer as informational: a resume from the footed
+  // journal replays the same evaluations.
+  auto loaded = Journal::load(footed);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  options.resume = true;
+  auto resumed = run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  expect_same_summary(ref->summary, resumed->summary);
+  EXPECT_GT(resumed->replayed_from_journal, 0u);
+}
+
+}  // namespace
+}  // namespace prose::tuner

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -226,7 +227,9 @@ struct ServerHandle {
 
 ServerHandle start_server(std::size_t jobs = 2, const std::string& store = "",
                           std::size_t queue_capacity = 256,
-                          double retry_after = 0.001) {
+                          double retry_after = 0.001,
+                          const std::string& http_endpoint = "",
+                          double drain_grace = 0.0) {
   ServerHandle h;
   h.endpoint = fresh_path(".sock");
   ServerOptions opts;
@@ -235,6 +238,8 @@ ServerHandle start_server(std::size_t jobs = 2, const std::string& store = "",
   opts.jobs = jobs;
   opts.queue_capacity = queue_capacity;
   opts.retry_after_seconds = retry_after;
+  opts.http_endpoint = http_endpoint;
+  opts.drain_grace_seconds = drain_grace;
   h.server = std::make_unique<Server>(opts, resolve_model);
   const Status started = h.server->start();
   EXPECT_TRUE(started.is_ok()) << started.to_string();
@@ -497,6 +502,112 @@ TEST(ServedDeterminism, WarmStoreServesRepeatCampaignsWithoutExecuting) {
     EXPECT_GE(stats.store_hits * 10, stats.requests * 9);
   }
   std::remove(store.c_str());
+}
+
+// --- observability --------------------------------------------------------
+
+TEST(ServeObservability, MetricsEndpointServesLintCleanPageAndHealthFlips) {
+  const std::string http = fresh_path(".http.sock");
+  ServerHandle h = start_server(/*jobs=*/2, /*store=*/fresh_path(".store"),
+                                /*queue_capacity=*/256, /*retry_after=*/0.001,
+                                http, /*drain_grace=*/0.5);
+  ASSERT_EQ(h.server->http_endpoint(), "unix:" + http);  // normalized
+
+  int status = 0;
+  auto health = obs::http_get(http, "/healthz", &status);
+  ASSERT_TRUE(health.is_ok()) << health.status().to_string();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(health.value(), "ok\n");
+
+  const tuner::CampaignResult served = run_served("funarc", 1, h.endpoint);
+  ASSERT_GT(served.summary.total, 0u);
+
+  auto page = obs::http_get(http, "/metrics", &status);
+  ASSERT_TRUE(page.is_ok()) << page.status().to_string();
+  EXPECT_EQ(status, 200);
+  std::string err;
+  EXPECT_TRUE(obs::lint_prometheus(page.value(), &err)) << err;
+
+  // The scraped series agree with the wire-protocol stats.
+  obs::MetricsSnapshot snap;
+  ASSERT_TRUE(obs::parse_prometheus(page.value(), &snap, &err)) << err;
+  const ServerStats stats = h.server->stats();
+  EXPECT_EQ(snap.value("prose_serve_requests_total"),
+            static_cast<double>(stats.requests));
+  EXPECT_EQ(snap.value("prose_serve_evals_total"),
+            static_cast<double>(stats.evals_executed));
+  EXPECT_EQ(snap.value("prose_serve_connections_total"),
+            static_cast<double>(stats.connections));
+  EXPECT_GT(snap.value("prose_serve_frames_in_total"), 0.0);
+  EXPECT_GT(snap.value("prose_serve_frames_out_total"), 0.0);
+  EXPECT_GT(snap.value("prose_serve_store_appends_total"), 0.0);
+  EXPECT_GT(snap.value("prose_serve_store_bytes_total"), 0.0);
+  const obs::SeriesSnapshot* rpc = snap.find("prose_serve_rpc_seconds");
+  ASSERT_NE(rpc, nullptr);
+  EXPECT_GT(rpc->hist.count, 0u);
+
+  // /healthz flips to 503 the moment the drain starts, and the listener
+  // stays up through the grace window so pollers can observe it.
+  std::thread drainer([&] { h.server->shutdown(); });
+  int drain_status = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto draining = obs::http_get(http, "/healthz", &drain_status);
+    if (draining.is_ok() && drain_status == 503) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(drain_status, 503);
+  drainer.join();
+  h.server->wait();
+}
+
+TEST(ServeObservability, ClientCountsBusyRetriesAndSurfacesThemInSummary) {
+  const tuner::CampaignResult local = run_local("funarc", 1);
+  // A one-deep admission queue under a jobs=4 client forces busy rounds;
+  // the client tallies them and the campaign surfaces the tally.
+  ServerHandle h = start_server(/*jobs=*/1, /*store=*/"",
+                                /*queue_capacity=*/1, /*retry_after=*/0.001);
+  ServeClient::Options copts;
+  copts.endpoint = h.endpoint;
+  copts.model = "funarc";
+  copts.target_digest = target_digest(spec_for("funarc"));
+  auto client = ServeClient::connect(copts);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  tuner::CampaignOptions opts = campaign_options("funarc", 4);
+  opts.backend = client.value().get();
+  auto served = tuner::run_campaign(spec_for("funarc"), opts);
+  ASSERT_TRUE(served.is_ok()) << served.status().to_string();
+  expect_same_campaign(local, *served);
+  EXPECT_GT(served->summary.busy_retries, 0u);
+  EXPECT_EQ(served->summary.busy_retries,
+            client.value()->counters().busy_retries);
+  // Registry mirror of the same tallies.
+  EXPECT_EQ(served->summary.metrics.value("prose_client_busy_retries"),
+            static_cast<double>(served->summary.busy_retries));
+}
+
+TEST(ServeObservability, DeadServerFallsBackLocallyAndCountsFallbacks) {
+  const tuner::CampaignResult local = run_local("funarc", 1);
+  ServerHandle h = start_server();
+  ServeClient::Options copts;
+  copts.endpoint = h.endpoint;
+  copts.model = "funarc";
+  auto client = ServeClient::connect(copts);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  // Kill the daemon before the campaign: every remote batch fails, the
+  // evaluator computes locally, and the degradation is tallied — results
+  // bit-identical regardless.
+  h.server->shutdown();
+  h.server->wait();
+  tuner::CampaignOptions opts = campaign_options("funarc", 1);
+  opts.backend = client.value().get();
+  auto served = tuner::run_campaign(spec_for("funarc"), opts);
+  ASSERT_TRUE(served.is_ok()) << served.status().to_string();
+  expect_same_campaign(local, *served);
+  EXPECT_GT(served->summary.fallbacks, 0u);
+  EXPECT_EQ(served->summary.fallbacks,
+            client.value()->counters().fallback_items);
+  EXPECT_EQ(served->summary.metrics.value("prose_client_fallback_items"),
+            static_cast<double>(served->summary.fallbacks));
 }
 
 TEST(ServedDeterminism, ShutdownDrainsBeforeReturning) {
