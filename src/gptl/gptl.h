@@ -31,6 +31,13 @@ class SimClock {
     PROSE_CHECK(cycles >= 0.0);
     now_ += cycles;
   }
+  /// Monotone absolute update. Lets an execution engine accumulate cycles in
+  /// a register-resident local and publish the exact sum it computed (an
+  /// advance(target - now()) round-trip would not be bit-exact).
+  void set_now(double cycles) {
+    PROSE_CHECK(cycles >= now_);
+    now_ = cycles;
+  }
   [[nodiscard]] double now() const { return now_; }
   void reset() { now_ = 0.0; }
 

@@ -27,34 +27,6 @@ ArrayStorage::ArrayStorage(int kind, int rank, const std::int64_t* extents)
   }
 }
 
-std::int64_t ArrayStorage::linearize(std::int64_t i, std::int64_t j,
-                                     std::int64_t k) const {
-  if (i < 1 || i > extents_[0]) return -1;
-  std::int64_t linear = i - 1;
-  if (rank_ >= 2) {
-    if (j < 1 || j > extents_[1]) return -1;
-    linear += extents_[0] * (j - 1);
-  }
-  if (rank_ >= 3) {
-    if (k < 1 || k > extents_[2]) return -1;
-    linear += extents_[0] * extents_[1] * (k - 1);
-  }
-  return linear;
-}
-
-double ArrayStorage::get(std::int64_t linear) const {
-  return kind_ == 4 ? static_cast<double>(f32_[static_cast<std::size_t>(linear)])
-                    : f64_[static_cast<std::size_t>(linear)];
-}
-
-void ArrayStorage::set(std::int64_t linear, double value) {
-  if (kind_ == 4) {
-    f32_[static_cast<std::size_t>(linear)] = static_cast<float>(value);
-  } else {
-    f64_[static_cast<std::size_t>(linear)] = value;
-  }
-}
-
 void ArrayStorage::enable_shadow() {
   shadow_.resize(static_cast<std::size_t>(total_));
   for (std::int64_t i = 0; i < total_; ++i) {
@@ -160,6 +132,7 @@ void Vm::reset() {
   cast_cycles_ = 0.0;
   instructions_ = 0;
   op_mix_ = OpMix{};
+  fused_ = FusedStats{};
   if (shadow_) {
     shadow_globals_ = globals_;
     for (auto& arr : global_arrays_) arr.enable_shadow();
@@ -440,17 +413,41 @@ RunResult Vm::call(const std::string& qualified_proc) {
     }
   }
 
+  // Resolve the engine up front: a decode failure (malformed program) must
+  // surface before any frame is pushed or any cycle is charged.
+  const VmDispatch mode = resolved_dispatch();
+  const DecodedProgram* decoded = nullptr;
+  if (mode != VmDispatch::kInterpret) {
+    auto d = ensure_decoded();
+    if (!d.is_ok()) {
+      result.status = d.status();
+      return result;
+    }
+    decoded = d.value();
+  }
+
   run_start_cycles_ = clock_.now();
   const double cast_start = cast_cycles_;
   const std::uint64_t instr_start = instructions_;
   op_mix_ = OpMix{};  // per-call mix (observability; see RunResult::op_mix)
+  fused_ = FusedStats{};
 
   Status pushed = push_frame(it->second, /*site_index=*/-1, /*return_pc=*/-1);
   if (!pushed.is_ok()) {
     result.status = pushed;
     return result;
   }
-  result.status = run_loop();
+  switch (mode) {
+    case VmDispatch::kThreaded:
+      result.status = vm_engine_threaded(this, decoded, nullptr);
+      break;
+    case VmDispatch::kSwitch:
+      result.status = vm_engine_switch(this, decoded);
+      break;
+    default:
+      result.status = run_loop();
+      break;
+  }
   if (shadow_ && !result.status.is_ok()) note_shadow_fault(result.status);
   // Unwind any remaining frames on fault/timeout so the VM can be reused.
   while (!frames_.empty()) {
@@ -464,6 +461,7 @@ RunResult Vm::call(const std::string& qualified_proc) {
   result.cast_cycles = cast_cycles_ - cast_start;
   result.instructions = instructions_ - instr_start;
   result.op_mix = op_mix_;
+  result.fused = fused_;
   return result;
 }
 

@@ -27,6 +27,45 @@
 
 namespace prose::sim {
 
+struct DecodedProgram;  // decode.h
+
+/// Execution engine selection. All engines are bit-identical in outcomes,
+/// error metrics, cycle/cast accounting, OpMix, and the print log — the
+/// dispatch-equivalence suite enforces it. They differ only in host speed:
+///   * kInterpret — the reference switch interpreter over raw bytecode
+///     (vm.cpp). Always available; the only engine that supports shadow
+///     execution, so VmOptions::shadow forces it.
+///   * kSwitch    — pre-decoded stream (decode.h) run by a portable
+///     switch-dispatch loop.
+///   * kThreaded  — pre-decoded stream run by a direct-threaded
+///     computed-goto loop (GCC/Clang). Falls back to kSwitch when the
+///     build has no computed-goto support.
+///   * kAuto      — the build-configured default (PROSE_VM_DISPATCH).
+enum class VmDispatch : std::uint8_t { kAuto, kInterpret, kSwitch, kThreaded };
+
+/// Dynamic superinstruction dispatch counts for one call() — how many fused
+/// pairs each family executed. Observability only (the vm/fused/* counters
+/// and the bench fusion hit-rate): fused components still count under their
+/// original OpMix classes, so OpMix is fusion-neutral by construction.
+struct FusedStats {
+  std::uint64_t loop_cond_jmp = 0;
+  std::uint64_t inc_jmp = 0;
+  std::uint64_t cmp_jmp = 0;
+  std::uint64_t cast_mov = 0;
+  std::uint64_t cast_store = 0;
+  std::uint64_t load_arith = 0;
+  std::uint64_t arith_store = 0;
+  std::uint64_t const_arith = 0;
+  std::uint64_t load_const = 0;
+
+  /// Fused pair dispatches; each pair covers two executed instructions.
+  [[nodiscard]] std::uint64_t pairs() const {
+    return loop_cond_jmp + inc_jmp + cmp_jmp + cast_mov + cast_store +
+           load_arith + arith_store + const_arith + load_const;
+  }
+  [[nodiscard]] std::uint64_t covered() const { return 2 * pairs(); }
+};
+
 struct VmOptions {
   bool trap_nonfinite = true;
   /// Simulated-cycle budget for one call(); exceeding it returns Timeout.
@@ -39,7 +78,19 @@ struct VmOptions {
   /// mixed-precision primary values, and record divergence provenance
   /// (see ShadowReport). Hard invariant: shadow bookkeeping never perturbs
   /// simulated cycles, outcomes, or the OpMix — it is pure observability.
+  /// Shadow execution always runs on the reference interpreter regardless
+  /// of `dispatch`.
   bool shadow = false;
+  /// Execution engine (see VmDispatch). kAuto resolves to the build default.
+  VmDispatch dispatch = VmDispatch::kAuto;
+  /// Superinstruction fusion for the decoded engines. Results are
+  /// bit-identical with fusion on or off; off exists for the
+  /// fusion-neutrality test and A/B benchmarking.
+  bool fuse = true;
+  /// Pre-decoded instruction stream to reuse (must come from decode() of
+  /// this Vm's exact program — the evaluator's per-variant decoded cache).
+  /// Null = decode lazily on the first non-interpreted call().
+  std::shared_ptr<const DecodedProgram> decoded;
 };
 
 /// Per-procedure execution statistics (collected without instrumentation
@@ -81,6 +132,10 @@ struct RunResult {
   std::uint64_t instructions = 0;
   double cast_cycles = 0.0;       // cycles spent on kind conversions
   OpMix op_mix;
+  /// Superinstruction dispatches (all-zero under the interpreter and under
+  /// fuse=false). Deliberately outside OpMix: fusion must not change the
+  /// op-mix a run reports.
+  FusedStats fused;
 };
 
 /// Divergence record of one named variable under shadow execution. Relative
@@ -135,11 +190,34 @@ class ArrayStorage {
   [[nodiscard]] std::int64_t total() const { return total_; }
 
   /// Linear index from 1-based subscripts; negative on out-of-bounds.
+  /// Inline: called once per array access in the execution engines' hottest
+  /// handlers, where an out-of-line call would dominate the element work.
   [[nodiscard]] std::int64_t linearize(std::int64_t i, std::int64_t j,
-                                       std::int64_t k) const;
+                                       std::int64_t k) const {
+    if (i < 1 || i > extents_[0]) return -1;
+    std::int64_t linear = i - 1;
+    if (rank_ >= 2) {
+      if (j < 1 || j > extents_[1]) return -1;
+      linear += extents_[0] * (j - 1);
+    }
+    if (rank_ >= 3) {
+      if (k < 1 || k > extents_[2]) return -1;
+      linear += extents_[0] * extents_[1] * (k - 1);
+    }
+    return linear;
+  }
 
-  [[nodiscard]] double get(std::int64_t linear) const;
-  void set(std::int64_t linear, double value);
+  [[nodiscard]] double get(std::int64_t linear) const {
+    return kind_ == 4 ? static_cast<double>(f32_[static_cast<std::size_t>(linear)])
+                      : f64_[static_cast<std::size_t>(linear)];
+  }
+  void set(std::int64_t linear, double value) {
+    if (kind_ == 4) {
+      f32_[static_cast<std::size_t>(linear)] = static_cast<float>(value);
+    } else {
+      f64_[static_cast<std::size_t>(linear)] = value;
+    }
+  }
 
   /// Shadow-execution support: an optional binary64 mirror of the payload,
   /// initialized from the current primary values. Never consulted by get/set.
@@ -162,9 +240,26 @@ class ArrayStorage {
   std::vector<double> shadow_;
 };
 
+class Vm;
+
+/// Decoded-stream execution engines (vm_dispatch.cpp). Free friend
+/// functions rather than members so the threaded engine can export its
+/// handler-label table without an instance (vm == nullptr, table_out set).
+Status vm_engine_switch(Vm* vm, const DecodedProgram* decoded);
+Status vm_engine_threaded(Vm* vm, const DecodedProgram* decoded,
+                          const void* const** table_out);
+
 class Vm {
  public:
   explicit Vm(const CompiledProgram* program, VmOptions options = {});
+
+  /// True when this build's threaded (computed-goto) engine exists.
+  [[nodiscard]] static bool threaded_available();
+  /// What VmDispatch::kAuto resolves to in this build (PROSE_VM_DISPATCH).
+  [[nodiscard]] static VmDispatch default_dispatch();
+  /// The engine call() will actually use, after resolving kAuto, the
+  /// threaded→switch fallback, and the shadow-forces-interpreter rule.
+  [[nodiscard]] VmDispatch resolved_dispatch() const;
 
   /// Re-initializes all module storage (zeros + declared initializers).
   void reset();
@@ -215,6 +310,14 @@ class Vm {
   [[nodiscard]] Status fault(const std::string& message) const;
   Status run_loop();
 
+  friend Status vm_engine_switch(Vm* vm, const DecodedProgram* decoded);
+  friend Status vm_engine_threaded(Vm* vm, const DecodedProgram* decoded,
+                                   const void* const** table_out);
+
+  /// Returns the decoded stream for program_ (options_.decoded if supplied,
+  /// else decoded once and cached), or the decode failure.
+  StatusOr<const DecodedProgram*> ensure_decoded();
+
   // --- shadow execution (all no-ops unless options_.shadow) ---
   void init_shadow_tables();
   std::int32_t shadow_var_index(const std::string& name);
@@ -241,7 +344,14 @@ class Vm {
   double cast_cycles_ = 0.0;
   std::uint64_t instructions_ = 0;
   OpMix op_mix_;
+  FusedStats fused_;                // per-call, like op_mix_
   std::int32_t fault_pc_ = -1;
+  /// Lazily decoded stream (when options_.decoded was not supplied) and the
+  /// sticky decode verdict, so a malformed program fails every call the
+  /// same way without re-running the verifier.
+  std::shared_ptr<const DecodedProgram> decoded_local_;
+  Status decode_status_ = Status::ok();
+  bool decode_attempted_ = false;
 
   // --- shadow execution state (allocated only when options_.shadow) ---
   bool shadow_ = false;

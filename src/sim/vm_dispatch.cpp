@@ -1,0 +1,111 @@
+// Decoded-stream execution engines and dispatch-policy plumbing.
+//
+// vm_engine.inc holds the single shared engine body; it is included twice
+// below — once as a portable switch loop, once (when the compiler supports
+// labels-as-values) as a direct-threaded computed-goto loop. See decode.h
+// for the decoded instruction format and DESIGN.md §13 for the design.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "ftn/symbols.h"
+#include "sim/decode.h"
+#include "sim/vm.h"
+
+namespace prose::sim {
+
+using ftn::Intrinsic;
+
+// Build configuration (normally injected by CMake as compile definitions on
+// prose_sim; default to the portable configuration when absent).
+#ifndef PROSE_HAS_COMPUTED_GOTO
+#define PROSE_HAS_COMPUTED_GOTO 0
+#endif
+#ifndef PROSE_VM_DISPATCH_DEFAULT
+#define PROSE_VM_DISPATCH_DEFAULT 0  // 0=auto, 1=switch, 2=threaded
+#endif
+
+// ---------------------------------------------------------------------------
+// Engine instantiations.
+
+
+#define VM_USE_CGOTO 0
+#define VM_ENGINE_NAME vm_engine_switch
+#include "sim/vm_engine.inc"  // NOLINT(bugprone-suspicious-include)
+#undef VM_ENGINE_NAME
+#undef VM_USE_CGOTO
+
+#if PROSE_HAS_COMPUTED_GOTO
+
+#define VM_USE_CGOTO 1
+#define VM_ENGINE_NAME vm_engine_threaded
+#include "sim/vm_engine.inc"  // NOLINT(bugprone-suspicious-include)
+#undef VM_ENGINE_NAME
+#undef VM_USE_CGOTO
+
+#else  // !PROSE_HAS_COMPUTED_GOTO
+
+// No computed goto in this build: the threaded entry point exists (so
+// callers link either way) but reports no label table, and execution
+// falls through to the switch engine.
+Status vm_engine_threaded(Vm* vm, const DecodedProgram* decoded,
+                          const void* const** table_out) {
+  if (table_out != nullptr) {
+    *table_out = nullptr;
+    return Status::ok();
+  }
+  return vm_engine_switch(vm, decoded);
+}
+
+#endif  // PROSE_HAS_COMPUTED_GOTO
+
+const void* const* threaded_label_table() {
+  static const void* const* const table = [] {
+    const void* const* out = nullptr;
+    (void)vm_engine_threaded(nullptr, nullptr, &out);
+    return out;
+  }();
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch policy.
+
+bool Vm::threaded_available() { return threaded_label_table() != nullptr; }
+
+VmDispatch Vm::default_dispatch() {
+#if PROSE_VM_DISPATCH_DEFAULT == 1
+  return VmDispatch::kSwitch;
+#else
+  // auto (0) and threaded (2): prefer the threaded engine when it exists.
+  return threaded_available() ? VmDispatch::kThreaded : VmDispatch::kSwitch;
+#endif
+}
+
+VmDispatch Vm::resolved_dispatch() const {
+  if (options_.shadow) return VmDispatch::kInterpret;  // shadow needs raw bytecode hooks
+  VmDispatch d = options_.dispatch;
+  if (d == VmDispatch::kAuto) d = default_dispatch();
+  if (d == VmDispatch::kThreaded && !threaded_available()) d = VmDispatch::kSwitch;
+  return d;
+}
+
+StatusOr<const DecodedProgram*> Vm::ensure_decoded() {
+  if (options_.decoded != nullptr) return options_.decoded.get();
+  if (!decode_attempted_) {
+    decode_attempted_ = true;
+    auto d = decode(*program_, DecodeOptions{.fuse = options_.fuse});
+    if (d.is_ok()) {
+      decoded_local_ = std::move(d).value();
+    } else {
+      decode_status_ = d.status();
+    }
+  }
+  if (!decode_status_.is_ok()) return decode_status_;
+  return decoded_local_.get();
+}
+
+}  // namespace prose::sim

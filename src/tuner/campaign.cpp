@@ -31,6 +31,31 @@ bool rejected_variant(const Evaluation& e) {
 
 }  // namespace
 
+bool vm_dispatch_from_string(std::string_view s, sim::VmDispatch* out) {
+  if (s == "auto") {
+    *out = sim::VmDispatch::kAuto;
+  } else if (s == "interp" || s == "interpret") {
+    *out = sim::VmDispatch::kInterpret;
+  } else if (s == "switch") {
+    *out = sim::VmDispatch::kSwitch;
+  } else if (s == "threaded") {
+    *out = sim::VmDispatch::kThreaded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(sim::VmDispatch dispatch) {
+  switch (dispatch) {
+    case sim::VmDispatch::kAuto: return "auto";
+    case sim::VmDispatch::kInterpret: return "interp";
+    case sim::VmDispatch::kSwitch: return "switch";
+    case sim::VmDispatch::kThreaded: return "threaded";
+  }
+  return "?";
+}
+
 CampaignSummary summarize(const std::string& model, const SearchResult& search,
                           const ClusterSim& cluster) {
   CampaignSummary s;
@@ -318,7 +343,8 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     }
   }
 
-  auto evaluator = Evaluator::create(spec, options.noise_seed, tr);
+  auto evaluator =
+      Evaluator::create(spec, options.noise_seed, tr, options.vm_dispatch);
   if (!evaluator.is_ok()) return evaluator.status();
   Evaluator& ev = *evaluator.value();
 
@@ -427,6 +453,7 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     result.final_kinds[ev.space().atoms()[i].qualified] = final_config.kinds[i];
   }
   result.replayed_from_journal = ev.replayed_from_journal();
+  result.vm_exec = ev.vm_exec_stats();
 
   if (options.diagnose) {
     // The diagnosis runs strictly after the campaign proper: by the time the

@@ -82,6 +82,13 @@ struct CampaignOptions {
   /// informational, so resume is exact either way.
   bool metrics_footer = false;
 
+  /// VM execution engine for variant runs (the --vm-dispatch knob). All
+  /// engines produce bit-identical campaigns — summaries, journals, blame
+  /// reports — so this only changes host wall-clock time. kAuto = the
+  /// build's default (direct-threaded where the compiler supports it).
+  /// Shadow diagnosis always runs on the reference interpreter.
+  sim::VmDispatch vm_dispatch = sim::VmDispatch::kAuto;
+
   /// Numerical flight recorder: after the search finishes, re-run the
   /// rejected variants under binary64 shadow execution and aggregate their
   /// blame reports into a root-cause criticality ranking (paper §V, done by
@@ -200,7 +207,18 @@ struct CampaignResult {
   /// Deliberately outside CampaignSummary so diagnosed and undiagnosed runs
   /// compare bit-identical on everything the campaign measured.
   CampaignDiagnosis diagnosis;
+  /// Cumulative VM execution statistics (instructions executed, fused-pair
+  /// dispatches) across the campaign's local variant runs. Host-side
+  /// observability — deliberately outside CampaignSummary: the fused counts
+  /// legitimately differ between engines (zero under the interpreter), while
+  /// the summary must stay engine-independent.
+  Evaluator::VmExecStats vm_exec;
 };
+
+/// Parses a --vm-dispatch value ("auto", "interp", "switch", "threaded").
+/// Returns false on anything else.
+bool vm_dispatch_from_string(std::string_view s, sim::VmDispatch* out);
+const char* to_string(sim::VmDispatch dispatch);
 
 /// Runs one campaign on a target spec.
 StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,

@@ -12,6 +12,7 @@
 #include "ftn/transform.h"
 #include "gptl/gptl_trace.h"
 #include "sim/compile.h"
+#include "sim/decode.h"
 #include "tuner/journal.h"
 
 namespace prose::tuner {
@@ -45,6 +46,28 @@ void emit_run_counters(trace::Tracer& tr, trace::Track track,
              static_cast<double>(m.vector_loop_entries));
   tr.counter("vm/scalar-loop-entries", track, ts,
              static_cast<double>(m.scalar_loop_entries));
+  // Superinstruction dispatch counters. Emitted unconditionally (all-zero
+  // under the interpreter and under fuse=false) so a trace's counter set —
+  // and therefore its byte stream — does not depend on which decoded engine
+  // ran: threaded and switch traces stay bit-identical.
+  const sim::FusedStats& f = run.fused;
+  tr.counter("vm/fused/pairs", track, ts, static_cast<double>(f.pairs()));
+  tr.counter("vm/fused/covered", track, ts, static_cast<double>(f.covered()));
+  tr.counter("vm/fused/loop-cond-jmp", track, ts,
+             static_cast<double>(f.loop_cond_jmp));
+  tr.counter("vm/fused/inc-jmp", track, ts, static_cast<double>(f.inc_jmp));
+  tr.counter("vm/fused/cmp-jmp", track, ts, static_cast<double>(f.cmp_jmp));
+  tr.counter("vm/fused/cast-mov", track, ts, static_cast<double>(f.cast_mov));
+  tr.counter("vm/fused/cast-store", track, ts,
+             static_cast<double>(f.cast_store));
+  tr.counter("vm/fused/load-arith", track, ts,
+             static_cast<double>(f.load_arith));
+  tr.counter("vm/fused/arith-store", track, ts,
+             static_cast<double>(f.arith_store));
+  tr.counter("vm/fused/const-arith", track, ts,
+             static_cast<double>(f.const_arith));
+  tr.counter("vm/fused/load-const", track, ts,
+             static_cast<double>(f.load_const));
 }
 
 /// RAII wall-clock timer feeding one latency histogram. Like trace::Span it
@@ -101,9 +124,11 @@ Evaluator::Evaluator(const TargetSpec& spec, std::uint64_t noise_seed)
 
 StatusOr<std::unique_ptr<Evaluator>> Evaluator::create(const TargetSpec& spec,
                                                        std::uint64_t noise_seed,
-                                                       trace::Tracer* tracer) {
+                                                       trace::Tracer* tracer,
+                                                       sim::VmDispatch dispatch) {
   std::unique_ptr<Evaluator> ev(new Evaluator(spec, noise_seed));
   ev->tracer_ = tracer;  // before init() so the baseline run is traced too
+  ev->vm_dispatch_ = dispatch;  // before init() so the baseline uses it too
   if (Status s = ev->init(); !s.is_ok()) return s;
   return ev;
 }
@@ -773,6 +798,12 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   // Execute the representative workload.
   sim::VmOptions vopts;
   if (!is_baseline && cycle_budget_ > 0.0) vopts.cycle_budget = cycle_budget_;
+  vopts.dispatch = vm_dispatch_;
+  if (vm_dispatch_ != sim::VmDispatch::kInterpret) {
+    // Decoded engines: reuse the pre-decoded stream across attempts of the
+    // same variant (decode-once amortization; compile is deterministic).
+    vopts.decoded = decoded_for(config.key(), compiled.value());
+  }
   sim::Vm vm(&compiled.value(), vopts);
   if (spec_.setup) {
     if (Status s = spec_.setup(vm); !s.is_ok()) {
@@ -796,6 +827,13 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
     emit_run_counters(*tr, track, run);
     // GPTL → trace bridge: hotspot region stats as counter tracks.
     gptl::export_region_counters(*tr, vm.timers(), track, tr->now_us());
+  }
+  {
+    std::lock_guard<std::mutex> lock(vm_stats_mu_);
+    vm_stats_.runs += 1;
+    vm_stats_.instructions += run.instructions;
+    vm_stats_.fused_pairs += run.fused.pairs();
+    vm_stats_.fused_covered += run.fused.covered();
   }
   out.whole_cycles = run.cycles;
   out.cast_cycles = run.cast_cycles;
@@ -877,6 +915,32 @@ Evaluation Evaluator::run_variant_impl(const Config& config, bool is_baseline,
   out.node_seconds =
       build + static_cast<double>(eq1_n_) * run.cycles * seconds_per_cycle_;
   return out;
+}
+
+std::shared_ptr<const sim::DecodedProgram> Evaluator::decoded_for(
+    const std::string& key, const sim::CompiledProgram& compiled) {
+  {
+    std::lock_guard<std::mutex> lock(decoded_mu_);
+    if (const auto it = decoded_cache_.find(key); it != decoded_cache_.end()) {
+      return it->second;
+    }
+  }
+  // Decode outside the lock: streams for distinct keys can be built
+  // concurrently, and a duplicate race just does redundant work (the decoded
+  // stream is deterministic, so either copy is valid).
+  auto decoded = sim::decode(compiled);
+  if (!decoded.is_ok()) return nullptr;  // Vm re-decodes and surfaces the error
+  std::lock_guard<std::mutex> lock(decoded_mu_);
+  // Bounded: a campaign sweep revisits keys heavily, but cap the footprint
+  // the same blunt way a full cache wipe beats LRU bookkeeping here.
+  if (decoded_cache_.size() >= 512) decoded_cache_.clear();
+  auto [it, inserted] = decoded_cache_.emplace(key, std::move(decoded).value());
+  return it->second;
+}
+
+Evaluator::VmExecStats Evaluator::vm_exec_stats() const {
+  std::lock_guard<std::mutex> lock(vm_stats_mu_);
+  return vm_stats_;
 }
 
 StatusOr<BlameReport> Evaluator::diagnose(const Config& config) {

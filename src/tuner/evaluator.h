@@ -181,9 +181,12 @@ class Evaluator {
   /// `tracer` (optional, non-owning, must outlive the evaluator) records one
   /// span per variant lifecycle — transform → compile → execute → measure —
   /// plus per-run VM op-mix counters and GPTL region counters.
-  static StatusOr<std::unique_ptr<Evaluator>> create(const TargetSpec& spec,
-                                                     std::uint64_t noise_seed = 2024,
-                                                     trace::Tracer* tracer = nullptr);
+  /// `dispatch` selects the VM execution engine for every run this
+  /// evaluator performs, the baseline included (see set_vm_dispatch).
+  static StatusOr<std::unique_ptr<Evaluator>> create(
+      const TargetSpec& spec, std::uint64_t noise_seed = 2024,
+      trace::Tracer* tracer = nullptr,
+      sim::VmDispatch dispatch = sim::VmDispatch::kAuto);
 
   /// Attach or detach the flight recorder after construction.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
@@ -209,6 +212,27 @@ class Evaluator {
   /// *values* only, never scheduling or simulated time, so an instrumented
   /// campaign is bit-identical to an uninstrumented one.
   void set_metrics(obs::Registry* registry);
+
+  /// Selects the VM execution engine for variant runs (default kAuto — the
+  /// build-configured default, normally direct-threaded). All engines are
+  /// bit-identical in outcomes, metrics, and accounting (the
+  /// dispatch-equivalence suite pins this), so this is purely a host-speed
+  /// knob. diagnose() is unaffected: shadow execution always runs on the
+  /// reference interpreter. Set before evaluating; not synchronized against
+  /// in-flight evaluations.
+  void set_vm_dispatch(sim::VmDispatch dispatch) { vm_dispatch_ = dispatch; }
+  [[nodiscard]] sim::VmDispatch vm_dispatch() const { return vm_dispatch_; }
+
+  /// Cumulative VM execution statistics across every attempt this evaluator
+  /// ran locally (baseline included; remote/backend evaluations excluded).
+  /// Observability for the bench fusion hit-rate and campaign reports.
+  struct VmExecStats {
+    std::uint64_t runs = 0;           // VM executions (attempts, not variants)
+    std::uint64_t instructions = 0;   // executed VM instructions
+    std::uint64_t fused_pairs = 0;    // superinstruction dispatches
+    std::uint64_t fused_covered = 0;  // instructions covered by fused pairs
+  };
+  [[nodiscard]] VmExecStats vm_exec_stats() const;
 
   /// Attach a remote-evaluation backend (non-owning; null detaches). Cache
   /// misses are offloaded through it instead of simulated in-process; any
@@ -343,6 +367,11 @@ class Evaluator {
                              trace::Track track);
   /// Once-per-evaluator stderr note that the backend degraded to local.
   void warn_backend_fallback(const std::string& why);
+  /// Decoded instruction stream for this variant's compiled program, from
+  /// the per-variant decoded cache (keyed like the memo cache). Null when
+  /// decoding failed — the Vm then surfaces the decode error itself.
+  std::shared_ptr<const sim::DecodedProgram> decoded_for(
+      const std::string& key, const sim::CompiledProgram& compiled);
   /// Counts a lookup and emits the cache/* counters (call with cache_mu_ held).
   void note_lookup_locked(bool hit);
   void emit_cache_hit_instant(const Config& config, const Evaluation& eval);
@@ -367,6 +396,18 @@ class Evaluator {
 
   std::optional<ftn::ReductionStats> reduction_stats_;
   trace::Tracer* tracer_ = nullptr;  // non-owning flight recorder; may be null
+
+  sim::VmDispatch vm_dispatch_ = sim::VmDispatch::kAuto;
+  /// Per-variant decoded-stream cache (decode once, reuse across retry
+  /// attempts and dispatch-engine runs of the same key). Compilation is
+  /// deterministic, so a stream decoded on attempt 1 is valid for every
+  /// recompile of the same configuration. Bounded: cleared when full.
+  mutable std::mutex decoded_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const sim::DecodedProgram>,
+                     KeyHash>
+      decoded_cache_;
+  mutable std::mutex vm_stats_mu_;
+  VmExecStats vm_stats_;
 
   /// Observability instruments (registered by set_metrics; null = off).
   /// Grouped so the hot paths test one pointer per family.

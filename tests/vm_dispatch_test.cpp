@@ -1,0 +1,447 @@
+// Dispatch-mode equivalence suite: the decoded engines (switch-dispatch and
+// direct-threaded) must be BIT-IDENTICAL to the reference interpreter in
+// everything a run or a campaign measures — outcomes, error metrics,
+// simulated cycles, cast accounting, OpMix, print log, journal bytes, blame
+// reports. The engines are allowed to differ in exactly two observables:
+// host wall-clock time and the FusedStats dispatch counters (zero under the
+// interpreter and under fuse=false).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "models/models.h"
+#include "sim/compile.h"
+#include "sim/decode.h"
+#include "sim/vm.h"
+#include "test_util.h"
+#include "tuner/campaign.h"
+#include "tuner/report.h"
+
+namespace prose {
+namespace {
+
+using prose::testing::must_resolve;
+using sim::CompiledProgram;
+using sim::RunResult;
+using sim::Vm;
+using sim::VmDispatch;
+using sim::VmOptions;
+
+// ---------------------------------------------------------------------------
+// VM-level equivalence
+// ---------------------------------------------------------------------------
+
+struct Executed {
+  RunResult run;
+  std::string print_log;
+  double now = 0.0;
+};
+
+CompiledProgram compile_src(const std::string& src) {
+  auto rp = must_resolve(src);
+  auto compiled = sim::compile(rp, sim::MachineModel{});
+  if (!compiled.is_ok()) {
+    throw std::runtime_error("compile failed: " + compiled.status().to_string());
+  }
+  return std::move(compiled.value());
+}
+
+Executed run_with(const CompiledProgram& p, VmDispatch dispatch,
+                  VmOptions vopts = {}, const std::string& entry = "m::go") {
+  vopts.dispatch = dispatch;
+  Vm vm(&p, vopts);
+  Executed e;
+  e.run = vm.call(entry);
+  e.print_log = vm.print_log();
+  e.now = vm.now();
+  return e;
+}
+
+/// Exact equality on everything but FusedStats (compared by the caller,
+/// since it legitimately differs between engines).
+void expect_same_run(const Executed& a, const Executed& b, const char* what) {
+  EXPECT_EQ(a.run.status.code(), b.run.status.code()) << what;
+  EXPECT_EQ(a.run.status.message(), b.run.status.message()) << what;
+  EXPECT_EQ(a.run.cycles, b.run.cycles) << what;
+  EXPECT_EQ(a.run.instructions, b.run.instructions) << what;
+  EXPECT_EQ(a.run.cast_cycles, b.run.cast_cycles) << what;
+  EXPECT_EQ(a.run.op_mix.fp32_arith, b.run.op_mix.fp32_arith) << what;
+  EXPECT_EQ(a.run.op_mix.fp64_arith, b.run.op_mix.fp64_arith) << what;
+  EXPECT_EQ(a.run.op_mix.int_arith, b.run.op_mix.int_arith) << what;
+  EXPECT_EQ(a.run.op_mix.casts, b.run.op_mix.casts) << what;
+  EXPECT_EQ(a.run.op_mix.mem, b.run.op_mix.mem) << what;
+  EXPECT_EQ(a.run.op_mix.calls, b.run.op_mix.calls) << what;
+  EXPECT_EQ(a.run.op_mix.branches, b.run.op_mix.branches) << what;
+  EXPECT_EQ(a.run.op_mix.intrinsics, b.run.op_mix.intrinsics) << what;
+  EXPECT_EQ(a.run.op_mix.other, b.run.op_mix.other) << what;
+  EXPECT_EQ(a.run.op_mix.vector_loop_entries, b.run.op_mix.vector_loop_entries)
+      << what;
+  EXPECT_EQ(a.run.op_mix.scalar_loop_entries, b.run.op_mix.scalar_loop_entries)
+      << what;
+  EXPECT_EQ(a.print_log, b.print_log) << what;
+  EXPECT_EQ(a.now, b.now) << what;
+}
+
+/// A workload touching every handler family: mixed-kind arithmetic, casts,
+/// loops (fused loop-cond+branch), array load/op and op/store (fused),
+/// an if chain (fused cmp+branch), intrinsics, calls, and a print.
+const char* kMixedSource = R"f(
+module m
+  real(kind=4) :: s4
+  real(kind=8) :: out, acc
+  real(kind=8) :: a(64), b(64)
+contains
+  subroutine go()
+    integer :: i
+    acc = 0.0d0
+    do i = 1, 64
+      a(i) = sin(dble(i) * 0.1d0)
+      b(i) = a(i) * 2.0d0
+    end do
+    do i = 1, 64
+      s4 = real(b(i))
+      if (s4 > 0.5) then
+        acc = acc + dble(s4)
+      else
+        acc = acc - a(i) / 3.0d0
+      end if
+    end do
+    out = helper(acc) + sqrt(abs(acc))
+    print *, 'acc', acc
+  end subroutine go
+  function helper(x) result(y)
+    real(kind=8), intent(in) :: x
+    real(kind=8) :: y
+    integer :: j
+    y = x
+    do j = 1, 10
+      y = y * 1.01d0 + mod(x, 2.0d0)
+    end do
+  end function helper
+end module m
+)f";
+
+TEST(VmDispatch, MixedWorkloadIdenticalAcrossEngines) {
+  const CompiledProgram p = compile_src(kMixedSource);
+  const Executed interp = run_with(p, VmDispatch::kInterpret);
+  const Executed sw = run_with(p, VmDispatch::kSwitch);
+  const Executed threaded = run_with(p, VmDispatch::kThreaded);
+  ASSERT_TRUE(interp.run.status.is_ok()) << interp.run.status.to_string();
+  expect_same_run(interp, sw, "interp vs switch");
+  expect_same_run(interp, threaded, "interp vs threaded");
+  // The interpreter never dispatches superinstructions; the decoded engines
+  // agree with each other on exactly how many they dispatched.
+  EXPECT_EQ(interp.run.fused.pairs(), 0u);
+  EXPECT_GT(sw.run.fused.pairs(), 0u);
+  EXPECT_EQ(sw.run.fused.loop_cond_jmp, threaded.run.fused.loop_cond_jmp);
+  EXPECT_EQ(sw.run.fused.inc_jmp, threaded.run.fused.inc_jmp);
+  EXPECT_EQ(sw.run.fused.cmp_jmp, threaded.run.fused.cmp_jmp);
+  EXPECT_EQ(sw.run.fused.cast_mov, threaded.run.fused.cast_mov);
+  EXPECT_EQ(sw.run.fused.cast_store, threaded.run.fused.cast_store);
+  EXPECT_EQ(sw.run.fused.load_arith, threaded.run.fused.load_arith);
+  EXPECT_EQ(sw.run.fused.arith_store, threaded.run.fused.arith_store);
+  EXPECT_EQ(sw.run.fused.const_arith, threaded.run.fused.const_arith);
+  EXPECT_EQ(sw.run.fused.load_const, threaded.run.fused.load_const);
+  EXPECT_LE(sw.run.fused.covered(), sw.run.instructions);
+}
+
+TEST(VmDispatch, FusionNeutrality) {
+  // fuse=false must not change a single measured value — only FusedStats.
+  const CompiledProgram p = compile_src(kMixedSource);
+  for (const VmDispatch d : {VmDispatch::kSwitch, VmDispatch::kThreaded}) {
+    VmOptions fused_on, fused_off;
+    fused_off.fuse = false;
+    const Executed on = run_with(p, d, fused_on);
+    const Executed off = run_with(p, d, fused_off);
+    expect_same_run(on, off, "fuse on vs off");
+    EXPECT_GT(on.run.fused.pairs(), 0u);
+    EXPECT_EQ(off.run.fused.pairs(), 0u);
+  }
+}
+
+TEST(VmDispatch, RuntimeFaultIdenticalAcrossEngines) {
+  // Out-of-bounds subscript hit mid-loop: same fault message, same partial
+  // accounting at the moment of the fault.
+  const CompiledProgram p = compile_src(R"f(
+module m
+  real(kind=8) :: a(8), out
+contains
+  subroutine go()
+    integer :: i
+    out = 0.0d0
+    do i = 1, 9
+      a(i) = dble(i)
+      out = out + a(i)
+    end do
+  end subroutine go
+end module m
+)f");
+  const Executed interp = run_with(p, VmDispatch::kInterpret);
+  const Executed sw = run_with(p, VmDispatch::kSwitch);
+  const Executed threaded = run_with(p, VmDispatch::kThreaded);
+  ASSERT_FALSE(interp.run.status.is_ok());
+  EXPECT_EQ(interp.run.status.code(), StatusCode::kRuntimeFault);
+  expect_same_run(interp, sw, "fault: interp vs switch");
+  expect_same_run(interp, threaded, "fault: interp vs threaded");
+}
+
+TEST(VmDispatch, NonFiniteTrapIdenticalAcrossEngines) {
+  const CompiledProgram p = compile_src(R"f(
+module m
+  real(kind=8) :: z, out
+contains
+  subroutine go()
+    z = 0.0d0
+    out = 1.0d0 / z
+  end subroutine go
+end module m
+)f");
+  const Executed interp = run_with(p, VmDispatch::kInterpret);
+  const Executed sw = run_with(p, VmDispatch::kSwitch);
+  const Executed threaded = run_with(p, VmDispatch::kThreaded);
+  ASSERT_FALSE(interp.run.status.is_ok());
+  expect_same_run(interp, sw, "trap: interp vs switch");
+  expect_same_run(interp, threaded, "trap: interp vs threaded");
+}
+
+TEST(VmDispatch, TimeoutIdenticalAcrossEngines) {
+  // A cycle budget that trips mid-run: the decoded engines check the budget
+  // on the same 256-instruction stride as the interpreter, so the timeout
+  // fires at the identical instruction count and simulated time.
+  const CompiledProgram p = compile_src(R"f(
+module m
+  real(kind=8) :: out
+contains
+  subroutine go()
+    integer :: i
+    out = 0.0d0
+    do i = 1, 100000
+      out = out + dble(i) * 1.0000001d0
+    end do
+  end subroutine go
+end module m
+)f");
+  VmOptions vopts;
+  vopts.cycle_budget = 5000.0;
+  const Executed interp = run_with(p, VmDispatch::kInterpret, vopts);
+  const Executed sw = run_with(p, VmDispatch::kSwitch, vopts);
+  const Executed threaded = run_with(p, VmDispatch::kThreaded, vopts);
+  ASSERT_EQ(interp.run.status.code(), StatusCode::kTimeout)
+      << interp.run.status.to_string();
+  expect_same_run(interp, sw, "timeout: interp vs switch");
+  expect_same_run(interp, threaded, "timeout: interp vs threaded");
+}
+
+TEST(VmDispatch, ShadowForcesInterpreter) {
+  // Shadow execution is interpreter-only; asking for a decoded engine with
+  // shadow on silently runs the reference path, with the shadow report
+  // intact and zero fused dispatches.
+  const CompiledProgram p = compile_src(kMixedSource);
+  VmOptions vopts;
+  vopts.shadow = true;
+  vopts.dispatch = VmDispatch::kThreaded;
+  Vm vm(&p, vopts);
+  EXPECT_EQ(vm.resolved_dispatch(), VmDispatch::kInterpret);
+  const RunResult r = vm.call("m::go");
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.fused.pairs(), 0u);
+  EXPECT_TRUE(vm.shadow_report().enabled);
+
+  const Executed plain = run_with(p, VmDispatch::kInterpret);
+  EXPECT_EQ(r.cycles, plain.run.cycles);
+  EXPECT_EQ(r.instructions, plain.run.instructions);
+}
+
+TEST(VmDispatch, ResolutionRules) {
+  // kAuto resolves to the build default; threaded degrades to switch when
+  // the build lacks computed goto; the interpreter is always itself.
+  const CompiledProgram p = compile_src(kMixedSource);
+  {
+    Vm vm(&p, {});
+    EXPECT_EQ(vm.resolved_dispatch(), Vm::default_dispatch());
+    EXPECT_NE(vm.resolved_dispatch(), VmDispatch::kAuto);
+  }
+  {
+    VmOptions vopts;
+    vopts.dispatch = VmDispatch::kThreaded;
+    Vm vm(&p, vopts);
+    EXPECT_EQ(vm.resolved_dispatch(), Vm::threaded_available()
+                                          ? VmDispatch::kThreaded
+                                          : VmDispatch::kSwitch);
+  }
+  {
+    VmOptions vopts;
+    vopts.dispatch = VmDispatch::kInterpret;
+    Vm vm(&p, vopts);
+    EXPECT_EQ(vm.resolved_dispatch(), VmDispatch::kInterpret);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level bit-identity: threaded vs switch on the paper's models
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void expect_same_campaign(const tuner::CampaignResult& a,
+                          const tuner::CampaignResult& b) {
+  EXPECT_EQ(a.summary.model, b.summary.model);
+  EXPECT_EQ(a.summary.total, b.summary.total);
+  EXPECT_EQ(a.summary.pass_pct, b.summary.pass_pct);
+  EXPECT_EQ(a.summary.fail_pct, b.summary.fail_pct);
+  EXPECT_EQ(a.summary.timeout_pct, b.summary.timeout_pct);
+  EXPECT_EQ(a.summary.error_pct, b.summary.error_pct);
+  EXPECT_EQ(a.summary.lost_pct, b.summary.lost_pct);
+  EXPECT_EQ(a.summary.best_speedup, b.summary.best_speedup);
+  EXPECT_EQ(a.summary.finished, b.summary.finished);
+  EXPECT_EQ(a.summary.wall_hours, b.summary.wall_hours);
+  ASSERT_EQ(a.search.records.size(), b.search.records.size());
+  for (std::size_t i = 0; i < a.search.records.size(); ++i) {
+    EXPECT_EQ(a.search.records[i].id, b.search.records[i].id);
+    EXPECT_EQ(a.search.records[i].config, b.search.records[i].config)
+        << "variant " << i;
+    const tuner::Evaluation& x = a.search.records[i].eval;
+    const tuner::Evaluation& y = b.search.records[i].eval;
+    EXPECT_EQ(x.outcome, y.outcome) << "variant " << i;
+    EXPECT_EQ(x.detail, y.detail) << "variant " << i;
+    EXPECT_EQ(x.metric, y.metric) << "variant " << i;
+    EXPECT_EQ(x.error, y.error) << "variant " << i;
+    EXPECT_EQ(x.hotspot_cycles, y.hotspot_cycles) << "variant " << i;
+    EXPECT_EQ(x.whole_cycles, y.whole_cycles) << "variant " << i;
+    EXPECT_EQ(x.cast_cycles, y.cast_cycles) << "variant " << i;
+    EXPECT_EQ(x.measured_cycles, y.measured_cycles) << "variant " << i;
+    EXPECT_EQ(x.speedup, y.speedup) << "variant " << i;
+    EXPECT_EQ(x.fraction32, y.fraction32) << "variant " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << "variant " << i;
+    EXPECT_EQ(x.proc_mean_cycles, y.proc_mean_cycles) << "variant " << i;
+    EXPECT_EQ(x.node_seconds, y.node_seconds) << "variant " << i;
+  }
+  EXPECT_EQ(a.search.cache_hits, b.search.cache_hits);
+  EXPECT_EQ(a.search.lost, b.search.lost);
+  EXPECT_EQ(a.search.best_speedup, b.search.best_speedup);
+  EXPECT_EQ(a.search.one_minimal, b.search.one_minimal);
+  EXPECT_EQ(a.search.budget_exhausted, b.search.budget_exhausted);
+  EXPECT_EQ(a.final_kinds, b.final_kinds);
+  // Figure 6 + the final-variant and diagnosis reports, compared as the
+  // rendered strings a reader of the two runs would actually see.
+  EXPECT_EQ(tuner::figure6_csv(a.figure6), tuner::figure6_csv(b.figure6));
+  EXPECT_EQ(tuner::final_variant_report(a), tuner::final_variant_report(b));
+  EXPECT_EQ(a.diagnosis.enabled, b.diagnosis.enabled);
+  EXPECT_EQ(a.diagnosis.rejected, b.diagnosis.rejected);
+  EXPECT_EQ(a.diagnosis.diagnosed, b.diagnosis.diagnosed);
+  if (a.diagnosis.enabled) {
+    EXPECT_EQ(tuner::diagnosis_report(a), tuner::diagnosis_report(b));
+  }
+}
+
+/// Runs `spec` once per engine (threaded, switch) with journals and asserts
+/// the results — journal bytes included — are bit-identical. The fused
+/// counters must agree between the two decoded engines (they execute the
+/// same decoded streams), which also pins instruction parity.
+void expect_engines_identical(const tuner::TargetSpec& spec,
+                              tuner::CampaignOptions options,
+                              const std::string& tag) {
+  const std::string jt =
+      std::string(::testing::TempDir()) + "/vmdisp." + tag + ".threaded.jsonl";
+  const std::string js =
+      std::string(::testing::TempDir()) + "/vmdisp." + tag + ".switch.jsonl";
+
+  options.vm_dispatch = sim::VmDispatch::kThreaded;
+  options.journal_path = jt;
+  auto threaded = tuner::run_campaign(spec, options);
+  ASSERT_TRUE(threaded.is_ok()) << threaded.status().to_string();
+
+  options.vm_dispatch = sim::VmDispatch::kSwitch;
+  options.journal_path = js;
+  auto sw = tuner::run_campaign(spec, options);
+  ASSERT_TRUE(sw.is_ok()) << sw.status().to_string();
+
+  expect_same_campaign(threaded.value(), sw.value());
+  EXPECT_EQ(slurp(jt), slurp(js)) << tag << ": journal bytes differ";
+  EXPECT_GT(threaded->vm_exec.instructions, 0u);
+  EXPECT_EQ(threaded->vm_exec.runs, sw->vm_exec.runs);
+  EXPECT_EQ(threaded->vm_exec.instructions, sw->vm_exec.instructions);
+  EXPECT_EQ(threaded->vm_exec.fused_pairs, sw->vm_exec.fused_pairs);
+  EXPECT_GT(threaded->vm_exec.fused_pairs, 0u);
+}
+
+tuner::CampaignOptions small_campaign(std::size_t jobs, bool diagnose,
+                                      std::size_t max_variants = 0) {
+  tuner::CampaignOptions options;
+  options.cluster.nodes = 4;
+  options.jobs = jobs;
+  options.diagnose = diagnose;
+  options.max_variants = max_variants;
+  return options;
+}
+
+TEST(VmDispatchCampaign, FunarcAllJobsAndDiagnose) {
+  // funarc is cheap enough for the full matrix; faults included so retry
+  // and quarantine paths execute under both engines.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool diagnose : {false, true}) {
+      tuner::CampaignOptions options = small_campaign(jobs, diagnose);
+      options.fault_spec = "compile:p=0.08;transient:p=0.35;straggler:p=0.1,slow=4x";
+      options.retry.max_attempts = 2;
+      const std::string tag = "funarc.j" + std::to_string(jobs) +
+                              (diagnose ? ".diag" : ".plain");
+      expect_engines_identical(models::funarc_target(), options, tag);
+    }
+  }
+}
+
+TEST(VmDispatchCampaign, Mom6) {
+  expect_engines_identical(models::mom6_target(),
+                           small_campaign(1, false, 12), "mom6.j1");
+  expect_engines_identical(models::mom6_target(),
+                           small_campaign(4, true, 12), "mom6.j4.diag");
+}
+
+TEST(VmDispatchCampaign, Adcirc) {
+  expect_engines_identical(models::adcirc_target(),
+                           small_campaign(1, false, 12), "adcirc.j1");
+  expect_engines_identical(models::adcirc_target(),
+                           small_campaign(4, true, 12), "adcirc.j4.diag");
+}
+
+TEST(VmDispatchCampaign, Mpas) {
+  expect_engines_identical(models::mpas_target(),
+                           small_campaign(1, false, 12), "mpas.j1");
+  expect_engines_identical(models::mpas_target(),
+                           small_campaign(4, true, 12), "mpas.j4.diag");
+}
+
+TEST(VmDispatchCampaign, InterpreterAnchorsTheContract) {
+  // One interpreter-vs-threaded pairing proves the decoded engines are not
+  // merely self-consistent: they reproduce the reference semantics.
+  const std::string ji =
+      std::string(::testing::TempDir()) + "/vmdisp.anchor.interp.jsonl";
+  const std::string jt =
+      std::string(::testing::TempDir()) + "/vmdisp.anchor.threaded.jsonl";
+  tuner::CampaignOptions options = small_campaign(4, false);
+
+  options.vm_dispatch = sim::VmDispatch::kInterpret;
+  options.journal_path = ji;
+  auto interp = tuner::run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(interp.is_ok()) << interp.status().to_string();
+
+  options.vm_dispatch = sim::VmDispatch::kThreaded;
+  options.journal_path = jt;
+  auto threaded = tuner::run_campaign(models::funarc_target(), options);
+  ASSERT_TRUE(threaded.is_ok()) << threaded.status().to_string();
+
+  expect_same_campaign(interp.value(), threaded.value());
+  EXPECT_EQ(slurp(ji), slurp(jt)) << "anchor: journal bytes differ";
+  EXPECT_EQ(interp->vm_exec.fused_pairs, 0u);
+  EXPECT_EQ(interp->vm_exec.instructions, threaded->vm_exec.instructions);
+}
+
+}  // namespace
+}  // namespace prose
