@@ -19,6 +19,11 @@
 // bit-identical to the local run while the warm pass executes (nearly) no
 // evaluations. Evals executed, store-served counts, and wall times land in
 // BENCH_served_cache.json.
+// A fleet leg runs the MPAS-A campaign against a 3-shard replicated fleet
+// (R=2, segmented stores) with one shard hard-killed mid-run, then a warm
+// rerun against the two survivors; both must be bit-identical to local and
+// the warm pass must be served from the surviving replicas. Wall times,
+// failover tallies, and the warm served fraction land in BENCH_fleet.json.
 // A metrics leg times every Table II campaign with the observability
 // registry off and on (best of 3 interleaved reps), verifies the searches
 // are bit-identical either way, and lands the relative overhead in
@@ -424,6 +429,158 @@ int main(int argc, char** argv) {
               << " store-served, " << format_double(warm.run.seconds, 2)
               << " s (" << (warm_identical ? "identical" : "DIVERGED")
               << ", " << format_double(100.0 * warm_served_fraction, 1)
+              << "% served)\n";
+  }
+
+  // --- Fleet leg: sharded, replicated serving under a mid-run SIGKILL.
+  // The MPAS-A campaign runs against a 3-shard fleet (replication R=2,
+  // segmented stores); one shard is hard-killed as soon as it has served
+  // real work. The search must stay bit-identical to the local run, and a
+  // warm rerun against the two survivors must be served from their replicas
+  // without executing anything.
+  {
+    bench::header("Fleet — 3 shards, one killed mid-run, warm failover rerun");
+    const TargetSpec spec = models::mpas_target();
+    const auto resolver =
+        [](const std::string& model) -> StatusOr<TargetSpec> {
+      if (model == "MPAS-A") return models::mpas_target();
+      return Status(StatusCode::kNotFound, "unknown model '" + model + "'");
+    };
+    const std::string base =
+        "/tmp/prose_bench_fleet_" + std::to_string(::getpid());
+    std::vector<std::string> endpoints, stores;
+    for (int i = 0; i < 3; ++i) {
+      endpoints.push_back(base + "_" + std::to_string(i) + ".sock");
+      stores.push_back(io.outdir + "/bench_fleet_store" + std::to_string(i));
+    }
+    const auto make_shard = [&](std::size_t i) {
+      serve::ServerOptions sopts;
+      sopts.endpoint = endpoints[i];
+      sopts.store_path = stores[i];
+      sopts.store_dir = true;
+      sopts.peers = endpoints;
+      sopts.replicate = 2;
+      sopts.jobs = 2;
+      auto server = std::make_unique<serve::Server>(sopts, resolver);
+      if (Status s = server->start(); !s.is_ok()) {
+        std::cerr << "fleet: " << s.to_string() << "\n";
+        std::exit(1);
+      }
+      return server;
+    };
+    const auto fleet_run = [&](std::vector<std::unique_ptr<serve::Server>>&
+                                   shards,
+                               bool kill_one) {
+      serve::ServeClient::Options copts;
+      copts.endpoints = endpoints;
+      copts.model = spec.name;
+      copts.target_digest = serve::target_digest(spec);
+      copts.connect_timeout_seconds = 2.0;
+      auto client = serve::ServeClient::connect(copts);
+      if (!client.is_ok()) {
+        std::cerr << "fleet: " << client.status().to_string() << "\n";
+        std::exit(1);
+      }
+      std::atomic<bool> stop{false};
+      std::thread killer([&] {
+        while (kill_one && !stop.load()) {
+          if (shards[2] != nullptr && shards[2]->stats().requests >= 2) {
+            shards[2]->hard_kill();
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+      CampaignOptions options;
+      options.backend = client.value().get();
+      options.jobs = 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      TimedRun run;
+      run.result = bench::run_or_die(spec, options);
+      run.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      stop.store(true);
+      killer.join();
+      return std::make_pair(std::move(run), client.value()->counters());
+    };
+
+    std::cout << "running MPAS-A local / fleet-cold (one shard killed) / "
+                 "fleet-warm (two survivors)...\n";
+    const auto local = timed_run(spec, CampaignOptions{}, 1);
+
+    std::vector<std::unique_ptr<serve::Server>> shards;
+    for (std::size_t i = 0; i < 3; ++i) shards.push_back(make_shard(i));
+    auto [cold_run, cold_counters] = fleet_run(shards, /*kill_one=*/true);
+    shards[2]->hard_kill();  // in case the killer never saw enough traffic
+    std::uint64_t cold_evals = 0;
+    for (const auto& s : shards) cold_evals += s->stats().evals_executed;
+    for (auto& s : shards) {
+      s->shutdown();
+      s->wait();
+    }
+
+    // Warm rerun: only the survivors restart (slot 2 stays dead); every
+    // result must come from their stores, R=2 guarantees coverage.
+    shards.clear();
+    shards.push_back(make_shard(0));
+    shards.push_back(make_shard(1));
+    shards.push_back(nullptr);
+    auto [warm_run, warm_counters] = fleet_run(shards, /*kill_one=*/false);
+    std::uint64_t warm_evals = 0, warm_hits = 0, warm_requests = 0;
+    for (const auto& s : shards) {
+      if (s == nullptr) continue;
+      warm_evals += s->stats().evals_executed;
+      warm_hits += s->stats().store_hits;
+      warm_requests += s->stats().requests;
+    }
+    for (auto& s : shards) {
+      if (s == nullptr) continue;
+      s->shutdown();
+      s->wait();
+    }
+
+    const bool cold_identical =
+        same_search(local.result.search, cold_run.result.search);
+    const bool warm_identical =
+        same_search(local.result.search, warm_run.result.search);
+    const double warm_served_fraction =
+        warm_requests > 0 ? static_cast<double>(warm_hits) /
+                                static_cast<double>(warm_requests)
+                          : 0.0;
+
+    std::string json = "{\n";
+    json += "  \"model\": \"" + spec.name + "\",\n";
+    json += "  \"shards\": 3,\n  \"replicate\": 2,\n";
+    json += "  \"local_seconds\": " + format_double(local.seconds, 4) + ",\n";
+    json += "  \"cold\": {\"wall_seconds\": " +
+            format_double(cold_run.seconds, 4) +
+            ", \"evals_executed\": " + std::to_string(cold_evals) +
+            ", \"failovers\": " + std::to_string(cold_counters.failovers) +
+            ", \"shards_lost\": " + std::to_string(cold_counters.shards_lost) +
+            ", \"identical_to_local\": " +
+            (cold_identical ? "true" : "false") + "},\n";
+    json += "  \"warm\": {\"wall_seconds\": " +
+            format_double(warm_run.seconds, 4) +
+            ", \"evals_executed\": " + std::to_string(warm_evals) +
+            ", \"store_served\": " + std::to_string(warm_hits) +
+            ", \"identical_to_local\": " +
+            (warm_identical ? "true" : "false") + "},\n";
+    json += "  \"warm_served_fraction\": " +
+            format_double(warm_served_fraction, 4) + "\n";
+    json += "}\n";
+    io.write_file("json", "BENCH_fleet.json", json);
+
+    std::cout << "  cold (shard 2 killed mid-run): "
+              << format_double(cold_run.seconds, 2) << " s, "
+              << cold_counters.shards_lost << " shard lost, "
+              << cold_counters.failovers << " failovers ("
+              << (cold_identical ? "identical" : "DIVERGED") << ")\n"
+              << "  warm (2 survivors): " << warm_evals
+              << " evals executed, " << warm_hits << " store-served, "
+              << format_double(warm_run.seconds, 2) << " s ("
+              << (warm_identical ? "identical" : "DIVERGED") << ", "
+              << format_double(100.0 * warm_served_fraction, 1)
               << "% served)\n";
   }
 

@@ -26,6 +26,12 @@
 //        --server ENDPOINT (offload evaluations to a prose_served daemon at
 //                  "unix:/path", "tcp:host:port", or a bare socket path;
 //                  results are bit-identical to a local run)
+//        --servers a.sock,b.sock,... (fleet mode: the daemons' --peers list
+//                  verbatim; requests are sharded by content key with
+//                  hedging and automatic failover — results stay
+//                  bit-identical even when a shard dies mid-run)
+//        --hedge-ms N (fleet: re-issue a request to the next replica after
+//                  N ms without an answer; first reply wins; 0 = off)
 //        --no-metrics (disable the observability registry; results are
 //                  bit-identical either way — this knob exists for the
 //                  overhead benchmark)
@@ -42,6 +48,8 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "models/mpas.h"
 #include "obs/metrics.h"
@@ -106,14 +114,31 @@ int main(int argc, char** argv) {
       flags.is_ok() ? flags->get_string("diagnosis-out", "") : "";
   const std::string server_endpoint =
       flags.is_ok() ? flags->get_string("server", "") : "";
+  const std::string servers_arg =
+      flags.is_ok() ? flags->get_string("servers", "") : "";
+  const double hedge_ms =
+      flags.is_ok() ? flags->get_double("hedge-ms", 0.0) : 0.0;
+  std::vector<std::string> server_fleet;
+  {
+    std::string cur;
+    for (const char c : servers_arg + ",") {
+      if (c == ',') {
+        if (!cur.empty()) server_fleet.push_back(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t') {
+        cur.push_back(c);
+      }
+    }
+  }
 
   const tuner::TargetSpec spec = models::mpas_target();
   options.stop = &g_stop;
 
   std::unique_ptr<serve::ServeClient> server_client;
-  if (!server_endpoint.empty()) {
+  if (!server_endpoint.empty() || !server_fleet.empty()) {
     serve::ServeClient::Options copts;
     copts.endpoint = server_endpoint;
+    copts.endpoints = server_fleet;
     copts.model = spec.name;
     copts.noise_seed = options.noise_seed;
     copts.fault_spec = options.fault_spec;
@@ -121,16 +146,26 @@ int main(int argc, char** argv) {
     copts.retry_max_attempts = options.retry.max_attempts;
     copts.retry_backoff_seconds = options.retry.backoff_seconds;
     copts.target_digest = serve::target_digest(spec);
+    copts.hedge_after_seconds = hedge_ms / 1000.0;
     auto client = serve::ServeClient::connect(copts);
     if (!client.is_ok()) {
-      std::cerr << "cannot reach evaluation server at " << server_endpoint
+      std::cerr << "cannot reach evaluation server"
+                << (server_fleet.empty()
+                        ? " at " + server_endpoint
+                        : " fleet (" + servers_arg + ")")
                 << ": " << client.status().to_string() << "\n";
       return 2;
     }
     server_client = std::move(client.value());
     options.backend = server_client.get();
-    std::cout << "server: " << server_endpoint << " namespace "
-              << server_client->namespace_hex() << "\n";
+    if (server_fleet.empty()) {
+      std::cout << "server: " << server_endpoint << " namespace "
+                << server_client->namespace_hex() << "\n";
+    } else {
+      std::cout << "server: fleet of " << server_fleet.size() << " shards ("
+                << server_client->alive_shards() << " alive) namespace "
+                << server_client->namespace_hex() << "\n";
+    }
   }
   std::cout << "tuning " << spec.name << " on " << options.cluster.nodes
             << " simulated nodes, "
@@ -184,7 +219,15 @@ int main(int argc, char** argv) {
     // "server"-prefixed (stripped by CI output diffs): degradation tallies
     // are transport-dependent, not part of what the campaign measured.
     std::cout << "server-degradation| fallbacks=" << s.fallbacks
-              << " busy_retries=" << s.busy_retries << "\n";
+              << " busy_retries=" << s.busy_retries << " hedges=" << s.hedges
+              << " hedge_wins=" << s.hedge_wins
+              << " failovers=" << s.failovers
+              << " shards_lost=" << s.shards_lost
+              << " busy_backoff_s=" << s.busy_backoff_seconds << "\n";
+    if (!server_fleet.empty()) {
+      std::cout << "server-fleet| " << server_client->fleet_stats_json()
+                << "\n";
+    }
   }
   if (!metrics_out.empty() && options.metrics) {
     std::ofstream out(metrics_out);

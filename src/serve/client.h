@@ -7,21 +7,39 @@
 // which is the whole determinism story: results depend only on
 // (namespace, config, stream), never on which client asked first.
 //
+// Two shapes behind one type:
+//
+//   * single server (Options::endpoint) — one socket, one hello, the
+//     original pipelined batch conversation;
+//   * fleet (Options::endpoints, 2+) — the client builds the same rendezvous
+//     ring the daemons were given as --peers, routes each request to its
+//     key's home shard, and keeps the campaign running through shard
+//     trouble: hedged requests (after a deterministic latency threshold the
+//     same request races on the next replica; first answer wins), automatic
+//     failover when a shard dies or starts draining mid-batch, deterministic
+//     jittered backoff for busy rejections, and per-batch reprobing of dead
+//     shards (off the daemon's /healthz) so a restarted shard heals back
+//     into the rotation. Every degradation is tallied in counters() —
+//     results are bit-identical to local evaluation no matter what died.
+//
 // Failure policy mirrors the journal/tracer sinks: a dead or misbehaving
 // server degrades the campaign to local computation (bit-identical results,
-// just slower), never fails it. `busy` frames are retried after the server's
-// retry_after hint; a transport error marks the connection dead and every
-// subsequent batch reports failure immediately so the evaluator stops
-// trying.
+// just slower), never fails it. `busy` frames are retried after a
+// deterministic seeded backoff; a transport error marks the shard dead and
+// reroutes its in-flight items to the next replica.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "serve/ring.h"
 #include "serve/wire.h"
+#include "sim/machine.h"
 #include "support/status.h"
 #include "tuner/evaluator.h"
 
@@ -30,7 +48,11 @@ namespace prose::serve {
 class ServeClient : public tuner::EvalBackend {
  public:
   struct Options {
+    /// Single-server mode. Ignored when `endpoints` is non-empty.
     std::string endpoint;
+    /// Fleet mode: every shard's endpoint, verbatim and in the same ring as
+    /// the daemons' --peers lists (placement hashes these exact strings).
+    std::vector<std::string> endpoints;
     /// Model name the server resolves (TargetSpec::name, e.g. "MPAS-A").
     std::string model;
     std::uint64_t noise_seed = 2024;
@@ -41,14 +63,51 @@ class ServeClient : public tuner::EvalBackend {
     /// Client-side target digest (wire.h target_digest); 0 skips the check.
     /// When set, the hello fails unless the server's model is bit-identical.
     std::uint64_t target_digest = 0;
+    /// When set, the hello carries this full machine model inline and the
+    /// server evaluates under it — one fleet serves campaigns tuning for
+    /// different hardware. Combine with target_digest for an end-to-end
+    /// agreement check on the decoded model.
+    std::optional<sim::MachineModel> machine;
     /// Bound on busy→retry rounds per request before giving up (and falling
     /// back to local computation).
     int max_busy_retries = 200;
+    /// Deterministic jittered backoff for busy rejections: attempt k sleeps
+    /// min(cap, base·2^(k-1)) scaled by a [0.5, 1) factor derived from
+    /// (noise_seed, request id, k) — identical on every replay, never
+    /// synchronized across clients. The server's retry_after hint, when
+    /// larger, floors the first attempt.
+    double busy_backoff_base_seconds = 0.05;
+    double busy_backoff_cap_seconds = 2.0;
+    /// Fleet: hedge threshold. A request unanswered this long is re-issued
+    /// to its key's next replica; the first reply wins (results are
+    /// bit-identical by construction, so either answer is THE answer).
+    /// <= 0 disables hedging.
+    double hedge_after_seconds = 0.0;
+    /// Bound on dialing one shard (connect + nothing else). Keeps a wedged
+    /// daemon from hanging connect()/reprobe forever.
+    double connect_timeout_seconds = 10.0;
+    /// Bound on the hello round trip. Generous by default — a cold daemon
+    /// runs the target's baseline inside the first hello — but finite, so a
+    /// SIGSTOPped daemon yields kDeadlineExceeded instead of hanging the
+    /// campaign. <= 0 waits forever.
+    double hello_timeout_seconds = 300.0;
+    /// Fleet: a shard whose socket stays silent this long past the last
+    /// send is declared wedged and failed over, exactly like a dead one.
+    /// <= 0 trusts shards to answer eventually (single-server behaviour).
+    double io_timeout_seconds = 0.0;
+    /// Fleet: re-dial dead shards at the start of each batch (preceded by a
+    /// /healthz probe when the shard ever completed a hello), healing a
+    /// restarted shard back into the rotation.
+    bool reprobe_dead = true;
   };
 
   /// Connects and completes the hello handshake (which pins the result
-  /// namespace server-side). Fails on transport errors, protocol mismatch,
-  /// unknown model, or digest mismatch.
+  /// namespace server-side). Single-server mode fails on transport errors,
+  /// protocol mismatch, unknown model, or digest mismatch. Fleet mode
+  /// tolerates unreachable shards (they start dead and may heal later) but
+  /// needs at least one hello to succeed, and still fails hard on protocol,
+  /// model, or digest disagreement — a misconfigured fleet must not half
+  /// work.
   static StatusOr<std::unique_ptr<ServeClient>> connect(const Options& options);
   ~ServeClient() override;
 
@@ -56,44 +115,106 @@ class ServeClient : public tuner::EvalBackend {
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// EvalBackend: evaluates configs[i] on streams[i], pipelining the whole
-  /// batch over one socket. Per-item failures degrade per item.
+  /// batch. Per-item failures degrade per item.
   std::vector<RemoteItem> evaluate_many(
       std::span<const tuner::Config> configs,
       std::span<const std::uint64_t> streams) override;
 
   /// The server's stats_ok payload (raw JSON) — CI and bench introspection.
+  /// Fleet mode: the first live shard's stats.
   StatusOr<std::string> stats_json();
+
+  /// Fleet-wide stats: one JSON object per shard, dead shards included
+  /// ({"endpoint":...,"alive":false}). Single-server mode: one entry.
+  std::string fleet_stats_json();
 
   /// Namespace digest the server assigned at hello (16-char hex).
   [[nodiscard]] const std::string& namespace_hex() const { return ns_hex_; }
 
-  /// EvalBackend: degradation tallies — items this client failed to resolve
-  /// (the campaign computed them locally) and busy rounds spent waiting out
-  /// admission rejections. Surfaced in CampaignSummary and the campaign
+  /// Shards currently routable (connected, admitted the hello, not
+  /// draining). Single-server mode: 1 while healthy.
+  [[nodiscard]] std::size_t alive_shards() const;
+
+  /// EvalBackend: degradation tallies — fallbacks, busy waits, hedges,
+  /// failovers, shards lost. Surfaced in CampaignSummary and the campaign
   /// registry; safe to read concurrently with evaluate_many.
   [[nodiscard]] Counters counters() const override {
     Counters c;
     c.fallback_items = fallback_items_.load(std::memory_order_relaxed);
     c.busy_retries = busy_retries_.load(std::memory_order_relaxed);
+    c.hedges = hedges_.load(std::memory_order_relaxed);
+    c.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+    c.failovers = failovers_.load(std::memory_order_relaxed);
+    c.shards_lost = shards_lost_.load(std::memory_order_relaxed);
+    c.busy_backoff_seconds =
+        static_cast<double>(backoff_us_.load(std::memory_order_relaxed)) /
+        1e6;
     return c;
   }
 
+  /// The deterministic busy backoff: attempt k (1-based) after request
+  /// `request_id` sleeps min(cap, base·2^(k-1)) · (0.5 + u/2) where u is a
+  /// splitmix64 mix of (noise_seed, request_id, k) folded to [0, 1). Pure —
+  /// replays and tests compute the exact same schedule.
+  static double busy_backoff_seconds(std::uint64_t noise_seed,
+                                     std::uint64_t request_id, int attempt,
+                                     double base, double cap);
+
  private:
+  /// One fleet shard: a lazily-(re)dialed connection plus its health state.
+  struct Shard {
+    std::string endpoint;
+    int fd = -1;
+    FrameDecoder dec;
+    bool alive = false;      // connected + hello_ok + not draining
+    bool ever_alive = false; // completed a hello at least once
+    std::string http;        // /healthz endpoint from hello_ok ("" = none)
+    double last_heard = 0.0; // monotonic, last byte received
+    double last_sent = 0.0;  // monotonic, last frame written
+  };
+
   ServeClient() = default;
 
+  /// Dials + hellos one shard. kInvalidArgument = configuration disagreement
+  /// (fatal); anything else = availability (shard stays dead).
+  Status connect_shard(Shard* s);
+  std::string hello_payload() const;
+  /// Parses a hello_ok / error reply; fills ns_hex_ on first success.
+  Status check_hello_reply(Shard* s, const std::string& payload);
+  void mark_dead(std::size_t shard_index);
+  std::vector<RemoteItem> evaluate_many_fleet(
+      std::span<const tuner::Config> configs,
+      std::span<const std::uint64_t> streams);
+  std::vector<RemoteItem> evaluate_many_single(
+      std::span<const tuner::Config> configs,
+      std::span<const std::uint64_t> streams);
+
   Options options_;
-  int fd_ = -1;
+  bool fleet_ = false;
+  HashRing ring_;
+  std::vector<Shard> shards_;  // fleet mode; index-aligned with ring_
+
+  int fd_ = -1;  // single-server mode
   FrameDecoder dec_;
   std::uint64_t next_id_ = 1;
   std::string ns_hex_;
-  bool dead_ = false;  // transport failed: stop trying, fall back locally
+  std::uint64_t ns_digest_ = 0;
+  bool dead_ = false;  // single-server: transport failed, fall back locally
   std::atomic<std::uint64_t> fallback_items_{0};
   std::atomic<std::uint64_t> busy_retries_{0};
-  std::mutex mu_;      // one request/response conversation at a time
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shards_lost_{0};
+  std::atomic<std::uint64_t> backoff_us_{0};
+  mutable std::mutex mu_;  // one request/response conversation at a time
 };
 
 /// One-shot stats query over a fresh connection (no hello needed) — lets CI
 /// scripts and operators poll a daemon without standing up a campaign.
-StatusOr<std::string> query_stats(const std::string& endpoint);
+/// `timeout_seconds` bounds connect and read (a SIGSTOPped daemon yields
+/// kDeadlineExceeded, not a hang); <= 0 waits forever.
+StatusOr<std::string> query_stats(const std::string& endpoint,
+                                  double timeout_seconds = 10.0);
 
 }  // namespace prose::serve

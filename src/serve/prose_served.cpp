@@ -5,8 +5,18 @@
 // to any number of `campaign_* --server` clients over the PF01 protocol.
 //
 // Flags: --socket PATH | --endpoint EP ("unix:/path" or "tcp:host:port")
-//        --store FILE (persistent result store; a directory gets
-//                  "/store.jsonl" appended; empty = memory-only)
+//        --store PATH (persistent result store; a file appends forever, a
+//                  directory becomes a segmented store of rotating,
+//                  crash-safe seg-NNNNNN.jsonl files; empty = memory-only)
+//        --rotate-bytes N / --compact-segments N (segmented-store knobs:
+//                  rotation threshold and the segment count that triggers
+//                  startup compaction; 0 keeps the defaults)
+//        --peers a.sock,b.sock,... (the whole fleet's endpoint list,
+//                  verbatim and identical on every daemon, including this
+//                  one's own --endpoint; empty = standalone)
+//        --replicate R (make each result durable on its key's R first ring
+//                  successors before answering; <= 1 disables)
+//        --peer-timeout SECONDS (bound per replication write to a peer)
 //        --jobs N (evaluation worker threads; 0 = hardware concurrency)
 //        --queue N (admission-queue bound before `busy` rejections)
 //        --retry-after SECONDS (hint carried in `busy` frames)
@@ -23,6 +33,7 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "models/models.h"
 #include "serve/server.h"
@@ -42,19 +53,40 @@ StatusOr<tuner::TargetSpec> resolve_model(const std::string& model) {
                     "' (have: funarc, MPAS-A, ADCIRC, MOM6)");
 }
 
-/// --store DIR appends /store.jsonl (created if missing) so the quickstart
-/// `--store cache/` works without knowing the file name.
-std::string resolve_store_path(const std::string& arg) {
-  if (arg.empty()) return arg;
+/// --store DIR (existing directory or trailing '/') selects the segmented
+/// store rooted there; anything else is a single append-forever file
+/// (--store cache/store.jsonl still opens the legacy format-1 store).
+void resolve_store(const std::string& arg, serve::ServerOptions* options) {
+  options->store_path = arg;
+  options->store_dir = false;
+  if (arg.empty()) return;
   struct stat st {};
   const bool is_dir =
       (::stat(arg.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) ||
       arg.back() == '/';
-  if (!is_dir) return arg;
+  if (!is_dir) return;
   std::string dir = arg;
   while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
-  ::mkdir(dir.c_str(), 0755);  // best effort; open() reports real failures
-  return dir + "/store.jsonl";
+  options->store_path = dir;
+  options->store_dir = true;  // open_dir creates it if missing
+}
+
+/// "a.sock,b.sock,c.sock" → {"a.sock", "b.sock", "c.sock"}, whitespace and
+/// empty entries dropped. Entries must match the fleet's endpoint strings
+/// verbatim — placement hashes them as-is.
+std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 }  // namespace
@@ -71,7 +103,18 @@ int main(int argc, char** argv) {
   if (options.endpoint.empty()) {
     options.endpoint = flags->get_string("socket", "/tmp/prose.sock");
   }
-  options.store_path = resolve_store_path(flags->get_string("store", ""));
+  resolve_store(flags->get_string("store", ""), &options);
+  if (const int rotate = flags->get_int("rotate-bytes", 0); rotate > 0) {
+    options.store_options.rotate_bytes = static_cast<std::size_t>(rotate);
+  }
+  if (const int compact = flags->get_int("compact-segments", 0);
+      compact > 0) {
+    options.store_options.compact_over_segments =
+        static_cast<std::size_t>(compact);
+  }
+  options.peers = split_list(flags->get_string("peers", ""));
+  options.replicate = static_cast<std::size_t>(flags->get_int("replicate", 2));
+  options.peer_timeout_seconds = flags->get_double("peer-timeout", 5.0);
   options.jobs = static_cast<std::size_t>(flags->get_int("jobs", 0));
   options.queue_capacity =
       static_cast<std::size_t>(flags->get_int("queue", 256));
@@ -97,7 +140,12 @@ int main(int argc, char** argv) {
   std::cout << "prose_served listening on " << options.endpoint
             << (options.store_path.empty()
                     ? std::string(" (memory-only store)")
-                    : " store=" + options.store_path);
+                    : " store=" + options.store_path +
+                          (options.store_dir ? " (segmented)" : ""));
+  if (!options.peers.empty()) {
+    std::cout << " fleet=" << options.peers.size()
+              << " replicate=" << options.replicate;
+  }
   if (!server.http_endpoint().empty()) {
     std::cout << " http=" << server.http_endpoint();
   }
@@ -117,7 +165,10 @@ int main(int argc, char** argv) {
             << " evals_executed=" << st.evals_executed
             << " store_hits=" << st.store_hits << " coalesced=" << st.coalesced
             << " busy=" << st.busy_rejections << " aborts=" << st.aborts
+            << " puts_in=" << st.puts_in << " repl_sent=" << st.repl_sent
+            << " repl_failed=" << st.repl_failed
             << " namespaces=" << st.namespaces
-            << " store_records=" << st.store_records << "\n";
+            << " store_records=" << st.store_records
+            << " store_segments=" << st.store_segments << "\n";
   return 0;
 }

@@ -7,12 +7,29 @@
 // a campaign served from the store journals the same bytes a local run
 // would have computed.
 //
+// Two on-disk layouts behind one interface:
+//
+//   open(path)     — legacy single file, format-1 header, grows forever.
+//   open_dir(dir)  — a directory of numbered segments (seg-000000.jsonl,
+//                    seg-000001.jsonl, ...), each starting with a format-2
+//                    header that names its own index. The highest segment is
+//                    active; when it exceeds rotate_bytes a fresh one is
+//                    started. compact() rewrites every live record into one
+//                    new segment — written to a .tmp, fsync'd, atomically
+//                    renamed, directory fsync'd — and only then unlinks the
+//                    old segments, so a kill -9 at ANY instant leaves either
+//                    the old segments, both generations (duplicates dedup on
+//                    load), or the compacted one: never less than what was
+//                    acknowledged.
+//
 // Crash consistency follows the write-ahead journal's discipline: each
 // record is one line, written with a single write() and fsync'd before
-// insert() returns; on open the longest valid line-prefix is kept and
-// anything after the first torn or corrupt line is truncated. A file whose
-// first complete line is not a prose-store header is refused — open() never
-// truncates somebody else's file.
+// insert() returns; on open the longest valid line-prefix of each segment is
+// kept and anything after the first torn or corrupt line is dropped. A file
+// whose first complete line is not the expected prose-store header is
+// refused — open() never truncates somebody else's file, and a segment whose
+// header names a different index than its filename (a copied or spliced
+// file) is refused the same way.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +44,17 @@
 
 namespace prose::serve {
 
+/// Tuning knobs for segmented (directory) stores.
+struct StoreOptions {
+  /// Rotate the active segment once it grows past this many bytes. The
+  /// default keeps segments small enough that compaction and recovery stay
+  /// cheap without rotating every few records.
+  std::size_t rotate_bytes = 4u << 20;
+  /// Auto-compact at open when more than this many segments survived the
+  /// previous run (0 = never compact automatically).
+  std::size_t compact_over_segments = 0;
+};
+
 class ResultStore {
  public:
   /// In-memory only store (no persistence) — the server's mode when started
@@ -37,15 +65,23 @@ class ResultStore {
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
 
-  /// Opens (creating if absent) the store at `path`, recovering the valid
-  /// record prefix. Fails on a foreign file or an unwritable path.
+  /// Opens (creating if absent) the single-file store at `path`, recovering
+  /// the valid record prefix. Fails on a foreign file or an unwritable path.
   static StatusOr<std::unique_ptr<ResultStore>> open(const std::string& path);
+
+  /// Opens (creating if absent) the segmented store in directory `dir`.
+  /// Recovers every segment in index order (dedup makes re-reading a
+  /// half-compacted generation harmless), deletes stray .tmp files from an
+  /// interrupted compaction, and truncates a torn tail off the active
+  /// segment only.
+  static StatusOr<std::unique_ptr<ResultStore>> open_dir(
+      const std::string& dir, const StoreOptions& options = StoreOptions{});
 
   /// Exact lookup. Returns true and fills *out on a hit. Thread-safe.
   bool lookup(std::uint64_t ns, const std::string& key, std::uint64_t stream,
               tuner::Evaluation* out) const;
 
-  /// Inserts (and, when backed by a file, appends + fsyncs) one result.
+  /// Inserts (and, when backed by disk, appends + fsyncs) one result.
   /// A duplicate (ns, key, stream) is ignored — results are deterministic,
   /// the first record is as good as any. Thread-safe. A write failure
   /// degrades the store to memory-only and is reported via error().
@@ -54,10 +90,17 @@ class ResultStore {
   std::size_t insert(std::uint64_t ns, const std::string& key,
                      std::uint64_t stream, const tuner::Evaluation& eval);
 
+  /// Rewrites all live records into one fresh segment and unlinks the old
+  /// ones (segmented stores only). Safe against kill -9 at any point; see
+  /// the file comment for the ordering. Thread-safe.
+  Status compact();
+
   /// Results currently resident (recovered + inserted).
   [[nodiscard]] std::size_t records() const;
   /// Results recovered from disk at open (0 for in-memory stores).
   [[nodiscard]] std::size_t recovered() const { return recovered_; }
+  /// On-disk segments: 0 memory-only, 1 single-file, N for directories.
+  [[nodiscard]] std::size_t segment_count() const;
   /// First write failure, if the store degraded (ok = healthy).
   [[nodiscard]] Status error() const;
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -65,6 +108,14 @@ class ResultStore {
   /// The content address of one result.
   static std::uint64_t content_key(std::uint64_t ns, const std::string& key,
                                    std::uint64_t stream);
+
+  /// Test-only: invoked at named cut points inside rotation and compaction
+  /// ("rotate.synced", "compact.tmp_synced", "compact.renamed", ...). Crash
+  /// tests fork, install a hook that raises SIGKILL at one point, run the
+  /// operation, then reopen in the parent and check nothing acknowledged was
+  /// lost. Null (the default) disables it. Process-global; not for
+  /// production use.
+  static void set_crash_hook(void (*hook)(const char* point));
 
  private:
   struct Record {
@@ -74,6 +125,18 @@ class ResultStore {
     tuner::Evaluation eval;
   };
 
+  /// Appends one segment file's worth of records onto *this; returns the
+  /// byte offset of the valid prefix, or an error on a foreign header.
+  /// `expect_segment` >= 0 requires a format-2 header naming that index.
+  StatusOr<std::size_t> load_segment_text(const std::string& text,
+                                          const std::string& display_path,
+                                          long expect_segment);
+  bool insert_in_memory(std::uint64_t ns, const std::string& key,
+                        std::uint64_t stream, const tuner::Evaluation& eval);
+  Status rotate_locked();
+  Status compact_locked();
+  void degrade_locked(const std::string& what);
+
   /// Full-record equality check guards against content_key collisions: a
   /// lookup matches only on (ns, key, stream), never on the digest alone.
   std::unordered_map<std::uint64_t, std::vector<Record>> by_digest_;
@@ -81,6 +144,13 @@ class ResultStore {
   std::size_t recovered_ = 0;
   int fd_ = -1;  // -1 = memory-only (never opened, or degraded)
   std::string path_;
+
+  // Segmented-mode state (dir_.empty() = single-file or memory-only).
+  std::string dir_;
+  std::vector<std::size_t> segments_;  // live segment indices, ascending
+  std::size_t active_bytes_ = 0;       // current size of the active segment
+  std::size_t rotate_bytes_ = 0;
+
   Status error_ = Status::ok();
   mutable std::mutex mu_;
 };

@@ -1,0 +1,56 @@
+// Consistent placement of result keys onto a fleet of evaluation shards.
+//
+// Rendezvous (highest-random-weight) hashing rather than a token ring with
+// virtual nodes: with a handful of shards per fleet, HRW gives the same
+// properties — minimal disruption (removing a shard remaps only the keys it
+// owned; adding one steals ~1/N from everybody) and an ordered successor
+// list per key for replication and failover — without any vnode count to
+// tune or token table to persist. Placement is a pure function of the node
+// *names* (the endpoint strings), so a client given the same `--servers`
+// list a daemon was given as `--peers` computes bit-identical successor
+// lists with no coordination protocol at all. Lists must therefore match
+// verbatim across the fleet: "unix:/a.sock" and "/a.sock" are different
+// nodes as far as placement is concerned, even though they dial the same
+// socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prose::serve {
+
+class HashRing {
+ public:
+  HashRing() = default;
+  /// Node order is irrelevant to placement (scores are, ties excepted, order
+  /// free); it only fixes the indices successors() returns.
+  explicit HashRing(std::vector<std::string> nodes);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node(std::size_t i) const {
+    return nodes_[i];
+  }
+  /// Index of the node with this exact name, or npos.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The first min(r, size) node indices for `key` in descending rendezvous
+  /// score: successors(k, r)[0] is the key's home shard, [1] its first
+  /// replica, and so on. For a fixed node set the list is a pure function of
+  /// the key; removing node X from the set deletes X from every list and
+  /// changes nothing else about the relative order — which is exactly what
+  /// lets a client fail over to `[i+1]` when `[i]` dies and still land on a
+  /// shard that replicated the key.
+  [[nodiscard]] std::vector<std::size_t> successors(std::uint64_t key,
+                                                    std::size_t r) const;
+
+  /// Convenience: successors(key, 1)[0], or npos on an empty ring.
+  [[nodiscard]] std::size_t home(std::uint64_t key) const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::vector<std::uint64_t> seeds_;  // per-node digest of its name
+};
+
+}  // namespace prose::serve

@@ -33,6 +33,19 @@ struct Server::Connection {
   }
 };
 
+/// One ring peer this daemon replicates to: a lazily-connected, serially-used
+/// control connection. Reconnects on the next write after any failure.
+struct Server::Peer {
+  std::string endpoint;
+  int fd = -1;
+  FrameDecoder dec;
+  std::int64_t next_id = 1;
+  std::mutex mu;  // one put/put_ok exchange at a time
+  ~Peer() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
 /// One admitted evaluation: a distinct (namespace, config key, stream)
 /// triple and every client waiting on it (single-flight).
 struct Server::Unit {
@@ -110,11 +123,30 @@ Status Server::start() {
   }
   register_metrics();
   if (!options_.store_path.empty()) {
-    auto store = ResultStore::open(options_.store_path);
+    auto store = options_.store_dir
+                     ? ResultStore::open_dir(options_.store_path,
+                                             options_.store_options)
+                     : ResultStore::open(options_.store_path);
     if (!store.is_ok()) return store.status();
     store_ = std::move(store.value());
   } else {
     store_ = std::make_unique<ResultStore>();
+  }
+  m_.store_segments->set(static_cast<double>(store_->segment_count()));
+  if (!options_.peers.empty()) {
+    ring_ = HashRing(options_.peers);
+    self_index_ = ring_.index_of(options_.endpoint);
+    if (self_index_ == HashRing::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    "--peers must list this server's own endpoint '" +
+                        options_.endpoint + "' verbatim");
+    }
+    peers_.resize(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      if (i == self_index_) continue;
+      peers_[i] = std::make_unique<Peer>();
+      peers_[i]->endpoint = ring_.node(i);
+    }
   }
   const std::size_t jobs = options_.jobs == 0 ? ThreadPool::hardware_workers()
                                               : options_.jobs;
@@ -196,6 +228,18 @@ void Server::register_metrics() {
                                     "Undecodable or unparsable frames.");
   m_.aborts = registry_.counter("prose_serve_aborts_total",
                                 "Injected evaluator aborts forwarded.");
+  m_.puts_in = registry_.counter(
+      "prose_serve_puts_total",
+      "Replication writes applied from ring peers.");
+  m_.repl_sent = registry_.counter(
+      "prose_serve_repl_sent_total",
+      "Replication writes acknowledged by ring peers.");
+  m_.repl_failed = registry_.counter(
+      "prose_serve_repl_failed_total",
+      "Replication writes lost to dead or timed-out peers.");
+  m_.store_segments = registry_.gauge(
+      "prose_serve_store_segments",
+      "On-disk store segments (0 = memory-only).");
   m_.queue_depth = registry_.gauge(
       "prose_serve_queue_depth",
       "Admitted evaluations queued but not yet dispatched.");
@@ -275,6 +319,49 @@ void Server::wait() {
   if (!started_.load()) return;
   std::unique_lock lock(done_mu_);
   done_cv_.wait(lock, [this] { return drained_; });
+}
+
+void Server::hard_kill() {
+  if (!started_.load() || shut_down_.exchange(true)) return;
+  killed_.store(true);
+  draining_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) ::close(fd);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Full reset on every socket: clients and peers observe exactly what a
+    // SIGKILLed process would give them — mid-request connection failures,
+    // no goodbye frames, no drained responses.
+    std::lock_guard lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+    conns_.clear();
+  }
+  unlink_endpoint(options_.endpoint);
+  // No tracer flush, no drain grace: the store holds exactly the records
+  // whose fsync completed — the same guarantee a real kill -9 leaves.
+  if (http_ != nullptr) {
+    http_->stop();
+    http_.reset();
+  }
+  {
+    std::lock_guard lock(done_mu_);
+    drained_ = true;
+  }
+  done_cv_.notify_all();
 }
 
 // --- accept / read --------------------------------------------------------
@@ -376,6 +463,7 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
       v.find("type") != nullptr ? v.find("type")->str_or("") : "";
   if (type == "eval") return handle_eval(conn, v);
   if (type == "hello") return handle_hello(conn, v);
+  if (type == "put") return handle_put(conn, v);
   if (type == "stats") {
     send_to(conn, stats_payload());
     return true;
@@ -403,6 +491,18 @@ bool Server::handle_hello(const std::shared_ptr<Connection>& conn,
     send_error(conn, frame_id(v), "unknown_model",
                "model '" + model + "': " + spec.status().message());
     return true;
+  }
+  if (const json::Value* machine = v.find("machine"); machine != nullptr) {
+    // The client tunes for different hardware than this daemon's default:
+    // overlay its full machine model before computing the digest, so one
+    // process serves many target/machine digests instead of rejecting them.
+    auto m = machine_from_json(*machine);
+    if (!m.is_ok()) {
+      send_error(conn, frame_id(v), "bad_request",
+                 "machine: " + m.status().message());
+      return true;
+    }
+    spec.value().machine = m.value();
   }
   const std::uint64_t digest = target_digest(spec.value());
   if (const json::Value* want = v.find("target_digest");
@@ -479,6 +579,11 @@ bool Server::handle_hello(const std::shared_ptr<Connection>& conn,
   out += ",\"target_digest\":" + tuner::json_quoted(digest_hex(digest));
   out += ",\"namespace\":" + tuner::json_quoted(digest_hex(ns_digest));
   out += ",\"atoms\":" + std::to_string(ns->evaluator->space().size());
+  if (http_ != nullptr) {
+    // Where to probe this daemon's /healthz — fleet clients use it to tell
+    // a dead shard from a busy one without burning an eval connection.
+    out += ",\"http\":" + tuner::json_quoted(http_->endpoint());
+  }
   out += '}';
   send_to(conn, out);
   return true;
@@ -591,6 +696,126 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
   return true;
 }
 
+bool Server::handle_put(const std::shared_ptr<Connection>& conn,
+                        const json::Value& v) {
+  const std::int64_t id = frame_id(v);
+  std::uint64_t ns = 0;
+  const json::Value* ns_v = v.find("ns");
+  const json::Value* key_v = v.find("key");
+  if (ns_v == nullptr || key_v == nullptr ||
+      !parse_digest_hex(ns_v->str_or(""), &ns) || !key_v->is_string()) {
+    send_error(conn, id, "bad_request", "put needs ns (16-hex) and key");
+    return true;
+  }
+  const auto stream = static_cast<std::uint64_t>(
+      v.find("stream") != nullptr ? v.find("stream")->int_or(0) : 0);
+  auto eval = tuner::evaluation_from_json(v);
+  if (!eval.is_ok()) {
+    send_error(conn, id, "bad_request", "put: " + eval.status().message());
+    return true;
+  }
+  // Durable before acked: insert() fsyncs before returning, so a put_ok
+  // means the record survives this daemon's kill -9. No hello required —
+  // the namespace travels inline; this replica may never have resolved the
+  // target itself.
+  const std::size_t appended =
+      store_->insert(ns, key_v->str_or(""), stream, eval.value());
+  if (appended > 0) {
+    m_.store_appends->inc();
+    m_.store_bytes->inc(appended);
+    m_.store_segments->set(static_cast<double>(store_->segment_count()));
+  }
+  m_.puts_in->inc();
+  {
+    std::lock_guard slock(stats_mu_);
+    ++stats_.puts_in;
+  }
+  send_to(conn, "{\"type\":\"put_ok\",\"id\":" + std::to_string(id) + "}");
+  return true;
+}
+
+// --- replication ----------------------------------------------------------
+
+void Server::replicate_result(std::uint64_t ns, const std::string& key,
+                              std::uint64_t stream,
+                              const tuner::Evaluation& eval) {
+  if (ring_.size() < 2 || options_.replicate <= 1) return;
+  const std::uint64_t ckey = ResultStore::content_key(ns, key, stream);
+  const auto successors =
+      ring_.successors(ckey, std::min(options_.replicate, ring_.size()));
+  for (const std::size_t i : successors) {
+    // Push to every owner replica except ourselves — even when this daemon
+    // is not an owner (a failed-over client made us compute a foreign key),
+    // the write still lands where future lookups will route.
+    if (i == self_index_) continue;
+    Peer* peer = peers_[i].get();
+    std::lock_guard plock(peer->mu);
+    const std::int64_t id = peer->next_id++;
+    std::string out = "{\"type\":\"put\",\"id\":" + std::to_string(id);
+    out += ",\"ns\":" + tuner::json_quoted(digest_hex(ns));
+    out += ",\"key\":" + tuner::json_quoted(key);
+    out += ",\"stream\":" + std::to_string(stream);
+    tuner::append_evaluation_fields(out, eval);
+    out += '}';
+
+    bool acked = false;
+    // Two attempts: the first may fail on a connection the peer's restart
+    // (or crash) went and invalidated; the second dials fresh.
+    for (int attempt = 0; attempt < 2 && !acked; ++attempt) {
+      if (peer->fd < 0) {
+        auto fd =
+            connect_endpoint(peer->endpoint, options_.peer_timeout_seconds);
+        if (!fd.is_ok()) break;  // peer is down; the tally records the loss
+        peer->fd = fd.value();
+        peer->dec = FrameDecoder();
+      }
+      bool ok = send_frame(peer->fd, out).is_ok();
+      std::string resp;
+      while (ok) {
+        const Status s = read_frame(peer->fd, peer->dec, &resp,
+                                    options_.peer_timeout_seconds);
+        if (!s.is_ok()) {
+          ok = false;
+          break;
+        }
+        auto parsed = json::parse(resp);
+        if (!parsed.is_ok()) {
+          ok = false;
+          break;
+        }
+        const json::Value& pv = parsed.value();
+        const std::string type =
+            pv.find("type") != nullptr ? pv.find("type")->str_or("") : "";
+        if (type == "put_ok" && frame_id(pv) == id) {
+          acked = true;
+          break;
+        }
+        if (type == "error") {
+          ok = false;  // replica refused; a retry will not change its mind
+          attempt = 2;
+          break;
+        }
+        // Anything else is stale noise on this dedicated connection — keep
+        // reading within the deadline.
+      }
+      if (!acked) {
+        ::close(peer->fd);
+        peer->fd = -1;
+        peer->dec = FrameDecoder();
+      }
+    }
+    if (acked) {
+      m_.repl_sent->inc();
+      std::lock_guard slock(stats_mu_);
+      ++stats_.repl_sent;
+    } else {
+      m_.repl_failed->inc();
+      std::lock_guard slock(stats_mu_);
+      ++stats_.repl_failed;
+    }
+  }
+}
+
 // --- dispatch -------------------------------------------------------------
 
 void Server::dispatch_loop() {
@@ -599,6 +824,7 @@ void Server::dispatch_loop() {
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (killed_.load()) return;  // hard kill: drop queued work unanswered
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -639,15 +865,18 @@ void Server::dispatch_loop() {
       Unit* unit = batch[i];
       const Result& r = results[i];
       if (r.ok) {
-        // Durable before visible: the store insert fsyncs, then waiters are
+        // Durable before visible: the store insert fsyncs, then the result
+        // is pushed to its ring replicas, and only then are waiters
         // answered. A kill -9 after a client saw eval_ok cannot lose the
-        // record.
+        // record — here or, with replication, on the surviving replicas.
         const std::size_t appended =
             store_->insert(unit->ns_digest, unit->key, unit->stream, r.eval);
+        replicate_result(unit->ns_digest, unit->key, unit->stream, r.eval);
         m_.evals->inc();
         if (appended > 0) {
           m_.store_appends->inc();
           m_.store_bytes->inc(appended);
+          m_.store_segments->set(static_cast<double>(store_->segment_count()));
         }
         std::lock_guard slock(stats_mu_);
         ++stats_.evals_executed;
@@ -723,8 +952,12 @@ std::string Server::stats_payload() const {
   out += ",\"busy_rejections\":" + std::to_string(s.busy_rejections);
   out += ",\"bad_frames\":" + std::to_string(s.bad_frames);
   out += ",\"aborts\":" + std::to_string(s.aborts);
+  out += ",\"puts_in\":" + std::to_string(s.puts_in);
+  out += ",\"repl_sent\":" + std::to_string(s.repl_sent);
+  out += ",\"repl_failed\":" + std::to_string(s.repl_failed);
   out += ",\"namespaces\":" + std::to_string(s.namespaces);
   out += ",\"store_records\":" + std::to_string(s.store_records);
+  out += ",\"store_segments\":" + std::to_string(s.store_segments);
   out += '}';
   return out;
 }
@@ -732,7 +965,10 @@ std::string Server::stats_payload() const {
 ServerStats Server::stats() const {
   std::lock_guard lock(stats_mu_);
   ServerStats s = stats_;
-  if (store_ != nullptr) s.store_records = store_->records();
+  if (store_ != nullptr) {
+    s.store_records = store_->records();
+    s.store_segments = store_->segment_count();
+  }
   return s;
 }
 

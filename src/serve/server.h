@@ -42,6 +42,7 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "serve/result_store.h"
+#include "serve/ring.h"
 #include "serve/wire.h"
 #include "support/json.h"
 #include "support/thread_pool.h"
@@ -61,6 +62,24 @@ struct ServerOptions {
   std::string endpoint;
   /// Result-store file (empty = memory-only; results die with the daemon).
   std::string store_path;
+  /// Segmented store: treat store_path as a directory of rotating segments
+  /// (see ResultStore::open_dir) instead of one append-forever file.
+  bool store_dir = false;
+  /// Rotation/compaction knobs for segmented stores.
+  StoreOptions store_options;
+  /// The whole fleet's endpoint list, verbatim and identical on every daemon
+  /// (and passed as --servers to clients) — placement is a pure function of
+  /// these strings. Must include this server's own `endpoint`. Empty =
+  /// standalone, no replication.
+  std::vector<std::string> peers;
+  /// Replication factor R: each computed result is made durable on the R
+  /// first ring successors of its content key before any client sees it.
+  /// Capped by the fleet size; <= 1 disables replication.
+  std::size_t replicate = 2;
+  /// Bound on connect + acknowledge time per peer replication write. A dead
+  /// or wedged peer costs at most this much per batch and is tallied in
+  /// repl_failed, never propagated to the requesting client.
+  double peer_timeout_seconds = 5.0;
   /// Evaluation worker threads (0 = one per hardware thread).
   std::size_t jobs = 0;
   /// Admission-queue bound: distinct evaluations queued-but-not-running
@@ -91,8 +110,12 @@ struct ServerStats {
   std::uint64_t busy_rejections = 0;
   std::uint64_t bad_frames = 0;
   std::uint64_t aborts = 0;          // injected evaluator aborts forwarded
+  std::uint64_t puts_in = 0;         // replication writes applied from peers
+  std::uint64_t repl_sent = 0;       // replication writes acked by peers
+  std::uint64_t repl_failed = 0;     // replication writes lost to dead peers
   std::size_t namespaces = 0;
   std::size_t store_records = 0;
+  std::size_t store_segments = 0;
 };
 
 class Server {
@@ -110,6 +133,13 @@ class Server {
   /// Graceful drain: stop accepting, finish and deliver in-flight work,
   /// flush store and tracer. Idempotent; safe from a signal-watching thread.
   void shutdown();
+
+  /// Simulated kill -9 for in-process chaos tests: sever every socket
+  /// abruptly (clients and peers see connection resets, exactly as if the
+  /// process died), drop queued work unanswered, stop all threads. The
+  /// store's on-disk state is whatever the fsync discipline guarantees —
+  /// nothing is flushed on the way down. Idempotent with shutdown().
+  void hard_kill();
 
   /// Blocks until shutdown() has completed the drain.
   void wait();
@@ -132,6 +162,7 @@ class Server {
   struct Namespace;
   struct Connection;
   struct Unit;
+  struct Peer;
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
@@ -143,6 +174,12 @@ class Server {
                     const json::Value& v);
   bool handle_eval(const std::shared_ptr<Connection>& conn,
                    const json::Value& v);
+  bool handle_put(const std::shared_ptr<Connection>& conn,
+                  const json::Value& v);
+  /// Pushes one computed result to its ring successors (durable before any
+  /// waiter is answered). Peer failures are tallied, never propagated.
+  void replicate_result(std::uint64_t ns, const std::string& key,
+                        std::uint64_t stream, const tuner::Evaluation& eval);
   void send_to(const std::shared_ptr<Connection>& conn,
                const std::string& payload);
   void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
@@ -154,6 +191,10 @@ class Server {
 
   ServerOptions options_;
   TargetResolver resolver_;
+  /// Fleet placement (empty ring = standalone) and this daemon's slot in it.
+  HashRing ring_;
+  std::size_t self_index_ = HashRing::npos;
+  std::vector<std::unique_ptr<Peer>> peers_;  // one per ring slot, self null
   std::unique_ptr<ResultStore> store_;
   std::unique_ptr<ThreadPool> pool_;
   trace::Tracer tracer_;
@@ -175,8 +216,12 @@ class Server {
     obs::Counter* busy = nullptr;
     obs::Counter* bad_frames = nullptr;
     obs::Counter* aborts = nullptr;
+    obs::Counter* puts_in = nullptr;
+    obs::Counter* repl_sent = nullptr;
+    obs::Counter* repl_failed = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* namespaces = nullptr;
+    obs::Gauge* store_segments = nullptr;
     obs::Histogram* rpc_seconds = nullptr;
     obs::Histogram* eval_seconds = nullptr;
   };
@@ -208,6 +253,7 @@ class Server {
   ServerStats stats_;
   std::atomic<bool> started_{false};
   std::atomic<bool> shut_down_{false};
+  std::atomic<bool> killed_{false};  // hard_kill(): drop work, never answer
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool drained_ = false;  // guarded by done_mu_

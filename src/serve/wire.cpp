@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -7,8 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <type_traits>
 
 #include "support/strings.h"
 #include "tuner/eval_codec.h"
@@ -20,6 +23,66 @@ constexpr std::size_t kHeaderBytes = 8;  // 4 magic + 4 length
 
 Status sys_error(const std::string& what) {
   return Status(StatusCode::kRuntimeFault, what + ": " + std::strerror(errno));
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Completes a possibly in-progress connect within the deadline: poll for
+/// writability, then read SO_ERROR for the real connect(2) result.
+Status finish_connect(int fd, double deadline) {
+  while (true) {
+    const double remaining = deadline - monotonic_seconds();
+    if (remaining <= 0.0) {
+      return Status(StatusCode::kDeadlineExceeded, "connect timed out");
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("poll");
+    }
+    if (rc == 0) continue;  // re-check the deadline
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return sys_error("getsockopt");
+    }
+    if (err != 0) {
+      return Status(StatusCode::kRuntimeFault,
+                    std::string("connect: ") + std::strerror(err));
+    }
+    return Status::ok();
+  }
+}
+
+/// connect(2) bounded by `timeout_seconds` (<= 0: plain blocking connect).
+/// The fd is left in blocking mode either way.
+Status connect_with_deadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                             double timeout_seconds) {
+  if (timeout_seconds <= 0.0) {
+    return ::connect(fd, addr, addrlen) == 0 ? Status::ok()
+                                             : sys_error("connect");
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return sys_error("fcntl");
+  }
+  Status result = Status::ok();
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno == EINPROGRESS || errno == EAGAIN) {
+      result = finish_connect(fd, monotonic_seconds() + timeout_seconds);
+    } else {
+      result = sys_error("connect");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0 && result.is_ok()) {
+    result = sys_error("fcntl");
+  }
+  return result;
 }
 
 /// Splits "tcp:host:port" into host/port. The last ':' wins, so IPv6
@@ -36,7 +99,7 @@ bool split_tcp(const std::string& rest, std::string* host, std::string* port) {
 }
 
 StatusOr<int> tcp_socket(const std::string& rest, bool listen_side,
-                         int backlog) {
+                         int backlog, double timeout_seconds = 0.0) {
   std::string host, port;
   if (!split_tcp(rest, &host, &port)) {
     return Status(StatusCode::kInvalidArgument,
@@ -69,11 +132,15 @@ StatusOr<int> tcp_socket(const std::string& rest, bool listen_side,
         return fd;
       }
       last = sys_error(listen_side ? "bind/listen" : "connect");
-    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-      ::freeaddrinfo(res);
-      return fd;
     } else {
-      last = sys_error("connect");
+      const Status s =
+          connect_with_deadline(fd, ai->ai_addr, ai->ai_addrlen,
+                                timeout_seconds);
+      if (s.is_ok()) {
+        ::freeaddrinfo(res);
+        return fd;
+      }
+      last = s;
     }
     ::close(fd);
   }
@@ -98,7 +165,7 @@ bool parse_endpoint(const std::string& endpoint, bool* is_unix,
 }
 
 StatusOr<int> unix_socket(const std::string& path, bool listen_side,
-                          int backlog) {
+                          int backlog, double timeout_seconds = 0.0) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
@@ -116,11 +183,13 @@ StatusOr<int> unix_socket(const std::string& path, bool listen_side,
       ::close(fd);
       return s;
     }
-  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-             0) {
-    const Status s = sys_error("connect '" + path + "'");
-    ::close(fd);
-    return s;
+  } else {
+    const Status s = connect_with_deadline(
+        fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr, timeout_seconds);
+    if (!s.is_ok()) {
+      ::close(fd);
+      return Status(s.code(), s.message() + " ('" + path + "')");
+    }
   }
   return fd;
 }
@@ -186,15 +255,16 @@ StatusOr<int> listen_endpoint(const std::string& endpoint, int backlog) {
                  : tcp_socket(rest, /*listen_side=*/true, backlog);
 }
 
-StatusOr<int> connect_endpoint(const std::string& endpoint) {
+StatusOr<int> connect_endpoint(const std::string& endpoint,
+                               double timeout_seconds) {
   bool is_unix = false;
   std::string rest;
   if (!parse_endpoint(endpoint, &is_unix, &rest)) {
     return Status(StatusCode::kInvalidArgument,
                   "empty endpoint '" + endpoint + "'");
   }
-  return is_unix ? unix_socket(rest, /*listen_side=*/false, 0)
-                 : tcp_socket(rest, /*listen_side=*/false, 0);
+  return is_unix ? unix_socket(rest, /*listen_side=*/false, 0, timeout_seconds)
+                 : tcp_socket(rest, /*listen_side=*/false, 0, timeout_seconds);
 }
 
 void unlink_endpoint(const std::string& endpoint) {
@@ -221,11 +291,33 @@ Status send_frame(int fd, std::string_view payload) {
   return Status::ok();
 }
 
-Status read_frame(int fd, FrameDecoder& dec, std::string* payload) {
+Status read_frame(int fd, FrameDecoder& dec, std::string* payload,
+                  double timeout_seconds) {
+  const bool bounded = timeout_seconds > 0.0;
+  const double deadline =
+      bounded ? monotonic_seconds() + timeout_seconds : 0.0;
   while (true) {
     auto got = dec.next(payload);
     if (!got.is_ok()) return got.status();
     if (got.value()) return Status::ok();
+    if (bounded) {
+      // Wait for readability before blocking in recv — a wedged peer
+      // (SIGSTOP, lost machine) must yield kDeadlineExceeded, not a hang.
+      // The decoder keeps whatever partial frame arrived, so the connection
+      // stays framed and the caller may retry on the same fd.
+      const double remaining = deadline - monotonic_seconds();
+      if (remaining <= 0.0) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "read timed out waiting for a frame");
+      }
+      pollfd p{fd, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(remaining * 1000.0) + 1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return sys_error("poll");
+      }
+      if (rc == 0) continue;  // re-check the deadline
+    }
     char buf[4096];
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n == 0) {
@@ -327,6 +419,107 @@ std::string digest_hex(std::uint64_t digest) {
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(digest));
   return buf;
+}
+
+bool parse_digest_hex(std::string_view s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+namespace {
+
+/// One enumeration of every MachineModel field, shared by the encoder and
+/// decoder so they cannot drift apart. Must cover the same fields as
+/// target_digest()'s "m.*" table (whose short names and byte layout are
+/// frozen — persisted store namespaces depend on them); the codec uses the
+/// full member names so hello payloads read as documentation.
+template <typename FieldFn>
+void each_machine_field(sim::MachineModel& m, FieldFn&& f) {
+  f("vector_lanes_f32", &m.vector_lanes_f32);
+  f("vector_lanes_f64", &m.vector_lanes_f64);
+  f("vector_loop_overhead", &m.vector_loop_overhead);
+  f("cost_add", &m.cost_add);
+  f("cost_mul", &m.cost_mul);
+  f("cost_div", &m.cost_div);
+  f("cost_pow", &m.cost_pow);
+  f("cost_cmp", &m.cost_cmp);
+  f("cost_logical", &m.cost_logical);
+  f("cost_intrin_cheap", &m.cost_intrin_cheap);
+  f("cost_intrin_sqrt", &m.cost_intrin_sqrt);
+  f("cost_intrin_trans", &m.cost_intrin_trans);
+  f("cost_int_op", &m.cost_int_op);
+  f("f32_scalar_math_discount", &m.f32_scalar_math_discount);
+  f("cost_cast", &m.cost_cast);
+  f("cast_vector_penalty", &m.cast_vector_penalty);
+  f("mem_access_overhead", &m.mem_access_overhead);
+  f("mem_cost_per_byte", &m.mem_cost_per_byte);
+  f("scalar_access_cost", &m.scalar_access_cost);
+  f("cost_branch", &m.cost_branch);
+  f("cost_loop_iter", &m.cost_loop_iter);
+  f("call_overhead", &m.call_overhead);
+  f("cost_arg", &m.cost_arg);
+  f("cost_array_arg", &m.cost_array_arg);
+  f("inline_max_stmts", &m.inline_max_stmts);
+  f("mpi_ranks", &m.mpi_ranks);
+  f("allreduce_alpha", &m.allreduce_alpha);
+  f("allreduce_beta", &m.allreduce_beta);
+  f("gptl_overhead_cycles", &m.gptl_overhead_cycles);
+}
+
+}  // namespace
+
+std::string machine_to_json(const sim::MachineModel& m) {
+  sim::MachineModel copy = m;  // each_machine_field wants mutable pointers
+  std::string out = "{";
+  bool first = true;
+  const auto emit = [&out, &first](const char* name, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += v;
+  };
+  each_machine_field(copy, [&](const char* name, auto* field) {
+    using F = std::remove_pointer_t<decltype(field)>;
+    if constexpr (std::is_same_v<F, int>) {
+      emit(name, std::to_string(*field));
+    } else {
+      emit(name, tuner::json_double(*field));
+    }
+  });
+  out += '}';
+  return out;
+}
+
+StatusOr<sim::MachineModel> machine_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status(StatusCode::kParseError, "machine model is not an object");
+  }
+  sim::MachineModel m;  // defaults; known fields are overlaid below
+  each_machine_field(m, [&v](const char* name, auto* field) {
+    using F = std::remove_pointer_t<decltype(field)>;
+    const json::Value* got = v.find(name);
+    if (got == nullptr || !got->is_number()) return;
+    if constexpr (std::is_same_v<F, int>) {
+      *field = static_cast<int>(got->int_or(*field));
+    } else {
+      *field = got->num_or(*field);
+    }
+  });
+  return m;
 }
 
 }  // namespace prose::serve

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "support/json.h"
 #include "support/status.h"
 #include "tuner/target.h"
 
@@ -66,7 +67,12 @@ class FrameDecoder {
 StatusOr<int> listen_endpoint(const std::string& endpoint, int backlog = 64);
 
 /// Connects to the same endpoint syntax. Returns the connected fd.
-StatusOr<int> connect_endpoint(const std::string& endpoint);
+/// `timeout_seconds` > 0 bounds the connect itself (non-blocking connect +
+/// poll): a peer whose accept queue exists but whose process is wedged
+/// (SIGSTOP, dead NFS, ...) yields kDeadlineExceeded instead of hanging the
+/// caller. <= 0 keeps the historical unbounded behaviour.
+StatusOr<int> connect_endpoint(const std::string& endpoint,
+                               double timeout_seconds = 0.0);
 
 /// Removes the socket file of a unix endpoint (server teardown). No-op for
 /// TCP.
@@ -78,8 +84,12 @@ Status send_frame(int fd, std::string_view payload);
 
 /// Blocks until one whole frame is decoded from fd through `dec`.
 /// kNotFound = orderly EOF before a frame; kParseError = stream corrupt;
-/// kRuntimeFault = transport error.
-Status read_frame(int fd, FrameDecoder& dec, std::string* payload);
+/// kRuntimeFault = transport error; kDeadlineExceeded = `timeout_seconds`
+/// (> 0) of wall clock elapsed without a complete frame — the connection is
+/// still framed (no bytes were discarded), so the caller may retry or hang
+/// up. <= 0 waits forever.
+Status read_frame(int fd, FrameDecoder& dec, std::string* payload,
+                  double timeout_seconds = 0.0);
 
 // --- identity -------------------------------------------------------------
 
@@ -102,5 +112,26 @@ std::uint64_t namespace_digest(std::uint64_t target, std::uint64_t noise_seed,
 
 /// Fixed-width lowercase hex of a digest (16 chars).
 std::string digest_hex(std::uint64_t digest);
+
+/// Parses a digest_hex() string back; false on anything but 16 lowercase
+/// hex chars.
+bool parse_digest_hex(std::string_view s, std::uint64_t* out);
+
+// --- machine-model codec --------------------------------------------------
+//
+// A hello may carry the client's full MachineModel inline, letting one
+// daemon serve many target/machine-model digests per process (campaigns
+// tuning for different hardware share a fleet) instead of rejecting foreign
+// digests at hello. Doubles travel as %.17g (tuner::json_double), so the
+// round trip is bit-exact and the digest computed from a decoded model
+// equals the digest of the original.
+
+/// One JSON object holding every MachineModel field.
+std::string machine_to_json(const sim::MachineModel& m);
+
+/// Applies the known fields of `v` onto a default-constructed model.
+/// Unknown fields are ignored — a field-name typo surfaces as the hello's
+/// target-digest mismatch, which is the authoritative agreement check.
+StatusOr<sim::MachineModel> machine_from_json(const json::Value& v);
 
 }  // namespace prose::serve

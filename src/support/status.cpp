@@ -22,6 +22,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kNotFound: return "NotFound";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kIncomplete: return "Incomplete";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

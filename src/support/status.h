@@ -26,6 +26,7 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kIncomplete,        // streaming input ends before the value does (read more)
+  kDeadlineExceeded,  // bounded I/O ran out of wall-clock budget
 };
 
 /// Human-readable code name, e.g. "ParseError".

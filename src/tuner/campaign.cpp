@@ -492,6 +492,11 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     const EvalBackend::Counters counters = options.backend->counters();
     result.summary.fallbacks = counters.fallback_items;
     result.summary.busy_retries = counters.busy_retries;
+    result.summary.hedges = counters.hedges;
+    result.summary.hedge_wins = counters.hedge_wins;
+    result.summary.failovers = counters.failovers;
+    result.summary.shards_lost = counters.shards_lost;
+    result.summary.busy_backoff_seconds = counters.busy_backoff_seconds;
     if (registry != nullptr) {
       registry
           ->gauge("prose_client_busy_retries",
@@ -501,6 +506,27 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
           ->gauge("prose_client_fallback_items",
                   "Items the serve client failed to resolve (cumulative)")
           ->set(static_cast<double>(counters.fallback_items));
+      registry
+          ->gauge("prose_client_hedges",
+                  "Hedged requests the serve client issued (cumulative)")
+          ->set(static_cast<double>(counters.hedges));
+      registry
+          ->gauge("prose_client_hedge_wins",
+                  "Hedged requests resolved by the hedge replica (cumulative)")
+          ->set(static_cast<double>(counters.hedge_wins));
+      registry
+          ->gauge("prose_client_failovers",
+                  "Requests rerouted off a dead or draining shard "
+                  "(cumulative)")
+          ->set(static_cast<double>(counters.failovers));
+      registry
+          ->gauge("prose_client_shards_lost",
+                  "Fleet shards declared dead mid-campaign (cumulative)")
+          ->set(static_cast<double>(counters.shards_lost));
+      registry
+          ->gauge("prose_client_busy_backoff_seconds",
+                  "Total deterministic busy backoff slept (cumulative)")
+          ->set(counters.busy_backoff_seconds);
     }
   }
   if (registry != nullptr) {

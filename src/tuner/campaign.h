@@ -126,6 +126,16 @@ struct CampaignSummary {
   /// comparisons, which cover everything the campaign *measured*.
   std::uint64_t fallbacks = 0;
   std::uint64_t busy_retries = 0;
+  /// Fleet-mode degradation (zeros for local and single-server campaigns):
+  /// hedged re-issues (and how many the hedge won), primary-shard failovers,
+  /// shards declared lost mid-campaign, and total deterministic busy backoff
+  /// slept. Transport-dependent like the two above — excluded from
+  /// bit-identity.
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t shards_lost = 0;
+  double busy_backoff_seconds = 0.0;
   /// Final registry snapshot (empty when CampaignOptions::metrics is off).
   /// Wall-clock metric values — also excluded from bit-identity comparisons.
   obs::MetricsSnapshot metrics;
