@@ -675,6 +675,114 @@ int main(int argc, char** argv) {
               << (all_identical ? "bit-identical" : "DIVERGED") << "\n";
   }
 
+  // --- Trace leg: distributed-tracing overhead on a fleet campaign.
+  // The MPAS-A campaign runs against a fresh in-process 3-shard fleet
+  // (memory-only stores, so every rep evaluates cold) untraced and fully
+  // traced — client sink, one sink per shard, a context on every wire
+  // frame — interleaved off/on for 5 reps. Same estimator discipline as
+  // the metrics leg: serial client, process CPU time (client and shards
+  // share the process, so this is the whole fleet's CPU), overhead =
+  // median of the paired per-rep ratios. The searches must be
+  // bit-identical: tracing observes, it never feeds back.
+  {
+    bench::header("Tracing — fleet campaign, traced vs untraced");
+    constexpr int kReps = 5;
+    const auto cpu_now = []() {
+      struct timespec ts{};
+      ::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+      return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+    };
+    const TargetSpec spec = models::mpas_target();
+    const auto resolver =
+        [](const std::string& model) -> StatusOr<TargetSpec> {
+      if (model == "MPAS-A") return models::mpas_target();
+      return Status(StatusCode::kNotFound, "unknown model '" + model + "'");
+    };
+    const std::string base =
+        "/tmp/prose_bench_trace_" + std::to_string(::getpid());
+    std::vector<std::string> endpoints;
+    for (int i = 0; i < 3; ++i) {
+      endpoints.push_back(base + "_" + std::to_string(i) + ".sock");
+    }
+    const auto run_fleet = [&](bool traced) {
+      std::vector<std::unique_ptr<serve::Server>> shards;
+      for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        serve::ServerOptions sopts;
+        sopts.endpoint = endpoints[i];
+        sopts.peers = endpoints;
+        sopts.replicate = 2;
+        sopts.jobs = 2;
+        if (traced) {
+          sopts.trace.chrome_path =
+              io.outdir + "/bench_trace_shard" + std::to_string(i) + ".json";
+        }
+        auto server = std::make_unique<serve::Server>(sopts, resolver);
+        if (Status s = server->start(); !s.is_ok()) {
+          std::cerr << "trace bench: " << s.to_string() << "\n";
+          std::exit(1);
+        }
+        shards.push_back(std::move(server));
+      }
+      serve::ServeClient::Options copts;
+      copts.endpoints = endpoints;
+      copts.model = spec.name;
+      copts.target_digest = serve::target_digest(spec);
+      copts.connect_timeout_seconds = 2.0;
+      auto client = serve::ServeClient::connect(copts);
+      if (!client.is_ok()) {
+        std::cerr << "trace bench: " << client.status().to_string() << "\n";
+        std::exit(1);
+      }
+      CampaignOptions options;
+      options.backend = client.value().get();
+      options.jobs = 1;
+      if (traced) {
+        options.trace.chrome_path = io.outdir + "/bench_trace_client.json";
+      }
+      const double t0 = cpu_now();
+      CampaignResult result = bench::run_or_die(spec, options);
+      const double cpu = cpu_now() - t0;
+      for (auto& s : shards) {
+        s->shutdown();
+        s->wait();
+      }
+      return std::make_pair(std::move(result), cpu);
+    };
+
+    std::cout << "running MPAS-A against a 3-shard fleet untraced and traced ("
+              << kReps << " interleaved reps each, CPU time)...\n";
+    double off_best = 0.0, on_best = 0.0;
+    std::vector<double> ratios;
+    CampaignResult off_result, on_result;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto [off_r, off_cpu] = run_fleet(/*traced=*/false);
+      auto [on_r, on_cpu] = run_fleet(/*traced=*/true);
+      off_result = std::move(off_r);
+      on_result = std::move(on_r);
+      if (rep == 0 || off_cpu < off_best) off_best = off_cpu;
+      if (rep == 0 || on_cpu < on_best) on_best = on_cpu;
+      if (off_cpu > 0.0) ratios.push_back(on_cpu / off_cpu);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double overhead = ratios.empty() ? 0.0 : ratios[ratios.size() / 2] - 1.0;
+    const bool identical = same_search(off_result.search, on_result.search);
+
+    std::string json = "{\n  \"model\": \"" + spec.name +
+                       "\",\n  \"shards\": 3,\n  \"replicate\": 2,\n  \"reps\": " +
+                       std::to_string(kReps) + ",\n  \"untraced_cpu_seconds\": " +
+                       format_double(off_best, 4) + ",\n  \"traced_cpu_seconds\": " +
+                       format_double(on_best, 4) + ",\n  \"overhead\": " +
+                       format_double(overhead, 4) +
+                       ",\n  \"overhead_target\": 0.05,\n  \"identical_results\": " +
+                       (identical ? "true" : "false") + "\n}\n";
+    io.write_file("json", "BENCH_trace_overhead.json", json);
+    std::cout << "  untraced " << format_double(off_best, 3) << " s -> traced "
+              << format_double(on_best, 3) << " s ("
+              << format_double(100.0 * overhead, 2)
+              << "% overhead, target <= 5%), results "
+              << (identical ? "bit-identical" : "DIVERGED") << "\n";
+  }
+
   // --- VM dispatch leg: interpreter vs pre-decoded direct-threaded engine.
   // Each Table II campaign runs under the reference interpreter and the
   // threaded (computed-goto, superinstruction-fused) engine, interleaved

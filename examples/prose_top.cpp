@@ -9,6 +9,10 @@
 //                  its counters and latency quantiles once.
 //
 // Flags: --http EP ("unix:/path", "tcp:host:port", or a bare path)
+//        --fleet a.sock,b.sock,... (poll every daemon's stats frame over
+//                  the eval socket — no --http listener needed — and render
+//                  one row per shard: requests, hit rate, queue depth, and
+//                  the degradation tallies, plus a fleet totals row)
 //        --journal FILE (mutually exclusive with --http)
 //        --interval SECONDS (poll period, default 2)
 //        --frames N (stop after N polls; 0 = until the daemon goes away)
@@ -31,9 +35,11 @@
 
 #include "obs/http.h"
 #include "obs/metrics.h"
+#include "serve/client.h"
 #include "support/ascii_plot.h"
 #include "support/cli.h"
 #include "support/json.h"
+#include "support/table.h"
 
 using namespace prose;
 
@@ -82,6 +88,15 @@ std::string latency_line(const obs::MetricsSnapshot& snap,
   out += "  p90 " + fmt_seconds(s->hist.quantile(0.9));
   out += "  p99 " + fmt_seconds(s->hist.quantile(0.99));
   out += "  (n=" + std::to_string(s->hist.count) + ")";
+  // Latency exemplar: the slowest bucket's trace id, straight from the
+  // # EXEMPLAR exposition comments — paste it into the prose_trace output
+  // to see that exact request's critical path.
+  for (auto it = s->hist.exemplars.rbegin(); it != s->hist.exemplars.rend();
+       ++it) {
+    if (it->empty()) continue;
+    out += "  slowest " + fmt_seconds(it->value) + " trace=" + it->label;
+    break;
+  }
   return out;
 }
 
@@ -197,6 +212,79 @@ int show_journal(const std::string& path) {
   return 0;
 }
 
+/// "a.sock,b.sock" → {"a.sock","b.sock"}; whitespace and empties dropped.
+std::vector<std::string> split_list(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// One frame of the fleet dashboard: a stats frame per shard over its eval
+/// socket (serve::query_stats — no /metrics listener required), one table
+/// row per shard, dead shards included, plus a totals row.
+std::string render_fleet(const std::vector<std::string>& endpoints,
+                         std::size_t frame) {
+  const auto field = [](const json::Value& v, const char* key) {
+    const json::Value* f = v.find(key);
+    return f == nullptr ? 0.0 : f->num_or(0.0);
+  };
+  TextTable table({"shard", "endpoint", "state", "requests", "evals", "hit%",
+                   "queue", "busy", "aborts", "repl fail", "trace err"});
+  double tot_requests = 0.0;
+  double tot_evals = 0.0;
+  double tot_hits = 0.0;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    auto body = serve::query_stats(endpoints[i], /*timeout_seconds=*/5.0);
+    StatusOr<json::Value> stats = body.is_ok()
+                                      ? json::parse(body.value())
+                                      : StatusOr<json::Value>(body.status());
+    if (!stats.is_ok()) {
+      table.add_row({std::to_string(i), endpoints[i], "dead", "-", "-", "-",
+                     "-", "-", "-", "-", "-"});
+      continue;
+    }
+    ++alive;
+    const double requests = field(*stats, "requests");
+    const double hits = field(*stats, "store_hits");
+    tot_requests += requests;
+    tot_evals += field(*stats, "evals_executed");
+    tot_hits += hits;
+    char hitbuf[16] = "-";
+    if (requests > 0.0) {
+      std::snprintf(hitbuf, sizeof hitbuf, "%.1f", 100.0 * hits / requests);
+    }
+    table.add_row({std::to_string(i), endpoints[i], "up", fmt_count(requests),
+                   fmt_count(field(*stats, "evals_executed")), hitbuf,
+                   fmt_count(field(*stats, "queue_depth")),
+                   fmt_count(field(*stats, "busy_rejections")),
+                   fmt_count(field(*stats, "aborts")),
+                   fmt_count(field(*stats, "repl_failed")),
+                   fmt_count(field(*stats, "trace_write_errors"))});
+  }
+  char hitbuf[16] = "-";
+  if (tot_requests > 0.0) {
+    std::snprintf(hitbuf, sizeof hitbuf, "%.1f",
+                  100.0 * tot_hits / tot_requests);
+  }
+  std::string out = "prose_top — fleet of " + std::to_string(endpoints.size()) +
+                    " (" + std::to_string(alive) + " up)  frame " +
+                    std::to_string(frame) + "\n\n" + table.to_string();
+  out += "\n  fleet totals: requests " + fmt_count(tot_requests) + "  evals " +
+         fmt_count(tot_evals) + "  store hits " + fmt_count(tot_hits) +
+         (tot_requests > 0.0 ? "  hit% " + std::string(hitbuf) : "") + "\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,9 +312,33 @@ int main(int argc, char** argv) {
   const std::string journal = flags->get_string("journal", "");
   if (!journal.empty()) return show_journal(journal);
 
+  if (const std::string fleet = flags->get_string("fleet", "");
+      !fleet.empty()) {
+    const std::vector<std::string> endpoints = split_list(fleet);
+    if (endpoints.empty()) {
+      std::cerr << "prose_top: --fleet needs at least one endpoint\n";
+      return 2;
+    }
+    const bool fleet_once = flags->get_bool("once", false);
+    const double fleet_interval = flags->get_double("interval", 2.0);
+    const std::size_t fleet_frames =
+        fleet_once ? 1
+                   : static_cast<std::size_t>(flags->get_int("frames", 0));
+    for (std::size_t frame = 1; fleet_frames == 0 || frame <= fleet_frames;
+         ++frame) {
+      if (!fleet_once) std::cout << "\x1b[2J\x1b[H";  // clear + home
+      std::cout << render_fleet(endpoints, frame) << std::flush;
+      if (fleet_frames != 0 && frame == fleet_frames) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fleet_interval));
+    }
+    return 0;
+  }
+
   const std::string endpoint = flags->get_string("http", "");
   if (endpoint.empty()) {
-    std::cerr << "prose_top: need --http ENDPOINT or --journal FILE\n";
+    std::cerr << "prose_top: need --http ENDPOINT, --fleet LIST, or "
+                 "--journal FILE\n";
     return 2;
   }
   if (const std::string path = flags->get_string("get", ""); !path.empty()) {

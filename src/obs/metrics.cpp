@@ -105,6 +105,20 @@ void Histogram::observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::observe(double v, std::string_view exemplar_label) {
+  observe(v);
+  if (exemplar_label.empty()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard lock(ex_mu_);
+  if (exemplars_.empty()) exemplars_.resize(bounds_.size() + 1);
+  Exemplar& ex = exemplars_[bucket];
+  if (ex.empty() || v >= ex.value) {
+    ex.value = v;
+    ex.label = std::string(exemplar_label);
+  }
+}
+
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -138,6 +152,16 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
   sum += other.sum;
   count += other.count;
+  if (other.exemplars.empty()) return;
+  if (exemplars.empty()) exemplars.resize(counts.size());
+  if (exemplars.size() != other.exemplars.size()) return;
+  for (std::size_t i = 0; i < exemplars.size(); ++i) {
+    const Exemplar& theirs = other.exemplars[i];
+    if (theirs.empty()) continue;
+    if (exemplars[i].empty() || theirs.value >= exemplars[i].value) {
+      exemplars[i] = theirs;
+    }
+  }
 }
 
 const SeriesSnapshot* MetricsSnapshot::find(std::string_view name) const {
@@ -234,6 +258,10 @@ MetricsSnapshot Registry::snapshot() const {
         }
         out.hist.sum = h.sum_.load(std::memory_order_relaxed);
         out.hist.count = h.count_.load(std::memory_order_relaxed);
+        {
+          std::lock_guard ex_lock(h.ex_mu_);
+          out.hist.exemplars = h.exemplars_;
+        }
         break;
       }
     }
@@ -260,6 +288,15 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
           i < s.hist.bounds.size() ? fmt_double(s.hist.bounds[i]) : "+Inf";
       out += s.name + "_bucket{le=\"" + le + "\"} " +
              std::to_string(cumulative) + "\n";
+      // Latency exemplars ride as comments (the 0.0.4 text format has no
+      // exemplar syntax): the bucket's slowest traced request, so a scrape
+      // of a hot histogram links straight into the merged timeline.
+      // Scrapers and the in-repo lint/parse skip non-HELP/TYPE comments.
+      if (i < s.hist.exemplars.size() && !s.hist.exemplars[i].empty()) {
+        out += "# EXEMPLAR " + s.name + "_bucket{le=\"" + le + "\"} trace_id=" +
+               s.hist.exemplars[i].label + " value=" +
+               fmt_double(s.hist.exemplars[i].value) + "\n";
+      }
     }
     out += s.name + "_sum " + fmt_double(s.hist.sum) + "\n";
     out += s.name + "_count " + std::to_string(s.hist.count) + "\n";
@@ -603,6 +640,53 @@ bool parse_prometheus(std::string_view text, MetricsSnapshot* out,
       prev = cum;
     }
     out->series.push_back(std::move(s));
+  }
+  // Second pass: recover `# EXEMPLAR <name>_bucket{le="..."} trace_id=T
+  // value=V` comments into the parsed histograms, so a scraper round-trips
+  // the slowest-request links to_prometheus() emitted. Malformed exemplar
+  // comments are ignored — they are annotations, never data.
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    constexpr std::string_view kTag = "# EXEMPLAR ";
+    if (line.substr(0, kTag.size()) != kTag) continue;
+    line.remove_prefix(kTag.size());
+    const std::size_t brace = line.find("_bucket{le=\"");
+    if (brace == std::string_view::npos) continue;
+    const std::string fname(line.substr(0, brace));
+    std::string_view rest = line.substr(brace + 12);
+    const std::size_t endq = rest.find('"');
+    if (endq == std::string_view::npos) continue;
+    double le = 0.0;
+    if (!parse_double(rest.substr(0, endq), &le)) continue;
+    rest.remove_prefix(endq);
+    const std::size_t tid_at = rest.find("trace_id=");
+    if (tid_at == std::string_view::npos) continue;
+    rest.remove_prefix(tid_at + 9);
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string label(rest.substr(0, sp));
+    const std::size_t val_at = rest.find("value=");
+    double value = 0.0;
+    if (val_at == std::string_view::npos ||
+        !parse_double(rest.substr(val_at + 6), &value)) {
+      continue;
+    }
+    for (auto& s : out->series) {
+      if (s.name != fname || s.kind != SeriesKind::kHistogram) continue;
+      if (s.hist.exemplars.empty()) s.hist.exemplars.resize(s.hist.counts.size());
+      const auto it =
+          std::lower_bound(s.hist.bounds.begin(), s.hist.bounds.end(), le);
+      std::size_t bucket = static_cast<std::size_t>(it - s.hist.bounds.begin());
+      if (std::isinf(le) && le > 0) bucket = s.hist.bounds.size();
+      if (bucket < s.hist.exemplars.size()) {
+        s.hist.exemplars[bucket] = Exemplar{value, label};
+      }
+      break;
+    }
   }
   return true;
 }

@@ -64,8 +64,22 @@ std::vector<double> latency_buckets_seconds();
 /// Size preset: 64 B .. 128 MiB in ×8 steps (8 bounds).
 std::vector<double> size_buckets_bytes();
 
+/// A latency exemplar: the largest observation a histogram bucket has seen,
+/// tagged with an opaque label — in this codebase always a trace-id hex, so
+/// the slowest entries of a latency histogram point straight at the traced
+/// requests that produced them.
+struct Exemplar {
+  double value = 0.0;
+  std::string label;
+
+  [[nodiscard]] bool empty() const { return label.empty(); }
+};
+
 /// Fixed-bucket histogram. observe() is a short binary search plus three
-/// relaxed atomic adds — no locks, no allocation.
+/// relaxed atomic adds — no locks, no allocation. The exemplar overload
+/// additionally takes a short mutex to record the bucket's slowest labeled
+/// observation; it is meant for request-granularity paths (RPCs,
+/// evaluations), not per-instruction ones.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -73,6 +87,9 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void observe(double v);
+  /// observe() plus exemplar capture: keeps the largest labeled observation
+  /// per bucket. Empty labels degrade to plain observe().
+  void observe(double v, std::string_view exemplar_label);
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -86,6 +103,8 @@ class Histogram {
   std::deque<std::atomic<std::uint64_t>> counts_;
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> count_{0};
+  mutable std::mutex ex_mu_;  // guards exemplars_ only
+  std::vector<Exemplar> exemplars_;  // one per bucket, +Inf included
 };
 
 /// Point-in-time copy of one histogram, with quantile estimation and a
@@ -95,6 +114,9 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // per-bucket (bounds.size() + 1 entries)
   double sum = 0.0;
   std::uint64_t count = 0;
+  /// Per-bucket latency exemplars; empty when the histogram never saw a
+  /// labeled observation, else counts.size() entries (some possibly empty).
+  std::vector<Exemplar> exemplars;
 
   /// Estimates the q-quantile (q in [0,1]) by linear interpolation inside
   /// the bucket containing the target rank — the histogram_quantile()

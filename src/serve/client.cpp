@@ -19,10 +19,12 @@ namespace prose::serve {
 namespace {
 
 std::string eval_payload(std::uint64_t id, const std::string& key,
-                         std::uint64_t stream) {
+                         std::uint64_t stream,
+                         const std::string& trace_json = std::string()) {
   std::string out = "{\"type\":\"eval\",\"id\":" + std::to_string(id);
   out += ",\"key\":" + tuner::json_quoted(key);
   out += ",\"stream\":" + std::to_string(stream);
+  if (!trace_json.empty()) out += ",\"trace\":" + trace_json;
   out += '}';
   return out;
 }
@@ -33,12 +35,22 @@ double monotonic_seconds() {
       .count();
 }
 
-/// SplitMix64 finalizer — full-avalanche, the same mix the ring uses.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+/// SplitMix64 finalizer — full-avalanche, the same mix the ring and the
+/// trace-id derivation use (trace.h holds the canonical copy).
+using trace::mix64;
+
+/// The per-transmission wire context for one client request span: hedges,
+/// failovers, and busy resends each get a distinct parent span (attempt is
+/// the 1-based send counter), so every server-side span stitches to the
+/// exact send that caused it.
+trace::TraceContext send_context(std::uint64_t tid_hi, std::uint64_t tid_lo,
+                                 std::uint64_t client_span, int attempt) {
+  trace::TraceContext ctx;
+  ctx.trace_id_hi = tid_hi;
+  ctx.trace_id_lo = tid_lo;
+  ctx.parent_span = mix64(client_span ^ static_cast<std::uint64_t>(attempt));
+  ctx.sampled = true;
+  return ctx;
 }
 
 std::string frame_type(const json::Value& v) {
@@ -122,7 +134,40 @@ Status ServeClient::check_hello_reply(Shard* s, const std::string& payload) {
       s->http = http->str_or("");
     }
   }
+  // A traced daemon reports its trace clock; the caller brackets the hello
+  // on our clock and the pair becomes the shard's offset estimate.
+  ClockSample* clock = s != nullptr ? &s->clock : &clock_;
+  if (const json::Value* c = v.find("trace_clock_us"); c != nullptr) {
+    clock->server_us = c->num_or(-1.0);
+    clock->emitted = false;
+  }
   return Status::ok();
+}
+
+void ServeClient::emit_clock_samples() {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  // The tracer's clock is steady-clock time minus its construction epoch;
+  // recover the epoch so hello midpoints recorded before set_tracer() still
+  // land on the trace timeline.
+  const double epoch_raw_us = monotonic_seconds() * 1e6 - tracer_->now_us();
+  const auto emit = [&](const std::string& endpoint, std::size_t shard,
+                        ClockSample* c) {
+    if (c->server_us < 0.0 || c->emitted) return;
+    const double offset_us = c->server_us - (c->mid_raw_us - epoch_raw_us);
+    tracer_->instant("serve/clock", trace::Track::serve(), tracer_->now_us(),
+                     {{"endpoint", endpoint},
+                      {"shard", static_cast<std::int64_t>(shard)},
+                      {"offset_us", offset_us},
+                      {"rtt_us", c->rtt_us}});
+    c->emitted = true;
+  };
+  if (fleet_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      emit(shards_[i].endpoint, i, &shards_[i].clock);
+    }
+  } else {
+    emit(options_.endpoint, 0, &clock_);
+  }
 }
 
 Status ServeClient::connect_shard(Shard* s) {
@@ -135,6 +180,7 @@ Status ServeClient::connect_shard(Shard* s) {
   auto fd = connect_endpoint(s->endpoint, options_.connect_timeout_seconds);
   if (!fd.is_ok()) return fd.status();
   s->fd = fd.value();
+  const double t0 = monotonic_seconds();
   if (Status st = send_frame(s->fd, hello_payload()); !st.is_ok()) {
     ::close(s->fd);
     s->fd = -1;
@@ -148,11 +194,14 @@ Status ServeClient::connect_shard(Shard* s) {
     s->fd = -1;
     return st;
   }
+  const double t1 = monotonic_seconds();
   if (Status st = check_hello_reply(s, payload); !st.is_ok()) {
     ::close(s->fd);
     s->fd = -1;
     return st;
   }
+  s->clock.mid_raw_us = (t0 + t1) * 0.5 * 1e6;
+  s->clock.rtt_us = (t1 - t0) * 1e6;
   s->alive = true;
   s->ever_alive = true;
   s->last_heard = monotonic_seconds();
@@ -197,6 +246,7 @@ StatusOr<std::unique_ptr<ServeClient>> ServeClient::connect(
                              options.connect_timeout_seconds);
   if (!fd.is_ok()) return fd.status();
   client->fd_ = fd.value();
+  const double t0 = monotonic_seconds();
   if (Status s = send_frame(client->fd_, client->hello_payload());
       !s.is_ok()) {
     return s;
@@ -207,9 +257,12 @@ StatusOr<std::unique_ptr<ServeClient>> ServeClient::connect(
       !s.is_ok()) {
     return s;
   }
+  const double t1 = monotonic_seconds();
   if (Status s = client->check_hello_reply(nullptr, payload); !s.is_ok()) {
     return s;
   }
+  client->clock_.mid_raw_us = (t0 + t1) * 0.5 * 1e6;
+  client->clock_.rtt_us = (t1 - t0) * 1e6;
   return client;
 }
 
@@ -272,6 +325,31 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
   } tally{items, fallback_items_};
   if (configs.size() != streams.size()) return items;
   std::lock_guard lock(mu_);
+  emit_clock_samples();
+
+  // Request-scoped tracing: one async client/request span per item, a
+  // deterministic 128-bit trace id from (namespace, content key), and a
+  // per-transmission context + flow arrow on every eval frame.
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::uint64_t tid_hi = mix64(ns_digest_ ^ 0x7ace1dULL);
+  std::vector<std::uint64_t> tid_lo(traced ? items.size() : 0, 0);
+  std::vector<std::uint64_t> span(traced ? items.size() : 0, 0);
+  std::vector<int> sends(traced ? items.size() : 0, 0);
+  const auto traced_payload = [&](std::size_t i,
+                                  std::uint64_t id) -> std::string {
+    if (!traced) return eval_payload(id, configs[i].key(), streams[i]);
+    const trace::TraceContext ctx =
+        send_context(tid_hi, tid_lo[i], span[i], ++sends[i]);
+    tracer_->flow_start("serve/flow", trace::Track::serve(),
+                        tracer_->now_us(), ctx.flow_id());
+    return eval_payload(id, configs[i].key(), streams[i],
+                        trace_to_json(ctx));
+  };
+  const auto close_span = [&](std::size_t i, const char* result) {
+    if (!traced || span[i] == 0) return;  // 0: span never opened
+    tracer_->async_end("client/request", trace::Track::serve(),
+                       tracer_->now_us(), span[i], {{"result", result}});
+  };
 
   const auto fail_unresolved = [&](const std::string& why,
                                    const std::vector<bool>& resolved) {
@@ -280,12 +358,15 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
         items[i].ok = false;
         items[i].aborted = false;
         items[i].error = why;
+        close_span(i, "transport_fail");
       }
     }
   };
   std::vector<bool> resolved(items.size(), false);
   if (dead_ || fd_ < 0) {
-    fail_unresolved("connection dead", resolved);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      items[i].error = "connection dead";
+    }
     return items;
   }
 
@@ -297,9 +378,18 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
   for (std::size_t i = 0; i < items.size(); ++i) {
     ids[i] = next_id_++;
     by_id.emplace(ids[i], i);
-    if (Status s = send_frame(fd_, eval_payload(ids[i], configs[i].key(),
-                                                streams[i]));
-        !s.is_ok()) {
+    if (traced) {
+      tid_lo[i] = mix64(ResultStore::content_key(
+          ns_digest_, configs[i].key(), streams[i]));
+      span[i] = mix64(tid_lo[i] ^ ids[i]);
+      tracer_->async_begin(
+          "client/request", trace::Track::serve(), tracer_->now_us(),
+          span[i],
+          {{"trace", send_context(tid_hi, tid_lo[i], span[i], 0).trace_hex()},
+           {"stream", static_cast<std::int64_t>(streams[i])},
+           {"endpoint", options_.endpoint}});
+    }
+    if (Status s = send_frame(fd_, traced_payload(i, ids[i])); !s.is_ok()) {
       dead_ = true;
       fail_unresolved(s.message(), resolved);
       return items;
@@ -341,8 +431,10 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
       if (eval.is_ok()) {
         items[i].ok = true;
         items[i].eval = std::move(eval.value());
+        close_span(i, "ok");
       } else {
         items[i].error = "bad eval_ok: " + eval.status().message();
+        close_span(i, "bad_reply");
       }
       resolved[i] = true;
       --unresolved;
@@ -359,6 +451,7 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
         // and concurrent clients never synchronize into retry stampedes.
         if (++busy_rounds[i] > options_.max_busy_retries) {
           items[i].error = "server busy (retries exhausted)";
+          close_span(i, "busy_exhausted");
           resolved[i] = true;
           --unresolved;
           continue;
@@ -378,8 +471,7 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
         backoff_us_.fetch_add(static_cast<std::uint64_t>(after * 1e6),
                               std::memory_order_relaxed);
         std::this_thread::sleep_for(std::chrono::duration<double>(after));
-        if (Status s = send_frame(fd_, eval_payload(ids[i], configs[i].key(),
-                                                    streams[i]));
+        if (Status s = send_frame(fd_, traced_payload(i, ids[i]));
             !s.is_ok()) {
           dead_ = true;
           fail_unresolved(s.message(), resolved);
@@ -390,8 +482,10 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
       if (code == "abort") {
         items[i].aborted = true;
         items[i].error = msg;
+        close_span(i, "abort");
       } else {
         items[i].error = code + ": " + msg;
+        close_span(i, "error");
       }
       resolved[i] = true;
       --unresolved;
@@ -399,6 +493,7 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_single(
     }
     // Unknown frame type addressed to us: treat as a per-item failure.
     items[i].error = "unexpected frame type '" + type + "'";
+    close_span(i, "error");
     resolved[i] = true;
     --unresolved;
   }
@@ -439,6 +534,10 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
       (void)connect_shard(&s);  // failure: stays dead until the next batch
     }
   }
+  emit_clock_samples();
+
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const std::uint64_t tid_hi = mix64(ns_digest_ ^ 0x7ace1dULL);
 
   /// Per-item request state. `route` is the key's full ring successor list;
   /// `primary` walks down it on failover; `hedge` is the one outstanding
@@ -452,16 +551,26 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
     double resend_at = 0.0;  // >0: busy backoff timer armed
     int busy_attempts = 0;
     bool done = false;
+    std::uint64_t tid_lo = 0;  // trace id low half (content key mix)
+    std::uint64_t span = 0;    // client/request span id (0 = untraced)
+    int sends = 0;             // transmissions so far (context attempts)
   };
   std::vector<Pend> pend(items.size());
   std::unordered_map<std::uint64_t, std::size_t> by_id;
   std::size_t unresolved = items.size();
   std::vector<std::size_t> downs;  // shards needing item repair
 
+  const auto close_span = [&](std::size_t i, const char* result) {
+    if (!traced || pend[i].span == 0) return;
+    tracer_->async_end("client/request", trace::Track::serve(),
+                       tracer_->now_us(), pend[i].span,
+                       {{"result", result}});
+  };
   const auto resolve_fail = [&](std::size_t i, const std::string& why) {
     items[i].ok = false;
     items[i].aborted = false;
     items[i].error = why;
+    close_span(i, "fail");
     pend[i].done = true;
     --unresolved;
   };
@@ -479,9 +588,18 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
   };
   const auto send_eval = [&](std::size_t i, std::size_t sidx) -> bool {
     Shard& s = shards_[sidx];
+    std::string trace_json;
+    if (traced) {
+      Pend& p = pend[i];
+      const trace::TraceContext ctx =
+          send_context(tid_hi, p.tid_lo, p.span, ++p.sends);
+      tracer_->flow_start("serve/flow", trace::Track::serve(),
+                          tracer_->now_us(), ctx.flow_id());
+      trace_json = trace_to_json(ctx);
+    }
     const Status st =
         send_frame(s.fd, eval_payload(pend[i].id, configs[i].key(),
-                                      streams[i]));
+                                      streams[i], trace_json));
     if (!st.is_ok()) {
       mark_down(sidx);
       return false;
@@ -538,10 +656,21 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
     const std::uint64_t ckey =
         ResultStore::content_key(ns_digest_, configs[i].key(), streams[i]);
     p.route = ring_.successors(ckey, ring_.size());
+    if (traced) {
+      p.tid_lo = mix64(ckey);
+      p.span = mix64(p.tid_lo ^ p.id);
+    }
     const std::size_t first = pick(p, HashRing::npos, HashRing::npos);
     if (first == HashRing::npos) {
       resolve_fail(i, "no live shard for this key");
       continue;
+    }
+    if (traced) {
+      tracer_->async_begin(
+          "client/request", trace::Track::serve(), tracer_->now_us(), p.span,
+          {{"trace", send_context(tid_hi, p.tid_lo, p.span, 0).trace_hex()},
+           {"stream", static_cast<std::int64_t>(streams[i])},
+           {"endpoint", shards_[first].endpoint}});
     }
     p.primary = first;
     p.sent_at = monotonic_seconds();
@@ -571,8 +700,10 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
         if (sidx == p.hedge) {
           hedge_wins_.fetch_add(1, std::memory_order_relaxed);
         }
+        close_span(i, sidx == p.hedge ? "hedge_win" : "ok");
       } else {
         items[i].error = "bad eval_ok: " + eval.status().message();
+        close_span(i, "bad_reply");
       }
       p.done = true;
       --unresolved;
@@ -626,14 +757,17 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
       if (code == "abort") {
         items[i].aborted = true;
         items[i].error = frame_message(v);
+        close_span(i, "abort");
       } else {
         items[i].error = code + ": " + frame_message(v);
+        close_span(i, "error");
       }
       p.done = true;
       --unresolved;
       return;
     }
     items[i].error = "unexpected frame type '" + type + "'";
+    close_span(i, "error");
     p.done = true;
     --unresolved;
   };
@@ -662,6 +796,11 @@ std::vector<tuner::EvalBackend::RemoteItem> ServeClient::evaluate_many_fleet(
           if (h != HashRing::npos) {
             hedges_.fetch_add(1, std::memory_order_relaxed);
             p.hedge = h;
+            if (traced && p.span != 0) {
+              tracer_->instant("client/hedge", trace::Track::serve(),
+                               tracer_->now_us(),
+                               {{"endpoint", shards_[h].endpoint}});
+            }
             if (!send_eval(i, h)) p.hedge = HashRing::npos;
           }
         } else {

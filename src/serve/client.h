@@ -160,7 +160,27 @@ class ServeClient : public tuner::EvalBackend {
                                      std::uint64_t request_id, int attempt,
                                      double base, double cap);
 
+  /// EvalBackend: attaches the campaign's flight recorder. From then on
+  /// every remote request gets an async client/request span, a trace
+  /// context on its eval frames (primary, busy resends, hedges, failovers
+  /// each carry a per-transmission parent span), and a flow arrow the
+  /// handling shard's spans stitch to. Pure observability: ids derive from
+  /// (namespace, content key, request id) — never wall clock — so traced
+  /// batches stay bit-identical to untraced ones.
+  void set_tracer(trace::Tracer* tracer) override { tracer_ = tracer; }
+
  private:
+  /// One clock-offset estimate from a hello round trip: the server's trace
+  /// clock at hello, bracketed by the client's steady clock. The merge tool
+  /// shifts that shard's timestamps by (server_us - client hello midpoint)
+  /// to land them on the client timeline; rtt bounds the estimate's error.
+  struct ClockSample {
+    double server_us = -1.0;  // server trace-clock µs at hello (<0 = none)
+    double mid_raw_us = 0.0;  // client steady-clock µs at hello midpoint
+    double rtt_us = 0.0;      // hello round-trip time
+    bool emitted = false;     // serve/clock instant already written
+  };
+
   /// One fleet shard: a lazily-(re)dialed connection plus its health state.
   struct Shard {
     std::string endpoint;
@@ -171,6 +191,7 @@ class ServeClient : public tuner::EvalBackend {
     std::string http;        // /healthz endpoint from hello_ok ("" = none)
     double last_heard = 0.0; // monotonic, last byte received
     double last_sent = 0.0;  // monotonic, last frame written
+    ClockSample clock;       // offset estimate from the latest hello
   };
 
   ServeClient() = default;
@@ -182,6 +203,10 @@ class ServeClient : public tuner::EvalBackend {
   /// Parses a hello_ok / error reply; fills ns_hex_ on first success.
   Status check_hello_reply(Shard* s, const std::string& payload);
   void mark_dead(std::size_t shard_index);
+  /// Writes one serve/clock instant per shard whose hello carried a server
+  /// trace clock (once per sample) — the merge tool reads these to align
+  /// shard timelines. No-op until set_tracer.
+  void emit_clock_samples();
   std::vector<RemoteItem> evaluate_many_fleet(
       std::span<const tuner::Config> configs,
       std::span<const std::uint64_t> streams);
@@ -196,6 +221,8 @@ class ServeClient : public tuner::EvalBackend {
 
   int fd_ = -1;  // single-server mode
   FrameDecoder dec_;
+  ClockSample clock_;  // single-server clock sample
+  trace::Tracer* tracer_ = nullptr;  // campaign flight recorder (may be null)
   std::uint64_t next_id_ = 1;
   std::string ns_hex_;
   std::uint64_t ns_digest_ = 0;

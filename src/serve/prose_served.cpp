@@ -167,6 +167,7 @@ int main(int argc, char** argv) {
             << " busy=" << st.busy_rejections << " aborts=" << st.aborts
             << " puts_in=" << st.puts_in << " repl_sent=" << st.repl_sent
             << " repl_failed=" << st.repl_failed
+            << " trace_write_errors=" << st.trace_write_errors
             << " namespaces=" << st.namespaces
             << " store_records=" << st.store_records
             << " store_segments=" << st.store_segments << "\n";

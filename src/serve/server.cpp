@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "support/json.h"
@@ -58,8 +59,17 @@ struct Server::Unit {
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::int64_t id = 0;
+    /// The requester's propagated trace identity and its serve/request span
+    /// id (0 when the server is untraced) — the span stays open from
+    /// admission until this waiter's answer goes out.
+    trace::TraceContext ctx;
+    std::uint64_t span = 0;
   };
   std::vector<Waiter> waiters;
+  /// Primary requester's context (rides the replication put frames) and the
+  /// unit's own work-span id (queue/execute/store/replicate phases).
+  trace::TraceContext ctx;
+  std::uint64_t span = 0;
 };
 
 namespace {
@@ -81,22 +91,32 @@ std::int64_t frame_id(const json::Value& v) {
 
 /// Observes the guarded scope's wall-clock duration into a histogram at
 /// destruction. Values only — nothing downstream reads the clock back.
+/// `exemplar`, when it points at a non-empty string by destruction time,
+/// tags the observation with a latency exemplar (the request's trace id),
+/// so the slowest histogram buckets name the requests that filled them.
 class ScopeTimer {
  public:
-  explicit ScopeTimer(obs::Histogram* hist) : hist_(hist) {
+  explicit ScopeTimer(obs::Histogram* hist,
+                      const std::string* exemplar = nullptr)
+      : hist_(hist), exemplar_(exemplar) {
     if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopeTimer() {
     if (hist_ == nullptr) return;
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - start_;
-    hist_->observe(dt.count());
+    if (exemplar_ != nullptr && !exemplar_->empty()) {
+      hist_->observe(dt.count(), *exemplar_);
+    } else {
+      hist_->observe(dt.count());
+    }
   }
   ScopeTimer(const ScopeTimer&) = delete;
   ScopeTimer& operator=(const ScopeTimer&) = delete;
 
  private:
   obs::Histogram* hist_;
+  const std::string* exemplar_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -258,6 +278,8 @@ void Server::register_metrics() {
   tm.write_errors = registry_.counter(
       "prose_trace_write_errors_total",
       "Sticky trace-sink write degradations.");
+  m_.trace_events = tm.events;
+  m_.trace_write_errors = tm.write_errors;
   tracer_.set_metrics(tm);
 }
 
@@ -296,7 +318,16 @@ void Server::shutdown() {
     conns_.clear();
   }
   unlink_endpoint(options_.endpoint);
-  (void)tracer_.flush();  // store fsyncs per insert; only the tracer buffers
+  // The store fsyncs per insert; only the tracer buffers — flush it as part
+  // of the drain so SIGTERM leaves a loadable timeline. A failed flush is a
+  // degradation, never an abort: one warning, a sticky counter, and the
+  // drain completes normally (the journal's discipline).
+  if (const Status trace_status = tracer_.flush(); !trace_status.is_ok()) {
+    std::fprintf(stderr,
+                 "warning: trace flush: %s — timeline will be incomplete\n",
+                 trace_status.message().c_str());
+    if (m_.trace_write_errors != nullptr) m_.trace_write_errors->inc();
+  }
   if (http_ != nullptr) {
     // The metrics/health listener outlives the drain by the grace window:
     // scrapers get a final post-drain scrape and orchestrators observe the
@@ -445,7 +476,10 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
 
 bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
                             const std::string& payload) {
-  const ScopeTimer rpc_timer(m_.rpc_seconds);
+  // Declared before the timer: the timer's destructor reads it, so it must
+  // be destroyed after (locals unwind in reverse declaration order).
+  std::string rpc_exemplar;
+  const ScopeTimer rpc_timer(m_.rpc_seconds, &rpc_exemplar);
   auto parsed = json::parse(payload);
   if (!parsed.is_ok()) {
     // Garbage *inside* an intact frame: framing is still synchronized, so
@@ -461,7 +495,7 @@ bool Server::handle_payload(const std::shared_ptr<Connection>& conn,
   const json::Value& v = parsed.value();
   const std::string type =
       v.find("type") != nullptr ? v.find("type")->str_or("") : "";
-  if (type == "eval") return handle_eval(conn, v);
+  if (type == "eval") return handle_eval(conn, v, &rpc_exemplar);
   if (type == "hello") return handle_hello(conn, v);
   if (type == "put") return handle_put(conn, v);
   if (type == "stats") {
@@ -584,13 +618,21 @@ bool Server::handle_hello(const std::shared_ptr<Connection>& conn,
     // a dead shard from a busy one without burning an eval connection.
     out += ",\"http\":" + tuner::json_quoted(http_->endpoint());
   }
+  if (tracer_.enabled()) {
+    // This daemon's trace-clock reading at hello time. A traced client
+    // brackets the hello round trip on its own clock and estimates the
+    // offset as clock - (t0+t1)/2, which the merge tool uses to shift this
+    // shard's timestamps onto the client timeline. Observability only:
+    // nothing downstream of a result ever reads it.
+    out += ",\"trace_clock_us\":" + tuner::json_double(tracer_.now_us());
+  }
   out += '}';
   send_to(conn, out);
   return true;
 }
 
 bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
-                         const json::Value& v) {
+                         const json::Value& v, std::string* rpc_exemplar) {
   const std::int64_t id = frame_id(v);
   if (conn->ns == nullptr) {
     send_error(conn, id, "bad_request", "eval before hello");
@@ -615,10 +657,51 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
   }
   m_.requests->inc();
 
+  // Request-scoped tracing: finish the client's flow arrow and open the
+  // serve/request span. An absent or garbled wire context still traces —
+  // the span is simply unparented, keyed off the content key instead. The
+  // context parses regardless of this daemon's tracer: a traced client's
+  // ids still label latency exemplars and ride replication to peers even
+  // when the daemon itself runs without --trace-out.
+  const bool traced = tracer_.enabled();
+  const trace::TraceContext ctx = trace_from_frame(v);
+  if (rpc_exemplar != nullptr && ctx.valid()) {
+    *rpc_exemplar = ctx.trace_hex();
+  }
+  std::uint64_t rspan = 0;
+  if (traced) {
+    rspan = ctx.valid() ? ctx.server_span_id()
+                        : trace::mix64(ResultStore::content_key(
+                              conn->ns->digest, key, stream));
+    const double now = tracer_.now_us();
+    if (ctx.valid()) {
+      tracer_.flow_end("serve/flow", trace::Track::serve(), now,
+                       ctx.flow_id());
+    }
+    tracer_.async_begin(
+        "serve/request", trace::Track::serve(), now, rspan,
+        {{"trace", ctx.valid() ? ctx.trace_hex() : std::string("unparented")},
+         {"stream", static_cast<std::int64_t>(stream)}});
+  }
+  const auto close_request = [&](const char* result) {
+    if (!traced) return;
+    tracer_.async_end("serve/request", trace::Track::serve(),
+                      tracer_.now_us(), rspan, {{"result", result}});
+  };
+
   // Fast path: the store already has it (this daemon's earlier work, or a
   // previous daemon's — the store file outlives the process).
   tuner::Evaluation eval;
-  if (store_->lookup(conn->ns->digest, key, stream, &eval)) {
+  if (traced) {
+    tracer_.async_begin("serve/store", trace::Track::serve(),
+                        tracer_.now_us(), rspan);
+  }
+  const bool hit = store_->lookup(conn->ns->digest, key, stream, &eval);
+  if (traced) {
+    tracer_.async_end("serve/store", trace::Track::serve(), tracer_.now_us(),
+                      rspan, {{"hit", hit}});
+  }
+  if (hit) {
     {
       std::lock_guard slock(stats_mu_);
       ++stats_.store_hits;
@@ -630,6 +713,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
     tuner::append_evaluation_fields(out, eval);
     out += '}';
     send_to(conn, out);
+    close_request("store_hit");
     return true;
   }
 
@@ -641,7 +725,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       // drain — its response is owed anyway.
       const auto it = inflight_.find(ukey);
       if (it != inflight_.end()) {
-        it->second->waiters.push_back(Unit::Waiter{conn, id});
+        it->second->waiters.push_back(Unit::Waiter{conn, id, ctx, rspan});
         lock.unlock();
         m_.coalesced->inc();
         std::lock_guard slock(stats_mu_);
@@ -650,12 +734,14 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       }
       lock.unlock();
       send_error(conn, id, "shutting_down", "server is draining");
+      close_request("shutting_down");
       return true;
     }
     if (const auto it = inflight_.find(ukey); it != inflight_.end()) {
       // Single-flight: somebody (possibly another client) is computing this
-      // exact result — wait for theirs.
-      it->second->waiters.push_back(Unit::Waiter{conn, id});
+      // exact result — wait for theirs. The request span stays open until
+      // the computing unit answers this waiter.
+      it->second->waiters.push_back(Unit::Waiter{conn, id, ctx, rspan});
       lock.unlock();
       m_.coalesced->inc();
       {
@@ -675,6 +761,7 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       }
       send_error(conn, id, "busy", "admission queue full",
                  options_.retry_after_seconds);
+      close_request("busy");
       return true;
     }
     auto unit = std::make_unique<Unit>();
@@ -687,7 +774,13 @@ bool Server::handle_eval(const std::shared_ptr<Connection>& conn,
       unit->config.kinds.push_back(c == '4' ? 4 : 8);
     }
     unit->evaluator = conn->ns->evaluator.get();
-    unit->waiters.push_back(Unit::Waiter{conn, id});
+    unit->waiters.push_back(Unit::Waiter{conn, id, ctx, rspan});
+    unit->ctx = ctx;  // exemplars + replication forwarding, tracer or not
+    if (traced) {
+      unit->span = trace::mix64(rspan ^ 0xd15);
+      tracer_.async_begin("serve/queue", trace::Track::serve(),
+                          tracer_.now_us(), unit->span);
+    }
     queue_.push_back(unit.get());
     m_.queue_depth->set(static_cast<double>(queue_.size()));
     inflight_.emplace(ukey, std::move(unit));
@@ -714,12 +807,36 @@ bool Server::handle_put(const std::shared_ptr<Connection>& conn,
     send_error(conn, id, "bad_request", "put: " + eval.status().message());
     return true;
   }
+  // A replicated write carries the originating request's trace context, so
+  // the replica's durability work appears under the same distributed trace
+  // (stitched by the peer-indexed replication flow id).
+  const bool traced = tracer_.enabled();
+  const trace::TraceContext ctx = trace_from_frame(v);
+  std::uint64_t pspan = 0;
+  if (traced) {
+    pspan = ctx.valid()
+                ? trace::mix64(ctx.flow_id() ^ (self_index_ + 1))
+                : trace::mix64(ResultStore::content_key(
+                      ns, key_v->str_or(""), stream));
+    const double now = tracer_.now_us();
+    if (ctx.valid()) {
+      tracer_.flow_end("serve/repl", trace::Track::serve(), now, pspan);
+    }
+    tracer_.async_begin(
+        "serve/put", trace::Track::serve(), now, pspan,
+        {{"trace",
+          ctx.valid() ? ctx.trace_hex() : std::string("unparented")}});
+  }
   // Durable before acked: insert() fsyncs before returning, so a put_ok
   // means the record survives this daemon's kill -9. No hello required —
   // the namespace travels inline; this replica may never have resolved the
   // target itself.
   const std::size_t appended =
       store_->insert(ns, key_v->str_or(""), stream, eval.value());
+  if (traced) {
+    tracer_.async_end("serve/put", trace::Track::serve(), tracer_.now_us(),
+                      pspan, {{"appended", appended > 0}});
+  }
   if (appended > 0) {
     m_.store_appends->inc();
     m_.store_bytes->inc(appended);
@@ -738,7 +855,8 @@ bool Server::handle_put(const std::shared_ptr<Connection>& conn,
 
 void Server::replicate_result(std::uint64_t ns, const std::string& key,
                               std::uint64_t stream,
-                              const tuner::Evaluation& eval) {
+                              const tuner::Evaluation& eval,
+                              const trace::TraceContext& ctx) {
   if (ring_.size() < 2 || options_.replicate <= 1) return;
   const std::uint64_t ckey = ResultStore::content_key(ns, key, stream);
   const auto successors =
@@ -756,7 +874,16 @@ void Server::replicate_result(std::uint64_t ns, const std::string& key,
     out += ",\"key\":" + tuner::json_quoted(key);
     out += ",\"stream\":" + std::to_string(stream);
     tuner::append_evaluation_fields(out, eval);
+    if (ctx.valid()) out += ",\"trace\":" + trace_to_json(ctx);
     out += '}';
+    if (tracer_.enabled() && ctx.valid()) {
+      // Peer-indexed flow id: the replica derives the same value from the
+      // propagated context and its own ring slot, stitching this write to
+      // its serve/put span in the merged timeline.
+      tracer_.flow_start("serve/repl", trace::Track::serve(),
+                         tracer_.now_us(),
+                         trace::mix64(ctx.flow_id() ^ (i + 1)));
+    }
 
     bool acked = false;
     // Two attempts: the first may fail on a connection the peer's restart
@@ -840,19 +967,38 @@ void Server::dispatch_loop() {
       tuner::Evaluation eval;
     };
     std::vector<Result> results(batch.size());
+    const bool traced = tracer_.enabled();
     const auto eval_one = [&](std::size_t i, std::size_t worker) {
       // Injected aborts are per-unit results, not batch failures: the whole
       // batch always drains, and each abort is forwarded to exactly the
       // clients waiting on that unit.
-      const ScopeTimer eval_timer(m_.eval_seconds);
-      try {
-        results[i].eval = batch[i]->evaluator->evaluate_remote(
-            batch[i]->config, batch[i]->stream, static_cast<int>(worker));
-        results[i].ok = true;
-      } catch (const std::exception& e) {
-        results[i].error = e.what();
-      } catch (...) {
-        results[i].error = "evaluator abort";
+      Unit* u = batch[i];
+      if (traced) {
+        const double now = tracer_.now_us();
+        tracer_.async_end("serve/queue", trace::Track::serve(), now, u->span);
+        tracer_.async_begin("serve/execute", trace::Track::serve(), now,
+                            u->span,
+                            {{"worker", static_cast<std::int64_t>(worker)}});
+      }
+      // The slowest eval buckets carry the request's trace id as an
+      // exemplar; declared before the timer so it outlives its destructor.
+      const std::string exemplar =
+          u->ctx.valid() ? u->ctx.trace_hex() : std::string();
+      {
+        const ScopeTimer eval_timer(m_.eval_seconds, &exemplar);
+        try {
+          results[i].eval = u->evaluator->evaluate_remote(
+              u->config, u->stream, static_cast<int>(worker));
+          results[i].ok = true;
+        } catch (const std::exception& e) {
+          results[i].error = e.what();
+        } catch (...) {
+          results[i].error = "evaluator abort";
+        }
+      }
+      if (traced) {
+        tracer_.async_end("serve/execute", trace::Track::serve(),
+                          tracer_.now_us(), u->span, {{"ok", results[i].ok}});
       }
     };
     if (pool_ != nullptr && pool_->size() > 1) {
@@ -869,9 +1015,25 @@ void Server::dispatch_loop() {
         // is pushed to its ring replicas, and only then are waiters
         // answered. A kill -9 after a client saw eval_ok cannot lose the
         // record — here or, with replication, on the surviving replicas.
+        if (traced) {
+          tracer_.async_begin("serve/store", trace::Track::serve(),
+                              tracer_.now_us(), unit->span);
+        }
         const std::size_t appended =
             store_->insert(unit->ns_digest, unit->key, unit->stream, r.eval);
-        replicate_result(unit->ns_digest, unit->key, unit->stream, r.eval);
+        if (traced) {
+          const double now = tracer_.now_us();
+          tracer_.async_end("serve/store", trace::Track::serve(), now,
+                            unit->span);
+          tracer_.async_begin("serve/replicate", trace::Track::serve(), now,
+                              unit->span);
+        }
+        replicate_result(unit->ns_digest, unit->key, unit->stream, r.eval,
+                         unit->ctx);
+        if (traced) {
+          tracer_.async_end("serve/replicate", trace::Track::serve(),
+                            tracer_.now_us(), unit->span);
+        }
         m_.evals->inc();
         if (appended > 0) {
           m_.store_appends->inc();
@@ -896,6 +1058,11 @@ void Server::dispatch_loop() {
         if (!node.empty()) owned = std::move(node.mapped());
       }
       if (owned == nullptr) continue;
+      const auto close_waiter = [&](const Unit::Waiter& w, const char* res) {
+        if (!traced || w.span == 0) return;
+        tracer_.async_end("serve/request", trace::Track::serve(),
+                          tracer_.now_us(), w.span, {{"result", res}});
+      };
       if (r.ok) {
         std::string fields;
         tuner::append_evaluation_fields(fields, r.eval);
@@ -906,10 +1073,12 @@ void Server::dispatch_loop() {
           out += fields;
           out += '}';
           send_to(w.conn, out);
+          close_waiter(w, "ok");
         }
       } else {
         for (const Unit::Waiter& w : owned->waiters) {
           send_error(w.conn, w.id, "abort", r.error);
+          close_waiter(w, "abort");
         }
       }
     }
@@ -955,6 +1124,14 @@ std::string Server::stats_payload() const {
   out += ",\"puts_in\":" + std::to_string(s.puts_in);
   out += ",\"repl_sent\":" + std::to_string(s.repl_sent);
   out += ",\"repl_failed\":" + std::to_string(s.repl_failed);
+  out += ",\"trace_write_errors\":" + std::to_string(s.trace_write_errors);
+  // Live queue depth (a gauge, not part of ServerStats): lets one-shot
+  // pollers (prose_top --fleet) see backlog without scraping /metrics.
+  out += ",\"queue_depth\":" +
+         std::to_string(m_.queue_depth != nullptr
+                            ? static_cast<std::uint64_t>(
+                                  m_.queue_depth->value())
+                            : 0);
   out += ",\"namespaces\":" + std::to_string(s.namespaces);
   out += ",\"store_records\":" + std::to_string(s.store_records);
   out += ",\"store_segments\":" + std::to_string(s.store_segments);
@@ -968,6 +1145,9 @@ ServerStats Server::stats() const {
   if (store_ != nullptr) {
     s.store_records = store_->records();
     s.store_segments = store_->segment_count();
+  }
+  if (m_.trace_write_errors != nullptr) {
+    s.trace_write_errors = m_.trace_write_errors->value();
   }
   return s;
 }

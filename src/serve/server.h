@@ -113,6 +113,7 @@ struct ServerStats {
   std::uint64_t puts_in = 0;         // replication writes applied from peers
   std::uint64_t repl_sent = 0;       // replication writes acked by peers
   std::uint64_t repl_failed = 0;     // replication writes lost to dead peers
+  std::uint64_t trace_write_errors = 0;  // trace-sink degradations (sticky)
   std::size_t namespaces = 0;
   std::size_t store_records = 0;
   std::size_t store_segments = 0;
@@ -172,14 +173,19 @@ class Server {
                       const std::string& payload);
   bool handle_hello(const std::shared_ptr<Connection>& conn,
                     const json::Value& v);
+  /// `rpc_exemplar`, when non-null, receives the request's trace-id hex so
+  /// the enclosing rpc_seconds observation can carry a latency exemplar.
   bool handle_eval(const std::shared_ptr<Connection>& conn,
-                   const json::Value& v);
+                   const json::Value& v, std::string* rpc_exemplar);
   bool handle_put(const std::shared_ptr<Connection>& conn,
                   const json::Value& v);
   /// Pushes one computed result to its ring successors (durable before any
   /// waiter is answered). Peer failures are tallied, never propagated.
+  /// `ctx` is the primary requester's trace context, propagated on the put
+  /// frames so replication writes join the request's distributed trace.
   void replicate_result(std::uint64_t ns, const std::string& key,
-                        std::uint64_t stream, const tuner::Evaluation& eval);
+                        std::uint64_t stream, const tuner::Evaluation& eval,
+                        const trace::TraceContext& ctx);
   void send_to(const std::shared_ptr<Connection>& conn,
                const std::string& payload);
   void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
@@ -219,6 +225,8 @@ class Server {
     obs::Counter* puts_in = nullptr;
     obs::Counter* repl_sent = nullptr;
     obs::Counter* repl_failed = nullptr;
+    obs::Counter* trace_events = nullptr;
+    obs::Counter* trace_write_errors = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* namespaces = nullptr;
     obs::Gauge* store_segments = nullptr;

@@ -522,4 +522,41 @@ StatusOr<sim::MachineModel> machine_from_json(const json::Value& v) {
   return m;
 }
 
+std::string trace_to_json(const trace::TraceContext& ctx) {
+  std::string out = "{\"tid_hi\":\"";
+  out += digest_hex(ctx.trace_id_hi);
+  out += "\",\"tid_lo\":\"";
+  out += digest_hex(ctx.trace_id_lo);
+  out += "\",\"span\":\"";
+  out += digest_hex(ctx.parent_span);
+  out += "\",\"sampled\":";
+  out += ctx.sampled ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+trace::TraceContext trace_from_frame(const json::Value& frame) {
+  trace::TraceContext ctx;
+  if (!frame.is_object()) return ctx;
+  const json::Value* t = frame.find("trace");
+  if (t == nullptr || !t->is_object()) return ctx;
+  const auto hex_field = [&t](const char* name, std::uint64_t* out) {
+    const json::Value* v = t->find(name);
+    if (v == nullptr) return false;
+    return parse_digest_hex(v->str_or(""), out);
+  };
+  trace::TraceContext parsed;
+  // All-or-nothing: a garbled id leaves the whole context invalid rather
+  // than emitting spans under a half-parsed trace id.
+  if (!hex_field("tid_hi", &parsed.trace_id_hi) ||
+      !hex_field("tid_lo", &parsed.trace_id_lo) ||
+      !hex_field("span", &parsed.parent_span)) {
+    return ctx;
+  }
+  const json::Value* sampled = t->find("sampled");
+  parsed.sampled = sampled != nullptr && sampled->bool_or(false);
+  if (!parsed.valid()) return ctx;
+  return parsed;
+}
+
 }  // namespace prose::serve

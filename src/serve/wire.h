@@ -19,6 +19,7 @@
 
 #include "support/json.h"
 #include "support/status.h"
+#include "support/trace.h"
 #include "tuner/target.h"
 
 namespace prose::serve {
@@ -133,5 +134,22 @@ std::string machine_to_json(const sim::MachineModel& m);
 /// Unknown fields are ignored — a field-name typo surfaces as the hello's
 /// target-digest mismatch, which is the authoritative agreement check.
 StatusOr<sim::MachineModel> machine_from_json(const json::Value& v);
+
+// --- trace-context codec --------------------------------------------------
+//
+// Distributed-tracing context rides eval/put frames as an *optional*
+// `"trace":{...}` member. Readers ignore unknown JSON fields, so a new
+// client talking to an old server (context silently dropped) and an old
+// client talking to a new server (context absent → spans emitted
+// unparented) both keep working — the context is observability, never
+// protocol.
+
+/// `{"tid_hi":"<hex16>","tid_lo":"<hex16>","span":"<hex16>","sampled":B}`.
+std::string trace_to_json(const trace::TraceContext& ctx);
+
+/// Extracts the `"trace"` member of a frame object. Absent, non-object, or
+/// garbage-valued contexts decode as an invalid (default) context — trace
+/// decoding must never reject a frame that is otherwise well-formed.
+trace::TraceContext trace_from_frame(const json::Value& frame);
 
 }  // namespace prose::serve

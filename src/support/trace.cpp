@@ -195,6 +195,14 @@ bool validate_json(std::string_view text, std::string* error) {
   return JsonChecker(text).check(error);
 }
 
+std::string TraceContext::trace_hex() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(trace_id_hi),
+                static_cast<unsigned long long>(trace_id_lo));
+  return buf;
+}
+
 std::string AttrValue::to_json() const {
   switch (kind_) {
     case Kind::kString: return '"' + json_escape(str_) + '"';
@@ -246,7 +254,8 @@ double Tracer::now_us() const {
 }
 
 void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
-                  double dur_us, const Attrs& attrs, bool has_value, double value) {
+                  double dur_us, const Attrs& attrs, bool has_value, double value,
+                  bool has_id, std::uint64_t id) {
   if (!enabled_) return;
   std::string ev;
   ev.reserve(128);
@@ -261,6 +270,15 @@ void Tracer::emit(std::string_view name, char phase, Track track, double ts_us,
     ev += fmt_us(dur_us);
   }
   if (phase == 'i') ev += ",\"s\":\"t\"";
+  if (has_id) {
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                  static_cast<unsigned long long>(id));
+    ev += ",\"id\":\"";
+    ev += idbuf;
+    ev += '"';
+  }
+  if (phase == 'f') ev += ",\"bp\":\"e\"";
   ev += ",\"pid\":";
   ev += std::to_string(track.pid);
   ev += ",\"tid\":";
@@ -348,6 +366,30 @@ void Tracer::instant(std::string_view name, Track track, double ts_us,
 void Tracer::counter(std::string_view name, Track track, double ts_us,
                      double value) {
   emit(name, 'C', track, ts_us, 0.0, {}, /*has_value=*/true, value);
+}
+
+void Tracer::async_begin(std::string_view name, Track track, double ts_us,
+                         std::uint64_t id, const Attrs& attrs) {
+  emit(name, 'b', track, ts_us, 0.0, attrs, /*has_value=*/false, 0.0,
+       /*has_id=*/true, id);
+}
+
+void Tracer::async_end(std::string_view name, Track track, double ts_us,
+                       std::uint64_t id, const Attrs& attrs) {
+  emit(name, 'e', track, ts_us, 0.0, attrs, /*has_value=*/false, 0.0,
+       /*has_id=*/true, id);
+}
+
+void Tracer::flow_start(std::string_view name, Track track, double ts_us,
+                        std::uint64_t id) {
+  emit(name, 's', track, ts_us, 0.0, {}, /*has_value=*/false, 0.0,
+       /*has_id=*/true, id);
+}
+
+void Tracer::flow_end(std::string_view name, Track track, double ts_us,
+                      std::uint64_t id) {
+  emit(name, 'f', track, ts_us, 0.0, {}, /*has_value=*/false, 0.0,
+       /*has_id=*/true, id);
 }
 
 Status Tracer::flush() {

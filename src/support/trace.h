@@ -80,6 +80,47 @@ struct Attr {
 };
 using Attrs = std::vector<Attr>;
 
+/// splitmix64 finalizer: the deterministic id mixer shared by every layer
+/// that derives trace/span/flow ids from campaign identifiers (namespace
+/// digests, content keys, request ids). Never seeded from wall-clock time.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Propagated request identity for distributed tracing across the serve
+/// wire: a 128-bit trace id plus the parent span on the client side, all
+/// derived deterministically from the campaign's existing ids (namespace
+/// digest, content key, request id) — never from wall-clock randomness, so
+/// traced runs stay bit-identical to untraced ones. A default-constructed
+/// context is "absent": servers still emit spans, just unparented.
+struct TraceContext {
+  std::uint64_t trace_id_hi = 0;
+  std::uint64_t trace_id_lo = 0;
+  std::uint64_t parent_span = 0;
+  bool sampled = false;
+
+  [[nodiscard]] bool valid() const {
+    return trace_id_hi != 0 || trace_id_lo != 0;
+  }
+  /// 32 lowercase hex chars (the W3C trace-id text form).
+  [[nodiscard]] std::string trace_hex() const;
+
+  /// The flow-arrow id stitching a client request span to the server spans
+  /// that handled it. Both ends derive it from the context independently,
+  /// so the sender's flow_start and the receiver's flow_end pair up without
+  /// any extra wire traffic.
+  [[nodiscard]] std::uint64_t flow_id() const {
+    return mix64(trace_id_lo ^ mix64(parent_span ^ trace_id_hi));
+  }
+  /// The server-side request span id under that flow.
+  [[nodiscard]] std::uint64_t server_span_id() const {
+    return mix64(flow_id() ^ 0x5e57e5u);
+  }
+};
+
 /// Where a trace file pair goes. Empty paths disable the respective sink;
 /// both empty disables tracing entirely (the zero-cost path).
 struct TraceOptions {
@@ -105,6 +146,10 @@ struct Track {
   static constexpr int kEvaluatorTid = 0;
   static constexpr int kSearchTid = 1;
   static constexpr int kCampaignTid = 2;
+  /// Request-scoped serve spans (client request lifecycles on the campaign
+  /// side; admission/queue/execute/replicate lifecycles on the daemon side).
+  /// Async (b/e) events only — concurrent requests overlap freely here.
+  static constexpr int kServeTid = 3;
   /// Work-pool workers occupy tids kWorkerTidBase + w so a parallel batch
   /// renders as one span track per worker under the pipeline process.
   static constexpr int kWorkerTidBase = 8;
@@ -112,6 +157,7 @@ struct Track {
   static Track evaluator() { return {kPipelinePid, kEvaluatorTid}; }
   static Track search() { return {kPipelinePid, kSearchTid}; }
   static Track campaign() { return {kPipelinePid, kCampaignTid}; }
+  static Track serve() { return {kPipelinePid, kServeTid}; }
   static Track node(int n) { return {kClusterPid, n}; }
   static Track worker(int w) { return {kPipelinePid, kWorkerTidBase + w}; }
 };
@@ -164,6 +210,20 @@ class Tracer {
                const Attrs& attrs = {});
   /// A counter sample (ph:"C"); Perfetto renders these as a value track.
   void counter(std::string_view name, Track track, double ts_us, double value);
+  /// Async nestable span open (ph:"b") / close (ph:"e"), matched by id.
+  /// Unlike begin/end these may overlap freely on one track — the shape of
+  /// concurrent serve requests sharing the client's request track.
+  void async_begin(std::string_view name, Track track, double ts_us,
+                   std::uint64_t id, const Attrs& attrs = {});
+  void async_end(std::string_view name, Track track, double ts_us,
+                 std::uint64_t id, const Attrs& attrs = {});
+  /// Flow arrow start (ph:"s") / finish (ph:"f", bp:"e"), matched by id:
+  /// the cross-process stitch from a client request span to the server-side
+  /// spans that handled it. Start and finish must share `name`.
+  void flow_start(std::string_view name, Track track, double ts_us,
+                  std::uint64_t id);
+  void flow_end(std::string_view name, Track track, double ts_us,
+                std::uint64_t id);
 
   /// Writes the Chrome trace file and flushes the JSONL stream. Called by
   /// the destructor; call explicitly to observe the Status.
@@ -171,7 +231,8 @@ class Tracer {
 
  private:
   void emit(std::string_view name, char phase, Track track, double ts_us,
-            double dur_us, const Attrs& attrs, bool has_value, double value);
+            double dur_us, const Attrs& attrs, bool has_value, double value,
+            bool has_id = false, std::uint64_t id = 0);
 
   bool enabled_ = false;
   bool flushed_ = false;

@@ -353,7 +353,12 @@ StatusOr<CampaignResult> run_campaign(const TargetSpec& spec,
     ev.set_fault_plan(&plan);
     ev.set_retry_policy(options.retry);
   }
-  if (options.backend != nullptr) ev.set_backend(options.backend);
+  if (options.backend != nullptr) {
+    ev.set_backend(options.backend);
+    // The backend (serve client) emits request-scoped spans onto the same
+    // timeline and threads trace context over the wire. Observability only.
+    options.backend->set_tracer(tr);
+  }
   if (options.resume && !recovered.variants.empty()) {
     ev.set_journal_replay(recovered.variants);
   }

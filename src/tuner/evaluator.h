@@ -180,6 +180,12 @@ class EvalBackend {
     double busy_backoff_seconds = 0.0;  // total deterministic backoff slept
   };
   [[nodiscard]] virtual Counters counters() const { return {}; }
+
+  /// Attaches the campaign's flight recorder so the backend can emit
+  /// request-scoped spans (and propagate trace context over its transport).
+  /// Pure observability: results are bit-identical with or without it.
+  /// Default no-op keeps transports that don't trace trivially conformant.
+  virtual void set_tracer(trace::Tracer* /*tracer*/) {}
 };
 
 class Evaluator {
